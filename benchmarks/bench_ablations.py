@@ -1,0 +1,82 @@
+"""Benches for the ablation studies (beyond the paper's figures)."""
+
+from repro.experiments.ablations import (
+    run_aggregator_comparison,
+    run_colluder_ablation,
+    run_cross_job_ablation,
+    run_domain_pruning_ablation,
+    run_spammer_ablation,
+)
+
+
+def test_bench_ablation_spammers(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_spammer_ablation,
+        kwargs={"seed": bench_seed, "review_count": 100},
+        rounds=1,
+        iterations=1,
+    )
+    worst = result.rows[-1]
+    assert worst["verification"] >= worst["half_voting"]
+
+
+def test_bench_ablation_colluders(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_colluder_ablation,
+        kwargs={"seed": bench_seed, "review_count": 100},
+        rounds=1,
+        iterations=1,
+    )
+    last = result.rows[-1]
+    assert last["verification"] > last["majority_voting"]
+
+
+def test_bench_ablation_domain_pruning(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_domain_pruning_ablation,
+        kwargs={"seed": bench_seed, "trials": 200},
+        rounds=1,
+        iterations=1,
+    )
+    by_policy = {row["m_policy"]: row for row in result.rows}
+    assert (
+        by_policy["theorem5"]["calibration_gap"]
+        < by_policy["full-domain"]["calibration_gap"]
+    )
+
+
+def test_bench_ablation_aggregators(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_aggregator_comparison,
+        kwargs={"seed": bench_seed, "review_count": 100, "worker_counts": (5, 9)},
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        assert row["cdas_verification"] >= row["majority_voting"] - 0.02
+
+
+def test_bench_ablation_cross_job(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_cross_job_ablation,
+        kwargs={"seed": bench_seed, "review_count": 100},
+        rounds=1,
+        iterations=1,
+    )
+    by_source = {
+        row["accuracy_source"]: row["verification_accuracy"] for row in result.rows
+    }
+    assert by_source["same_job_gold"] >= by_source["cross_job_gold"]
+
+
+def test_bench_latency_study(benchmark, bench_seed):
+    from repro.experiments.latency_study import run_latency_study
+
+    result = benchmark.pedantic(
+        run_latency_study,
+        kwargs={"seed": bench_seed, "review_count": 100},
+        rounds=1,
+        iterations=1,
+    )
+    by_mode = {row["mode"]: row for row in result.rows}
+    assert by_mode["expmax"]["mean_seconds"] < by_mode["wait-for-all"]["mean_seconds"]

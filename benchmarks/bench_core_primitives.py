@@ -1,0 +1,49 @@
+"""Micro-benchmarks of the hot core primitives.
+
+These are not paper figures; they track the cost of the operations the
+engine performs per answer (Equation-4 scoring, termination snapshots,
+binomial tails), so performance regressions in the core loop show up here.
+"""
+
+from repro.core.confidence import answer_confidences
+from repro.core.domain import AnswerDomain
+from repro.core.prediction import refined_worker_count
+from repro.core.termination import ExpMax, TerminationSnapshot
+from repro.core.types import WorkerAnswer
+from repro.util.stats import binomial_tail
+
+DOMAIN = AnswerDomain.closed(("pos", "neu", "neg"))
+OBSERVATION = [
+    WorkerAnswer(f"w{i}", ("pos", "neu", "neg")[i % 3], 0.5 + (i % 5) * 0.08)
+    for i in range(30)
+]
+
+
+def test_bench_equation4_scoring(benchmark):
+    scores = benchmark(answer_confidences, OBSERVATION, DOMAIN)
+    assert abs(sum(scores.values()) - 1.0) < 1e-9
+
+
+def test_bench_refined_prediction(benchmark):
+    n = benchmark(refined_worker_count, 0.95, 0.7)
+    assert n % 2 == 1
+
+
+def test_bench_binomial_tail_large_n(benchmark):
+    value = benchmark(binomial_tail, 2001, 1001, 0.6)
+    assert 0.999 < value <= 1.0
+
+
+def test_bench_termination_snapshot(benchmark):
+    from repro.core.confidence import answer_log_weights
+
+    weights = answer_log_weights(OBSERVATION, DOMAIN)
+    snap = TerminationSnapshot(
+        log_weights=weights,
+        domain=DOMAIN,
+        remaining_workers=5,
+        mean_accuracy=0.7,
+    )
+    strategy = ExpMax()
+    result = benchmark(strategy.should_stop, snap)
+    assert result in (True, False)

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 4 (the live-view session)."""
+
+from repro.experiments import fig04_live_view
+
+
+def test_bench_fig04(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        fig04_live_view.run,
+        kwargs={"seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: the session ends with every tweet resolved and a
+    # clearly positive mix (ground truth ~70/15/15).
+    final = result.rows[-1]
+    assert final["resolved"] == final["tweets_seen"]
+    assert final["positive_pct"] > final["negative_pct"]
+    assert final["positive_pct"] > 50

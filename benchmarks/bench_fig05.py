@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 5 (TSA vs LIBSVM, five test movies)."""
+
+from repro.experiments import fig05_svm_vs_crowd
+
+
+def test_bench_fig05(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        fig05_svm_vs_crowd.run,
+        kwargs={
+            "seed": bench_seed,
+            "tweets_per_test_movie": 80,
+            "train_movies": 20,
+            "tweets_per_train_movie": 40,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: the crowd with 5 workers beats the SVM on every movie.
+    for row in result.rows:
+        assert row["tsa_5_workers"] > row["libsvm"]

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 6 (conservative vs binary-search prediction)."""
+
+from repro.experiments import fig06_worker_prediction
+
+
+def test_bench_fig06(benchmark):
+    result = benchmark(fig06_worker_prediction.run)
+    # Headline shape: the refinement never exceeds the conservative count
+    # and roughly halves it at the top of the sweep.
+    for row in result.rows:
+        assert row["binary_search"] <= row["conservative"]
+    last = result.rows[-1]
+    assert last["binary_search"] <= 0.6 * last["conservative"]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 7 (accuracy vs number of workers)."""
+
+from repro.experiments import fig07_accuracy_vs_workers
+
+
+def test_bench_fig07(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        fig07_accuracy_vs_workers.run,
+        kwargs={"seed": bench_seed, "review_count": 150, "max_workers": 21},
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: verification dominates voting and improves with n.
+    for row in result.rows:
+        assert row["verification"] >= row["half_voting"] - 0.03
+    assert result.rows[-1]["verification"] > result.rows[0]["verification"]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 8 (accuracy vs user-required accuracy)."""
+
+from repro.experiments import fig08_accuracy_vs_required
+
+
+def test_bench_fig08(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        fig08_accuracy_vs_required.run,
+        kwargs={"seed": bench_seed, "review_count": 150},
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: verification meets the requirement everywhere.
+    for row in result.rows:
+        assert row["verification"] >= row["required_accuracy"] - 0.03

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 9 (no-answer ratio vs number of workers)."""
+
+from repro.experiments import fig09_no_answer_vs_workers
+
+
+def test_bench_fig09(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        fig09_no_answer_vs_workers.run,
+        kwargs={"seed": bench_seed, "review_count": 150, "max_workers": 21},
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: from mid-size crowds on, half-voting keeps abstaining
+    # while majority-voting's ties die out.
+    tail = result.rows[4:]
+    assert all(r["half_voting"] >= r["majority_voting"] - 1e-9 for r in tail)
+    assert tail[-1]["half_voting"] > 0.05

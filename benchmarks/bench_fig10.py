@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 10 (no-answer ratio vs number of reviews)."""
+
+from repro.experiments import fig10_no_answer_vs_reviews
+
+
+def test_bench_fig10(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        fig10_no_answer_vs_reviews.run,
+        kwargs={"seed": bench_seed, "max_reviews": 200, "step": 40},
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: abstention is flat in the review count.
+    ratios = result.column("half_voting")
+    assert max(ratios) - min(ratios) < 0.25

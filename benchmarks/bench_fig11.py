@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 11 (answer arrival sequences)."""
+
+from repro.experiments import fig11_arrival_sequences
+
+
+def test_bench_fig11(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        fig11_arrival_sequences.run,
+        kwargs={"seed": bench_seed, "worker_count": 20, "review_count": 30},
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: all sequences converge to the same final accuracy.
+    last = result.rows[-1]
+    finals = [v for k, v in last.items() if k.startswith("sequence_")]
+    assert max(finals) - min(finals) < 1e-9

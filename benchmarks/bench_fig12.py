@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 12 (early termination, workers used)."""
+
+from repro.experiments.fig1213_termination import run_fig12
+
+
+def test_bench_fig12(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_fig12,
+        kwargs={
+            "seed": bench_seed,
+            "review_count": 100,
+            "c_values": (0.7, 0.8, 0.9),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: every strategy stays below the predicted worker
+    # count (the paper's red line), MinMax being the most conservative.
+    for row in result.rows:
+        assert row["minmax"] <= row["predicted_workers"]
+        assert row["minexp"] <= row["minmax"] + 1e-9

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 13 (early termination, accuracy kept)."""
+
+from repro.experiments.fig1213_termination import run_fig13
+
+
+def test_bench_fig13(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_fig13,
+        kwargs={
+            "seed": bench_seed,
+            "review_count": 100,
+            "c_values": (0.7, 0.8, 0.9),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: the recommended ExpMax strategy keeps the realised
+    # accuracy at the requirement.
+    for row in result.rows:
+        assert row["expmax"] >= row["required_accuracy"] - 0.05

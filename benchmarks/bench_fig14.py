@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 14 (approval rate vs real accuracy)."""
+
+from repro.experiments import fig14_approval_vs_accuracy
+
+
+def test_bench_fig14(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        fig14_approval_vs_accuracy.run,
+        kwargs={"seed": bench_seed, "questions_per_worker": 60, "worker_sample": 300},
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: approval piles at 95-100 while real accuracy doesn't.
+    top = result.rows[-1]
+    assert top["approval_rate_pct"] > 40
+    assert top["real_accuracy_pct"] < 10

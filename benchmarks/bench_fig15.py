@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 15 (sampling rate vs worker-accuracy estimates)."""
+
+from repro.experiments import fig15_sampling_worker_accuracy
+
+
+def test_bench_fig15(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        fig15_sampling_worker_accuracy.run,
+        kwargs={"seed": bench_seed, "worker_sample": 200},
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: estimation error decreases monotonically to 0.
+    errors = result.column("average_error")
+    assert errors == sorted(errors, reverse=True)
+    assert errors[-1] == 0.0

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 16 (sampling rate vs verification accuracy)."""
+
+from repro.experiments import fig16_sampling_verification
+
+
+def test_bench_fig16(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        fig16_sampling_verification.run,
+        kwargs={"seed": bench_seed, "review_count": 100},
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: 20% sampling tracks 100% closely; 5% trails behind.
+    for row in result.rows:
+        assert row["rate_100"] >= row["rate_5"] - 0.05
+        assert abs(row["rate_100"] - row["rate_20"]) < 0.12

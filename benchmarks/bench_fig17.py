@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 17 (IT crowd vs ALIPR)."""
+
+from repro.experiments import fig17_alipr_vs_crowd
+
+
+def test_bench_fig17(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        fig17_alipr_vs_crowd.run,
+        kwargs={"seed": bench_seed, "images_per_subject": 20},
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: ALIPR in the 10-30% band, a single crowd worker far
+    # above it.
+    for row in result.rows:
+        assert row["alipr"] <= 0.45
+        assert row["crowd_1_workers"] > row["alipr"] + 0.3

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 18 (IT accuracy vs required accuracy)."""
+
+from repro.experiments import fig18_it_accuracy
+
+
+def test_bench_fig18(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        fig18_it_accuracy.run,
+        kwargs={"seed": bench_seed, "images_per_subject": 6},
+        rounds=1,
+        iterations=1,
+    )
+    # Headline shape: the model satisfies the requirement everywhere.
+    for row in result.rows:
+        assert row["real_accuracy"] >= row["required_accuracy"] - 0.02

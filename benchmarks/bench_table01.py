@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 1 (iPhone4S opinion presentation)."""
+
+from repro.experiments import table01_presentation
+
+
+def test_bench_table01(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        table01_presentation.run,
+        kwargs={"seed": bench_seed, "review_count": 60, "workers_per_review": 7},
+        rounds=1,
+        iterations=1,
+    )
+    report = result.extras["report"]
+    # Headline shape: the 60/10/30 ground-truth mix is recovered closely.
+    assert abs(report.percentage("Best Ever") - 0.6) < 0.2
+    assert abs(report.percentage("Not Satisfied") - 0.3) < 0.2

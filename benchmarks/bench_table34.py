@@ -1,0 +1,12 @@
+"""Bench: regenerate Tables 3+4 (the worked verification example)."""
+
+from repro.experiments import table34_verification_example
+
+
+def test_bench_table34(benchmark):
+    result = benchmark(table34_verification_example.run)
+    by_model = {row["model"]: row for row in result.rows}
+    # Exact paper numbers: voting → pos, verification → neg (.329/.176/.495).
+    assert by_model["verification"]["answer"] == "neg"
+    assert abs(by_model["verification"]["neg"] - 0.495) < 1e-3
+    assert by_model["half-voting"]["answer"] == "pos"

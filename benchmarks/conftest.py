@@ -1,0 +1,23 @@
+"""Benchmark conventions.
+
+One bench module per paper table/figure.  Each wraps its experiment's
+``run`` at a reduced-but-representative size (the full sizes live in the
+experiment modules' defaults and EXPERIMENTS.md) and asserts the paper's
+headline shape on the produced rows, so the benchmark suite doubles as a
+regression gate on the reproduction itself.
+
+Heavy experiments run with ``benchmark.pedantic(rounds=1)`` — simulation
+wall-time is what we report, not micro-timing stability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Seed shared by all benches (same as experiments' default).
+BENCH_SEED = 2012
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED

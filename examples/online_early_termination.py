@@ -1,0 +1,95 @@
+"""Online processing and early termination, question by question (§4.2).
+
+Streams one question's answers through the online aggregator, printing the
+confidence of every label after each arrival (the paper's Figure 11 view),
+then compares the three stopping rules' cost/accuracy trade-off over a
+batch of reviews (Figures 12-13 in miniature).
+
+Run:  python examples/online_early_termination.py
+"""
+
+from repro.amt import PoolConfig, WorkerPool
+from repro.amt.worker import behaviour_for
+from repro.core import (
+    AnswerDomain,
+    OnlineAggregator,
+    WorkerAnswer,
+    run_online,
+    strategy_by_name,
+)
+from repro.tsa import generate_tweets, tweet_to_question
+from repro.util import format_table
+from repro.util.rng import substream
+
+SEED = 2012
+MU = 0.7
+
+
+def collect_answers(pool, question, n, label):
+    """Sample n workers' answers with oracle accuracies (demo only)."""
+    rng = substream(SEED, label)
+    answers = []
+    for profile in pool.sample(n, rng):
+        choice, _ = behaviour_for(profile).answer(profile, question, rng)
+        answers.append(
+            WorkerAnswer(profile.worker_id, choice, profile.true_accuracy)
+        )
+    return answers
+
+
+def main() -> None:
+    pool = WorkerPool.from_config(PoolConfig(size=300), seed=SEED)
+    tweets = generate_tweets(["Thor"], per_movie=40, seed=SEED)
+    domain = AnswerDomain.closed(("positive", "neutral", "negative"))
+
+    # -- one question, arrival by arrival --------------------------------
+    question = tweet_to_question(tweets[0])
+    answers = collect_answers(pool, question, 15, "single")
+    print(f"tweet: {question.payload}")
+    print(f"truth: {question.truth}\n")
+    aggregator = OnlineAggregator(
+        domain, hired_workers=15, mean_accuracy=MU, strategy=strategy_by_name("expmax")
+    )
+    rows = []
+    for wa in answers:
+        point = aggregator.submit(wa)
+        rows.append(
+            [
+                point.answers_received,
+                wa.answer,
+                point.best_answer,
+                f"{point.best_confidence:.3f}",
+                "stop" if aggregator.should_terminate() else "",
+            ]
+        )
+        if aggregator.should_terminate():
+            break
+    print(format_table(["arrival", "vote", "leader", "confidence", ""], rows))
+    saved = 15 - aggregator.answers_received
+    print(f"\nExpMax stopped after {aggregator.answers_received} answers "
+          f"({saved} assignments cancelled)\n")
+
+    # -- strategy comparison over a batch --------------------------------
+    questions = [tweet_to_question(t) for t in tweets]
+    table = []
+    for name in ("minmax", "minexp", "expmax"):
+        strategy = strategy_by_name(name)
+        used = correct = 0
+        for i, q in enumerate(questions):
+            obs = collect_answers(pool, q, 15, f"batch-{i}")
+            result = run_online(obs, domain, mean_accuracy=MU, strategy=strategy)
+            used += result.answers_used
+            correct += result.verdict.answer == q.truth
+        table.append(
+            [
+                name,
+                f"{used / len(questions):.1f} / 15",
+                f"{correct / len(questions):.3f}",
+            ]
+        )
+    print("strategy comparison over", len(questions), "reviews:")
+    print(format_table(["strategy", "answers used", "accuracy"], table))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: the CDAS quality-sensitive answering model in 60 lines.
+
+Covers the three moves of the paper in order:
+
+1. *Predict* how many workers a required accuracy needs (§3).
+2. *Publish* a HIT to the (simulated) market and collect answers.
+3. *Verify* the answers with the probability-based model and compare
+   against the voting baselines (§4).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.amt import HIT, PoolConfig, Question, SimulatedMarket, WorkerPool
+from repro.core import (
+    AnswerDomain,
+    WorkerAnswer,
+    refined_worker_count,
+    verify_with_all,
+)
+from repro.core.sampling import WorkerAccuracyEstimator
+
+SEED = 2012
+
+
+def main() -> None:
+    # A worker population and an AMT-like market over it.
+    pool = WorkerPool.from_config(PoolConfig(size=200), seed=SEED)
+    market = SimulatedMarket(pool, seed=SEED)
+
+    # 1. Prediction: how many workers for 90% confidence, given the
+    #    population's mean accuracy?
+    mu = pool.mean_true_accuracy()  # in production this comes from gold-sampling
+    n = refined_worker_count(0.90, mu)
+    print(f"mean worker accuracy μ = {mu:.3f}")
+    print(f"workers needed for C = 0.90: {n} (binary-search refinement)")
+
+    # 2. Publish one sentiment question to n workers.
+    question = Question(
+        question_id="tweet-1",
+        options=("positive", "neutral", "negative"),
+        truth="positive",  # known to the simulator, hidden from CDAS
+        payload="just watched Thor and it was brilliant, the effects blew me away",
+    )
+    hit = HIT(hit_id="quickstart", questions=(question,), assignments=n)
+    handle = market.publish(hit)
+
+    # Estimate each answering worker's accuracy (here: one gold probe per
+    # worker via their own answer — the real pipeline uses §3.3 sampling).
+    estimator = WorkerAccuracyEstimator(prior_accuracy=0.5, smoothing=1.0)
+    observation = []
+    for assignment in handle.collect_all():
+        answer = assignment.answers["tweet-1"]
+        profile = handle.worker_profile(assignment.worker_id)
+        observation.append(
+            WorkerAnswer(
+                worker_id=assignment.worker_id,
+                answer=answer,
+                accuracy=profile.true_accuracy,  # oracle for the demo
+            )
+        )
+    print(f"collected {len(observation)} answers, cost ${market.ledger.total_cost:.3f}")
+
+    # 3. Verification: all three models on the same observation.
+    domain = AnswerDomain.closed(question.options)
+    for name, verdict in verify_with_all(observation, domain, hired_workers=n).items():
+        confidence = f"{verdict.confidence:.3f}" if verdict.confidence else "-"
+        print(f"{name:>16}: answer={verdict.answer!r:12} confidence={confidence}")
+
+
+if __name__ == "__main__":
+    main()

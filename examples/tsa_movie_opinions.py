@@ -1,0 +1,72 @@
+"""TSA end to end: the paper's running example on a simulated stream.
+
+Registers the twitter-sentiment job with the job manager, calibrates the
+engine's worker-accuracy estimator with gold tweets, runs a Definition-1
+query over a windowed tweet stream, and prints the §4.3 opinion report
+(percentages + reasons) plus the realised accuracy against ground truth.
+
+Run:  python examples/tsa_movie_opinions.py
+"""
+
+from repro.amt import PoolConfig, SimulatedMarket, WorkerPool
+from repro.engine import CrowdsourcingEngine, EngineConfig, JobManager
+from repro.tsa import (
+    TSAJob,
+    TweetStream,
+    build_tsa_spec,
+    generate_tweets,
+    movie_query,
+    tweet_to_question,
+)
+
+SEED = 2012
+
+
+def main() -> None:
+    # World: 400 workers (a few percent spammers), an AMT-style market.
+    pool = WorkerPool.from_config(PoolConfig(size=400), seed=SEED)
+    market = SimulatedMarket(pool, seed=SEED)
+    engine = CrowdsourcingEngine(
+        market, seed=SEED, config=EngineConfig(termination="expmax")
+    )
+
+    # The job manager knows how TSA splits between computers and humans.
+    manager = JobManager()
+    manager.register(build_tsa_spec())
+
+    # Calibrate μ from gold tweets (the paper's "historical performances").
+    gold = generate_tweets(["Inception", "Black Swan"], per_movie=25, seed=SEED + 1)
+    mu = engine.calibrate(
+        [tweet_to_question(t) for t in gold[:30]], workers_per_hit=25, hits=2
+    )
+    print(f"calibrated mean worker accuracy: {mu:.3f}")
+
+    # Definition 1: Q = ({Thor}, 90%, {positive, neutral, negative}, t=0, w=24h).
+    query = movie_query("Thor", required_accuracy=0.90, window=24)
+    plan = manager.plan("twitter-sentiment", query)
+    print()
+    print(plan.describe())
+    print()
+
+    # A day of tweets about the movie, streamed and windowed.
+    tweets = generate_tweets(["Thor"], per_movie=80, seed=SEED + 2)
+    stream = TweetStream.from_corpus(tweets)
+    print(f"stream rate K = {stream.arrival_rate(query):.1f} matching tweets/hour")
+
+    job = TSAJob(engine, stream=stream, batch_size=20)
+    result = job.run(query, gold_tweets=gold[30:])
+
+    print()
+    print(result.report.render())
+    print()
+    print(f"tweets processed : {len(result.records)}")
+    print(f"workers per HIT  : {result.workers_per_hit:.1f}")
+    print(f"total cost       : ${result.cost:.3f}")
+    print(f"accuracy vs truth: {result.accuracy:.3f} (required {query.required_accuracy})")
+    saved = market.ledger.avoided_cost
+    if saved:
+        print(f"early termination saved ${saved:.3f} of assignments")
+
+
+if __name__ == "__main__":
+    main()

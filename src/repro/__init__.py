@@ -1,0 +1,28 @@
+"""CDAS reproduction: a crowdsourcing data analytics system (VLDB 2012).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's quality-sensitive answering model: worker-count prediction,
+    probability-based verification, gold-sampling, online processing with
+    early termination, result presentation.
+``repro.amt``
+    A seedable Mechanical-Turk-style market simulator (workers, HITs,
+    pricing, asynchronous arrival).
+``repro.engine``
+    The CDAS system of Figure 2: job manager, crowdsourcing engine, program
+    executor, privacy manager.
+``repro.baselines``
+    The machine baselines the paper compares against, built from scratch:
+    a linear SVM sentiment classifier and a simulated ALIPR annotator.
+``repro.tsa`` / ``repro.it``
+    The two applications deployed on CDAS: Twitter sentiment analytics and
+    image tagging, over synthetic ground-truthed corpora.
+``repro.experiments``
+    One module per paper table/figure, regenerating its rows/series.
+"""
+
+from repro.system import CDAS
+
+__all__ = ["CDAS"]
+__version__ = "1.0.0"

@@ -1,0 +1,49 @@
+"""Simulated Mechanical-Turk market: the paper's crowdsourcing substrate.
+
+Workers (honest, spamming, colluding), HITs, asynchronous submissions,
+the §3.1 economic model, and cancellation for early termination.
+"""
+
+from repro.amt.hit import HIT, Assignment, Question, validate_assignment
+from repro.amt.latency import (
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    LognormalLatency,
+)
+from repro.amt.market import PublishedHIT, SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.amt.pricing import CostLedger, PriceSchedule
+from repro.amt.worker import (
+    Behaviour,
+    ColluderBehaviour,
+    ReliableBehaviour,
+    SpammerBehaviour,
+    WorkerProfile,
+    behaviour_for,
+    effective_accuracy,
+)
+
+__all__ = [
+    "HIT",
+    "Assignment",
+    "Question",
+    "validate_assignment",
+    "ExponentialLatency",
+    "FixedLatency",
+    "LatencyModel",
+    "LognormalLatency",
+    "PublishedHIT",
+    "SimulatedMarket",
+    "PoolConfig",
+    "WorkerPool",
+    "CostLedger",
+    "PriceSchedule",
+    "Behaviour",
+    "ColluderBehaviour",
+    "ReliableBehaviour",
+    "SpammerBehaviour",
+    "WorkerProfile",
+    "behaviour_for",
+    "effective_accuracy",
+]

@@ -1,0 +1,171 @@
+"""HIT (Human Intelligence Task) data model for the simulated market.
+
+Mirrors the AMT concepts the paper relies on: a *HIT* bundles the questions
+of one batch (for TSA, up to ``B`` tweets about one movie, §2.2); it is
+published with ``n`` requested assignments; each accepting worker produces
+an *assignment* containing answers for every question.  Gold questions
+(§3.3) are ordinary questions whose ``truth`` the requester knows and uses
+for accuracy estimation; the simulator also knows the truth of real
+questions, which is what lets experiments measure "real accuracy" against
+ground truth like the paper does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Question", "HIT", "Assignment"]
+
+
+@dataclass(frozen=True, slots=True)
+class Question:
+    """One question inside a HIT.
+
+    Attributes
+    ----------
+    question_id:
+        Unique within the HIT (tweet id, ``image:tag`` pair...).
+    options:
+        The answer domain ``R`` shown to the worker.
+    truth:
+        The ground-truth answer.  The requester is only allowed to *use* it
+        for gold questions; the simulator uses it for every question to
+        drive worker behaviour and to score experiments.
+    difficulty:
+        In ``[-1, 1]``; 0 is an average question.  Positive difficulty
+        interpolates a worker's effective accuracy toward uniform guessing
+        (§5.1.2 of the paper observes exactly this: hard tweets depress
+        accuracy below the population mean); negative difficulty
+        interpolates toward certainty (image tagging, where the paper sees
+        >80 % from a single worker).
+    is_gold:
+        Whether this slot is a §3.3 testing sample.
+    reason_keywords:
+        Keywords a correct worker may attach as the "reason" for their
+        answer (feeds §4.3 result presentation).
+    payload:
+        The underlying application object (tweet text, image), opaque here.
+    topic:
+        The job domain this question belongs to (``"sentiment"``,
+        ``"imaging"``...).  Workers may be better or worse at specific
+        topics (§3.3: "the worker's accuracy may vary widely across
+        jobs"); see :func:`repro.amt.worker.effective_accuracy`.
+    """
+
+    question_id: str
+    options: tuple[str, ...]
+    truth: str
+    difficulty: float = 0.0
+    is_gold: bool = False
+    reason_keywords: tuple[str, ...] = ()
+    payload: object = None
+    topic: str = "general"
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 2:
+            raise ValueError(
+                f"question {self.question_id!r} needs ≥ 2 options, got {self.options!r}"
+            )
+        if len(set(self.options)) != len(self.options):
+            raise ValueError(f"question {self.question_id!r} has duplicate options")
+        if self.truth not in self.options:
+            raise ValueError(
+                f"question {self.question_id!r}: truth {self.truth!r} not among "
+                f"options {self.options!r}"
+            )
+        if not -1.0 <= self.difficulty <= 1.0:
+            raise ValueError(
+                f"question {self.question_id!r}: difficulty {self.difficulty} not in [-1, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class HIT:
+    """A published batch of questions requesting ``assignments`` workers.
+
+    The paper concatenates one HTML section per tweet into the HIT
+    description (Figure 3); here the questions tuple plays that role and
+    rendering is the engine's concern (:mod:`repro.engine.templates`).
+    """
+
+    hit_id: str
+    questions: tuple[Question, ...]
+    assignments: int
+
+    def __post_init__(self) -> None:
+        if not self.questions:
+            raise ValueError(f"HIT {self.hit_id!r} has no questions")
+        if self.assignments <= 0:
+            raise ValueError(
+                f"HIT {self.hit_id!r}: assignment count must be positive, "
+                f"got {self.assignments}"
+            )
+        ids = [q.question_id for q in self.questions]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"HIT {self.hit_id!r} has duplicate question ids")
+
+    @property
+    def gold_questions(self) -> tuple[Question, ...]:
+        return tuple(q for q in self.questions if q.is_gold)
+
+    @property
+    def real_questions(self) -> tuple[Question, ...]:
+        return tuple(q for q in self.questions if not q.is_gold)
+
+    def question(self, question_id: str) -> Question:
+        for q in self.questions:
+            if q.question_id == question_id:
+                return q
+        raise KeyError(f"HIT {self.hit_id!r} has no question {question_id!r}")
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One worker's completed pass over a HIT.
+
+    Attributes
+    ----------
+    hit_id / worker_id:
+        What was answered and by whom.
+    answers:
+        ``question_id -> chosen option``; complete over the HIT's questions
+        (simulated workers do not skip; the engine still tolerates missing
+        keys defensively).
+    keywords:
+        ``question_id -> reason keywords`` the worker attached.
+    submit_time:
+        Simulated submission timestamp (seconds since HIT publication);
+        drives the online-processing arrival order.
+    """
+
+    hit_id: str
+    worker_id: str
+    answers: Mapping[str, str]
+    keywords: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    submit_time: float = 0.0
+
+    def answer_for(self, question_id: str) -> str | None:
+        return self.answers.get(question_id)
+
+
+def validate_assignment(hit: HIT, assignment: Assignment) -> None:
+    """Reject assignments whose answers fall outside the question options.
+
+    The market calls this on every submission; a violation indicates a
+    worker-policy bug rather than ordinary worker error, so it raises.
+    """
+    if assignment.hit_id != hit.hit_id:
+        raise ValueError(
+            f"assignment for HIT {assignment.hit_id!r} validated against {hit.hit_id!r}"
+        )
+    for qid, answer in assignment.answers.items():
+        question = hit.question(qid)
+        if answer not in question.options:
+            raise ValueError(
+                f"worker {assignment.worker_id!r} answered {answer!r} to "
+                f"{qid!r}, outside options {question.options!r}"
+            )
+
+
+__all__.append("validate_assignment")

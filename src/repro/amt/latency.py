@@ -1,0 +1,81 @@
+"""Worker response-latency models.
+
+AMT workers "finish their jobs asynchronously" (paper §1) — the engine's
+online processing exists precisely because answers trickle in.  The market
+samples one submission latency per assignment from a latency model; the
+sorted latencies define the arrival order online experiments replay.
+
+Log-normal latency is the standard empirical fit for human task-completion
+times (long right tail: a few workers take much longer than the median),
+and is the default.  Exponential and fixed variants exist for tests and for
+constructing adversarial arrival orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyModel", "LognormalLatency", "ExponentialLatency", "FixedLatency"]
+
+
+class LatencyModel:
+    """Interface: sample one submission latency in simulated seconds."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class LognormalLatency(LatencyModel):
+    """Log-normal latency: median ``median_seconds``, shape ``sigma``.
+
+    With the default shape 0.8 roughly 10 % of workers take more than 2.8×
+    the median — a realistic long tail that makes early termination
+    valuable (the last few answers are the expensive ones to wait for).
+    """
+
+    median_seconds: float = 120.0
+    sigma: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.median_seconds <= 0:
+            raise ValueError(f"median must be positive, got {self.median_seconds}")
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(mean=np.log(self.median_seconds), sigma=self.sigma))
+
+
+@dataclass(frozen=True, slots=True)
+class ExponentialLatency(LatencyModel):
+    """Memoryless latency with the given mean."""
+
+    mean_seconds: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.mean_seconds <= 0:
+            raise ValueError(f"mean must be positive, got {self.mean_seconds}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_seconds))
+
+
+@dataclass(frozen=True, slots=True)
+class FixedLatency(LatencyModel):
+    """Deterministic latency — submissions arrive in assignment order.
+
+    Ties are impossible because the market adds a per-assignment epsilon;
+    used by tests that need a fully prescribed arrival order.
+    """
+
+    seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"latency must be non-negative, got {self.seconds}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.seconds

@@ -1,0 +1,185 @@
+"""The simulated Mechanical-Turk market.
+
+:class:`SimulatedMarket` is the substrate standing in for AMT (see
+DESIGN.md §2).  It reproduces the observable behaviour the paper's engine
+depends on and nothing more:
+
+* ``publish(hit)`` broadcasts a HIT; ``n`` random pool workers accept.
+* Each accepted assignment is completed according to the worker's
+  behaviour model and submitted after a sampled latency — so submissions
+  arrive asynchronously and out of publication order.
+* Collected assignments are charged ``m_c + m_s`` each; cancelling a HIT's
+  outstanding assignments (early termination, §4.2.2 footnote 3) avoids
+  their cost entirely.
+
+Everything is pre-generated at publish time from the market seed, so a
+given ``(pool, seed, HIT)`` triple always produces the same workers, the
+same answers and the same arrival order, regardless of how the engine
+interleaves its pulls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.amt.hit import HIT, Assignment, validate_assignment
+from repro.amt.latency import LatencyModel, LognormalLatency
+from repro.amt.pool import WorkerPool
+from repro.amt.pricing import CostLedger, PriceSchedule
+from repro.amt.worker import WorkerProfile, behaviour_for
+from repro.util.rng import derive_seed, substream
+
+__all__ = ["PublishedHIT", "SimulatedMarket"]
+
+
+@dataclass
+class PublishedHIT:
+    """Handle to one in-flight HIT: pull submissions, or cancel the rest.
+
+    Submissions are yielded in arrival-time order.  Every pulled
+    assignment is charged to the market ledger at pull time (AMT charges on
+    collection); :meth:`cancel` forfeits — and therefore never pays for —
+    whatever has not been pulled yet.
+    """
+
+    hit: HIT
+    workers: tuple[WorkerProfile, ...]
+    _assignments: tuple[Assignment, ...]
+    _ledger: CostLedger
+    _cursor: int = 0
+    _cancelled: bool = False
+
+    @property
+    def collected(self) -> int:
+        """Assignments pulled (and paid) so far."""
+        return self._cursor
+
+    @property
+    def outstanding(self) -> int:
+        """Assignments still pending (0 after cancel)."""
+        if self._cancelled:
+            return 0
+        return len(self._assignments) - self._cursor
+
+    @property
+    def done(self) -> bool:
+        return self._cancelled or self._cursor >= len(self._assignments)
+
+    def next_submission(self) -> Assignment | None:
+        """Collect (and pay for) the next submission, ``None`` when done."""
+        if self.done:
+            return None
+        assignment = self._assignments[self._cursor]
+        self._cursor += 1
+        self._ledger.charge(self.hit.hit_id, 1)
+        return assignment
+
+    def collect_all(self) -> list[Assignment]:
+        """Drain every remaining submission (no early termination)."""
+        out = []
+        while (assignment := self.next_submission()) is not None:
+            out.append(assignment)
+        return out
+
+    def cancel(self) -> int:
+        """Cancel outstanding assignments; returns how many were avoided."""
+        avoided = self.outstanding
+        if avoided:
+            self._ledger.cancel(self.hit.hit_id, avoided)
+        self._cancelled = True
+        return avoided
+
+    def worker_profile(self, worker_id: str) -> WorkerProfile:
+        for profile in self.workers:
+            if profile.worker_id == worker_id:
+                return profile
+        raise KeyError(f"worker {worker_id!r} did not accept HIT {self.hit.hit_id!r}")
+
+
+class SimulatedMarket:
+    """AMT stand-in: broadcast HITs to a pool, collect priced submissions.
+
+    Parameters
+    ----------
+    pool:
+        The worker population.
+    seed:
+        Root seed; every published HIT derives private substreams from it.
+    schedule:
+        Per-assignment prices (``m_c``, ``m_s``).
+    latency:
+        Submission-latency model shaping the asynchronous arrival order.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        seed: int,
+        schedule: PriceSchedule | None = None,
+        latency: LatencyModel | None = None,
+    ) -> None:
+        self.pool = pool
+        self._seed = seed
+        self.schedule = schedule if schedule is not None else PriceSchedule()
+        self.latency = latency if latency is not None else LognormalLatency()
+        self.ledger = CostLedger(schedule=self.schedule)
+        self._published: dict[str, PublishedHIT] = {}
+
+    def publish(self, hit: HIT) -> PublishedHIT:
+        """Broadcast ``hit``; returns the handle streaming its submissions.
+
+        Raises
+        ------
+        ValueError
+            If a HIT id is reused — silent republication would corrupt the
+            ledger's per-HIT attribution.
+        """
+        if hit.hit_id in self._published:
+            raise ValueError(f"HIT id {hit.hit_id!r} already published")
+        assign_rng = substream(self._seed, f"accept:{hit.hit_id}")
+        workers = tuple(self.pool.sample(hit.assignments, assign_rng))
+
+        assignments = []
+        for position, profile in enumerate(workers):
+            answer_seed = derive_seed(self._seed, f"answers:{hit.hit_id}:{profile.worker_id}")
+            answer_rng = substream(answer_seed, "answers")
+            latency_rng = substream(answer_seed, "latency")
+            behaviour = behaviour_for(profile)
+            answers: dict[str, str] = {}
+            keywords: dict[str, tuple[str, ...]] = {}
+            for question in hit.questions:
+                chosen, reasons = behaviour.answer(profile, question, answer_rng)
+                answers[question.question_id] = chosen
+                if reasons:
+                    keywords[question.question_id] = reasons
+            # Position epsilon breaks exact latency ties deterministically.
+            submit_time = self.latency.sample(latency_rng) + position * 1e-9
+            assignment = Assignment(
+                hit_id=hit.hit_id,
+                worker_id=profile.worker_id,
+                answers=answers,
+                keywords=keywords,
+                submit_time=submit_time,
+            )
+            validate_assignment(hit, assignment)
+            assignments.append(assignment)
+
+        assignments.sort(key=lambda a: a.submit_time)
+        handle = PublishedHIT(
+            hit=hit,
+            workers=workers,
+            _assignments=tuple(assignments),
+            _ledger=self.ledger,
+        )
+        self._published[hit.hit_id] = handle
+        return handle
+
+    def handle(self, hit_id: str) -> PublishedHIT:
+        try:
+            return self._published[hit_id]
+        except KeyError:
+            raise KeyError(f"HIT {hit_id!r} was never published") from None
+
+    @property
+    def published_hits(self) -> int:
+        return len(self._published)

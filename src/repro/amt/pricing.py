@@ -1,0 +1,112 @@
+"""The AMT economic model (paper §3.1) and cost accounting.
+
+AMT charges the requester per collected assignment: the worker reward
+``m_c`` plus the platform fee ``m_s``.  A HIT published to ``n`` workers
+costs ``(m_c + m_s)·n``; a TSA query over ``w`` time units at ``K`` tweets
+per unit costs ``(m_c + m_s)·w·K·g(C)`` with ``g`` the prediction function.
+
+Early termination (§4.2.2, footnote 3) cancels the outstanding assignments
+of a HIT *before* they are submitted, so they are never charged — the
+ledger records the avoided spend so experiments can report savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PriceSchedule", "CostLedger"]
+
+
+@dataclass(frozen=True, slots=True)
+class PriceSchedule:
+    """Per-assignment prices.
+
+    Attributes
+    ----------
+    worker_reward:
+        ``m_c`` — paid to the worker (the paper's examples use $0.01).
+    platform_fee:
+        ``m_s`` — paid to the platform per assignment.
+    """
+
+    worker_reward: float = 0.01
+    platform_fee: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.worker_reward < 0 or self.platform_fee < 0:
+            raise ValueError(
+                f"prices must be non-negative, got m_c={self.worker_reward}, "
+                f"m_s={self.platform_fee}"
+            )
+
+    @property
+    def per_assignment(self) -> float:
+        """``m_c + m_s``."""
+        return self.worker_reward + self.platform_fee
+
+    def hit_cost(self, assignments: int) -> float:
+        """Cost of one fully-collected HIT with ``n`` assignments."""
+        if assignments < 0:
+            raise ValueError(f"assignment count must be non-negative: {assignments}")
+        return self.per_assignment * assignments
+
+    def query_cost(self, workers_per_hit: int, items_per_unit: int, window: int) -> float:
+        """§3.1: ``(m_c + m_s) · n · K · w`` for a windowed streaming query."""
+        if items_per_unit < 0 or window < 0:
+            raise ValueError(
+                f"K and w must be non-negative, got K={items_per_unit}, w={window}"
+            )
+        return self.hit_cost(workers_per_hit) * items_per_unit * window
+
+
+@dataclass
+class CostLedger:
+    """Running account of what a requester actually paid.
+
+    Attributes
+    ----------
+    schedule:
+        The price schedule charges are computed from.
+    """
+
+    schedule: PriceSchedule = field(default_factory=PriceSchedule)
+    _charged_assignments: int = 0
+    _cancelled_assignments: int = 0
+    _charges_by_hit: dict[str, int] = field(default_factory=dict)
+
+    def charge(self, hit_id: str, assignments: int = 1) -> float:
+        """Record ``assignments`` collected submissions for ``hit_id``."""
+        if assignments <= 0:
+            raise ValueError(f"must charge a positive count, got {assignments}")
+        self._charged_assignments += assignments
+        self._charges_by_hit[hit_id] = self._charges_by_hit.get(hit_id, 0) + assignments
+        return self.schedule.per_assignment * assignments
+
+    def cancel(self, hit_id: str, assignments: int) -> float:
+        """Record ``assignments`` cancelled (never-paid) submissions."""
+        if assignments < 0:
+            raise ValueError(f"cancelled count must be non-negative, got {assignments}")
+        self._cancelled_assignments += assignments
+        return self.schedule.per_assignment * assignments
+
+    @property
+    def total_cost(self) -> float:
+        """Money actually spent."""
+        return self.schedule.per_assignment * self._charged_assignments
+
+    @property
+    def avoided_cost(self) -> float:
+        """Money early termination saved."""
+        return self.schedule.per_assignment * self._cancelled_assignments
+
+    @property
+    def charged_assignments(self) -> int:
+        return self._charged_assignments
+
+    @property
+    def cancelled_assignments(self) -> int:
+        return self._cancelled_assignments
+
+    def cost_of(self, hit_id: str) -> float:
+        """Spend attributed to one HIT."""
+        return self.schedule.per_assignment * self._charges_by_hit.get(hit_id, 0)

@@ -1,0 +1,220 @@
+"""Simulated crowd workers and their answering behaviours.
+
+The paper identifies two error sources (§1): workers who *lack knowledge*
+(honest but fallible) and *malicious* workers who answer randomly or even
+collude on a wrong answer.  The market models both:
+
+* :class:`ReliableBehaviour` — answers correctly with the worker's effective
+  accuracy, otherwise uniformly among the wrong options.  Question
+  difficulty interpolates the effective accuracy toward uniform guessing,
+  reproducing the paper's observation (§5.1.2) that hard tweets ("Avatar
+  sucks... I'm disowning him") depress everyone's accuracy.
+* :class:`SpammerBehaviour` — ignores the question entirely and answers
+  uniformly at random (the reward-harvesting malicious worker).
+* :class:`ColluderBehaviour` — members of a clique deterministically agree
+  on the same *wrong* option, the collusion scenario §1 warns about: they
+  can push a false answer past naive voting.
+
+Every behaviour draws from an explicit RNG, so one experiment seed fixes
+every worker's every answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.amt.hit import Question
+
+__all__ = [
+    "WorkerProfile",
+    "Behaviour",
+    "ReliableBehaviour",
+    "SpammerBehaviour",
+    "ColluderBehaviour",
+    "behaviour_for",
+    "effective_accuracy",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerProfile:
+    """One member of the simulated worker population.
+
+    Attributes
+    ----------
+    worker_id:
+        Stable market-wide identifier.
+    true_accuracy:
+        The worker's latent accuracy on an average (difficulty-0) question.
+        Hidden from the requester — CDAS must estimate it by gold-sampling.
+    approval_rate:
+        The AMT-style public statistic.  *Deliberately* drawn from a
+        different distribution than ``true_accuracy`` (most requesters
+        auto-approve), reproducing the divergence of paper Figure 14.
+    behaviour:
+        ``"reliable"``, ``"spammer"`` or ``"colluder"``.
+    clique:
+        Colluders sharing a clique id submit identical wrong answers.
+    skills:
+        Per-topic accuracy offsets as ``(topic, delta)`` pairs: on a
+        question of that topic the worker's latent accuracy shifts by
+        ``delta`` (clipped to [0, 1]).  Models §3.3's observation that
+        "the worker's accuracy may vary widely across jobs" — the reason
+        gold-sampling must happen per job rather than being read off a
+        global statistic.
+    """
+
+    worker_id: str
+    true_accuracy: float
+    approval_rate: float
+    behaviour: str = "reliable"
+    clique: int = 0
+    skills: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.true_accuracy <= 1.0:
+            raise ValueError(
+                f"worker {self.worker_id!r}: accuracy {self.true_accuracy} not in [0, 1]"
+            )
+        if not 0.0 <= self.approval_rate <= 1.0:
+            raise ValueError(
+                f"worker {self.worker_id!r}: approval rate {self.approval_rate} "
+                "not in [0, 1]"
+            )
+        topics = [topic for topic, _ in self.skills]
+        if len(set(topics)) != len(topics):
+            raise ValueError(
+                f"worker {self.worker_id!r}: duplicate topics in skills "
+                f"{self.skills!r}"
+            )
+
+    def skill_delta(self, topic: str) -> float:
+        """Accuracy offset for ``topic`` (0 when the topic is unknown)."""
+        for known, delta in self.skills:
+            if known == topic:
+                return delta
+        return 0.0
+
+    def topic_accuracy(self, topic: str) -> float:
+        """Latent accuracy on a difficulty-0 question of ``topic``."""
+        return min(1.0, max(0.0, self.true_accuracy + self.skill_delta(topic)))
+
+
+def effective_accuracy(profile: WorkerProfile, question: Question) -> float:
+    """Accuracy after accounting for question difficulty.
+
+    Positive difficulty ``d`` linearly interpolates between the worker's
+    latent accuracy and uniform guessing over the ``m`` options:
+
+        p(correct) = (1-d)·a + d·(1/m)          for d ≥ 0
+
+    so at ``d = 1`` the question is so hard everyone guesses.  Negative
+    difficulty marks questions *easier* than the worker's average task:
+
+        p(correct) = (1+d)·a + (-d)·1           for d < 0
+
+    so at ``d = -1`` everyone answers correctly.  The base accuracy ``a``
+    is topic-adjusted first (``profile.topic_accuracy``), modelling
+    cross-job skill variation (§3.3).
+    """
+    m = len(question.options)
+    d = question.difficulty
+    a = profile.topic_accuracy(question.topic)
+    if d >= 0.0:
+        return (1.0 - d) * a + d / m
+    return (1.0 + d) * a + (-d)
+
+
+class Behaviour:
+    """Strategy interface: produce one answer (and reason keywords)."""
+
+    name = "abstract"
+
+    def answer(
+        self, profile: WorkerProfile, question: Question, rng: np.random.Generator
+    ) -> tuple[str, tuple[str, ...]]:
+        """Return ``(chosen option, reason keywords)``."""
+        raise NotImplementedError
+
+
+def _reasons_for(
+    question: Question, chosen: str, rng: np.random.Generator, limit: int = 2
+) -> tuple[str, ...]:
+    """Keywords a worker attaches: drawn from the question's reason pool
+    when answering correctly, empty otherwise (wrong answers rarely come
+    with coherent justifications)."""
+    if chosen != question.truth or not question.reason_keywords:
+        return ()
+    pool = question.reason_keywords
+    count = min(limit, len(pool))
+    picks = rng.choice(len(pool), size=count, replace=False)
+    return tuple(pool[i] for i in sorted(picks))
+
+
+class ReliableBehaviour(Behaviour):
+    """Honest worker: correct with effective accuracy, else uniform wrong."""
+
+    name = "reliable"
+
+    def answer(
+        self, profile: WorkerProfile, question: Question, rng: np.random.Generator
+    ) -> tuple[str, tuple[str, ...]]:
+        p = effective_accuracy(profile, question)
+        if rng.random() < p:
+            chosen = question.truth
+        else:
+            wrong = [o for o in question.options if o != question.truth]
+            chosen = wrong[int(rng.integers(len(wrong)))]
+        return chosen, _reasons_for(question, chosen, rng)
+
+
+class SpammerBehaviour(Behaviour):
+    """Malicious worker: uniform random answer, no reading, no reasons."""
+
+    name = "spammer"
+
+    def answer(
+        self, profile: WorkerProfile, question: Question, rng: np.random.Generator
+    ) -> tuple[str, tuple[str, ...]]:
+        chosen = question.options[int(rng.integers(len(question.options)))]
+        return chosen, ()
+
+
+class ColluderBehaviour(Behaviour):
+    """Clique member: deterministically agree on one wrong option.
+
+    The wrong option is chosen by hashing ``(clique, question_id)`` so all
+    clique members coincide without communication, and different questions
+    get different (but stable) false answers.
+    """
+
+    name = "colluder"
+
+    def answer(
+        self, profile: WorkerProfile, question: Question, rng: np.random.Generator
+    ) -> tuple[str, tuple[str, ...]]:
+        wrong = [o for o in question.options if o != question.truth]
+        digest = hashlib.sha256(
+            f"{profile.clique}:{question.question_id}".encode("utf-8")
+        ).digest()
+        chosen = wrong[int.from_bytes(digest[:4], "big") % len(wrong)]
+        return chosen, ()
+
+
+_BEHAVIOURS: dict[str, Behaviour] = {
+    b.name: b for b in (ReliableBehaviour(), SpammerBehaviour(), ColluderBehaviour())
+}
+
+
+def behaviour_for(profile: WorkerProfile) -> Behaviour:
+    """Resolve a profile's behaviour strategy."""
+    try:
+        return _BEHAVIOURS[profile.behaviour]
+    except KeyError:
+        raise ValueError(
+            f"worker {profile.worker_id!r} has unknown behaviour "
+            f"{profile.behaviour!r}; known: {sorted(_BEHAVIOURS)}"
+        ) from None

@@ -1,0 +1,19 @@
+"""Machine baselines and comparators, all built from scratch:
+a Pegasos-trained linear SVM (the LIBSVM stand-in), a prototype-matching
+image annotator (the ALIPR stand-in), and a Dawid–Skene EM aggregator
+(the classical unsupervised comparator for §4.1's verification model)."""
+
+from repro.baselines.alipr import SimulatedALIPR
+from repro.baselines.dawid_skene import DawidSkene, DawidSkeneResult
+from repro.baselines.features import Vocabulary, tokenize
+from repro.baselines.svm import PegasosSVM, TextClassifier
+
+__all__ = [
+    "SimulatedALIPR",
+    "DawidSkene",
+    "DawidSkeneResult",
+    "Vocabulary",
+    "tokenize",
+    "PegasosSVM",
+    "TextClassifier",
+]

@@ -1,0 +1,180 @@
+"""Dawid–Skene EM aggregation — the classical comparator for §4.1.
+
+CDAS's verification model weighs workers by a *scalar* accuracy estimated
+from gold questions.  The classical alternative (Dawid & Skene, 1979; the
+backbone of crowd-kit style toolkits) needs **no gold at all**: it jointly
+estimates per-worker *confusion matrices* and per-question posteriors by
+expectation-maximisation over the observed answer matrix.
+
+Implemented here as an extension baseline so experiments can ask how much
+the paper's gold-sampling machinery actually buys over unsupervised
+aggregation (``benchmarks/bench_ablation_aggregators.py``):
+
+* E-step:  ``P(truth=t | answers) ∝ prior(t) · Π_w confusion_w[t, answer_w]``
+* M-step:  confusion matrices and class priors re-estimated from the
+  posteriors (with symmetric Dirichlet smoothing so rare classes never
+  zero out).
+
+The implementation is deterministic (majority-vote initialisation, fixed
+iteration cap, convergence on posterior change).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DawidSkeneResult", "DawidSkene"]
+
+
+@dataclass(frozen=True)
+class DawidSkeneResult:
+    """Fitted model state.
+
+    Attributes
+    ----------
+    labels:
+        Class order used by every matrix.
+    posteriors:
+        ``question_id -> {label: P(truth = label)}``.
+    worker_confusion:
+        ``worker_id -> (m, m) row-stochastic confusion matrix`` with rows
+        = true class, columns = answered class.
+    class_priors:
+        Estimated marginal class distribution.
+    iterations:
+        EM iterations executed before convergence (or the cap).
+    """
+
+    labels: tuple[str, ...]
+    posteriors: dict[str, dict[str, float]]
+    worker_confusion: dict[str, np.ndarray]
+    class_priors: dict[str, float]
+    iterations: int
+
+    def predict(self, question_id: str) -> str:
+        """MAP answer for one question."""
+        post = self.posteriors[question_id]
+        return max(self.labels, key=lambda lab: post[lab])
+
+    def worker_accuracy(self, worker_id: str) -> float:
+        """Diagonal mass of the worker's confusion matrix, prior-weighted —
+        the scalar-accuracy summary comparable to CDAS's estimates."""
+        confusion = self.worker_confusion[worker_id]
+        priors = np.asarray([self.class_priors[lab] for lab in self.labels])
+        return float(np.sum(priors * np.diag(confusion)))
+
+
+class DawidSkene:
+    """EM aggregator over a ``question -> worker -> answer`` matrix.
+
+    Parameters
+    ----------
+    labels:
+        The closed answer domain.
+    max_iterations:
+        EM cap; typical convergence is < 30 iterations.
+    tolerance:
+        Stop when the max posterior change falls below this.
+    smoothing:
+        Symmetric Dirichlet pseudo-count added to confusion rows and
+        class priors.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence[str],
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        smoothing: float = 0.01,
+    ) -> None:
+        if len(labels) < 2:
+            raise ValueError(f"need ≥ 2 labels, got {labels!r}")
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate labels: {labels!r}")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be ≥ 1")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self.labels = tuple(labels)
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.smoothing = smoothing
+
+    def fit(self, votes: Mapping[str, Mapping[str, str]]) -> DawidSkeneResult:
+        """Run EM on ``{question_id: {worker_id: answer}}``."""
+        if not votes:
+            raise ValueError("no questions to aggregate")
+        label_index = {lab: i for i, lab in enumerate(self.labels)}
+        questions = list(votes)
+        for q in questions:
+            if not votes[q]:
+                raise ValueError(f"question {q!r} has no answers")
+        workers = sorted({w for sheet in votes.values() for w in sheet})
+        m = len(self.labels)
+
+        # Dense vote tensor as index lists: per question, (worker_idx, label_idx).
+        worker_index = {w: i for i, w in enumerate(workers)}
+        entries: list[list[tuple[int, int]]] = []
+        for q in questions:
+            sheet = votes[q]
+            row = []
+            for w, answer in sheet.items():
+                if answer not in label_index:
+                    raise ValueError(
+                        f"answer {answer!r} for {q!r} outside labels {self.labels!r}"
+                    )
+                row.append((worker_index[w], label_index[answer]))
+            entries.append(row)
+
+        # Init posteriors with normalised vote shares (soft majority vote).
+        posteriors = np.zeros((len(questions), m))
+        for qi, row in enumerate(entries):
+            for _, li in row:
+                posteriors[qi, li] += 1.0
+        posteriors /= posteriors.sum(axis=1, keepdims=True)
+
+        confusion = np.zeros((len(workers), m, m))
+        priors = np.full(m, 1.0 / m)
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            # M-step: confusion matrices and priors from soft labels.
+            confusion.fill(self.smoothing)
+            for qi, row in enumerate(entries):
+                for wi, li in row:
+                    confusion[wi, :, li] += posteriors[qi]
+            confusion /= confusion.sum(axis=2, keepdims=True)
+            priors = posteriors.sum(axis=0) + self.smoothing
+            priors /= priors.sum()
+
+            # E-step: posteriors from confusion matrices (log space).
+            new_log = np.tile(np.log(priors), (len(questions), 1))
+            log_confusion = np.log(confusion)
+            for qi, row in enumerate(entries):
+                for wi, li in row:
+                    new_log[qi] += log_confusion[wi, :, li]
+            new_log -= new_log.max(axis=1, keepdims=True)
+            new_posteriors = np.exp(new_log)
+            new_posteriors /= new_posteriors.sum(axis=1, keepdims=True)
+
+            delta = float(np.max(np.abs(new_posteriors - posteriors)))
+            posteriors = new_posteriors
+            if delta < self.tolerance:
+                break
+
+        return DawidSkeneResult(
+            labels=self.labels,
+            posteriors={
+                q: {lab: float(posteriors[qi, li]) for lab, li in label_index.items()}
+                for qi, q in enumerate(questions)
+            },
+            worker_confusion={
+                w: confusion[wi].copy() for w, wi in worker_index.items()
+            },
+            class_priors={lab: float(priors[li]) for lab, li in label_index.items()},
+            iterations=iterations,
+        )

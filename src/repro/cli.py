@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show every regenerable experiment (paper tables/figures + ablations).
+``run <id> [--seed N]``
+    Regenerate one experiment and print its rows.
+``report [--seed N]``
+    Print the full paper-vs-measured report (EXPERIMENTS.md content).
+``plan --accuracy C --budget B --mu MU --rate K --window W``
+    Cost/accuracy planning for a streaming query (§3.1 economics).
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.amt.pricing import PriceSchedule
+from repro.core.budget import plan_query
+from repro.experiments import all_experiments
+from repro.experiments.ablations import (
+    run_aggregator_comparison,
+    run_colluder_ablation,
+    run_cross_job_ablation,
+    run_domain_pruning_ablation,
+    run_spammer_ablation,
+)
+from repro.experiments.base import DEFAULT_SEED
+from repro.experiments.latency_study import run_latency_study
+
+__all__ = ["main", "experiment_registry"]
+
+
+def experiment_registry():
+    """Paper experiments plus the ablation studies."""
+    registry = dict(all_experiments())
+    registry.update(
+        {
+            "ablation-spammers": run_spammer_ablation,
+            "ablation-colluders": run_colluder_ablation,
+            "ablation-domain-pruning": run_domain_pruning_ablation,
+            "ablation-aggregators": run_aggregator_comparison,
+            "ablation-cross-job": run_cross_job_ablation,
+            "latency-study": run_latency_study,
+        }
+    )
+    return registry
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for experiment_id in experiment_registry():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    registry = experiment_registry()
+    if args.experiment not in registry:
+        print(f"unknown experiment {args.experiment!r}; try: python -m repro list")
+        return 2
+    result = registry[args.experiment](args.seed)
+    if args.csv:
+        print(result.to_csv(), end="")
+    else:
+        print(result.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report
+
+    print(build_report(args.seed))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    schedule = PriceSchedule(worker_reward=args.reward, platform_fee=args.fee)
+    plan = plan_query(
+        required_accuracy=args.accuracy,
+        budget=args.budget,
+        schedule=schedule,
+        mean_accuracy=args.mu,
+        items_per_unit=args.rate,
+        window=args.window,
+    )
+    print(f"workers per item   : {plan.workers_per_item}")
+    print(f"expected accuracy  : {plan.expected_accuracy:.4f}")
+    print(f"projected cost     : ${plan.projected_cost:.2f}")
+    print(f"limited by         : {plan.limited_by}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CDAS reproduction: regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list regenerable experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run_p = sub.add_parser("run", help="regenerate one experiment")
+    run_p.add_argument("experiment", help="experiment id, e.g. fig7")
+    run_p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    run_p.add_argument(
+        "--csv", action="store_true", help="emit the rows as CSV instead of a table"
+    )
+    run_p.set_defaults(func=_cmd_run)
+
+    report_p = sub.add_parser("report", help="print the full report")
+    report_p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    report_p.set_defaults(func=_cmd_report)
+
+    plan_p = sub.add_parser("plan", help="cost/accuracy planning (§3.1)")
+    plan_p.add_argument("--accuracy", type=float, required=True, help="required C")
+    plan_p.add_argument("--budget", type=float, required=True, help="dollars")
+    plan_p.add_argument("--mu", type=float, required=True, help="mean worker accuracy")
+    plan_p.add_argument("--rate", type=int, required=True, help="items per time unit K")
+    plan_p.add_argument("--window", type=int, required=True, help="time units w")
+    plan_p.add_argument("--reward", type=float, default=0.01, help="m_c per assignment")
+    plan_p.add_argument("--fee", type=float, default=0.005, help="m_s per assignment")
+    plan_p.set_defaults(func=_cmd_plan)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""The paper's contribution: the quality-sensitive answering model.
+
+Re-exports the public API of the prediction model (§3), the verification
+model (§4.1), gold-sampling (§3.3), online processing (§4.2) and result
+presentation (§4.3).
+"""
+
+from repro.core.budget import (
+    BudgetPlan,
+    max_accuracy_for_budget,
+    max_workers_within_budget,
+    plan_query,
+)
+from repro.core.confidence import (
+    accuracy_from_confidence,
+    answer_confidences,
+    answer_log_weights,
+    confidences_from_log_weights,
+    worker_confidence,
+)
+from repro.core.domain import (
+    DEFAULT_RARITY_EPSILON,
+    AnswerDomain,
+    estimate_effective_m,
+    lemma1_lower_bound,
+    lemma2_lower_bound,
+)
+from repro.core.online import OnlineAggregator, OnlineResult, TrajectoryPoint, run_online
+from repro.core.prediction import (
+    PredictionInfeasibleError,
+    WorkerCountPredictor,
+    conservative_worker_count,
+    expected_majority_accuracy,
+    refined_worker_count,
+)
+from repro.core.presentation import (
+    OpinionReport,
+    OpinionRow,
+    QuestionOutcome,
+    build_report,
+    h_score,
+)
+from repro.core.sampling import (
+    DEFAULT_SAMPLING_RATE,
+    GoldQuestion,
+    SampledQuestion,
+    WorkerAccuracyEstimator,
+    compose_hit_questions,
+    score_gold_answers,
+)
+from repro.core.termination import (
+    STRATEGY_NAMES,
+    ExpMax,
+    MinExp,
+    MinMax,
+    TerminationSnapshot,
+    TerminationStrategy,
+    strategy_by_name,
+)
+from repro.core.types import Observation, Verdict, WorkerAnswer, votes_by_answer
+from repro.core.verification import (
+    HalfVoting,
+    MajorityVoting,
+    ProbabilisticVerification,
+    Verifier,
+    verify_with_all,
+)
+
+__all__ = [
+    "BudgetPlan",
+    "max_accuracy_for_budget",
+    "max_workers_within_budget",
+    "plan_query",
+    "accuracy_from_confidence",
+    "answer_confidences",
+    "answer_log_weights",
+    "confidences_from_log_weights",
+    "worker_confidence",
+    "DEFAULT_RARITY_EPSILON",
+    "AnswerDomain",
+    "estimate_effective_m",
+    "lemma1_lower_bound",
+    "lemma2_lower_bound",
+    "OnlineAggregator",
+    "OnlineResult",
+    "TrajectoryPoint",
+    "run_online",
+    "PredictionInfeasibleError",
+    "WorkerCountPredictor",
+    "conservative_worker_count",
+    "expected_majority_accuracy",
+    "refined_worker_count",
+    "OpinionReport",
+    "OpinionRow",
+    "QuestionOutcome",
+    "build_report",
+    "h_score",
+    "DEFAULT_SAMPLING_RATE",
+    "GoldQuestion",
+    "SampledQuestion",
+    "WorkerAccuracyEstimator",
+    "compose_hit_questions",
+    "score_gold_answers",
+    "STRATEGY_NAMES",
+    "ExpMax",
+    "MinExp",
+    "MinMax",
+    "TerminationSnapshot",
+    "TerminationStrategy",
+    "strategy_by_name",
+    "Observation",
+    "Verdict",
+    "WorkerAnswer",
+    "votes_by_answer",
+    "HalfVoting",
+    "MajorityVoting",
+    "ProbabilisticVerification",
+    "Verifier",
+    "verify_with_all",
+]

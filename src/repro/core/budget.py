@@ -1,0 +1,158 @@
+"""Cost-constrained planning: the inverse of the prediction model.
+
+The paper frames CDAS as "a feasible model that balances monetary cost and
+accuracy" (§6): given a required accuracy the engine derives the worker
+count ``g(C)`` and hence the cost ``(m_c+m_s)·w·K·g(C)`` (§3.1).  This
+module answers the *inverse* questions a requester actually faces:
+
+* :func:`max_workers_within_budget` — how many workers per HIT can a
+  budget buy for a given stream?
+* :func:`max_accuracy_for_budget` — the best required-accuracy target a
+  budget supports (the largest ``C`` with ``g(C)`` affordable).
+* :func:`plan_query` — a one-call planner returning workers, achievable
+  expected accuracy, and projected spend.
+
+Everything reduces to the §3 machinery: expected accuracy of ``n`` workers
+is Theorem 1's binomial tail, so the budget-to-accuracy map is just the
+forward map evaluated at the affordable ``n`` (rounded down to odd).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.amt.pricing import PriceSchedule
+from repro.core.prediction import (
+    PredictionInfeasibleError,
+    expected_majority_accuracy,
+    refined_worker_count,
+)
+
+__all__ = [
+    "BudgetPlan",
+    "max_workers_within_budget",
+    "max_accuracy_for_budget",
+    "plan_query",
+]
+
+
+def _validate_stream(items_per_unit: int, window: int) -> None:
+    if items_per_unit <= 0:
+        raise ValueError(f"items per unit must be positive, got {items_per_unit}")
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+
+
+def max_workers_within_budget(
+    budget: float,
+    schedule: PriceSchedule,
+    items_per_unit: int,
+    window: int,
+) -> int:
+    """Largest *odd* per-item worker count affordable under ``budget``.
+
+    Inverts §3.1's ``cost = (m_c+m_s)·n·K·w``.  Returns 0 when the budget
+    cannot even pay one worker per item — the caller must treat that as
+    "query not runnable", not as a free query.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    _validate_stream(items_per_unit, window)
+    per_worker = schedule.per_assignment * items_per_unit * window
+    if per_worker <= 0:  # free labour: any count is affordable
+        raise ValueError("price schedule charges nothing; budget is meaningless")
+    n = int(budget / per_worker)
+    if n < 1:
+        return 0
+    return n if n % 2 == 1 else n - 1
+
+
+def max_accuracy_for_budget(
+    budget: float,
+    schedule: PriceSchedule,
+    mean_accuracy: float,
+    items_per_unit: int,
+    window: int,
+) -> float:
+    """The best expected accuracy (Theorem 1) the budget can buy.
+
+    Raises
+    ------
+    PredictionInfeasibleError
+        If the budget affords no worker at all, or ``μ ≤ 0.5`` (more
+        workers would not help anyway).
+    """
+    if mean_accuracy <= 0.5:
+        raise PredictionInfeasibleError(
+            f"mean accuracy {mean_accuracy} ≤ 0.5: accuracy does not improve "
+            "with budget"
+        )
+    n = max_workers_within_budget(budget, schedule, items_per_unit, window)
+    if n < 1:
+        raise PredictionInfeasibleError(
+            f"budget {budget} affords no worker for {items_per_unit}×{window} items"
+        )
+    return expected_majority_accuracy(n, mean_accuracy)
+
+
+@dataclass(frozen=True, slots=True)
+class BudgetPlan:
+    """Outcome of :func:`plan_query`.
+
+    Attributes
+    ----------
+    workers_per_item:
+        The odd ``n`` the plan hires per item.
+    expected_accuracy:
+        Theorem-1 expected accuracy at that ``n``.
+    projected_cost:
+        ``(m_c+m_s)·n·K·w`` — what the query will spend without early
+        termination (termination only lowers it).
+    limited_by:
+        ``"accuracy"`` when the requested accuracy target determined the
+        plan, ``"budget"`` when the budget capped it below the target.
+    """
+
+    workers_per_item: int
+    expected_accuracy: float
+    projected_cost: float
+    limited_by: str
+
+
+def plan_query(
+    required_accuracy: float,
+    budget: float,
+    schedule: PriceSchedule,
+    mean_accuracy: float,
+    items_per_unit: int,
+    window: int,
+) -> BudgetPlan:
+    """Choose the cheapest plan meeting ``required_accuracy`` within budget.
+
+    If the accuracy target is affordable, the plan hires exactly
+    ``g(required_accuracy)`` workers (binary-search refinement).  If not,
+    it hires the most workers the budget allows and reports the accuracy
+    actually achievable — surfacing the trade-off instead of silently
+    under-delivering.
+    """
+    _validate_stream(items_per_unit, window)
+    n_target = refined_worker_count(required_accuracy, mean_accuracy)
+    target_cost = schedule.query_cost(n_target, items_per_unit, window)
+    if target_cost <= budget:
+        return BudgetPlan(
+            workers_per_item=n_target,
+            expected_accuracy=expected_majority_accuracy(n_target, mean_accuracy),
+            projected_cost=target_cost,
+            limited_by="accuracy",
+        )
+    n_affordable = max_workers_within_budget(budget, schedule, items_per_unit, window)
+    if n_affordable < 1:
+        raise PredictionInfeasibleError(
+            f"budget {budget} affords no worker for this stream"
+        )
+    return BudgetPlan(
+        workers_per_item=n_affordable,
+        expected_accuracy=expected_majority_accuracy(n_affordable, mean_accuracy),
+        projected_cost=schedule.query_cost(n_affordable, items_per_unit, window),
+        limited_by="budget",
+    )

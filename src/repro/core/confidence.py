@@ -1,0 +1,161 @@
+"""Worker and answer confidence (paper §4.1, Definitions 2–3, Equation 4).
+
+The probability-based verifier scores each answer ``r`` by
+
+    ρ(r) = P(r | Ω) = exp(Σ_{f(u_j)=r} c_j) / Σ_{r_i ∈ R} exp(Σ_{f(u_j)=r_i} c_j)
+
+where the *worker confidence* ``c_j = ln((m-1)·a_j / (1-a_j))`` converts the
+worker's estimated accuracy ``a_j`` into a log-odds vote weight.  The form
+is exactly a softmax over per-answer confidence totals, so we compute it in
+log space: with hundreds of workers the raw ``exp`` terms overflow doubles,
+while the softmax is always well-defined.
+
+Answers with no votes still matter: each contributes ``e⁰ = 1`` to the
+denominator — including the ``m - k`` answers of a pruned open domain that
+nobody selected.  Dropping them would inflate every confidence, which is the
+very noise Theorem 5's ``m`` estimate exists to control.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.domain import AnswerDomain
+from repro.core.types import Observation
+from repro.util.stats import clamp_probability, logsumexp
+
+__all__ = [
+    "worker_confidence",
+    "accuracy_from_confidence",
+    "answer_log_weights",
+    "confidences_from_log_weights",
+    "answer_confidences",
+]
+
+
+def worker_confidence(accuracy: float, m: int) -> float:
+    """Definition 2: ``c_j = ln((m-1)·a_j / (1-a_j))``.
+
+    ``accuracy`` is clamped away from 0 and 1 so degenerate gold-sample
+    estimates yield large-but-finite confidences instead of ±inf.
+
+    A worker at the "uniform guesser" accuracy ``1/m`` gets confidence 0 —
+    their vote carries no weight, matching the intuition that a random
+    guesser contributes no evidence.
+    """
+    if m < 2:
+        raise ValueError(f"domain size must be ≥ 2, got {m}")
+    a = clamp_probability(accuracy)
+    return math.log(m - 1) + math.log(a) - math.log(1.0 - a)
+
+
+def accuracy_from_confidence(confidence: float, m: int) -> float:
+    """Invert Definition 2: the accuracy whose confidence is ``confidence``.
+
+    Used by tests and by diagnostics that report "equivalent accuracy" of an
+    aggregate; ``accuracy_from_confidence(worker_confidence(a, m), m) == a``
+    up to float round-off.
+    """
+    if m < 2:
+        raise ValueError(f"domain size must be ≥ 2, got {m}")
+    odds = math.exp(confidence) / (m - 1)
+    return odds / (1.0 + odds)
+
+
+def answer_log_weights(
+    observation: Observation, domain: AnswerDomain
+) -> dict[str, float]:
+    """Per-answer summed confidences ``Σ_{f(u_j)=r} c_j`` over Ω.
+
+    Every label of ``domain`` appears in the result (unvoted labels at 0.0,
+    the log of their ``e⁰`` weight), keyed in domain order, so downstream
+    code can treat the mapping as dense over the known labels.
+
+    Raises
+    ------
+    ValueError
+        If an answer lies outside a closed domain — that indicates the HIT
+        template and the query definition disagree, which must not pass
+        silently.
+    """
+    weights = {label: 0.0 for label in domain.labels}
+    for wa in observation:
+        if wa.answer not in weights:
+            raise ValueError(
+                f"answer {wa.answer!r} from worker {wa.worker_id!r} is outside "
+                f"the domain {domain.labels!r}; grow open domains with "
+                "AnswerDomain.with_label before scoring"
+            )
+        weights[wa.answer] += worker_confidence(wa.accuracy, domain.m)
+    return weights
+
+
+def confidences_from_log_weights(
+    log_weights: dict[str, float],
+    domain: AnswerDomain,
+    priors: dict[str, float] | None = None,
+) -> dict[str, float]:
+    """Equation 4 from precomputed per-answer confidence sums.
+
+    The denominator is the softmax normaliser over (a) every label's summed
+    confidence and (b) one ``e⁰`` term per unobserved answer of the pruned
+    domain.  Split out from :func:`answer_confidences` because online
+    termination (§4.2.2) evaluates Equation 4 on *hypothetically modified*
+    weight maps (the "all remaining workers vote the runner-up" scenario).
+
+    ``priors`` generalises the paper's uniform-prior assumption ("without
+    a priori knowledge, each answer appears with equal probability"): when
+    the requester *does* know the class distribution (e.g. sentiment is
+    60/10/30), Bayes keeps the prior term, shifting each label's log
+    weight by ``ln(P(r)·m)`` so that uniform priors reduce exactly to the
+    paper's form.  Priors are only supported on closed domains (an open
+    domain's unobserved answers have no principled prior mass split).
+    """
+    terms = list(log_weights.values())
+    hidden = domain.m - len(log_weights)
+    if hidden < 0:
+        raise ValueError(
+            f"{len(log_weights)} labels exceed the effective domain size {domain.m}"
+        )
+    if priors is not None:
+        if hidden > 0 or not domain.closed_domain:
+            raise ValueError(
+                "priors require a closed domain with every label observed "
+                "in log_weights"
+            )
+        missing = [lab for lab in log_weights if lab not in priors]
+        if missing:
+            raise ValueError(f"priors missing labels: {missing!r}")
+        total = sum(priors[lab] for lab in log_weights)
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            raise ValueError(f"priors must sum to 1, got {total}")
+        if any(priors[lab] <= 0.0 for lab in log_weights):
+            raise ValueError("priors must be strictly positive")
+        shifted = {
+            lab: w + math.log(priors[lab] * domain.m)
+            for lab, w in log_weights.items()
+        }
+        denom = logsumexp(list(shifted.values()))
+        return {label: math.exp(w - denom) for label, w in shifted.items()}
+    if hidden > 0:
+        terms.append(math.log(hidden))  # hidden · e⁰ folded into one term
+    denom = logsumexp(terms)
+    return {label: math.exp(w - denom) for label, w in log_weights.items()}
+
+
+def answer_confidences(
+    observation: Observation,
+    domain: AnswerDomain,
+    priors: dict[str, float] | None = None,
+) -> dict[str, float]:
+    """Definition 3: ``ρ(r)`` for every label of the domain.
+
+    The values over ``domain.labels`` sum to at most 1; any deficit is
+    exactly the probability mass Equation 4 reserves for the domain's
+    unobserved answers (zero for closed domains, where labels are
+    exhaustive).  Optional ``priors`` replace the paper's uniform-prior
+    assumption on closed domains.
+    """
+    return confidences_from_log_weights(
+        answer_log_weights(observation, domain), domain, priors=priors
+    )

@@ -1,0 +1,209 @@
+"""Answer domains and the effective domain size ``m`` (paper §4.1, Theorem 5).
+
+Equation 4 weighs each worker by ``ln((m-1)a/(1-a))`` where ``m = |R|`` is
+the size of the answer domain.  For closed domains (TSA's
+positive/neutral/negative) ``m`` is simply the label count.  For wide or
+open-ended domains the paper observes that most labels are never chosen, yet
+naively counting them dilutes the correct answer's weight; it therefore
+*prunes* the domain to an effective size estimated from ``k``, the number of
+distinct answers actually observed.
+
+Theorem 5 lower-bounds the effective ``m`` by requiring that observing ``k``
+distinct answers out of ``m`` (probability ``C(m,k)/m^k`` under the paper's
+uniform selection sketch) is not rarer than ``ε`` (Fisher's 0.05):
+
+* Lemma 1:  ``m > (k-1) / (H_{k-1} - (k-1)·(εk)^{1/(k-1)})``
+* Lemma 2:  ``m > (k-1) / (1 - k·ε^{1/k})``   (the "tighter for large k" form)
+
+Both denominators can turn non-positive — for ``k ≥ 4`` at ε = 0.05 the
+observation is rare for *every* ``m`` because ``C(m,k)/m^k < 1/k! < ε`` —
+in which case a lemma yields no constraint.  We re-derived the formulas
+from the printed proofs (the provided text mangles the ε glyphs; see
+DESIGN.md §5) and guard every vacuous case, falling back to the observed
+count ``k`` as the floor.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.util.stats import harmonic_number
+
+__all__ = [
+    "DEFAULT_RARITY_EPSILON",
+    "AnswerDomain",
+    "lemma1_lower_bound",
+    "lemma2_lower_bound",
+    "estimate_effective_m",
+]
+
+#: The paper sets ε = 0.05 "based on Fisher's exact test".
+DEFAULT_RARITY_EPSILON = 0.05
+
+
+def lemma1_lower_bound(distinct_answers: int, epsilon: float = DEFAULT_RARITY_EPSILON) -> float | None:
+    """Lemma 1 lower bound on ``m``, or ``None`` when vacuous.
+
+    Vacuous cases: ``k ≤ 1`` (a single distinct answer says nothing about
+    the domain size) and a non-positive denominator (no finite ``m`` makes
+    the observation likelier than ``ε``; the bound then imposes nothing).
+    """
+    k = distinct_answers
+    _validate_k_epsilon(k, epsilon)
+    if k <= 1:
+        return None
+    denominator = harmonic_number(k - 1) - (k - 1) * (epsilon * k) ** (1.0 / (k - 1))
+    if denominator <= 0.0:
+        return None
+    return (k - 1) / denominator
+
+
+def lemma2_lower_bound(distinct_answers: int, epsilon: float = DEFAULT_RARITY_EPSILON) -> float | None:
+    """Lemma 2 lower bound on ``m``, or ``None`` when vacuous."""
+    k = distinct_answers
+    _validate_k_epsilon(k, epsilon)
+    if k <= 1:
+        return None
+    denominator = 1.0 - k * epsilon ** (1.0 / k)
+    if denominator <= 0.0:
+        return None
+    return (k - 1) / denominator
+
+
+def _validate_k_epsilon(k: int, epsilon: float) -> None:
+    if k < 0:
+        raise ValueError(f"distinct answer count must be non-negative, got {k}")
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+
+
+def estimate_effective_m(
+    distinct_answers: int,
+    epsilon: float = DEFAULT_RARITY_EPSILON,
+    known_domain_size: int | None = None,
+) -> int:
+    """Theorem 5: the effective answer-domain size for Equation 4.
+
+    Returns the smallest integer strictly greater than both lemma bounds
+    (where they bind), floored at the observed distinct-answer count ``k``
+    and at 2 (a domain of one answer admits no notion of accuracy), and
+    capped at the true domain size when it is known.
+
+    Parameters
+    ----------
+    distinct_answers:
+        ``k`` — distinct answers observed for the question.
+    epsilon:
+        Rarity threshold ε; the paper uses 0.05.
+    known_domain_size:
+        ``|R|`` when the query declared a closed domain; the estimate never
+        exceeds it.
+    """
+    k = distinct_answers
+    bounds = [
+        b
+        for b in (lemma1_lower_bound(k, epsilon), lemma2_lower_bound(k, epsilon))
+        if b is not None
+    ]
+    # "m > bound" → smallest admissible integer is floor(bound) + 1.
+    m = max((math.floor(b) + 1 for b in bounds), default=0)
+    m = max(m, k, 2)
+    if known_domain_size is not None:
+        if known_domain_size < 2:
+            raise ValueError(
+                f"a closed answer domain needs at least 2 labels, got {known_domain_size}"
+            )
+        m = min(m, known_domain_size)
+    return m
+
+
+@dataclass(frozen=True)
+class AnswerDomain:
+    """The answer domain ``R`` of one question, with its effective size ``m``.
+
+    Two construction modes:
+
+    * :meth:`closed` — the query declares its labels (TSA: three sentiment
+      classes; IT: yes/no per candidate tag).  ``m = len(labels)``.
+    * :meth:`open_ended` — labels are unknown upfront (free-text scores);
+      ``m`` is estimated per-question from the observed distinct answers
+      via :func:`estimate_effective_m`.
+
+    Attributes
+    ----------
+    labels:
+        The declared labels for closed domains, else the labels observed so
+        far for open domains.  Order is preserved for deterministic output.
+    m:
+        The effective domain size plugged into worker confidence
+        ``ln((m-1)a/(1-a))`` and into Equation 4's denominator, where any
+        label without votes (including the ``m - |labels|`` unobserved
+        ones) contributes weight ``e⁰ = 1``.
+    closed_domain:
+        ``True`` when the label set is exhaustive.
+    """
+
+    labels: tuple[str, ...]
+    m: int
+    closed_domain: bool = True
+
+    def __post_init__(self) -> None:
+        if self.m < 2:
+            raise ValueError(f"effective domain size must be ≥ 2, got {self.m}")
+        if len(set(self.labels)) != len(self.labels):
+            raise ValueError(f"duplicate labels in domain: {self.labels!r}")
+        if self.closed_domain and self.m != len(self.labels):
+            raise ValueError(
+                f"closed domain declares {len(self.labels)} labels but m={self.m}"
+            )
+        if self.m < len(self.labels):
+            raise ValueError(
+                f"m={self.m} smaller than the {len(self.labels)} observed labels"
+            )
+
+    @classmethod
+    def closed(cls, labels: Sequence[str]) -> "AnswerDomain":
+        """Domain with a declared, exhaustive label set (``m = |R|``)."""
+        labels = tuple(labels)
+        if len(labels) < 2:
+            raise ValueError(f"need at least 2 labels, got {labels!r}")
+        return cls(labels=labels, m=len(labels), closed_domain=True)
+
+    @classmethod
+    def open_ended(
+        cls,
+        observed_labels: Iterable[str],
+        epsilon: float = DEFAULT_RARITY_EPSILON,
+        known_domain_size: int | None = None,
+    ) -> "AnswerDomain":
+        """Domain inferred from observed answers with Theorem 5's ``m``."""
+        seen: list[str] = []
+        for label in observed_labels:
+            if label not in seen:
+                seen.append(label)
+        m = estimate_effective_m(len(seen), epsilon, known_domain_size)
+        return cls(labels=tuple(seen), m=m, closed_domain=False)
+
+    @property
+    def unobserved_label_count(self) -> int:
+        """How many of the ``m`` possible answers nobody has voted for."""
+        return self.m - len(self.labels)
+
+    def with_label(self, label: str) -> "AnswerDomain":
+        """Return a domain that also contains ``label`` (open domains only).
+
+        Used by online aggregation when a late worker submits an answer
+        outside everything seen so far.  The effective ``m`` is re-estimated
+        for the grown distinct count.
+        """
+        if label in self.labels:
+            return self
+        if self.closed_domain:
+            raise ValueError(
+                f"answer {label!r} outside the closed domain {self.labels!r}"
+            )
+        labels = (*self.labels, label)
+        m = max(estimate_effective_m(len(labels)), self.m)
+        return AnswerDomain(labels=labels, m=m, closed_domain=False)

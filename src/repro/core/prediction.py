@@ -1,0 +1,179 @@
+"""Prediction model (paper §3): how many workers does a HIT need?
+
+Given a user-required accuracy ``C`` and the mean accuracy ``μ`` of the
+worker population, the prediction model chooses the number of workers ``n``
+(odd, so voting cannot deadlock on a binary split) such that the expected
+probability of a correct majority
+
+    E[P_{⌈n/2⌉}] = Σ_{k=⌈n/2⌉}^{n}  C(n, k) μ^k (1-μ)^(n-k)     (Theorem 1)
+
+is at least ``C``.  Two estimators are provided:
+
+* :func:`conservative_worker_count` — closed form from the Chernoff bound
+  (Theorems 2–3): ``n ≥ -ln(1-C) / (2(μ-½)²)``.
+* :func:`refined_worker_count` — Algorithm 2's binary search over odd ``n``
+  for the *minimal* count whose exact binomial tail (Algorithm 3,
+  implemented by :func:`repro.util.stats.binomial_tail`) clears ``C``.
+  Figure 6 of the paper shows this refinement cuts the conservative
+  estimate by more than half.
+
+Fidelity note: the paper prints the minimal odd ``n`` as
+``2⌊-ln(1-C)/(4(μ-½)²)⌋ + 1``, which can round *below* the bound it must
+satisfy.  We return the smallest odd integer that actually satisfies the
+bound and verify dominance in the test suite (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.stats import chernoff_majority_lower_bound, majority_probability
+
+__all__ = [
+    "PredictionInfeasibleError",
+    "conservative_worker_count",
+    "refined_worker_count",
+    "expected_majority_accuracy",
+    "WorkerCountPredictor",
+]
+
+#: Required accuracies at or above this are treated as "certainty requested"
+#: and rejected: no finite worker count can guarantee probability 1.
+_MAX_REQUIRED_ACCURACY = 1.0 - 1e-12
+
+#: Hard ceiling on any returned worker count.  The paper's experiments top
+#: out at ~110 workers (Figure 6); the ceiling exists to turn pathological
+#: parameters (μ barely above ½, C near 1) into a clear error instead of a
+#: silent multi-million-worker plan.
+MAX_WORKERS = 1_000_001
+
+
+class PredictionInfeasibleError(ValueError):
+    """Raised when no worker count can reach the required accuracy.
+
+    This happens when the mean worker accuracy is not strictly better than
+    random guessing between "correct" and "incorrect" (``μ ≤ 0.5``): the
+    Condorcet argument underlying Theorem 1 then fails, and adding workers
+    does not help.
+    """
+
+
+def _validate(required_accuracy: float, mean_accuracy: float) -> None:
+    if not 0.0 < required_accuracy < 1.0:
+        if required_accuracy >= 1.0:
+            raise PredictionInfeasibleError(
+                f"required accuracy {required_accuracy} is unattainable with "
+                "finitely many fallible workers"
+            )
+        raise ValueError(f"required accuracy must be in (0, 1), got {required_accuracy}")
+    if not 0.0 <= mean_accuracy <= 1.0:
+        raise ValueError(f"mean accuracy must be in [0, 1], got {mean_accuracy}")
+    if mean_accuracy <= 0.5:
+        raise PredictionInfeasibleError(
+            f"mean worker accuracy {mean_accuracy} ≤ 0.5: majority voting "
+            "cannot converge to the correct answer (Theorem 3 denominator "
+            "vanishes)"
+        )
+
+
+def _smallest_odd_at_least(x: float) -> int:
+    """Smallest odd integer ≥ ``x`` (and ≥ 1)."""
+    n = max(1, math.ceil(x))
+    if n % 2 == 0:
+        n += 1
+    return n
+
+
+def conservative_worker_count(required_accuracy: float, mean_accuracy: float) -> int:
+    """Theorem 3: the Chernoff-bound worker count, rounded up to odd.
+
+    Guarantees ``E[P_{⌈n/2⌉}] ≥ 1 - exp(-2n(μ-½)²) ≥ C``.
+
+    Parameters
+    ----------
+    required_accuracy:
+        The user's accuracy requirement ``C`` from the query, in (0, 1).
+    mean_accuracy:
+        Mean worker accuracy ``μ``; must exceed 0.5.
+
+    Raises
+    ------
+    PredictionInfeasibleError
+        If ``μ ≤ 0.5`` or ``C ≥ 1``.
+    """
+    _validate(required_accuracy, mean_accuracy)
+    edge = mean_accuracy - 0.5
+    bound = -math.log(1.0 - required_accuracy) / (2.0 * edge * edge)
+    n = _smallest_odd_at_least(bound)
+    if n > MAX_WORKERS:
+        raise PredictionInfeasibleError(
+            f"required accuracy {required_accuracy} with mean accuracy "
+            f"{mean_accuracy} needs {n} workers, above the ceiling {MAX_WORKERS}"
+        )
+    return n
+
+
+def expected_majority_accuracy(worker_count: int, mean_accuracy: float) -> float:
+    """Algorithm 3 / Theorem 1: exact ``E[P_{⌈n/2⌉}]`` for ``n`` workers."""
+    return majority_probability(worker_count, mean_accuracy)
+
+
+def refined_worker_count(required_accuracy: float, mean_accuracy: float) -> int:
+    """Algorithm 2: minimal odd ``n`` with ``E[P_{⌈n/2⌉}] ≥ C`` by binary search.
+
+    The search space is the odd integers in ``[1, conservative bound]``.
+    ``E[P]`` is monotone non-decreasing in odd ``n`` for ``μ > ½`` (the
+    Condorcet jury theorem), so binary search over the odd index grid is
+    sound; the conservative bound guarantees feasibility of the upper end.
+    """
+    upper = conservative_worker_count(required_accuracy, mean_accuracy)
+    # Index i represents the odd worker count n = 2i + 1.
+    lo, hi = 0, (upper - 1) // 2
+    while lo < hi:
+        mid = (lo + hi) // 2
+        n = 2 * mid + 1
+        if expected_majority_accuracy(n, mean_accuracy) >= required_accuracy:
+            hi = mid
+        else:
+            lo = mid + 1
+    return 2 * lo + 1
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerCountPredictor:
+    """The function ``g(C)`` of §3.1 bound to one worker population.
+
+    Wraps the two estimators with a fixed mean accuracy so the engine (and
+    the cost model, which charges ``(m_c + m_s) · w · K · g(C)`` per query)
+    can treat prediction as a single-argument function.
+
+    Attributes
+    ----------
+    mean_accuracy:
+        Mean worker accuracy ``μ``, usually produced by gold-sampling.
+    refined:
+        When ``True`` (the default and the paper's final choice), use the
+        binary-search refinement; otherwise the conservative bound.
+    """
+
+    mean_accuracy: float
+    refined: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mean_accuracy <= 1.0:
+            raise ValueError(f"mean accuracy {self.mean_accuracy} not in [0, 1]")
+
+    def predict(self, required_accuracy: float) -> int:
+        """Return ``g(C)``: the number of workers to hire per HIT."""
+        if self.refined:
+            return refined_worker_count(required_accuracy, self.mean_accuracy)
+        return conservative_worker_count(required_accuracy, self.mean_accuracy)
+
+    def expected_accuracy(self, worker_count: int) -> float:
+        """Exact expected majority accuracy for a candidate worker count."""
+        return expected_majority_accuracy(worker_count, self.mean_accuracy)
+
+    def chernoff_floor(self, worker_count: int) -> float:
+        """Theorem 2 lower bound on the expected accuracy."""
+        return chernoff_majority_lower_bound(worker_count, self.mean_accuracy)

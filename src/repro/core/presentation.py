@@ -1,0 +1,137 @@
+"""Result presentation (paper §4.3): query-level summaries with reasons.
+
+A TSA query aggregates many per-tweet verdicts into the percentage table the
+paper's Figure 4 / Table 1 show.  For a list of questions ``t_1..t_N`` the
+score of answer ``r`` on question ``t_i`` is
+
+    h_{t_i}(r) = 1      if r was accepted for t_i
+               = 0      if another answer was accepted
+               = ρ_{t_i}(r)  if no answer has been accepted yet (in-flight)
+
+and the reported percentage of ``r`` is ``(1/N)·Σ h_{t_i}(r)``.  Each
+answer additionally carries *reasons*: the most frequent keywords submitted
+by the workers who chose it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.domain import AnswerDomain
+from repro.core.types import Observation, Verdict
+from repro.util.tables import format_percent, format_table
+
+__all__ = ["QuestionOutcome", "OpinionRow", "OpinionReport", "build_report", "h_score"]
+
+
+@dataclass(frozen=True, slots=True)
+class QuestionOutcome:
+    """One question's contribution to a report.
+
+    Attributes
+    ----------
+    question_id:
+        Identifier of the underlying question (e.g. tweet id).
+    verdict:
+        The verifier's verdict; ``verdict.answer is None`` or a still-open
+        online question contributes its confidence distribution instead of
+        a unit vote.
+    accepted:
+        Whether the verdict has been *accepted* (termination fired or HIT
+        completed).  In-flight questions keep refining and use ``ρ``.
+    observation:
+        The worker answers backing the verdict; source of reason keywords.
+    """
+
+    question_id: str
+    verdict: Verdict
+    accepted: bool = True
+    observation: Observation = ()
+
+
+def h_score(outcome: QuestionOutcome, label: str) -> float:
+    """The paper's ``h_{t_i}(r)`` for one question and one answer."""
+    if outcome.accepted and outcome.verdict.answer is not None:
+        return 1.0 if outcome.verdict.answer == label else 0.0
+    return float(outcome.verdict.scores.get(label, 0.0))
+
+
+@dataclass(frozen=True, slots=True)
+class OpinionRow:
+    """One row of the Table-1-style summary."""
+
+    label: str
+    percentage: float
+    reasons: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class OpinionReport:
+    """The user-facing answer of an analytics query (paper Table 1).
+
+    Attributes
+    ----------
+    subject:
+        What the query was about (movie title, product name...).
+    rows:
+        Per-label percentage and reasons, in domain order.
+    question_count:
+        ``N`` — how many questions (tweets, images) were aggregated.
+    """
+
+    subject: str
+    rows: tuple[OpinionRow, ...]
+    question_count: int
+
+    def percentage(self, label: str) -> float:
+        """Reported share of ``label`` (0 when the label is unknown)."""
+        for row in self.rows:
+            if row.label == label:
+                return row.percentage
+        return 0.0
+
+    def render(self) -> str:
+        """Aligned text table: Opinions / Percentages / Reasons."""
+        body = [
+            [row.label, format_percent(row.percentage), ", ".join(row.reasons)]
+            for row in self.rows
+        ]
+        title = f"Opinions on {self.subject} ({self.question_count} items)"
+        return title + "\n" + format_table(["Opinion", "Percentage", "Reasons"], body)
+
+
+def _top_keywords(observations: Iterable[Observation], label: str, k: int) -> tuple[str, ...]:
+    """Most frequent keywords among workers who answered ``label``."""
+    counter: Counter[str] = Counter()
+    for observation in observations:
+        for wa in observation:
+            if wa.answer == label:
+                counter.update(wa.keywords)
+    return tuple(word for word, _ in counter.most_common(k))
+
+
+def build_report(
+    subject: str,
+    outcomes: Sequence[QuestionOutcome],
+    domain: AnswerDomain,
+    reason_count: int = 3,
+) -> OpinionReport:
+    """Aggregate per-question outcomes into an :class:`OpinionReport`.
+
+    Percentages follow the ``h`` scoring above; note they need not sum to
+    exactly 1 while questions are in flight (open questions spread mass
+    across labels by confidence, and a pruned open domain reserves mass for
+    unobserved answers).
+    """
+    if not outcomes:
+        raise ValueError("cannot build a report from zero outcomes")
+    n = len(outcomes)
+    rows = []
+    observations = [o.observation for o in outcomes]
+    for label in domain.labels:
+        share = sum(h_score(outcome, label) for outcome in outcomes) / n
+        reasons = _top_keywords(observations, label, reason_count)
+        rows.append(OpinionRow(label=label, percentage=share, reasons=reasons))
+    return OpinionReport(subject=subject, rows=tuple(rows), question_count=n)

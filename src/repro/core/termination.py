@@ -1,0 +1,229 @@
+"""Early-termination strategies for online processing (paper §4.2.2).
+
+While a HIT is in flight, ``n'`` of ``n`` answers have arrived (partial
+observation Ω′).  CDAS may cancel the outstanding assignments — saving
+``(n - n')·(m_c + m_s)`` — once the leader cannot (or is unlikely to) be
+overtaken.  The adversarial completion ``s`` assigns *every* outstanding
+worker to the runner-up ``r₂``; under it
+
+    minP(r₁|Ω) = P(r₁|Ω′, s)        (Equation 5)
+    maxP(r₂|Ω) = P(r₂|Ω′, s)        (Equation 6)
+
+The unknown accuracies of outstanding workers are replaced by their mean
+``E[a]`` (the paper's approximation), so each hypothetical vote adds the
+same confidence ``c̄ = ln((m-1)·E[a]/(1-E[a]))`` to ``r₂``.  The three
+stopping rules compare these quantities:
+
+* ``MinMax``:  minP(r₁|Ω) > maxP(r₂|Ω)   — the leader survives even the
+  worst case; the answer is *stable* (proved as a property test).
+* ``MinExp``:  minP(r₁|Ω) > P(r₂|Ω′)
+* ``ExpMax``:  P(r₁|Ω′)   > maxP(r₂|Ω)   — the paper's recommended rule.
+
+Equivalences worth noting (all three share Equation 4's softmax form):
+``MinMax`` reduces to ``w₁ > w₂ + (n-n')·c̄`` in log-weight space, which is
+how the stability proof goes through.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.confidence import confidences_from_log_weights, worker_confidence
+from repro.core.domain import AnswerDomain
+from repro.util.stats import logsumexp
+
+__all__ = [
+    "TerminationSnapshot",
+    "TerminationStrategy",
+    "MinMax",
+    "MinExp",
+    "ExpMax",
+    "strategy_by_name",
+    "STRATEGY_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class TerminationSnapshot:
+    """Everything a stopping rule needs about an in-flight question.
+
+    Attributes
+    ----------
+    log_weights:
+        Per-label summed confidences over Ω′ (dense over the domain's
+        labels; unvoted labels at 0.0).
+    domain:
+        The answer domain, carrying the effective ``m``.
+    remaining_workers:
+        ``n - n'`` — outstanding assignments.
+    mean_accuracy:
+        ``E[a]`` assumed for each outstanding worker.
+    """
+
+    log_weights: dict[str, float]
+    domain: AnswerDomain
+    remaining_workers: int
+    mean_accuracy: float
+
+    def __post_init__(self) -> None:
+        if self.remaining_workers < 0:
+            raise ValueError(
+                f"remaining workers must be non-negative, got {self.remaining_workers}"
+            )
+        if not 0.0 <= self.mean_accuracy <= 1.0:
+            raise ValueError(f"mean accuracy {self.mean_accuracy} not in [0, 1]")
+        missing = [lab for lab in self.domain.labels if lab not in self.log_weights]
+        if missing:
+            raise ValueError(f"log_weights missing domain labels: {missing!r}")
+
+    # -- ranking -----------------------------------------------------------
+
+    def leader_and_runner_up(self) -> tuple[str, str | None]:
+        """Current best answer ``r₁`` and runner-up ``r₂``.
+
+        ``r₂`` is ``None`` when the domain has a single explicit label but
+        hidden (never-voted) answers remain; the adversary then routes the
+        outstanding votes to one hidden answer of base weight ``e⁰``.
+        """
+        labels = sorted(
+            self.log_weights, key=lambda lab: self.log_weights[lab], reverse=True
+        )
+        leader = labels[0]
+        if len(labels) >= 2:
+            return leader, labels[1]
+        if self.domain.unobserved_label_count > 0:
+            return leader, None
+        raise ValueError(
+            "cannot rank a runner-up: the domain has one label and no hidden answers"
+        )
+
+    # -- Equation-4 evaluations under Ω′ and under the adversarial s --------
+
+    def _denominator_terms(self) -> list[float]:
+        terms = list(self.log_weights.values())
+        hidden = self.domain.m - len(self.log_weights)
+        if hidden > 0:
+            terms.append(math.log(hidden))
+        return terms
+
+    def log_boost(self) -> float:
+        """Total confidence the adversary adds: ``(n-n')·c̄``."""
+        if self.remaining_workers == 0:
+            return 0.0
+        return self.remaining_workers * worker_confidence(
+            self.mean_accuracy, self.domain.m
+        )
+
+    def current_confidences(self) -> dict[str, float]:
+        """``P(r|Ω′)`` for every explicit label (Theorem 6)."""
+        return confidences_from_log_weights(self.log_weights, self.domain)
+
+    def adversarial_confidences(self) -> tuple[float, float]:
+        """``(minP(r₁|Ω), maxP(r₂|Ω))`` under the all-to-runner-up completion."""
+        leader, runner_up = self.leader_and_runner_up()
+        w1 = self.log_weights[leader]
+        boost = self.log_boost()
+        hidden = self.domain.m - len(self.log_weights)
+        terms = []
+        if runner_up is None:
+            # One hidden answer absorbs the boost; the rest stay at e⁰ each.
+            w2_boosted = boost  # base weight e⁰ → log 0.0, plus boost
+            terms = list(self.log_weights.values())
+            terms.append(w2_boosted)
+            if hidden - 1 > 0:
+                terms.append(math.log(hidden - 1))
+        else:
+            w2_boosted = self.log_weights[runner_up] + boost
+            terms = [
+                w if lab != runner_up else w2_boosted
+                for lab, w in self.log_weights.items()
+            ]
+            if hidden > 0:
+                terms.append(math.log(hidden))
+        denom = logsumexp(terms)
+        return math.exp(w1 - denom), math.exp(w2_boosted - denom)
+
+    def expected_confidences(self) -> tuple[float, float]:
+        """``(P(r₁|Ω′), P(r₂|Ω′))`` — the current leader/runner-up scores."""
+        leader, runner_up = self.leader_and_runner_up()
+        current = self.current_confidences()
+        p1 = current[leader]
+        if runner_up is None:
+            # A hidden answer's current confidence: e⁰ over the denominator.
+            denom = logsumexp(self._denominator_terms())
+            p2 = math.exp(-denom)
+        else:
+            p2 = current[runner_up]
+        return p1, p2
+
+
+class TerminationStrategy:
+    """Interface for §4.2.2 stopping rules."""
+
+    #: Name used in experiment tables and the registry.
+    name = "abstract"
+
+    def should_stop(self, snapshot: TerminationSnapshot) -> bool:
+        """Whether to cancel the outstanding assignments now.
+
+        Every strategy stops once nothing is outstanding — the HIT is
+        simply complete.
+        """
+        raise NotImplementedError
+
+
+class MinMax(TerminationStrategy):
+    """Stop when the leader beats the runner-up even in the worst case."""
+
+    name = "minmax"
+
+    def should_stop(self, snapshot: TerminationSnapshot) -> bool:
+        if snapshot.remaining_workers == 0:
+            return True
+        min_p1, max_p2 = snapshot.adversarial_confidences()
+        return min_p1 > max_p2
+
+
+class MinExp(TerminationStrategy):
+    """Stop when the worst-case leader still beats the runner-up's current score."""
+
+    name = "minexp"
+
+    def should_stop(self, snapshot: TerminationSnapshot) -> bool:
+        if snapshot.remaining_workers == 0:
+            return True
+        min_p1, _ = snapshot.adversarial_confidences()
+        _, exp_p2 = snapshot.expected_confidences()
+        return min_p1 > exp_p2
+
+
+class ExpMax(TerminationStrategy):
+    """Stop when the leader's current score beats the worst-case runner-up."""
+
+    name = "expmax"
+
+    def should_stop(self, snapshot: TerminationSnapshot) -> bool:
+        if snapshot.remaining_workers == 0:
+            return True
+        _, max_p2 = snapshot.adversarial_confidences()
+        exp_p1, _ = snapshot.expected_confidences()
+        return exp_p1 > max_p2
+
+
+#: Registry used by experiments to sweep strategies by name.
+_STRATEGIES: dict[str, TerminationStrategy] = {
+    s.name: s for s in (MinMax(), MinExp(), ExpMax())
+}
+
+STRATEGY_NAMES: tuple[str, ...] = tuple(_STRATEGIES)
+
+
+def strategy_by_name(name: str) -> TerminationStrategy:
+    """Look up a stopping rule (``"minmax"``, ``"minexp"``, ``"expmax"``)."""
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown termination strategy {name!r}; choose from {STRATEGY_NAMES}"
+        ) from None

@@ -1,0 +1,100 @@
+"""Core data model shared by the prediction and verification models.
+
+The whole quality-sensitive answering model of the paper operates on one
+simple observable: a multiset of *(worker, answer)* pairs for a single
+question, where each worker carries an estimated accuracy.  This module
+defines that observable (:class:`WorkerAnswer` / :data:`Observation`) and the
+result type every verifier returns (:class:`Verdict`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["WorkerAnswer", "Observation", "Verdict", "votes_by_answer"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerAnswer:
+    """One worker's answer to one question.
+
+    Attributes
+    ----------
+    worker_id:
+        Stable identifier of the worker within the market.
+    answer:
+        The label the worker selected (an element of the query's answer
+        domain ``R``, or free text for open questions).
+    accuracy:
+        The engine's current estimate of this worker's accuracy ``a_j``
+        (paper Table 2), produced by gold-sampling (§3.3).  Used by the
+        probability-based verifier; ignored by the voting baselines.
+    keywords:
+        Optional reason keywords the worker attached (used by §4.3 result
+        presentation to explain each opinion).
+    timestamp:
+        Submission time in simulated seconds; drives online processing.
+    """
+
+    worker_id: str
+    answer: str
+    accuracy: float
+    keywords: tuple[str, ...] = ()
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError(
+                f"worker {self.worker_id!r}: accuracy {self.accuracy} not in [0, 1]"
+            )
+
+
+#: A (possibly partial) observation Ω: the answers received so far for one
+#: question, in arrival order.
+Observation = Sequence[WorkerAnswer]
+
+
+@dataclass(frozen=True, slots=True)
+class Verdict:
+    """The outcome a verification model produces for one question.
+
+    Attributes
+    ----------
+    answer:
+        The accepted answer, or ``None`` when the model abstains (the
+        voting models abstain on ties / sub-majority splits — the
+        "no answer" outcomes measured in Figures 9 and 10).
+    confidence:
+        For the probability-based model, ``ρ(answer)`` from Equation 4.
+        For voting models, the winning vote share.  ``None`` when
+        abstaining.
+    scores:
+        Per-answer score map: answer confidences (probabilistic model) or
+        raw vote counts (voting models).
+    method:
+        Human-readable name of the producing verifier, e.g. ``"verification"``,
+        ``"half-voting"``, ``"majority-voting"``.
+    """
+
+    answer: str | None
+    confidence: float | None
+    scores: Mapping[str, float] = field(default_factory=dict)
+    method: str = "verification"
+
+    @property
+    def decided(self) -> bool:
+        """Whether the verifier committed to an answer."""
+        return self.answer is not None
+
+
+def votes_by_answer(observation: Observation) -> dict[str, int]:
+    """Tally raw votes per answer, preserving first-seen order.
+
+    Order preservation matters only for deterministic tie reporting; the
+    voting semantics themselves are order-free.
+    """
+    counts: dict[str, int] = {}
+    for wa in observation:
+        counts[wa.answer] = counts.get(wa.answer, 0) + 1
+    return counts

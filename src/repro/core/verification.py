@@ -1,0 +1,170 @@
+"""Verification models (paper §4): choosing an answer from conflicting votes.
+
+Three verifiers, matching the paper's experimental line-up:
+
+* :class:`HalfVoting` — accept an answer iff at least ``⌈n/2⌉`` of the ``n``
+  hired workers returned it (CrowdDB-style voting).  Abstains otherwise;
+  Figures 9–10 measure its abstention rate.
+* :class:`MajorityVoting` — accept the unique plurality answer; abstains on
+  ties.
+* :class:`ProbabilisticVerification` — the paper's contribution: weigh each
+  worker by confidence ``c_j`` and accept the answer with the highest
+  Equation-4 confidence.  Never abstains, and Theorem 4 shows it inherits
+  the prediction model's accuracy bound.
+
+All three expose ``verify(observation) -> Verdict`` so experiments can sweep
+them uniformly.  Table 4 of the paper (reproduced in
+``experiments/table34_verification_example.py`` and asserted exactly in the
+tests) is the canonical worked example separating the three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.confidence import answer_confidences
+from repro.core.domain import AnswerDomain
+from repro.core.types import Observation, Verdict, votes_by_answer
+from repro.util.stats import majority_threshold
+
+__all__ = [
+    "Verifier",
+    "HalfVoting",
+    "MajorityVoting",
+    "ProbabilisticVerification",
+    "verify_with_all",
+]
+
+
+class Verifier:
+    """Common interface: map an observation to a :class:`Verdict`."""
+
+    #: Display name used in experiment tables; subclasses override.
+    name = "abstract"
+
+    def verify(self, observation: Observation) -> Verdict:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def _require_nonempty(observation: Observation) -> None:
+    if len(observation) == 0:
+        raise ValueError("cannot verify an empty observation")
+
+
+@dataclass(frozen=True)
+class HalfVoting(Verifier):
+    """Accept an answer backed by at least half of the hired workers.
+
+    Attributes
+    ----------
+    hired_workers:
+        The number ``n`` of workers the HIT was published to.  When ``None``
+        the received answer count is used — appropriate once a HIT has
+        completed, which is how the paper's figures evaluate it.
+    """
+
+    hired_workers: int | None = None
+    name = "half-voting"
+
+    def verify(self, observation: Observation) -> Verdict:
+        _require_nonempty(observation)
+        n = self.hired_workers if self.hired_workers is not None else len(observation)
+        if n < len(observation):
+            raise ValueError(
+                f"observation has {len(observation)} answers but only "
+                f"{n} workers were hired"
+            )
+        votes = votes_by_answer(observation)
+        needed = majority_threshold(n)
+        scores = {answer: float(count) for answer, count in votes.items()}
+        for answer, count in votes.items():
+            if count >= needed:
+                return Verdict(
+                    answer=answer,
+                    confidence=count / n,
+                    scores=scores,
+                    method=self.name,
+                )
+        return Verdict(answer=None, confidence=None, scores=scores, method=self.name)
+
+
+@dataclass(frozen=True)
+class MajorityVoting(Verifier):
+    """Accept the strict plurality answer; abstain on ties."""
+
+    name = "majority-voting"
+
+    def verify(self, observation: Observation) -> Verdict:
+        _require_nonempty(observation)
+        votes = votes_by_answer(observation)
+        scores = {answer: float(count) for answer, count in votes.items()}
+        best_count = max(votes.values())
+        winners = [answer for answer, count in votes.items() if count == best_count]
+        if len(winners) > 1:
+            return Verdict(answer=None, confidence=None, scores=scores, method=self.name)
+        return Verdict(
+            answer=winners[0],
+            confidence=best_count / len(observation),
+            scores=scores,
+            method=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class ProbabilisticVerification(Verifier):
+    """The paper's probability-based verification model (§4.1).
+
+    Attributes
+    ----------
+    domain:
+        The answer domain (with effective ``m``) to score against.  When
+        ``None``, the domain is inferred open-ended from the observation,
+        using Theorem 5 to pick ``m`` — the behaviour the paper describes
+        for skewed free-form domains.
+    priors:
+        Optional non-uniform answer priors (closed domains only) — the
+        general Bayesian form of Equation 1 before the paper's
+        uniform-prior simplification.
+    """
+
+    domain: AnswerDomain | None = None
+    priors: tuple[tuple[str, float], ...] | None = None
+    name = "verification"
+
+    def verify(self, observation: Observation) -> Verdict:
+        _require_nonempty(observation)
+        domain = self.domain
+        if domain is None:
+            domain = AnswerDomain.open_ended(wa.answer for wa in observation)
+        priors = dict(self.priors) if self.priors is not None else None
+        confidences = answer_confidences(observation, domain, priors=priors)
+        # Deterministic arg-max: ties (exceedingly rare with float weights)
+        # break toward the earlier domain label.
+        best_label = max(domain.labels, key=lambda lab: (confidences[lab],))
+        return Verdict(
+            answer=best_label,
+            confidence=confidences[best_label],
+            scores=confidences,
+            method=self.name,
+        )
+
+
+def verify_with_all(
+    observation: Observation,
+    domain: AnswerDomain,
+    hired_workers: int | None = None,
+) -> dict[str, Verdict]:
+    """Run all three verifiers on one observation (experiment convenience).
+
+    Returns a mapping from verifier name to verdict, in the order the paper
+    tabulates them (half, majority, verification).
+    """
+    verifiers: tuple[Verifier, ...] = (
+        HalfVoting(hired_workers=hired_workers),
+        MajorityVoting(),
+        ProbabilisticVerification(domain=domain),
+    )
+    return {v.name: v.verify(observation) for v in verifiers}

@@ -1,0 +1,35 @@
+"""The CDAS system around the model (paper Figure 2).
+
+Job manager, program executor, privacy manager, query templates, and the
+two-phase crowdsourcing engine that embeds the quality-sensitive answering
+model.
+"""
+
+from repro.engine.engine import (
+    CrowdsourcingEngine,
+    EngineConfig,
+    HITRunResult,
+    QuestionRecord,
+)
+from repro.engine.executor import ProgramExecutor, batched
+from repro.engine.jobs import JobManager, JobSpec, ProcessingPlan
+from repro.engine.privacy import MASK, PrivacyManager
+from repro.engine.query import Query
+from repro.engine.templates import QueryTemplate, render_hit_description
+
+__all__ = [
+    "CrowdsourcingEngine",
+    "EngineConfig",
+    "HITRunResult",
+    "QuestionRecord",
+    "ProgramExecutor",
+    "batched",
+    "JobManager",
+    "JobSpec",
+    "ProcessingPlan",
+    "MASK",
+    "PrivacyManager",
+    "Query",
+    "QueryTemplate",
+    "render_hit_description",
+]

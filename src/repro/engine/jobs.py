@@ -1,0 +1,105 @@
+"""Job manager (paper §2.1): split analytics jobs into computer/human parts.
+
+The job manager "accepts the submitted analytics jobs and transforms them
+into a processing plan, which describes how the other two components
+(crowdsourcing engine and program executor) should collaborate".  A job
+*specification* declares the split once per job type (TSA: machines filter
+the stream and summarise, humans classify sentiment); registering a query
+against a spec yields the concrete :class:`ProcessingPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.query import Query
+from repro.engine.templates import QueryTemplate
+
+__all__ = ["JobSpec", "ProcessingPlan", "JobManager"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Static description of one deployable job type.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"twitter-sentiment"``.
+    template:
+        The HIT template the crowdsourcing engine instantiates.
+    computer_tasks:
+        What the program executor does (documented plan steps).
+    human_tasks:
+        What the crowd does.
+    """
+
+    name: str
+    template: QueryTemplate
+    computer_tasks: tuple[str, ...]
+    human_tasks: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.computer_tasks or not self.human_tasks:
+            raise ValueError(
+                f"job {self.name!r} must declare both computer and human tasks"
+            )
+
+
+@dataclass(frozen=True)
+class ProcessingPlan:
+    """A query bound to its job spec: what each component will do."""
+
+    spec: JobSpec
+    query: Query
+
+    @property
+    def job_name(self) -> str:
+        return self.spec.name
+
+    def describe(self) -> str:
+        """Human-readable plan, useful in logs and the quickstart example."""
+        lines = [
+            f"job: {self.spec.name}",
+            f"query: subject={self.query.subject!r} C={self.query.required_accuracy} "
+            f"R={self.query.domain} window={self.query.window}",
+            "computer tasks:",
+            *(f"  - {t}" for t in self.spec.computer_tasks),
+            "human tasks:",
+            *(f"  - {t}" for t in self.spec.human_tasks),
+        ]
+        return "\n".join(lines)
+
+
+class JobManager:
+    """Registry of job specs and factory of processing plans."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, JobSpec] = {}
+
+    def register(self, spec: JobSpec) -> None:
+        """Add a job type; re-registering a name is an error (specs are
+        static system configuration, silent replacement hides bugs)."""
+        if spec.name in self._specs:
+            raise ValueError(f"job {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+
+    def spec(self, name: str) -> JobSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"no job {name!r} registered; known: {sorted(self._specs)}"
+            ) from None
+
+    def plan(self, job_name: str, query: Query) -> ProcessingPlan:
+        """Bind ``query`` to the named job type, validating the domain.
+
+        The query's answer domain must be non-trivial and consistent with a
+        crowd task (the spec's template poses one closed question per item).
+        """
+        return ProcessingPlan(spec=self.spec(job_name), query=query)
+
+    @property
+    def registered_jobs(self) -> tuple[str, ...]:
+        return tuple(self._specs)

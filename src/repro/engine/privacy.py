@@ -1,0 +1,75 @@
+"""Privacy manager (paper §2.1).
+
+Human tasks can leak sensitive data to the public crowd.  The paper's
+privacy manager "may adaptively change the formats of the generated
+questions" and "may also reject some workers for a specific task".  Both
+capabilities are implemented:
+
+* :meth:`PrivacyManager.sanitize_text` masks sensitive spans (user handles,
+  e-mail addresses, phone-like numbers, plus caller-supplied patterns)
+  before a payload reaches a HIT template.
+* :meth:`PrivacyManager.worker_allowed` gates which workers may see a task:
+  a minimum public approval rate and an explicit blocklist.  The engine
+  discards submissions from rejected workers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.amt.worker import WorkerProfile
+
+__all__ = ["PrivacyManager", "MASK"]
+
+#: Replacement token for masked spans.
+MASK = "[redacted]"
+
+#: Built-in sensitive-span patterns: @handles, e-mails, long digit runs.
+_DEFAULT_PATTERNS: tuple[str, ...] = (
+    r"@\w{2,}",
+    r"[\w.+-]+@[\w-]+\.[\w.]+",
+    r"\b\d{7,}\b",
+)
+
+
+@dataclass
+class PrivacyManager:
+    """Masking and worker-gating policy for sensitive jobs.
+
+    Attributes
+    ----------
+    extra_patterns:
+        Additional regexes to mask (e.g. project codenames).
+    min_approval_rate:
+        Workers below this public approval rate are rejected for the task.
+        0 disables the gate.
+    blocked_workers:
+        Explicitly rejected worker ids.
+    """
+
+    extra_patterns: tuple[str, ...] = ()
+    min_approval_rate: float = 0.0
+    blocked_workers: frozenset[str] = frozenset()
+    _compiled: list[re.Pattern[str]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_approval_rate <= 1.0:
+            raise ValueError(
+                f"min approval rate {self.min_approval_rate} not in [0, 1]"
+            )
+        self._compiled = [
+            re.compile(p) for p in (*_DEFAULT_PATTERNS, *self.extra_patterns)
+        ]
+
+    def sanitize_text(self, text: str) -> str:
+        """Mask every sensitive span in ``text``."""
+        for pattern in self._compiled:
+            text = pattern.sub(MASK, text)
+        return text
+
+    def worker_allowed(self, profile: WorkerProfile) -> bool:
+        """Whether this worker may handle the (sensitive) task."""
+        if profile.worker_id in self.blocked_workers:
+            return False
+        return profile.approval_rate >= self.min_approval_rate

@@ -1,0 +1,78 @@
+"""Analytics queries (paper Definition 1).
+
+A CDAS query is the five-tuple ``(S, C, R, t, w)``: keywords to match,
+required accuracy, answer domain, start timestamp and time window.  The
+paper's running example::
+
+    Q = ({iPhone4S, iPhone 4S}, 95%, {Best Ever, Good, Not Satisfied},
+         Oct-14-2011, 10)
+
+maps to ``Query(keywords=("iPhone4S", "iPhone 4S"), required_accuracy=0.95,
+domain=("Best Ever", "Good", "Not Satisfied"), timestamp="2011-10-14",
+window=10)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.domain import AnswerDomain
+
+__all__ = ["Query"]
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """Definition 1: the query ``(S, C, R, t, w)``.
+
+    Attributes
+    ----------
+    keywords:
+        ``S`` — any match admits an item into the candidate stream.
+        Matching is case-insensitive substring containment, the behaviour
+        the paper's program executor applies to tweets.
+    required_accuracy:
+        ``C`` — the accuracy the crowd result must reach, in (0, 1).
+    domain:
+        ``R`` — the closed answer domain workers choose from.
+    timestamp:
+        ``t`` — the query's start time (ISO date string or simulated
+        seconds; the stream decides how to interpret it).
+    window:
+        ``w`` — how many time units of stream to process.
+    subject:
+        Display name for reports (movie title, product name); defaults to
+        the first keyword.
+    """
+
+    keywords: tuple[str, ...]
+    required_accuracy: float
+    domain: tuple[str, ...]
+    timestamp: str | float = 0.0
+    window: int = 1
+    subject: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.keywords:
+            raise ValueError("a query needs at least one keyword")
+        if not 0.0 < self.required_accuracy < 1.0:
+            raise ValueError(
+                f"required accuracy must be in (0, 1), got {self.required_accuracy}"
+            )
+        if len(self.domain) < 2:
+            raise ValueError(f"answer domain needs ≥ 2 labels, got {self.domain!r}")
+        if len(set(self.domain)) != len(self.domain):
+            raise ValueError(f"duplicate labels in domain {self.domain!r}")
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if not self.subject:
+            object.__setattr__(self, "subject", self.keywords[0])
+
+    def answer_domain(self) -> AnswerDomain:
+        """The query's ``R`` as a closed :class:`AnswerDomain`."""
+        return AnswerDomain.closed(self.domain)
+
+    def matches(self, text: str) -> bool:
+        """Keyword filter used by the program executor."""
+        lowered = text.lower()
+        return any(k.lower() in lowered for k in self.keywords)

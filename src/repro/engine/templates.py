@@ -1,0 +1,87 @@
+"""Query templates: rendering questions into HIT descriptions (paper §2.2).
+
+The engine's first phase "generates a query template for the specific type
+of human jobs" and concatenates one HTML section per item into the HIT
+description (Figure 3: a tweet, three sentiment radio buttons, a reasons
+box).  The simulated workers never parse HTML — they act on the structured
+:class:`~repro.amt.hit.Question` — but the engine still renders real
+markup, because the template *is* part of the system (CrowdDB-style UI
+generation) and the privacy manager rewrites it.
+"""
+
+from __future__ import annotations
+
+import html
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.amt.hit import Question
+
+__all__ = ["QueryTemplate", "render_hit_description"]
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A reusable HIT layout for one job type.
+
+    Attributes
+    ----------
+    job_name:
+        E.g. ``"twitter-sentiment"`` or ``"image-tagging"``.
+    instructions:
+        Shown once at the top of every HIT.
+    item_label:
+        What one payload is called in the UI ("Tweet", "Image").
+    prompt:
+        The per-item question text ("What is the opinion of this review?").
+    text_filter:
+        Optional rewrite applied to the payload text before rendering —
+        the hook the privacy manager uses to mask sensitive spans.
+    """
+
+    job_name: str
+    instructions: str
+    item_label: str
+    prompt: str
+    text_filter: Callable[[str], str] | None = None
+
+    def render_question(self, question: Question) -> str:
+        """One ``<div>`` section per question, Figure-3 style."""
+        text = str(question.payload) if question.payload is not None else ""
+        if self.text_filter is not None:
+            text = self.text_filter(text)
+        options = "\n".join(
+            f'    <label><input type="radio" name="{html.escape(question.question_id)}" '
+            f'value="{html.escape(option)}"/>{html.escape(option)}</label>'
+            for option in question.options
+        )
+        return (
+            f'<div class="question" id="{html.escape(question.question_id)}">\n'
+            f"  <p><b>{html.escape(self.item_label)}:</b> {html.escape(text)}</p>\n"
+            f"  <p>{html.escape(self.prompt)}</p>\n"
+            f"{options}\n"
+            f'  <input type="text" name="{html.escape(question.question_id)}-reasons" '
+            f'placeholder="keywords explaining your choice"/>\n'
+            f"</div>"
+        )
+
+    def render_hit(self, questions: Sequence[Question]) -> str:
+        """Concatenate the per-question sections into one HIT description.
+
+        Gold questions render identically to real ones — workers must not
+        be able to tell the testing samples apart (§3.3).
+        """
+        if not questions:
+            raise ValueError("cannot render a HIT with no questions")
+        sections = "\n".join(self.render_question(q) for q in questions)
+        return (
+            f'<div class="hit" data-job="{html.escape(self.job_name)}">\n'
+            f"<p>{html.escape(self.instructions)}</p>\n"
+            f"{sections}\n"
+            f"</div>"
+        )
+
+
+def render_hit_description(template: QueryTemplate, questions: Sequence[Question]) -> str:
+    """Function-style alias mirroring Algorithm 1's ``HtmlDesc`` assembly."""
+    return template.render_hit(questions)

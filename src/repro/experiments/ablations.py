@@ -1,0 +1,471 @@
+"""Ablations beyond the paper's figures.
+
+Four studies probing the design choices DESIGN.md calls out:
+
+* :func:`run_spammer_ablation` — how fast does each verifier degrade as
+  the uniform-random spammer share grows?  (§1's first malice model.)
+* :func:`run_colluder_ablation` — same for coordinated wrong answers
+  (§1's "malicious workers may collude to produce a false answer").
+* :func:`run_domain_pruning_ablation` — Theorem 5's effective-``m``
+  pruning versus naively using ``m = |R|`` on a wide, skewed domain.
+* :func:`run_aggregator_comparison` — the paper's gold-supervised
+  verification versus unsupervised Dawid–Skene EM and majority voting.
+
+Each returns an :class:`ExperimentResult` like the per-figure modules and
+is pinned by assertions in ``tests/test_ablations.py`` and a benchmark in
+``benchmarks/bench_ablations.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.amt.hit import Question
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.amt.worker import behaviour_for
+from repro.baselines.dawid_skene import DawidSkene
+from repro.core.domain import AnswerDomain, estimate_effective_m
+from repro.core.types import WorkerAnswer
+from repro.core.verification import MajorityVoting, ProbabilisticVerification, verify_with_all
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.experiments.common import estimate_pool_accuracies
+from repro.tsa.tweets import generate_tweets, tweet_to_question
+from repro.util.rng import substream
+
+__all__ = [
+    "run_spammer_ablation",
+    "run_colluder_ablation",
+    "run_domain_pruning_ablation",
+    "run_aggregator_comparison",
+    "run_cross_job_ablation",
+]
+
+
+def _questions(seed: int, count: int) -> list[Question]:
+    tweets = generate_tweets(["Thor", "Rio"], per_movie=(count + 1) // 2, seed=seed)
+    return [tweet_to_question(t) for t in tweets[:count]]
+
+
+def _measure_verifiers(
+    pool: WorkerPool,
+    questions: Sequence[Question],
+    worker_count: int,
+    seed: int,
+    label: str,
+    screen_threshold: float | None = None,
+) -> dict[str, float]:
+    """Accuracy of the three verifiers with gold-estimated accuracies.
+
+    With ``screen_threshold`` set, a fourth measurement
+    ``verification-screened`` drops votes from workers whose gold
+    accuracy sits below the threshold (the engine's §6-style quality
+    screen) before verifying.
+    """
+    estimator = estimate_pool_accuracies(pool, seed)
+    names = ["half-voting", "majority-voting", "verification"]
+    if screen_threshold is not None:
+        names.append("verification-screened")
+    correct = dict.fromkeys(names, 0)
+    for question in questions:
+        rng = substream(seed, f"{label}:{question.question_id}")
+        observation = []
+        for profile in pool.sample(worker_count, rng):
+            answer, _ = behaviour_for(profile).answer(profile, question, rng)
+            observation.append(
+                WorkerAnswer(
+                    worker_id=profile.worker_id,
+                    answer=answer,
+                    accuracy=estimator.accuracy(profile.worker_id),
+                )
+            )
+        domain = AnswerDomain.closed(question.options)
+        for name, verdict in verify_with_all(
+            observation, domain, hired_workers=worker_count
+        ).items():
+            correct[name] += verdict.answer == question.truth
+        if screen_threshold is not None:
+            kept = [wa for wa in observation if wa.accuracy >= screen_threshold]
+            if kept:
+                screened = ProbabilisticVerification(domain=domain).verify(kept)
+                correct["verification-screened"] += screened.answer == question.truth
+    total = len(questions)
+    return {name: c / total for name, c in correct.items()}
+
+
+def run_spammer_ablation(
+    seed: int = DEFAULT_SEED,
+    review_count: int = 120,
+    worker_count: int = 9,
+    fractions: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4),
+) -> ExperimentResult:
+    """Verifier accuracy as the spammer share of the pool grows."""
+    questions = _questions(seed, review_count)
+    rows = []
+    for fraction in fractions:
+        pool = WorkerPool.from_config(
+            PoolConfig(size=400, spammer_fraction=fraction), seed=seed
+        )
+        acc = _measure_verifiers(
+            pool,
+            questions,
+            worker_count,
+            seed,
+            f"spam{fraction}",
+            screen_threshold=0.45,
+        )
+        rows.append(
+            {
+                "spammer_fraction": fraction,
+                "majority_voting": round(acc["majority-voting"], 4),
+                "half_voting": round(acc["half-voting"], 4),
+                "verification": round(acc["verification"], 4),
+                "verification_screened": round(acc["verification-screened"], 4),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation-spammers",
+        title="Verifier robustness vs spammer fraction",
+        rows=rows,
+        notes=(
+            f"n={worker_count} workers per review; spammers answer "
+            "uniformly at random. Verification degrades slowest because "
+            "gold-sampling assigns spammers near-zero confidence; the "
+            "screened column additionally drops votes from workers whose "
+            "gold accuracy is below 0.45 (the engine's quality screen)."
+        ),
+    )
+
+
+def run_colluder_ablation(
+    seed: int = DEFAULT_SEED,
+    review_count: int = 120,
+    worker_count: int = 9,
+    fractions: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3),
+) -> ExperimentResult:
+    """Verifier accuracy as coordinated-wrong-answer cliques grow."""
+    questions = _questions(seed, review_count)
+    rows = []
+    for fraction in fractions:
+        pool = WorkerPool.from_config(
+            PoolConfig(
+                size=400,
+                spammer_fraction=0.0,
+                colluder_fraction=fraction,
+                colluder_clique_size=3,
+            ),
+            seed=seed,
+        )
+        acc = _measure_verifiers(
+            pool, questions, worker_count, seed, f"collude{fraction}"
+        )
+        rows.append(
+            {
+                "colluder_fraction": fraction,
+                "majority_voting": round(acc["majority-voting"], 4),
+                "half_voting": round(acc["half-voting"], 4),
+                "verification": round(acc["verification"], 4),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation-colluders",
+        title="Verifier robustness vs colluder fraction",
+        rows=rows,
+        notes=(
+            "Colluders agree on one wrong answer per question — the §1 "
+            "attack voting cannot survive once cliques outnumber honest "
+            "pluralities; verification resists longer via gold-derived "
+            "confidences."
+        ),
+    )
+
+
+def _wide_domain_observation(
+    rng: np.random.Generator,
+    truth: str,
+    wide_labels: tuple[str, ...],
+    workers: int,
+    accuracy: float,
+) -> list[WorkerAnswer]:
+    """Workers on a wide domain whose wrong answers skew to two distractors
+    (real score distributions are heavily skewed, §4.1)."""
+    distractors = [lab for lab in wide_labels if lab != truth][:2]
+    observation = []
+    for i in range(workers):
+        if rng.random() < accuracy:
+            answer = truth
+        else:
+            answer = distractors[int(rng.integers(len(distractors)))]
+        observation.append(WorkerAnswer(f"w{i}", answer, accuracy))
+    return observation
+
+
+def run_domain_pruning_ablation(
+    seed: int = DEFAULT_SEED,
+    trials: int = 300,
+    domain_size: int = 50,
+    worker_count: int = 5,
+    worker_accuracy: float = 0.6,
+) -> ExperimentResult:
+    """Theorem 5 pruning vs naive ``m = |R|``: confidence calibration.
+
+    The arg-max answer is largely insensitive to ``m`` (a shared
+    ``ln(m-1)`` bonus mostly cancels between answers), so accuracy and
+    termination cost barely move.  What ``m`` really controls is the
+    *confidence value* Equation 4 reports: the naive ``m = |R|`` inflates
+    every worker's ``ln(m-1)`` weight and produces confidences near 1.0
+    even when the realised accuracy is ~0.74 — overconfidence that
+    corrupts early-termination guarantees and §4.3's h-scores.  Theorem
+    5's pruned ``m`` keeps the reported confidence close to the realised
+    accuracy.  The ``calibration_gap`` column is
+    ``|mean final confidence − accuracy|``.
+    """
+    if domain_size < 5:
+        raise ValueError(f"domain size must be ≥ 5, got {domain_size}")
+    from repro.core.online import run_online
+    from repro.core.termination import ExpMax
+
+    wide_labels = tuple(f"score{i}" for i in range(domain_size))
+    rng = substream(seed, "pruning")
+    policies = ("theorem5", "full-domain")
+    used = dict.fromkeys(policies, 0)
+    correct = dict.fromkeys(policies, 0)
+    confidence = dict.fromkeys(policies, 0.0)
+    for _ in range(trials):
+        truth = wide_labels[int(rng.integers(domain_size))]
+        observation = _wide_domain_observation(
+            rng, truth, wide_labels, worker_count, worker_accuracy
+        )
+        observed: list[str] = []
+        for wa in observation:
+            if wa.answer not in observed:
+                observed.append(wa.answer)
+        for policy in policies:
+            if policy == "theorem5":
+                m = estimate_effective_m(len(observed), known_domain_size=domain_size)
+            else:
+                m = domain_size
+            domain = AnswerDomain(
+                labels=tuple(observed),
+                m=max(m, len(observed)),
+                closed_domain=False,
+            )
+            result = run_online(
+                observation, domain, mean_accuracy=worker_accuracy, strategy=ExpMax()
+            )
+            used[policy] += result.answers_used
+            correct[policy] += result.verdict.answer == truth
+            confidence[policy] += result.verdict.confidence or 0.0
+    rows = []
+    for policy in policies:
+        accuracy = correct[policy] / trials
+        mean_conf = confidence[policy] / trials
+        rows.append(
+            {
+                "m_policy": policy,
+                "accuracy": round(accuracy, 4),
+                "mean_answers_used": round(used[policy] / trials, 4),
+                "mean_final_confidence": round(mean_conf, 4),
+                "calibration_gap": round(abs(mean_conf - accuracy), 4),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation-domain-pruning",
+        title="Effective-m pruning (Theorem 5) vs naive m=|R| under ExpMax",
+        rows=rows,
+        notes=(
+            f"|R|={domain_size}, {worker_count} workers (a={worker_accuracy}) "
+            "per question, wrong answers skewed onto 2 distractors. Both "
+            "policies pick the same answers; the naive m reports "
+            "near-certain confidence regardless of the realised accuracy, "
+            "while Theorem 5's m stays calibrated."
+        ),
+    )
+
+
+def run_aggregator_comparison(
+    seed: int = DEFAULT_SEED,
+    review_count: int = 120,
+    worker_counts: tuple[int, ...] = (3, 5, 9, 15),
+) -> ExperimentResult:
+    """CDAS verification (gold-supervised) vs Dawid–Skene EM vs majority.
+
+    Dawid–Skene sees the full question×worker answer matrix per worker
+    count and estimates confusion matrices unsupervised; CDAS uses its
+    gold-sampled scalar accuracies.  The interesting read-out is the gap
+    at small crowds, where EM has little signal to learn from.
+    """
+    questions = _questions(seed, review_count)
+    pool = WorkerPool.from_config(PoolConfig(size=400), seed=seed)
+    estimator = estimate_pool_accuracies(pool, seed)
+    labels = questions[0].options
+    rows = []
+    for n in worker_counts:
+        votes: dict[str, dict[str, str]] = {}
+        observations: dict[str, list[WorkerAnswer]] = {}
+        for question in questions:
+            rng = substream(seed, f"agg{n}:{question.question_id}")
+            sheet: dict[str, str] = {}
+            observation = []
+            for profile in pool.sample(n, rng):
+                answer, _ = behaviour_for(profile).answer(profile, question, rng)
+                sheet[profile.worker_id] = answer
+                observation.append(
+                    WorkerAnswer(
+                        worker_id=profile.worker_id,
+                        answer=answer,
+                        accuracy=estimator.accuracy(profile.worker_id),
+                    )
+                )
+            votes[question.question_id] = sheet
+            observations[question.question_id] = observation
+
+        ds_result = DawidSkene(labels).fit(votes)
+        domain = AnswerDomain.closed(labels)
+        cdas = majority = ds = 0
+        for question in questions:
+            truth = question.truth
+            obs = observations[question.question_id]
+            cdas += (
+                ProbabilisticVerification(domain=domain).verify(obs).answer == truth
+            )
+            mv = MajorityVoting().verify(obs).answer
+            majority += mv == truth
+            ds += ds_result.predict(question.question_id) == truth
+        total = len(questions)
+        rows.append(
+            {
+                "workers": n,
+                "majority_voting": round(majority / total, 4),
+                "dawid_skene": round(ds / total, 4),
+                "cdas_verification": round(cdas / total, 4),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation-aggregators",
+        title="CDAS verification vs Dawid-Skene EM vs majority voting",
+        rows=rows,
+        notes=(
+            "Dawid-Skene is unsupervised (no gold); CDAS uses 20%-rate "
+            "gold estimates. Both should beat majority voting; their "
+            "relative order shows what gold sampling buys."
+        ),
+    )
+
+
+def _topic_probes(
+    seed: int, topic: str, count: int, options: tuple[str, ...]
+) -> list[Question]:
+    """Gold probes belonging to one job domain."""
+    return [
+        Question(
+            question_id=f"{topic}-gold{i}",
+            options=options,
+            truth=options[i % len(options)],
+            topic=topic,
+        )
+        for i in range(count)
+    ]
+
+
+def run_cross_job_ablation(
+    seed: int = DEFAULT_SEED,
+    review_count: int = 150,
+    worker_count: int = 5,
+    skill_sigma: float = 0.18,
+) -> ExperimentResult:
+    """What per-job gold sampling buys: same-job vs cross-job estimates.
+
+    §3.3 argues AMT's global approval rate is useless partly because "the
+    worker's accuracy may vary widely across jobs".  We quantify it: a
+    pool with per-topic skill offsets answers *sentiment* questions, and
+    the verifier is fed worker accuracies estimated from (a) sentiment
+    gold (same job), (b) imaging gold (a different job), and (c) the raw
+    public approval rate.  Same-job estimates should win; the approval
+    proxy should be the worst — exactly the paper's Figure-14 argument
+    carried through to end accuracy.
+    """
+    from repro.util.rng import derive_seed
+
+    pool = WorkerPool.from_config(
+        PoolConfig(
+            size=400,
+            skill_topics=("sentiment", "imaging"),
+            skill_sigma=skill_sigma,
+        ),
+        seed=seed,
+    )
+    options = ("pos", "neu", "neg")
+    sentiment_gold = _topic_probes(seed, "sentiment", 40, options)
+    imaging_gold = _topic_probes(seed, "imaging", 40, ("yes", "no"))
+
+    same_job = estimate_pool_accuracies(
+        pool, derive_seed(seed, "same-job"), questions=sentiment_gold
+    )
+    cross_job = estimate_pool_accuracies(
+        pool, derive_seed(seed, "cross-job"), questions=imaging_gold
+    )
+    # The public statistic, treated as if it were an accuracy.
+    approval_map = {p.worker_id: p.approval_rate for p in pool.profiles}
+
+    questions = [
+        Question(
+            question_id=f"sent{i}",
+            options=options,
+            truth=options[i % 3],
+            topic="sentiment",
+        )
+        for i in range(review_count)
+    ]
+    sources = {
+        "same_job_gold": lambda wid: same_job.accuracy(wid),
+        "cross_job_gold": lambda wid: cross_job.accuracy(wid),
+        "approval_rate": lambda wid: approval_map[wid],
+    }
+    correct = dict.fromkeys(sources, 0)
+    for question in questions:
+        rng = substream(seed, f"xjob:{question.question_id}")
+        raw = []
+        for profile in pool.sample(worker_count, rng):
+            answer, _ = behaviour_for(profile).answer(profile, question, rng)
+            raw.append((profile.worker_id, answer))
+        domain = AnswerDomain.closed(options)
+        for name, accuracy_of in sources.items():
+            observation = [
+                WorkerAnswer(
+                    worker_id=wid,
+                    answer=answer,
+                    accuracy=min(accuracy_of(wid), 1.0),
+                )
+                for wid, answer in raw
+            ]
+            verdict = ProbabilisticVerification(domain=domain).verify(observation)
+            correct[name] += verdict.answer == question.truth
+    rows = [
+        {"accuracy_source": name, "verification_accuracy": round(c / review_count, 4)}
+        for name, c in correct.items()
+    ]
+    return ExperimentResult(
+        experiment_id="ablation-cross-job",
+        title="Verification accuracy by worker-accuracy source (per-job gold vs proxies)",
+        rows=rows,
+        notes=(
+            f"pool skill sigma={skill_sigma} across topics; identical votes "
+            "re-weighted under each accuracy source. Same-job gold should "
+            "lead; the approval-rate proxy trails (the Figure-14 argument "
+            "carried to end accuracy)."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    for runner in (
+        run_spammer_ablation,
+        run_colluder_ablation,
+        run_domain_pruning_ablation,
+        run_aggregator_comparison,
+        run_cross_job_ablation,
+    ):
+        print(runner().render())
+        print()

@@ -1,0 +1,85 @@
+"""Experiment-module conventions.
+
+Every paper table/figure has one module here exposing
+
+    run(seed=..., **size_knobs) -> ExperimentResult
+
+whose rows are exactly the series the paper plots.  Modules are pure
+functions of their arguments (all randomness flows from the seed), print
+nothing unless executed as scripts, and downscale cleanly through their
+size knobs so the benchmark harness can run them repeatedly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.util.tables import render_rows
+
+__all__ = ["ExperimentResult", "DEFAULT_SEED"]
+
+#: One seed to rule all experiments — the year the paper appeared.
+DEFAULT_SEED = 2012
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The regenerated content of one paper table/figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        ``"table1"``, ``"fig7"``, ...
+    title:
+        The paper's caption, abbreviated.
+    rows:
+        Homogeneous dicts — one per x-axis point (figures) or table row.
+    notes:
+        Free-form remarks recorded into EXPERIMENTS.md (calibration
+        details, deviations).
+    """
+
+    experiment_id: str
+    title: str
+    rows: Sequence[Mapping[str, object]]
+    notes: str = ""
+    extras: Mapping[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        header = f"[{self.experiment_id}] {self.title}"
+        body = render_rows(self.rows)
+        parts = [header, body]
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list[object]:
+        """Extract one series by column name (test/benchmark convenience)."""
+        if not self.rows:
+            raise ValueError(f"{self.experiment_id}: no rows")
+        if name not in self.rows[0]:
+            raise KeyError(
+                f"{self.experiment_id}: no column {name!r}; "
+                f"have {list(self.rows[0])!r}"
+            )
+        return [row[name] for row in self.rows]
+
+    def to_csv(self) -> str:
+        """The rows as RFC-4180 CSV (header from the first row's keys).
+
+        Lets downstream users plot the regenerated series with their own
+        tooling; also exposed as ``python -m repro run <id> --csv``.
+        """
+        import csv
+        import io
+
+        if not self.rows:
+            raise ValueError(f"{self.experiment_id}: no rows to export")
+        headers = list(self.rows[0].keys())
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=headers, extrasaction="ignore")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(dict(row))
+        return buffer.getvalue()

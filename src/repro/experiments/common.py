@@ -1,0 +1,146 @@
+"""Shared simulation scaffolding for the per-figure experiment modules.
+
+Centralises the "standard world" (worker pool + market + calibrated
+engine), direct observation sampling for verifier sweeps, and gold-based
+accuracy estimation, so every experiment module stays a short, readable
+description of its figure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.amt.hit import Question
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.amt.worker import WorkerProfile, behaviour_for
+from repro.core.sampling import WorkerAccuracyEstimator
+from repro.core.types import WorkerAnswer
+from repro.engine.engine import CrowdsourcingEngine, EngineConfig
+from repro.tsa.tweets import Tweet, generate_tweets, tweet_to_question
+from repro.util.rng import substream
+
+__all__ = [
+    "World",
+    "make_world",
+    "gold_tweets",
+    "sample_observation",
+    "estimate_pool_accuracies",
+]
+
+
+@dataclass
+class World:
+    """A ready-to-use simulation context."""
+
+    pool: WorkerPool
+    market: SimulatedMarket
+    engine: CrowdsourcingEngine
+    seed: int
+
+
+def make_world(
+    seed: int,
+    pool_size: int = 400,
+    pool_config: PoolConfig | None = None,
+    engine_config: EngineConfig | None = None,
+) -> World:
+    """Build the standard experiment world (no calibration yet)."""
+    config = pool_config if pool_config is not None else PoolConfig(size=pool_size)
+    pool = WorkerPool.from_config(config, seed=seed)
+    market = SimulatedMarket(pool, seed=seed)
+    engine = CrowdsourcingEngine(market, seed=seed, config=engine_config)
+    return World(pool=pool, market=market, engine=engine, seed=seed)
+
+
+def gold_tweets(seed: int, count: int = 40) -> list[Tweet]:
+    """A labelled gold pool drawn from two training movies."""
+    per_movie = max(1, (count + 1) // 2)
+    tweets = generate_tweets(
+        ["Inception", "Black Swan"], per_movie=per_movie, seed=seed
+    )
+    return tweets[:count]
+
+
+def gold_questions(seed: int, count: int = 40) -> list[Question]:
+    return [tweet_to_question(t) for t in gold_tweets(seed, count)]
+
+
+__all__.append("gold_questions")
+
+
+def estimate_pool_accuracies(
+    pool: WorkerPool,
+    seed: int,
+    gold_per_worker: int = 20,
+    smoothing: float = 1.0,
+    prior: float = 0.5,
+    questions: Sequence[Question] | None = None,
+) -> WorkerAccuracyEstimator:
+    """Estimate every pool worker's accuracy from gold probes (§3.3).
+
+    ``gold_per_worker`` encodes the sampling rate: a HIT of ``B = 100``
+    questions at rate α carries ``α·100`` gold probes, so rate 20 % ⇒ 20
+    gold outcomes per participating worker.
+    """
+    if gold_per_worker < 0:
+        raise ValueError(f"gold_per_worker must be non-negative: {gold_per_worker}")
+    probes = (
+        list(questions) if questions is not None else gold_questions(seed, count=60)
+    )
+    if gold_per_worker > 0 and not probes:
+        raise ValueError("no gold probes available")
+    estimator = WorkerAccuracyEstimator(prior_accuracy=prior, smoothing=smoothing)
+    for profile in pool.profiles:
+        rng = substream(seed, f"gold:{profile.worker_id}")
+        behaviour = behaviour_for(profile)
+        for i in range(gold_per_worker):
+            probe = probes[int(rng.integers(len(probes)))]
+            answer, _ = behaviour.answer(profile, probe, rng)
+            estimator.record(profile.worker_id, answer == probe.truth)
+    return estimator
+
+
+def sample_observation(
+    pool: WorkerPool,
+    question: Question,
+    worker_count: int,
+    seed: int,
+    estimator: WorkerAccuracyEstimator,
+    label: str = "",
+) -> list[WorkerAnswer]:
+    """Draw ``worker_count`` fresh workers and collect their answers.
+
+    The returned :class:`WorkerAnswer` accuracies come from ``estimator``
+    (what CDAS would know), never from the latent truth.  Used by the
+    verifier-sweep figures, which operate below the engine for speed and
+    precise control of ``n``.
+    """
+    rng = substream(seed, f"obs:{label}:{question.question_id}")
+    workers = pool.sample(worker_count, rng)
+    observation = []
+    for profile in workers:
+        behaviour = behaviour_for(profile)
+        answer, keywords = behaviour.answer(profile, question, rng)
+        observation.append(
+            WorkerAnswer(
+                worker_id=profile.worker_id,
+                answer=answer,
+                accuracy=estimator.accuracy(profile.worker_id),
+                keywords=keywords,
+            )
+        )
+    return observation
+
+
+def true_accuracy_of(
+    pool: WorkerPool, profiles: Sequence[WorkerProfile]
+) -> float:
+    """Mean latent accuracy of specific workers (evaluation-side only)."""
+    if not profiles:
+        raise ValueError("no profiles")
+    return sum(p.true_accuracy for p in profiles) / len(profiles)
+
+
+__all__.append("true_accuracy_of")

@@ -1,0 +1,53 @@
+"""Figure 6: workers needed — conservative bound vs binary-search refinement.
+
+Sweeps the user-required accuracy ``C`` from 0.65 to 0.99 and reports both
+estimates of ``g(C)`` at the measured mean worker accuracy.  The paper
+finds the refined estimate "less than half of the conservative estimation";
+the test suite asserts that dominance across the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prediction import conservative_worker_count, refined_worker_count
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult
+
+__all__ = ["run"]
+
+#: Mean worker accuracy μ used for the sweep.  The paper's TSA deployment
+#: measured its workers around 0.7; our default pool mean is the same.
+DEFAULT_MU = 0.70
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    mean_accuracy: float = DEFAULT_MU,
+    c_min: float = 0.65,
+    c_max: float = 0.99,
+    c_step: float = 0.02,
+) -> ExperimentResult:
+    """Regenerate the two Figure-6 series (deterministic; seed unused)."""
+    rows = []
+    for c in np.arange(c_min, c_max + 1e-9, c_step):
+        c = float(round(c, 4))
+        rows.append(
+            {
+                "required_accuracy": c,
+                "conservative": conservative_worker_count(c, mean_accuracy),
+                "binary_search": refined_worker_count(c, mean_accuracy),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Number of workers required vs user required accuracy",
+        rows=rows,
+        notes=(
+            f"mu={mean_accuracy}. Paper shape: refined estimate stays below "
+            "half of the conservative Chernoff estimate across the sweep."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,45 @@
+"""Figure 9: percentage of no-answer reviews vs number of workers.
+
+Half-Voting and Majority-Voting abstain when no answer is discriminative
+(no majority / a tie).  Paper shape: Majority-Voting's abstention falls
+quickly as workers are added (ties get rarer); Half-Voting keeps failing
+on ~15 % of reviews because three-way splits persist.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.experiments.sweeps import VerifierSweep
+
+__all__ = ["run"]
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    review_count: int = 200,
+    max_workers: int = 29,
+) -> ExperimentResult:
+    sweep = VerifierSweep(seed, review_count=review_count)
+    rows = []
+    for n in range(1, max_workers + 1, 2):
+        m = sweep.measure(n)
+        rows.append(
+            {
+                "workers": n,
+                "majority_voting": round(m.no_answer["majority-voting"], 4),
+                "half_voting": round(m.no_answer["half-voting"], 4),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Percentage of no-answer reviews wrt number of workers",
+        rows=rows,
+        notes=(
+            "Verification never abstains, hence only the two voting "
+            "models are plotted (as in the paper)."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,49 @@
+"""Figure 10: percentage of no-answer reviews vs number of reviews.
+
+Fixes the worker count and grows the review set from 20 to 300.  Paper
+shape: the abstention ratio of both voting models is flat in the review
+count — non-discriminative vote splits are a property of the per-review
+worker draw, uniformly spread over reviews.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.experiments.sweeps import VerifierSweep
+
+__all__ = ["run"]
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    worker_count: int = 7,
+    max_reviews: int = 300,
+    step: int = 20,
+) -> ExperimentResult:
+    # n = 7 (not 5): with three answer options and five workers, every
+    # no-majority split is a 2-2-1 tie, so both voting models abstain on
+    # exactly the same reviews and the two curves coincide; seven workers
+    # separate them as in the paper.
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    sweep = VerifierSweep(seed, review_count=max_reviews)
+    rows = []
+    for count in range(step, max_reviews + 1, step):
+        m = sweep.measure(worker_count, review_count=count)
+        rows.append(
+            {
+                "reviews": count,
+                "majority_voting": round(m.no_answer["majority-voting"], 4),
+                "half_voting": round(m.no_answer["half-voting"], 4),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Percentage of no-answer reviews wrt number of reviews",
+        rows=rows,
+        notes=f"fixed n={worker_count} workers per review.",
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

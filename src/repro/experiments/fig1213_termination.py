@@ -1,0 +1,134 @@
+"""Figures 12 & 13: early termination — workers saved and accuracy kept.
+
+For each required accuracy ``C`` the prediction model fixes ``n = g(C)``;
+every review then streams its ``n`` answers through the online model under
+each §4.2.2 stopping rule.  Figure 12 reports the mean number of answers
+actually consumed (the red line being ``n`` itself); Figure 13 reports the
+final accuracy per rule.
+
+Paper shape: all rules save workers (MinMax the least); MinMax and ExpMax
+keep the real accuracy at or above the requirement while MinExp dips below
+at some points.  Both figures come from the same simulation, exposed as
+:func:`run_fig12` and :func:`run_fig13` over a shared :func:`simulate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.domain import AnswerDomain
+from repro.core.online import run_online
+from repro.core.prediction import refined_worker_count
+from repro.core.termination import STRATEGY_NAMES, strategy_by_name
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.experiments.common import estimate_pool_accuracies, make_world, sample_observation
+from repro.tsa.tweets import generate_tweets, tweet_to_question
+
+__all__ = ["simulate", "run_fig12", "run_fig13"]
+
+
+@dataclass(frozen=True)
+class TerminationCell:
+    """One (C, strategy) measurement."""
+
+    required_accuracy: float
+    predicted_workers: int
+    strategy: str
+    mean_answers_used: float
+    accuracy: float
+
+
+def simulate(
+    seed: int = DEFAULT_SEED,
+    review_count: int = 150,
+    c_values: tuple[float, ...] = (0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95),
+) -> list[TerminationCell]:
+    """The shared sweep behind both figures."""
+    world = make_world(seed)
+    estimator = estimate_pool_accuracies(world.pool, seed)
+    mu = estimator.mean_accuracy()
+    tweets = generate_tweets(["Thor", "Green Lantern"], per_movie=(review_count + 1) // 2, seed=seed)
+    questions = [tweet_to_question(t) for t in tweets[:review_count]]
+    cells: list[TerminationCell] = []
+    for c in c_values:
+        n = refined_worker_count(c, mu)
+        observations = [
+            sample_observation(
+                world.pool, q, n, seed, estimator, label=f"term-c{c}"
+            )
+            for q in questions
+        ]
+        for name in STRATEGY_NAMES:
+            strategy = strategy_by_name(name)
+            used = 0
+            correct = 0
+            for question, observation in zip(questions, observations):
+                domain = AnswerDomain.closed(question.options)
+                result = run_online(
+                    observation, domain, mean_accuracy=mu, strategy=strategy
+                )
+                used += result.answers_used
+                correct += result.verdict.answer == question.truth
+            cells.append(
+                TerminationCell(
+                    required_accuracy=c,
+                    predicted_workers=n,
+                    strategy=name,
+                    mean_answers_used=used / len(questions),
+                    accuracy=correct / len(questions),
+                )
+            )
+    return cells
+
+
+def _rows(cells: list[TerminationCell], value: str) -> list[dict[str, object]]:
+    by_c: dict[float, dict[str, object]] = {}
+    for cell in cells:
+        row = by_c.setdefault(
+            cell.required_accuracy,
+            {
+                "required_accuracy": cell.required_accuracy,
+                "predicted_workers": cell.predicted_workers,
+            },
+        )
+        row[cell.strategy] = round(getattr(cell, value), 4)
+    return [by_c[c] for c in sorted(by_c)]
+
+
+def run_fig12(
+    seed: int = DEFAULT_SEED,
+    review_count: int = 150,
+    c_values: tuple[float, ...] = (0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95),
+) -> ExperimentResult:
+    cells = simulate(seed, review_count, c_values)
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Effect of early termination on worker number",
+        rows=_rows(cells, "mean_answers_used"),
+        notes=(
+            "predicted_workers is the paper's red line; strategy columns "
+            "are mean answers consumed before stopping."
+        ),
+    )
+
+
+def run_fig13(
+    seed: int = DEFAULT_SEED,
+    review_count: int = 150,
+    c_values: tuple[float, ...] = (0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95),
+) -> ExperimentResult:
+    cells = simulate(seed, review_count, c_values)
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="Effect of early termination on accuracy",
+        rows=_rows(cells, "accuracy"),
+        notes="the paper's red line is the diagonal real=required.",
+    )
+
+
+if __name__ == "__main__":
+    print(run_fig12().render())
+    print()
+    print(run_fig13().render())

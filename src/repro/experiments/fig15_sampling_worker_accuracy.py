@@ -1,0 +1,75 @@
+"""Figure 15: effect of the sampling rate on worker-accuracy estimates.
+
+Each worker answers ``B = 100`` gold questions once; the estimate at rate
+``j %`` uses only the first ``j`` of them (raw rate, no smoothing — the
+paper's Algorithm 4).  Reported per rate: the mean estimated accuracy
+``μ_j`` and the mean absolute error ``err_j = mean |â_j − â_100|`` against
+the full-sample estimate.  Paper shape: both stabilise from ~10 % onward,
+with the error approaching 0.
+"""
+
+from __future__ import annotations
+
+from repro.amt.worker import behaviour_for
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.experiments.common import make_world
+from repro.tsa.tweets import generate_tweets, tweet_to_question
+from repro.util.rng import substream
+
+__all__ = ["run"]
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    gold_budget: int = 100,
+    rates: tuple[int, ...] = (10, 20, 40, 60, 80, 100),
+    worker_sample: int = 200,
+) -> ExperimentResult:
+    if gold_budget <= 0:
+        raise ValueError(f"gold budget must be positive, got {gold_budget}")
+    if any(not 0 < r <= 100 for r in rates):
+        raise ValueError(f"rates must lie in (0, 100]: {rates!r}")
+    world = make_world(seed)
+    tweets = generate_tweets(["Inception", "Black Swan"], per_movie=60, seed=seed)
+    probes = [tweet_to_question(t) for t in tweets]
+    workers = world.pool.profiles[:worker_sample]
+
+    # One fixed gold transcript per worker; rates reuse its prefixes.
+    outcomes: list[list[bool]] = []
+    for profile in workers:
+        rng = substream(seed, f"fig15:{profile.worker_id}")
+        behaviour = behaviour_for(profile)
+        transcript = []
+        for i in range(gold_budget):
+            probe = probes[int(rng.integers(len(probes)))]
+            answer, _ = behaviour.answer(profile, probe, rng)
+            transcript.append(answer == probe.truth)
+        outcomes.append(transcript)
+
+    full = [sum(t) / len(t) for t in outcomes]
+    rows = []
+    for rate in rates:
+        k = max(1, round(gold_budget * rate / 100))
+        estimates = [sum(t[:k]) / k for t in outcomes]
+        mean_acc = sum(estimates) / len(estimates)
+        err = sum(abs(e - f) for e, f in zip(estimates, full)) / len(estimates)
+        rows.append(
+            {
+                "sampling_rate_pct": rate,
+                "mean_accuracy": round(mean_acc, 4),
+                "average_error": round(err, 4),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="Effect of sampling rate on worker accuracy",
+        rows=rows,
+        notes=(
+            f"B={gold_budget} gold questions per worker; error measured "
+            "against the 100% estimate, as in the paper."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

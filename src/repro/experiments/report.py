@@ -1,0 +1,153 @@
+"""Regenerate EXPERIMENTS.md: paper-reported vs measured, per experiment.
+
+Run as a script from the repository root:
+
+    python -m repro.experiments.report > EXPERIMENTS.md
+
+Each section pairs what the paper reports (hand-transcribed claims) with
+the measured rows from the corresponding experiment module at its default
+size, all under the default seed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import all_experiments
+from repro.experiments.base import DEFAULT_SEED
+
+__all__ = ["PAPER_CLAIMS", "build_report"]
+
+#: What the paper reports for each experiment — the comparison target.
+PAPER_CLAIMS: dict[str, str] = {
+    "table1": (
+        "Opinion mix 60% Best Ever / 10% Good / 30% Not Satisfied with "
+        "reasons (Siri, iOS 5, Performance / Siri, 1080P / iPhone4, "
+        "Display, Battery)."
+    ),
+    "table3+4": (
+        "Half- and Majority-Voting accept 'pos' (3 of 5 votes); the "
+        "verification model scores pos/neu/neg = 0.329/0.176/0.495 and "
+        "accepts 'neg'."
+    ),
+    "fig4": (
+        "Live view: 12-minute window, 4 minutes elapsed, 20 tweets fed, "
+        "~70% positive, results updating as tweets arrive."
+    ),
+    "fig5": (
+        "TSA beats LIBSVM on most of the 5 test movies even with 1 worker; "
+        "clearly with 3-5 workers (LIBSVM roughly 0.5-0.75 per movie)."
+    ),
+    "fig6": (
+        "Binary-search estimate is less than half of the conservative "
+        "Chernoff estimate across C in [0.65, 0.99] (conservative reaches "
+        "~110 workers near C=0.99)."
+    ),
+    "fig7": (
+        "All verifiers improve with workers; Verification > Majority > "
+        "Half voting throughout, reaching ~0.99 at 29 workers."
+    ),
+    "fig8": (
+        "Verification meets the required accuracy at every C in "
+        "[0.65, 0.95]; both voting models fall below it at most points."
+    ),
+    "fig9": (
+        "Majority-Voting's no-answer ratio falls quickly with more "
+        "workers; Half-Voting stays around 15%."
+    ),
+    "fig10": "No-answer ratio is flat in the number of reviews (20..300).",
+    "fig11": (
+        "Different arrival sequences of the same answers give wildly "
+        "different early accuracy (one sequence starts below 0.5) and "
+        "converge to the same final value."
+    ),
+    "fig12": (
+        "All stopping rules use fewer workers than predicted; MinMax is "
+        "most conservative (~20% savings), the aggressive rules save "
+        ">50% at some points."
+    ),
+    "fig13": (
+        "MinMax and ExpMax satisfy the required accuracy everywhere; "
+        "MinExp fails at a few points."
+    ),
+    "fig14": (
+        "Approval rates pile up at 90-100% while real TSA accuracy "
+        "spreads broadly below (roughly 25-90%)."
+    ),
+    "fig15": (
+        "Mean estimated accuracy is stable from ~10% sampling onward; "
+        "average error vs the 100% estimate approaches 0."
+    ),
+    "fig16": (
+        "Verification accuracy grows with the sampling rate; >=20% "
+        "matches the requirement everywhere and is close to 100% "
+        "sampling."
+    ),
+    "fig17": (
+        "ALIPR achieves 12.6% (apple) to 30% (sun); the crowd exceeds "
+        "80% even with a single worker."
+    ),
+    "fig18": (
+        "IT real accuracy sits on or above the required accuracy across "
+        "[0.80, 0.96]."
+    ),
+}
+
+_HEADER = """\
+# EXPERIMENTS — paper vs measured
+
+Regenerated with `python -m repro.experiments.report > EXPERIMENTS.md`
+(seed {seed}, experiment-module default sizes).  Absolute numbers come
+from the simulated substrate (see DESIGN.md §2); the paper's *shapes* are
+the comparison target.  Each experiment is also pinned by assertions in
+`tests/test_experiments.py` and by its benchmark in `benchmarks/`.
+
+"""
+
+
+def build_report(seed: int = DEFAULT_SEED) -> str:
+    sections = [_HEADER.format(seed=seed)]
+    for experiment_id, runner in all_experiments().items():
+        result = runner(seed)
+        sections.append(f"## {experiment_id}: {result.title}\n")
+        sections.append(f"**Paper reports:** {PAPER_CLAIMS[experiment_id]}\n")
+        sections.append("**Measured:**\n")
+        sections.append("```")
+        sections.append(result.render())
+        sections.append("```\n")
+    sections.append(_ablation_section(seed))
+    return "\n".join(sections)
+
+
+def _ablation_section(seed: int) -> str:
+    """Ablations beyond the paper's figures (see experiments/ablations.py)."""
+    from repro.experiments.ablations import (
+        run_aggregator_comparison,
+        run_colluder_ablation,
+        run_cross_job_ablation,
+        run_domain_pruning_ablation,
+        run_spammer_ablation,
+    )
+    from repro.experiments.latency_study import run_latency_study
+
+    parts = [
+        "# Ablations and extension studies (beyond the paper)\n",
+        "Design-choice studies DESIGN.md §5 calls out; not paper figures, "
+        "but regenerable the same way (`python -m repro run ablation-...`).\n",
+    ]
+    for runner in (
+        run_spammer_ablation,
+        run_colluder_ablation,
+        run_domain_pruning_ablation,
+        run_aggregator_comparison,
+        run_cross_job_ablation,
+        run_latency_study,
+    ):
+        result = runner(seed)
+        parts.append(f"## {result.experiment_id}: {result.title}\n")
+        parts.append("```")
+        parts.append(result.render())
+        parts.append("```\n")
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(build_report())

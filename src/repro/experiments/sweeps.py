@@ -1,0 +1,121 @@
+"""Shared verifier-sweep simulation behind Figures 7, 8, 9 and 10.
+
+One simulation shape covers all four figures: a set of ground-truthed
+reviews, ``n`` fresh workers per review, and the three verification models
+applied to each observation.  Figures 7/9 sweep ``n``; Figure 8 derives
+``n`` from the required accuracy via the prediction model; Figure 10
+sweeps the review count at fixed ``n``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.amt.hit import Question
+from repro.core.domain import AnswerDomain
+from repro.core.sampling import WorkerAccuracyEstimator
+from repro.core.verification import verify_with_all
+from repro.experiments.common import World, estimate_pool_accuracies, make_world, sample_observation
+from repro.tsa.tweets import generate_tweets, tweet_to_question
+
+__all__ = ["SweepMeasurement", "VerifierSweep"]
+
+#: The verifier names in the paper's plotting order.
+VERIFIER_ORDER: tuple[str, ...] = ("majority-voting", "half-voting", "verification")
+
+
+@dataclass(frozen=True, slots=True)
+class SweepMeasurement:
+    """Aggregate outcome of one (n, reviews) cell.
+
+    ``accuracy`` counts abstentions as incorrect (the paper scores the
+    returned *result*, and no result cannot be correct); ``no_answer``
+    is the abstention ratio of Figures 9-10.
+    """
+
+    worker_count: int
+    review_count: int
+    accuracy: dict[str, float]
+    no_answer: dict[str, float]
+
+
+class VerifierSweep:
+    """Reusable simulation context for the verifier-comparison figures.
+
+    Parameters
+    ----------
+    seed:
+        Drives the world, the review corpus and every observation.
+    review_count:
+        How many ground-truthed reviews back each measurement.
+    movies:
+        Review source; defaults to two of the paper's test movies.
+    gold_per_worker:
+        Gold outcomes per worker for accuracy estimation (20 ≙ the
+        paper's 20 % sampling of a 100-question HIT).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        review_count: int = 200,
+        movies: Sequence[str] = ("Thor", "Green Lantern"),
+        gold_per_worker: int = 20,
+    ) -> None:
+        if review_count <= 0:
+            raise ValueError(f"review count must be positive: {review_count}")
+        self.seed = seed
+        self.world: World = make_world(seed)
+        self.estimator: WorkerAccuracyEstimator = estimate_pool_accuracies(
+            self.world.pool, seed, gold_per_worker=gold_per_worker
+        )
+        per_movie = (review_count + len(movies) - 1) // len(movies)
+        tweets = generate_tweets(list(movies), per_movie=per_movie, seed=seed)
+        self.questions: list[Question] = [
+            tweet_to_question(t) for t in tweets[:review_count]
+        ]
+
+    @property
+    def mean_accuracy(self) -> float:
+        """The estimated μ the prediction model would use."""
+        return self.estimator.mean_accuracy()
+
+    def measure(self, worker_count: int, review_count: int | None = None) -> SweepMeasurement:
+        """Run all three verifiers at ``worker_count`` workers per review."""
+        if worker_count <= 0:
+            raise ValueError(f"worker count must be positive: {worker_count}")
+        questions = (
+            self.questions if review_count is None else self.questions[:review_count]
+        )
+        if review_count is not None and review_count > len(self.questions):
+            raise ValueError(
+                f"asked for {review_count} reviews, corpus has {len(self.questions)}"
+            )
+        correct = {name: 0 for name in VERIFIER_ORDER}
+        abstained = {name: 0 for name in VERIFIER_ORDER}
+        for question in questions:
+            observation = sample_observation(
+                self.world.pool,
+                question,
+                worker_count,
+                self.seed,
+                self.estimator,
+                label=f"sweep-n{worker_count}",
+            )
+            domain = AnswerDomain.closed(question.options)
+            verdicts = verify_with_all(
+                observation, domain, hired_workers=worker_count
+            )
+            for name, verdict in verdicts.items():
+                if verdict.answer is None:
+                    abstained[name] += 1
+                elif verdict.answer == question.truth:
+                    correct[name] += 1
+        total = len(questions)
+        return SweepMeasurement(
+            worker_count=worker_count,
+            review_count=total,
+            accuracy={name: correct[name] / total for name in VERIFIER_ORDER},
+            no_answer={name: abstained[name] / total for name in VERIFIER_ORDER},
+        )

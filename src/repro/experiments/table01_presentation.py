@@ -1,0 +1,105 @@
+"""Table 1: the example opinion summary ("Users' Opinion on iPhone4S").
+
+The paper's running example aggregates crowd answers about iPhone4S into
+three opinions with percentages (60/10/30) and reason keywords (Siri,
+iOS 5, display, battery...).  We regenerate the table by pushing a
+synthetic iPhone4S review stream through the full §4.3 presentation path:
+per-review verification verdicts, ``h`` scoring, and most-frequent-keyword
+reason extraction.
+"""
+
+from __future__ import annotations
+
+from repro.amt.hit import Question
+from repro.core.domain import AnswerDomain
+from repro.core.presentation import QuestionOutcome, build_report
+from repro.core.verification import ProbabilisticVerification
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.experiments.common import estimate_pool_accuracies, make_world, sample_observation
+from repro.util.rng import substream
+from repro.util.tables import format_percent
+
+__all__ = ["run", "OPINIONS", "REASONS"]
+
+#: The answer domain of the paper's example query.
+OPINIONS: tuple[str, ...] = ("Best Ever", "Good", "Not Satisfied")
+
+#: Ground-truth opinion mix from paper Table 1.
+TRUTH_MIX: dict[str, float] = {"Best Ever": 0.6, "Good": 0.1, "Not Satisfied": 0.3}
+
+#: Reason keywords per opinion from paper Table 1.
+REASONS: dict[str, tuple[str, ...]] = {
+    "Best Ever": ("Siri", "iOS 5", "Performance"),
+    "Good": ("Siri", "1080P"),
+    "Not Satisfied": ("iPhone4", "Display", "Battery"),
+}
+
+
+def _iphone_questions(seed: int, count: int) -> list[Question]:
+    rng = substream(seed, "iphone-reviews")
+    labels = list(TRUTH_MIX)
+    weights = [TRUTH_MIX[lab] for lab in labels]
+    questions = []
+    for i in range(count):
+        truth = labels[int(rng.choice(len(labels), p=weights))]
+        questions.append(
+            Question(
+                question_id=f"iphone:{i:04d}",
+                options=OPINIONS,
+                truth=truth,
+                difficulty=0.05,
+                reason_keywords=REASONS[truth],
+                payload=f"tweet #{i} about iPhone4S",
+            )
+        )
+    return questions
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    review_count: int = 120,
+    workers_per_review: int = 7,
+) -> ExperimentResult:
+    """Regenerate the Table-1-style opinion report."""
+    world = make_world(seed)
+    estimator = estimate_pool_accuracies(world.pool, seed)
+    domain = AnswerDomain.closed(OPINIONS)
+    verifier = ProbabilisticVerification(domain=domain)
+    outcomes = []
+    for question in _iphone_questions(seed, review_count):
+        observation = sample_observation(
+            world.pool, question, workers_per_review, seed, estimator, label="t1"
+        )
+        verdict = verifier.verify(observation)
+        outcomes.append(
+            QuestionOutcome(
+                question_id=question.question_id,
+                verdict=verdict,
+                accepted=True,
+                observation=observation,
+            )
+        )
+    report = build_report("iPhone4S", outcomes, domain)
+    rows = [
+        {
+            "opinion": row.label,
+            "percentage": format_percent(row.percentage),
+            "reasons": ", ".join(row.reasons),
+        }
+        for row in report.rows
+    ]
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Users' opinion on iPhone4S (presentation example)",
+        rows=rows,
+        notes=(
+            "Ground-truth mix 60/10/30; measured percentages should land "
+            "within a few points of it, with per-opinion reasons recovered "
+            "from worker keywords."
+        ),
+        extras={"report": report},
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,43 @@
+"""Application 2: image tagging over a synthetic Flickr-like corpus."""
+
+from repro.it.app import ITJob, ITResult, build_it_spec
+from repro.it.search import (
+    SearchEvaluation,
+    TagIndex,
+    build_index_from_crowd,
+    crowd_search_pipeline,
+    evaluate_search,
+)
+from repro.it.images import (
+    IMAGE_TAG_DIFFICULTY,
+    NOISE_TAGS,
+    SUBJECT_TAGS,
+    SUBJECTS,
+    ImageCorpusConfig,
+    SyntheticImage,
+    generate_images,
+    image_tag_questions,
+    tag_prototypes,
+    tag_vocabulary,
+)
+
+__all__ = [
+    "ITJob",
+    "ITResult",
+    "build_it_spec",
+    "SearchEvaluation",
+    "TagIndex",
+    "build_index_from_crowd",
+    "crowd_search_pipeline",
+    "evaluate_search",
+    "IMAGE_TAG_DIFFICULTY",
+    "NOISE_TAGS",
+    "SUBJECT_TAGS",
+    "SUBJECTS",
+    "ImageCorpusConfig",
+    "SyntheticImage",
+    "generate_images",
+    "image_tag_questions",
+    "tag_prototypes",
+    "tag_vocabulary",
+]

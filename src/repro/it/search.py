@@ -1,0 +1,156 @@
+"""Human-assisted image search (paper §2.1's job-manager example).
+
+The paper motivates the job manager's human/computer split with exactly
+this workload: "in human-assisted image search, the human workers are
+responsible for providing the tags for each image, while the image
+classification and index construction are handled by the computer
+programs".  This module supplies the computer half and the glue:
+
+* :class:`TagIndex` — an inverted index ``tag -> images``, ranked by the
+  tag-acceptance confidence the verifier produced (crowd-confident images
+  first).
+* :func:`build_index_from_crowd` — run the IT job over a corpus and index
+  whatever tags the crowd accepted.
+* :class:`SearchEvaluation` — precision/recall of search results against
+  the corpus ground truth, the natural end-to-end quality measure for the
+  whole pipeline (crowd errors surface as wrong search hits).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.engine.engine import CrowdsourcingEngine
+from repro.it.app import ITJob, ITResult
+from repro.it.images import SyntheticImage
+
+__all__ = ["TagIndex", "SearchEvaluation", "build_index_from_crowd", "evaluate_search"]
+
+
+@dataclass
+class TagIndex:
+    """Inverted index from tags to confidence-ranked image ids."""
+
+    _postings: dict[str, list[tuple[float, str]]] = field(default_factory=dict)
+
+    def add(self, tag: str, image_id: str, confidence: float) -> None:
+        """Insert one accepted (tag, image) pair.
+
+        Duplicate insertions for the same pair are a pipeline bug and
+        rejected — each candidate tag is verified exactly once per image.
+        """
+        if not 0.0 <= confidence <= 1.0:
+            raise ValueError(f"confidence {confidence} not in [0, 1]")
+        postings = self._postings.setdefault(tag, [])
+        if any(img == image_id for _, img in postings):
+            raise ValueError(f"duplicate posting {tag!r} -> {image_id!r}")
+        postings.append((confidence, image_id))
+        postings.sort(key=lambda pair: (-pair[0], pair[1]))
+
+    def search(self, tag: str, limit: int | None = None) -> list[str]:
+        """Image ids carrying ``tag``, most crowd-confident first."""
+        postings = self._postings.get(tag, [])
+        ids = [img for _, img in postings]
+        return ids if limit is None else ids[:limit]
+
+    def tags(self) -> tuple[str, ...]:
+        """All indexed tags, alphabetical."""
+        return tuple(sorted(self._postings))
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._postings.values())
+
+
+def build_index_from_crowd(
+    job: ITJob,
+    images: Sequence[SyntheticImage],
+    required_accuracy: float,
+    gold_images: Sequence[SyntheticImage] = (),
+    worker_count: int | None = None,
+) -> tuple[TagIndex, ITResult]:
+    """Run the crowd over ``images`` and index the accepted tags.
+
+    Returns both the index and the underlying :class:`ITResult` so callers
+    can inspect cost and accuracy alongside search quality.
+    """
+    result = job.run(
+        images,
+        required_accuracy=required_accuracy,
+        gold_images=gold_images,
+        worker_count=worker_count,
+    )
+    index = TagIndex()
+    for record in result.records:
+        if record.verdict.answer != "yes":
+            continue
+        image_id, tag = record.question.question_id.split("#", 1)
+        index.add(tag, image_id, float(record.verdict.confidence or 0.0))
+    return index, result
+
+
+@dataclass(frozen=True, slots=True)
+class SearchEvaluation:
+    """Micro-averaged search quality over a set of query tags."""
+
+    precision: float
+    recall: float
+    queries: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def evaluate_search(
+    index: TagIndex,
+    images: Sequence[SyntheticImage],
+    query_tags: Iterable[str] | None = None,
+) -> SearchEvaluation:
+    """Score the index against ground truth.
+
+    For each query tag, the relevant set is every corpus image whose true
+    tags contain it; the retrieved set is the index's postings.  Precision
+    and recall are micro-averaged over queries (tags never retrieved and
+    never relevant contribute nothing).
+    """
+    if not images:
+        raise ValueError("no corpus images to evaluate against")
+    by_id = {img.image_id: img for img in images}
+    tags = list(query_tags) if query_tags is not None else sorted(
+        {t for img in images for t in img.candidate_tags}
+    )
+    if not tags:
+        raise ValueError("no query tags")
+    tp = fp = fn = 0
+    for tag in tags:
+        retrieved = {i for i in index.search(tag) if i in by_id}
+        relevant = {img.image_id for img in images if tag in img.true_tags}
+        tp += len(retrieved & relevant)
+        fp += len(retrieved - relevant)
+        fn += len(relevant - retrieved)
+    precision = tp / (tp + fp) if tp + fp else 1.0
+    recall = tp / (tp + fn) if tp + fn else 1.0
+    return SearchEvaluation(precision=precision, recall=recall, queries=len(tags))
+
+
+def crowd_search_pipeline(
+    engine: CrowdsourcingEngine,
+    images: Sequence[SyntheticImage],
+    gold_images: Sequence[SyntheticImage],
+    required_accuracy: float = 0.9,
+    worker_count: int | None = None,
+    images_per_hit: int = 5,
+) -> tuple[TagIndex, ITResult, SearchEvaluation]:
+    """One-call §2.1 pipeline: crowd tags → index → search evaluation."""
+    job = ITJob(engine, images_per_hit=images_per_hit)
+    index, result = build_index_from_crowd(
+        job, images, required_accuracy, gold_images, worker_count
+    )
+    evaluation = evaluate_search(index, images)
+    return index, result, evaluation
+
+
+__all__.append("crowd_search_pipeline")

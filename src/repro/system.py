@@ -1,0 +1,168 @@
+"""The CDAS system facade (paper Figure 2).
+
+Wires the three architecture components — job manager, crowdsourcing
+engine, program executor — behind one object, so deploying an analytics
+job looks like the paper describes: register the job type once, then
+submit Definition-1 queries against it.
+
+    cdas = CDAS.with_default_jobs(market, seed=7)
+    cdas.calibrate(gold_questions)
+    result = cdas.submit("twitter-sentiment", query,
+                         tweets=tweets, gold_tweets=gold)
+
+Each registered job binds a :class:`~repro.engine.jobs.JobSpec` (the
+human/computer split and HIT template) to a *runner* that executes a plan
+on the engine.  The two paper applications ship as default bindings; new
+job types register the same way (the extensibility §2.2 advertises).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.amt.hit import Question
+from repro.amt.market import SimulatedMarket
+from repro.engine.engine import CrowdsourcingEngine, EngineConfig
+from repro.engine.jobs import JobManager, JobSpec, ProcessingPlan
+from repro.engine.privacy import PrivacyManager
+from repro.engine.query import Query
+
+__all__ = ["JobRunner", "CDAS"]
+
+#: A runner executes a processing plan: (engine, plan, job inputs) → result.
+JobRunner = Callable[[CrowdsourcingEngine, ProcessingPlan, dict[str, Any]], Any]
+
+
+class CDAS:
+    """Figure 2: job manager + crowdsourcing engine + program executor.
+
+    Parameters
+    ----------
+    market:
+        The crowdsourcing platform (simulated here; a live AMT client
+        would satisfy the same interface).
+    seed / engine_config / privacy:
+        Forwarded to the embedded :class:`CrowdsourcingEngine`.
+    """
+
+    def __init__(
+        self,
+        market: SimulatedMarket,
+        seed: int = 0,
+        engine_config: EngineConfig | None = None,
+        privacy: PrivacyManager | None = None,
+    ) -> None:
+        self.market = market
+        self.engine = CrowdsourcingEngine(
+            market, seed=seed, config=engine_config, privacy=privacy
+        )
+        self.job_manager = JobManager()
+        self._runners: dict[str, JobRunner] = {}
+
+    # -- job registration ----------------------------------------------------
+
+    def register_job(self, spec: JobSpec, runner: JobRunner) -> None:
+        """Bind a job type to its execution logic."""
+        self.job_manager.register(spec)
+        self._runners[spec.name] = runner
+
+    @property
+    def jobs(self) -> tuple[str, ...]:
+        return self.job_manager.registered_jobs
+
+    @classmethod
+    def with_default_jobs(
+        cls,
+        market: SimulatedMarket,
+        seed: int = 0,
+        engine_config: EngineConfig | None = None,
+        privacy: PrivacyManager | None = None,
+    ) -> "CDAS":
+        """A system with the paper's two applications pre-registered."""
+        system = cls(
+            market, seed=seed, engine_config=engine_config, privacy=privacy
+        )
+        from repro.it.app import build_it_spec
+        from repro.tsa.app import build_tsa_spec
+
+        system.register_job(build_tsa_spec(), _tsa_runner)
+        system.register_job(build_it_spec(), _it_runner)
+        return system
+
+    # -- operations ------------------------------------------------------------
+
+    def calibrate(
+        self,
+        gold_questions: Sequence[Question],
+        workers_per_hit: int = 20,
+        hits: int = 2,
+    ) -> float:
+        """Bootstrap the engine's worker-accuracy estimates (§3.3)."""
+        return self.engine.calibrate(
+            gold_questions, workers_per_hit=workers_per_hit, hits=hits
+        )
+
+    def submit(self, job_name: str, query: Query, **job_inputs: Any) -> Any:
+        """Run one query end to end through the registered job.
+
+        The job manager produces the processing plan; the bound runner
+        executes it on the engine with the job-specific inputs (tweet
+        corpora, image sets, gold pools...).
+        """
+        plan = self.job_manager.plan(job_name, query)
+        runner = self._runners[job_name]
+        return runner(self.engine, plan, dict(job_inputs))
+
+    @property
+    def total_cost(self) -> float:
+        """Everything this system has spent on the market so far."""
+        return self.market.ledger.total_cost
+
+
+def _tsa_runner(
+    engine: CrowdsourcingEngine, plan: ProcessingPlan, inputs: dict[str, Any]
+):
+    """Default runner for the twitter-sentiment job.
+
+    Expected inputs: ``gold_tweets`` (required), plus either ``stream``
+    (a :class:`~repro.tsa.stream.TweetStream`) or ``tweets`` (an explicit
+    corpus); optional ``batch_size`` and ``worker_count``.
+    """
+    from repro.tsa.app import TSAJob
+
+    if "gold_tweets" not in inputs:
+        raise ValueError("twitter-sentiment requires gold_tweets")
+    job = TSAJob(
+        engine,
+        stream=inputs.get("stream"),
+        batch_size=inputs.get("batch_size", 20),
+    )
+    return job.run(
+        plan.query,
+        gold_tweets=inputs["gold_tweets"],
+        tweets=inputs.get("tweets"),
+        worker_count=inputs.get("worker_count"),
+    )
+
+
+def _it_runner(
+    engine: CrowdsourcingEngine, plan: ProcessingPlan, inputs: dict[str, Any]
+):
+    """Default runner for the image-tagging job.
+
+    Expected inputs: ``images`` (required), optional ``gold_images``,
+    ``images_per_hit`` and ``worker_count``.  The query's required
+    accuracy drives prediction.
+    """
+    from repro.it.app import ITJob
+
+    if "images" not in inputs:
+        raise ValueError("image-tagging requires images")
+    job = ITJob(engine, images_per_hit=inputs.get("images_per_hit", 5))
+    return job.run(
+        inputs["images"],
+        required_accuracy=plan.query.required_accuracy,
+        gold_images=inputs.get("gold_images", ()),
+        worker_count=inputs.get("worker_count"),
+    )

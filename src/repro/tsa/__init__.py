@@ -1,0 +1,29 @@
+"""Application 1: Twitter sentiment analytics over a synthetic stream."""
+
+from repro.tsa.app import TSAJob, TSAResult, build_tsa_spec, movie_query
+from repro.tsa.continuous import ContinuousTSA, LiveSnapshot
+from repro.tsa.lexicon import MOVIE_CATALOG, PAPER_TEST_MOVIES, SENTIMENTS
+from repro.tsa.stream import TweetStream
+from repro.tsa.tweets import (
+    Tweet,
+    TweetGeneratorConfig,
+    generate_tweets,
+    tweet_to_question,
+)
+
+__all__ = [
+    "TSAJob",
+    "TSAResult",
+    "build_tsa_spec",
+    "movie_query",
+    "ContinuousTSA",
+    "LiveSnapshot",
+    "MOVIE_CATALOG",
+    "PAPER_TEST_MOVIES",
+    "SENTIMENTS",
+    "TweetStream",
+    "Tweet",
+    "TweetGeneratorConfig",
+    "generate_tweets",
+    "tweet_to_question",
+]

@@ -1,0 +1,307 @@
+"""Continuous query processing: the live TSA view of paper §4.3 / Figure 4.
+
+A TSA query runs over a time window; tweets keep arriving while earlier
+HITs are still collecting answers.  The paper's interface (Figure 4 shows
+*Kung Fu Panda 2*: 12-minute window, 4 minutes elapsed, 20 tweets, 70 %
+positive) therefore re-renders the opinion report continuously:
+
+* accepted questions contribute a unit vote (``h = 1``),
+* in-flight questions contribute their current Equation-4 confidences
+  (``h = ρ``), per Theorem 6 valid at any prefix of the answer stream,
+* each answer lists its supporting tweets, newest first.
+
+:class:`ContinuousTSA` drives this on the simulator: it merges the tweet
+stream and the per-tweet answer arrivals onto one simulated clock and
+exposes :meth:`advance_to`, returning a :class:`LiveSnapshot` of the
+report at that instant.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.amt.pool import WorkerPool
+from repro.amt.worker import behaviour_for
+from repro.core.confidence import answer_confidences
+from repro.core.domain import AnswerDomain
+from repro.core.presentation import OpinionReport, QuestionOutcome, build_report
+from repro.core.termination import TerminationStrategy
+from repro.core.types import Verdict, WorkerAnswer
+from repro.engine.query import Query
+from repro.tsa.stream import TweetStream
+from repro.tsa.tweets import Tweet, tweet_to_question
+from repro.util.rng import substream
+
+__all__ = ["LiveSnapshot", "ContinuousTSA"]
+
+
+@dataclass(frozen=True)
+class LiveSnapshot:
+    """The live view at one simulated instant (Figure 4's screen state).
+
+    Attributes
+    ----------
+    elapsed_seconds:
+        Clock position within the query window.
+    report:
+        The §4.3 opinion report over every tweet seen so far.
+    tweets_seen / tweets_resolved:
+        How many tweets entered the view and how many have an accepted
+        answer already.
+    answers_outstanding:
+        Worker answers still in flight across all open questions — the
+        "progress of the current running HIT" Figure 4 displays.
+    supporting_tweets:
+        Per answer label, the matching tweet texts, newest first (what
+        expands when the user clicks an answer).
+    """
+
+    elapsed_seconds: float
+    report: OpinionReport
+    tweets_seen: int
+    tweets_resolved: int
+    answers_outstanding: int
+    supporting_tweets: dict[str, tuple[str, ...]]
+
+    def render(self) -> str:
+        lines = [
+            f"t = {self.elapsed_seconds:.0f}s — {self.tweets_seen} tweets seen, "
+            f"{self.tweets_resolved} resolved, "
+            f"{self.answers_outstanding} answers outstanding",
+            self.report.render(),
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class _LiveQuestion:
+    """One tweet's in-flight aggregation state."""
+
+    tweet: Tweet
+    arrivals: list[tuple[float, WorkerAnswer]]  # (absolute time, answer)
+    received: list[WorkerAnswer]
+    accepted: Verdict | None = None
+    cursor: int = 0
+
+
+class ContinuousTSA:
+    """Stream a TSA query through simulated time (Algorithm 5, per tweet).
+
+    Parameters
+    ----------
+    pool:
+        Worker population answering the per-tweet questions.
+    stream:
+        The tweet source; tweets become visible at their timestamps.
+    query:
+        Definition-1 query (window measured in ``stream.unit_seconds``).
+    workers_per_tweet:
+        Hired workers per tweet (``g(C)`` in the full engine; explicit
+        here so live-view demos stay small).
+    worker_accuracy:
+        Accuracy estimate attached to answers (a scalar oracle/estimate;
+        the full engine wires gold-sampling instead).
+    mean_response_seconds:
+        Mean of the exponential answer latency per worker.
+    strategy:
+        Optional §4.2.2 stopping rule; when it fires for a tweet, that
+        tweet's verdict is *accepted* and contributes ``h = 1``.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        stream: TweetStream,
+        query: Query,
+        workers_per_tweet: int = 7,
+        worker_accuracy: float = 0.7,
+        mean_response_seconds: float = 90.0,
+        strategy: TerminationStrategy | None = None,
+        seed: int = 0,
+    ) -> None:
+        if workers_per_tweet <= 0:
+            raise ValueError(f"workers per tweet must be positive: {workers_per_tweet}")
+        if not 0.0 < worker_accuracy < 1.0:
+            raise ValueError(f"worker accuracy must be in (0,1): {worker_accuracy}")
+        if mean_response_seconds <= 0:
+            raise ValueError(
+                f"mean response time must be positive: {mean_response_seconds}"
+            )
+        self.pool = pool
+        self.query = query
+        self.domain = query.answer_domain()
+        self.workers_per_tweet = workers_per_tweet
+        self.worker_accuracy = worker_accuracy
+        self.strategy = strategy
+        self._questions: list[_LiveQuestion] = []
+        self._build_timeline(stream, mean_response_seconds, seed)
+
+    # -- construction -------------------------------------------------------
+
+    def _build_timeline(
+        self, stream: TweetStream, mean_response: float, seed: int
+    ) -> None:
+        """Pre-simulate every answer arrival (deterministic in the seed)."""
+        for tweet in stream.window(self.query):
+            question = tweet_to_question(tweet)
+            rng = substream(seed, f"live:{tweet.tweet_id}")
+            workers = self.pool.sample(self.workers_per_tweet, rng)
+            arrivals = []
+            for profile in workers:
+                answer, keywords = behaviour_for(profile).answer(
+                    profile, question, rng
+                )
+                at = tweet.timestamp + float(rng.exponential(mean_response))
+                arrivals.append(
+                    (
+                        at,
+                        WorkerAnswer(
+                            worker_id=profile.worker_id,
+                            answer=answer,
+                            accuracy=self.worker_accuracy,
+                            keywords=keywords,
+                            timestamp=at,
+                        ),
+                    )
+                )
+            arrivals.sort(key=lambda pair: pair[0])
+            self._questions.append(
+                _LiveQuestion(tweet=tweet, arrivals=arrivals, received=[])
+            )
+        self._questions.sort(key=lambda lq: lq.tweet.timestamp)
+
+    # -- time stepping -------------------------------------------------------
+
+    def advance_to(self, elapsed_seconds: float) -> LiveSnapshot:
+        """Deliver everything due by ``elapsed_seconds`` and snapshot.
+
+        Monotone: advancing backwards is an error (the market cannot
+        un-deliver answers).
+        """
+        if self._questions and elapsed_seconds < 0:
+            raise ValueError(f"cannot advance to negative time {elapsed_seconds}")
+        start = float(self.query.timestamp) if not isinstance(
+            self.query.timestamp, str
+        ) else 0.0
+        now = start + elapsed_seconds
+        for lq in self._questions:
+            if lq.cursor > 0 and lq.arrivals[lq.cursor - 1][0] > now:
+                raise ValueError("advance_to must be monotone non-decreasing")
+            # Stop delivering once accepted: the outstanding assignments
+            # are cancelled (§4.2.2 footnote 3) and never arrive.
+            while (
+                lq.accepted is None
+                and lq.cursor < len(lq.arrivals)
+                and lq.arrivals[lq.cursor][0] <= now
+            ):
+                lq.received.append(lq.arrivals[lq.cursor][1])
+                lq.cursor += 1
+                if self.strategy is not None:
+                    self._maybe_accept(lq)
+            if (
+                lq.accepted is None
+                and lq.cursor == len(lq.arrivals)
+                and lq.received
+            ):
+                self._accept(lq)  # all answers in: finalise
+        return self._snapshot(elapsed_seconds, now)
+
+    def _maybe_accept(self, lq: _LiveQuestion) -> None:
+        from repro.core.confidence import answer_log_weights
+        from repro.core.termination import TerminationSnapshot
+
+        snapshot = TerminationSnapshot(
+            log_weights=answer_log_weights(lq.received, self.domain),
+            domain=self.domain,
+            remaining_workers=len(lq.arrivals) - lq.cursor,
+            mean_accuracy=self.worker_accuracy,
+        )
+        if self.strategy.should_stop(snapshot):
+            self._accept(lq)
+
+    def _accept(self, lq: _LiveQuestion) -> None:
+        confidences = answer_confidences(lq.received, self.domain)
+        best = max(self.domain.labels, key=lambda lab: confidences[lab])
+        lq.accepted = Verdict(
+            answer=best,
+            confidence=confidences[best],
+            scores=confidences,
+            method="verification-online",
+        )
+
+    # -- snapshotting ----------------------------------------------------------
+
+    def _outcome(self, lq: _LiveQuestion) -> QuestionOutcome | None:
+        if lq.accepted is not None:
+            return QuestionOutcome(
+                question_id=lq.tweet.tweet_id,
+                verdict=lq.accepted,
+                accepted=True,
+                observation=tuple(lq.received),
+            )
+        if not lq.received:
+            return None  # invisible until the first answer lands
+        confidences = answer_confidences(lq.received, self.domain)
+        best = max(self.domain.labels, key=lambda lab: confidences[lab])
+        return QuestionOutcome(
+            question_id=lq.tweet.tweet_id,
+            verdict=Verdict(
+                answer=best,
+                confidence=confidences[best],
+                scores=confidences,
+                method="verification-online",
+            ),
+            accepted=False,
+            observation=tuple(lq.received),
+        )
+
+    def _snapshot(self, elapsed: float, now: float) -> LiveSnapshot:
+        visible = [lq for lq in self._questions if lq.tweet.timestamp <= now]
+        outcomes = []
+        outstanding = 0
+        resolved = 0
+        supporting: dict[str, list[tuple[float, str]]] = {
+            lab: [] for lab in self.domain.labels
+        }
+        for lq in visible:
+            if lq.accepted is None:
+                # Accepted questions' outstanding assignments would be
+                # cancelled (§4.2.2 footnote 3), so they are not pending.
+                outstanding += len(lq.arrivals) - lq.cursor
+            outcome = self._outcome(lq)
+            if outcome is None:
+                continue
+            outcomes.append(outcome)
+            if outcome.accepted:
+                resolved += 1
+            best = outcome.verdict.answer
+            if best is not None:
+                supporting[best].append((lq.tweet.timestamp, lq.tweet.text))
+        if outcomes:
+            report = build_report(self.query.subject, outcomes, self.domain)
+        else:
+            report = OpinionReport(
+                subject=self.query.subject,
+                rows=tuple(),
+                question_count=0,
+            )
+        supporting_sorted = {
+            lab: tuple(text for _, text in sorted(items, reverse=True))
+            for lab, items in supporting.items()
+        }
+        return LiveSnapshot(
+            elapsed_seconds=elapsed,
+            report=report,
+            tweets_seen=len(visible),
+            tweets_resolved=resolved,
+            answers_outstanding=outstanding,
+            supporting_tweets=supporting_sorted,
+        )
+
+    def timeline(self, checkpoints: Sequence[float]) -> list[LiveSnapshot]:
+        """Snapshots at increasing checkpoints (a whole Figure-4 session)."""
+        ordered = list(checkpoints)
+        if ordered != sorted(ordered):
+            raise ValueError("checkpoints must be non-decreasing")
+        return [self.advance_to(t) for t in ordered]

@@ -1,0 +1,199 @@
+"""Sentiment lexicon and tweet templates for the synthetic Twitter corpus.
+
+The generator composes tweets from four template families, calibrated so
+the machine baseline lands in the paper's LIBSVM band (~0.5–0.75 per
+movie, Figure 5) while crowd workers stay far more accurate:
+
+* **plain** — clearly separable class vocabulary.  A bag-of-words model
+  and humans both do well.
+* **contrast pairs** — mirrored templates whose *token multiset is
+  identical across opposite truths* ("{pos} even though the {aspect} was
+  {neg}" vs "{neg} even though the {aspect} was {pos}").  Only word order
+  disambiguates, so a bag-of-words SVM is at chance between positive and
+  negative while humans barely notice (small positive difficulty).
+* **hard** — sarcasm / negation / reported speech, the paper's "Avatar:
+  The Last Airbender sucks... I'm disowning him" phenomenon.  Every hard
+  template has an *opposite-truth sibling sharing its distinctive tokens*
+  so the SVM cannot memorise give-away words; workers carry a substantial
+  difficulty here, matching §5.1.2's observation that real workers also
+  fail on these.
+* **ambiguous** — terse tweets whose sentiment genuinely is not in the
+  text ("no words for {movie}"); truth is sampled from the class prior,
+  difficulty is high for everyone.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SENTIMENTS",
+    "POSITIVE_WORDS",
+    "NEGATIVE_WORDS",
+    "NEUTRAL_WORDS",
+    "NEUTRAL_PHRASES",
+    "ASPECTS",
+    "PLAIN_FRAMES",
+    "WORDS_BY_SENTIMENT",
+    "CONTRAST_TEMPLATES",
+    "HARD_TEMPLATES",
+    "AMBIGUOUS_TEMPLATES",
+    "MOVIE_CATALOG",
+    "PAPER_TEST_MOVIES",
+]
+
+#: The TSA answer domain R (paper §5.1: Positive / Neutral / Negative).
+SENTIMENTS: tuple[str, ...] = ("positive", "neutral", "negative")
+
+POSITIVE_WORDS: tuple[str, ...] = (
+    "awesome", "amazing", "brilliant", "fantastic", "great", "superb",
+    "stunning", "hilarious", "perfect", "wonderful", "gripping",
+    "beautiful", "incredible", "outstanding",
+)
+
+NEGATIVE_WORDS: tuple[str, ...] = (
+    "terrible", "awful", "boring", "disappointing", "horrible", "dull",
+    "messy", "lame", "painful", "unwatchable", "forgettable", "cringey",
+    "tedious", "pointless",
+)
+
+#: Sentiment-free chatter used for neutral tweets.
+NEUTRAL_PHRASES: tuple[str, ...] = (
+    "tickets booked for {movie} this weekend",
+    "anyone watching {movie} tonight?",
+    "{movie} opens friday at the downtown cinema",
+    "queueing for {movie}, popcorn in hand",
+    "{movie} runtime is about two hours apparently",
+    "double feature tonight, starting with {movie}",
+    "is {movie} showing in 3d anywhere?",
+    "heading to the premiere of {movie} later",
+)
+
+#: Movie aspects — the reason keywords workers attach (§4.3) and shared
+#: vocabulary across classes.
+ASPECTS: tuple[str, ...] = (
+    "acting", "plot", "soundtrack", "visuals", "effects", "cast",
+    "script", "ending", "pacing", "humor", "cinematography", "dialogue",
+)
+
+#: Neutral filler adjectives for the shared frames.
+NEUTRAL_WORDS: tuple[str, ...] = (
+    "okay", "fine", "average", "watchable", "passable", "decent enough",
+    "middling", "unremarkable",
+)
+
+#: Straightforward tweets use *frames shared by every sentiment class*:
+#: only the ``{word}`` slot (a positive / neutral / negative adjective)
+#: carries the class.  Sharing the frames is essential — if each class had
+#: its own phrasing, a bag-of-words model would key on the frame tokens and
+#: sidestep the sentiment words entirely, which is not how real tweets
+#: behave.  Difficulty 0 — readable at a glance for humans.
+PLAIN_FRAMES: tuple[str, ...] = (
+    "just watched {movie} and it was {word}",
+    "the {aspect} in {movie} is {word}",
+    "{movie}: {word}",
+    "that was {word}. {movie}. that's the review",
+    "{movie} felt {word} overall, especially the {aspect}",
+    "saw {movie} last night, honestly {word}",
+    "verdict on {movie}: {word}, {aspect} included",
+)
+
+#: Per-class word banks for the shared frames.
+WORDS_BY_SENTIMENT: dict[str, tuple[str, ...]] = {
+    "positive": POSITIVE_WORDS,
+    "negative": NEGATIVE_WORDS,
+    "neutral": NEUTRAL_WORDS,
+}
+
+#: Mirror-image template pairs.  Each entry is
+#: ``(template, truth, difficulty)``; consecutive entries form a pair with
+#: identical token multisets and opposite truth, so bag-of-words carries no
+#: signal between positive and negative.
+CONTRAST_TEMPLATES: tuple[tuple[str, str, float], ...] = (
+    (
+        "{movie} is {pos_word} even though the {aspect} was {neg_word}",
+        "positive",
+        0.1,
+    ),
+    (
+        "{movie} is {neg_word} even though the {aspect} was {pos_word}",
+        "negative",
+        0.1,
+    ),
+    (
+        "started {neg_word} but {movie} ended {pos_word}, the {aspect} wins you over",
+        "positive",
+        0.15,
+    ),
+    (
+        "started {pos_word} but {movie} ended {neg_word}, the {aspect} wins you over",
+        "negative",
+        0.15,
+    ),
+    (
+        "expected {neg_word}, got {pos_word}. {movie} surprised me, {aspect} and all",
+        "positive",
+        0.1,
+    ),
+    (
+        "expected {pos_word}, got {neg_word}. {movie} surprised me, {aspect} and all",
+        "negative",
+        0.1,
+    ),
+)
+
+#: Sarcasm / negation / reported speech — *polarity-inverting* templates.
+#: Each carries one ``{word}`` slot filled with a positive or negative word
+#: (50/50); the context inverts it, so the truth is the *opposite* of the
+#: word's surface polarity.  A bag-of-words model keyed on surface polarity
+#: is therefore systematically wrong here (below chance), exactly the
+#: failure the paper's "Avatar sucks... I'm disowning him" example shows.
+#: Entry format: ``(template, difficulty)``.
+HARD_TEMPLATES: tuple[tuple[str, float], ...] = (
+    # Reported speech, speaker disagrees with the quote.
+    ("my nephew just said that {movie} is {word}... i'm disowning him", 0.6),
+    ("critics keep calling {movie} {word}. the critics are wrong on this one", 0.4),
+    # Sarcastic agreement with the opposite.
+    ("oh sure, {movie} is {word}... sure it is", 0.55),
+    ("riiight, because {movie} was sooo {word}", 0.55),
+    # Plain negation.
+    ("{movie} is not {word}, not even close", 0.35),
+    ("nobody could call {movie} {word} with a straight face", 0.45),
+)
+
+#: Terse tweets whose text genuinely underdetermines the sentiment; the
+#: generator samples their truth from the class prior.  Entry format:
+#: ``(template, difficulty)``.
+AMBIGUOUS_TEMPLATES: tuple[tuple[str, float], ...] = (
+    ("{movie}... wow.", 0.65),
+    ("well. {movie} happened.", 0.7),
+    ("no words for {movie}", 0.7),
+    ("{movie} again. third time this week.", 0.6),
+    ("that was certainly a movie. {movie}.", 0.65),
+    ("i have thoughts about {movie}. many thoughts.", 0.7),
+)
+
+#: The five held-out movies of paper Figure 5.
+PAPER_TEST_MOVIES: tuple[str, ...] = (
+    "District 9",
+    "The Social Network",
+    "Thor",
+    "Green Lantern",
+    "The Roommate",
+)
+
+#: Catalogue standing in for the paper's 200 IMDB titles (test movies
+#: first, then training titles).
+MOVIE_CATALOG: tuple[str, ...] = PAPER_TEST_MOVIES + (
+    "Kung Fu Panda 2", "The Last Airbender", "Black Swan", "Inception",
+    "True Grit", "The Fighter", "Source Code", "Super 8", "Rango",
+    "Bridesmaids", "Hanna", "Limitless", "Paul", "Insidious",
+    "Fast Five", "Rio", "Priest", "Beastly", "Unknown", "Drive Angry",
+    "The Adjustment Bureau", "Battle Los Angeles", "Red Riding Hood",
+    "Sucker Punch", "Hop", "Scream 4", "Prom", "Super Nova",
+    "Water for Elephants", "Madea's Big Happy Family", "Jumping the Broom",
+    "Something Borrowed", "Bad Teacher", "Green Hornet", "The Mechanic",
+    "The Rite", "Sanctum", "The Ward", "No Strings Attached",
+    "Just Go with It", "Gnomeo and Juliet", "The Eagle", "I Am Number Four",
+    "Big Mommas", "Mars Needs Moms", "The Lincoln Lawyer", "Soul Surfer",
+    "Arthur", "Your Highness", "African Cats", "Tyrannosaur",
+    "The Tree of Life", "Midnight in Paris", "Super", "Hesher",
+)

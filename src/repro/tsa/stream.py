@@ -1,0 +1,70 @@
+"""Timestamped tweet stream with windowed, keyword-filtered retrieval.
+
+The program executor "is responsible for retrieving the twitter stream and
+checking whether the query keyword exists in a tweet" (§2.2).  This module
+provides the stream side: tweets ordered by timestamp, cut to the query's
+``(t, w)`` window, with per-unit rate accounting so the §3.1 cost formula
+``(m_c+m_s)·n·K·w`` has a concrete ``K``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.engine.query import Query
+from repro.tsa.tweets import Tweet
+
+__all__ = ["TweetStream"]
+
+
+@dataclass(frozen=True)
+class TweetStream:
+    """An immutable, time-ordered view over a tweet corpus.
+
+    Attributes
+    ----------
+    tweets:
+        The backing corpus (any order; the stream sorts once).
+    unit_seconds:
+        Length of one query time unit.  Definition 1's window ``w`` counts
+        these units; the default is one hour.
+    """
+
+    tweets: tuple[Tweet, ...]
+    unit_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.unit_seconds <= 0:
+            raise ValueError(f"unit must be positive, got {self.unit_seconds}")
+        ordered = tuple(sorted(self.tweets, key=lambda t: (t.timestamp, t.tweet_id)))
+        object.__setattr__(self, "tweets", ordered)
+
+    @classmethod
+    def from_corpus(
+        cls, tweets: Sequence[Tweet], unit_seconds: float = 3600.0
+    ) -> "TweetStream":
+        return cls(tweets=tuple(tweets), unit_seconds=unit_seconds)
+
+    def __len__(self) -> int:
+        return len(self.tweets)
+
+    def window(self, query: Query) -> Iterator[Tweet]:
+        """Tweets inside ``[t, t + w)`` units that match the query keywords.
+
+        ``query.timestamp`` is interpreted as seconds on the stream clock
+        (string timestamps are for display; numeric is what the simulator
+        uses).
+        """
+        start = float(query.timestamp) if not isinstance(query.timestamp, str) else 0.0
+        end = start + query.window * self.unit_seconds
+        for tweet in self.tweets:
+            if tweet.timestamp >= end:
+                break
+            if tweet.timestamp >= start and query.matches(tweet.text):
+                yield tweet
+
+    def arrival_rate(self, query: Query) -> float:
+        """``K`` — matching tweets per time unit inside the query window."""
+        matched = sum(1 for _ in self.window(query))
+        return matched / query.window

@@ -1,0 +1,245 @@
+"""Ground-truthed synthetic tweet corpus (the paper's Twitter substitute).
+
+Each generated :class:`Tweet` carries its true sentiment, a difficulty in
+``[0, 1]`` and the movie aspects it mentions (the reason keywords of §4.3).
+Tweets come from four template families — plain, contrast pairs, hard
+(sarcasm/negation) and ambiguous — mixed by :class:`TweetGeneratorConfig`;
+see :mod:`repro.tsa.lexicon` for why this mix reproduces the paper's
+crowd-vs-SVM gap.  Generation is fully seeded: one ``(movies, config,
+seed)`` triple always yields the identical corpus.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.amt.hit import Question
+from repro.tsa.lexicon import (
+    AMBIGUOUS_TEMPLATES,
+    ASPECTS,
+    CONTRAST_TEMPLATES,
+    HARD_TEMPLATES,
+    NEGATIVE_WORDS,
+    NEUTRAL_PHRASES,
+    PLAIN_FRAMES,
+    POSITIVE_WORDS,
+    SENTIMENTS,
+    WORDS_BY_SENTIMENT,
+)
+from repro.util.rng import substream
+
+__all__ = ["Tweet", "TweetGeneratorConfig", "generate_tweets", "tweet_to_question"]
+
+
+@dataclass(frozen=True, slots=True)
+class Tweet:
+    """One synthetic tweet with its evaluation ground truth."""
+
+    tweet_id: str
+    movie: str
+    text: str
+    sentiment: str
+    difficulty: float
+    aspects: tuple[str, ...] = ()
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sentiment not in SENTIMENTS:
+            raise ValueError(
+                f"tweet {self.tweet_id!r}: sentiment {self.sentiment!r} not in "
+                f"{SENTIMENTS}"
+            )
+        if not 0.0 <= self.difficulty <= 1.0:
+            raise ValueError(
+                f"tweet {self.tweet_id!r}: difficulty {self.difficulty} not in [0, 1]"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class TweetGeneratorConfig:
+    """Corpus shape knobs.
+
+    Attributes
+    ----------
+    sentiment_weights:
+        Sampling weights for (positive, neutral, negative); the default
+        60/10/30 mirrors the paper's Table 1 mix.  Applies to the plain
+        and ambiguous families (contrast and hard templates carry their
+        own truth).
+    plain_fraction / contrast_fraction / hard_fraction / ambiguous_fraction:
+        Template family mix; must sum to 1.  The default 40/35/15/10 lands
+        the bag-of-words SVM in the paper's per-movie band while keeping
+        crowd accuracy high.
+    """
+
+    sentiment_weights: tuple[float, float, float] = (0.6, 0.1, 0.3)
+    plain_fraction: float = 0.40
+    contrast_fraction: float = 0.35
+    hard_fraction: float = 0.15
+    ambiguous_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if len(self.sentiment_weights) != len(SENTIMENTS):
+            raise ValueError("need one weight per sentiment class")
+        if any(w < 0 for w in self.sentiment_weights) or sum(
+            self.sentiment_weights
+        ) <= 0:
+            raise ValueError(f"bad sentiment weights {self.sentiment_weights!r}")
+        fractions = (
+            self.plain_fraction,
+            self.contrast_fraction,
+            self.hard_fraction,
+            self.ambiguous_fraction,
+        )
+        if any(f < 0 for f in fractions):
+            raise ValueError(f"negative template fraction in {fractions!r}")
+        if abs(sum(fractions) - 1.0) > 1e-9:
+            raise ValueError(f"template fractions {fractions!r} must sum to 1")
+
+    def family_probabilities(self) -> np.ndarray:
+        return np.asarray(
+            (
+                self.plain_fraction,
+                self.contrast_fraction,
+                self.hard_fraction,
+                self.ambiguous_fraction,
+            )
+        )
+
+
+def _pick(words: Sequence[str], rng: np.random.Generator) -> str:
+    return words[int(rng.integers(len(words)))]
+
+
+def _fill(template: str, movie: str, rng: np.random.Generator) -> tuple[str, tuple[str, ...]]:
+    """Substitute all slots; returns (text, aspects used)."""
+    aspect = _pick(ASPECTS, rng)
+    text = template.format(
+        movie=movie,
+        word="",  # only plain templates use {word}; they substitute before
+        aspect=aspect,
+        pos_word=_pick(POSITIVE_WORDS, rng),
+        neg_word=_pick(NEGATIVE_WORDS, rng),
+    )
+    aspects = (aspect,) if "{aspect}" in template else ()
+    return text, aspects
+
+
+def _plain_tweet(
+    movie: str, sentiment: str, rng: np.random.Generator
+) -> tuple[str, float, tuple[str, ...]]:
+    # Half the neutral tweets are pure chatter (announcements, logistics) —
+    # recognisably neutral to machines and humans alike.
+    if sentiment == "neutral" and rng.random() < 0.5:
+        template = _pick(NEUTRAL_PHRASES, rng)
+        return template.format(movie=movie), 0.0, ()
+    template = _pick(PLAIN_FRAMES, rng)
+    aspect = _pick(ASPECTS, rng)
+    word = _pick(WORDS_BY_SENTIMENT[sentiment], rng)
+    text = template.format(movie=movie, word=word, aspect=aspect)
+    aspects = (aspect,) if "{aspect}" in template else ()
+    return text, 0.0, aspects
+
+
+def _contrast_tweet(
+    movie: str, rng: np.random.Generator
+) -> tuple[str, str, float, tuple[str, ...]]:
+    template, sentiment, difficulty = CONTRAST_TEMPLATES[
+        int(rng.integers(len(CONTRAST_TEMPLATES)))
+    ]
+    text, aspects = _fill(template, movie, rng)
+    return text, sentiment, difficulty, aspects
+
+
+def _hard_tweet(movie: str, rng: np.random.Generator) -> tuple[str, str, float]:
+    """Polarity-inverting template: truth is the opposite of the surface word."""
+    template, difficulty = HARD_TEMPLATES[int(rng.integers(len(HARD_TEMPLATES)))]
+    if rng.random() < 0.5:
+        word, sentiment = _pick(POSITIVE_WORDS, rng), "negative"
+    else:
+        word, sentiment = _pick(NEGATIVE_WORDS, rng), "positive"
+    return template.format(movie=movie, word=word), sentiment, difficulty
+
+
+def _ambiguous_tweet(
+    movie: str, weights: np.ndarray, rng: np.random.Generator
+) -> tuple[str, str, float]:
+    template, difficulty = AMBIGUOUS_TEMPLATES[
+        int(rng.integers(len(AMBIGUOUS_TEMPLATES)))
+    ]
+    sentiment = SENTIMENTS[int(rng.choice(len(SENTIMENTS), p=weights))]
+    return template.format(movie=movie), sentiment, difficulty
+
+
+def generate_tweets(
+    movies: Sequence[str],
+    per_movie: int,
+    seed: int,
+    config: TweetGeneratorConfig | None = None,
+) -> list[Tweet]:
+    """Generate ``per_movie`` ground-truthed tweets for every movie.
+
+    Timestamps spread uniformly over one simulated day per movie, so
+    windowed stream queries (Definition 1's ``t``/``w``) have something to
+    cut on.
+    """
+    if per_movie <= 0:
+        raise ValueError(f"per_movie must be positive, got {per_movie}")
+    if not movies:
+        raise ValueError("no movies given")
+    cfg = config if config is not None else TweetGeneratorConfig()
+    weights = np.asarray(cfg.sentiment_weights, dtype=float)
+    weights = weights / weights.sum()
+    family_p = cfg.family_probabilities()
+    tweets: list[Tweet] = []
+    day = 86_400.0
+    for movie in movies:
+        rng = substream(seed, f"tweets:{movie}")
+        for i in range(per_movie):
+            family = int(rng.choice(4, p=family_p))
+            aspects: tuple[str, ...] = ()
+            if family == 0:
+                sentiment = SENTIMENTS[int(rng.choice(len(SENTIMENTS), p=weights))]
+                text, difficulty, aspects = _plain_tweet(movie, sentiment, rng)
+            elif family == 1:
+                text, sentiment, difficulty, aspects = _contrast_tweet(movie, rng)
+            elif family == 2:
+                text, sentiment, difficulty = _hard_tweet(movie, rng)
+            else:
+                text, sentiment, difficulty = _ambiguous_tweet(movie, weights, rng)
+            tweets.append(
+                Tweet(
+                    tweet_id=f"{_slug(movie)}:{i:04d}",
+                    movie=movie,
+                    text=text,
+                    sentiment=sentiment,
+                    difficulty=difficulty,
+                    aspects=aspects,
+                    timestamp=float(rng.uniform(0.0, day)),
+                )
+            )
+    return tweets
+
+
+def tweet_to_question(tweet: Tweet) -> Question:
+    """Lift a tweet into the market's question model.
+
+    Options are the TSA answer domain; the tweet's aspects become the
+    reason keywords a correct worker may attach.
+    """
+    return Question(
+        question_id=tweet.tweet_id,
+        options=SENTIMENTS,
+        truth=tweet.sentiment,
+        difficulty=tweet.difficulty,
+        is_gold=False,
+        reason_keywords=tweet.aspects,
+        payload=tweet.text,
+    )
+
+
+def _slug(movie: str) -> str:
+    return movie.lower().replace(" ", "-").replace("'", "")

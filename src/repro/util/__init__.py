@@ -1,0 +1,37 @@
+"""Shared utilities: deterministic RNG fan-out, numeric stats, table output."""
+
+from repro.util.rng import derive_seed, permutation_of, spawn, substream
+from repro.util.stats import (
+    binomial_pmf,
+    binomial_tail,
+    chernoff_majority_lower_bound,
+    clamp_probability,
+    harmonic_number,
+    logsumexp,
+    majority_probability,
+    majority_threshold,
+    mean,
+    softmax_from_logs,
+)
+from repro.util.tables import format_percent, format_series, format_table, render_rows
+
+__all__ = [
+    "derive_seed",
+    "permutation_of",
+    "spawn",
+    "substream",
+    "binomial_pmf",
+    "binomial_tail",
+    "chernoff_majority_lower_bound",
+    "clamp_probability",
+    "harmonic_number",
+    "logsumexp",
+    "majority_probability",
+    "majority_threshold",
+    "mean",
+    "softmax_from_logs",
+    "format_percent",
+    "format_series",
+    "format_table",
+    "render_rows",
+]

@@ -1,0 +1,178 @@
+"""Numeric primitives shared by the CDAS models.
+
+The prediction model (paper §3) needs binomial majority tails and the
+Chernoff lower bound of Theorem 2; the verification model (paper §4) needs
+overflow-safe softmax over confidence sums and harmonic numbers for the
+Theorem 5 domain-size bounds.  Everything here is pure computation with no
+randomness, so it is the natural target for exhaustive property tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "majority_threshold",
+    "binomial_pmf",
+    "binomial_tail",
+    "majority_probability",
+    "chernoff_majority_lower_bound",
+    "logsumexp",
+    "softmax_from_logs",
+    "harmonic_number",
+    "clamp_probability",
+    "mean",
+]
+
+#: Probabilities are clamped into ``[PROB_EPS, 1 - PROB_EPS]`` before any
+#: logit transform so that a worker recorded at accuracy 0.0 or 1.0 (which
+#: happens with tiny gold samples) does not produce infinite confidences.
+PROB_EPS = 1e-9
+
+
+def clamp_probability(p: float, eps: float = PROB_EPS) -> float:
+    """Clamp ``p`` into the open interval ``(0, 1)`` by ``eps``.
+
+    Raises
+    ------
+    ValueError
+        If ``p`` is outside ``[0, 1]`` by more than floating-point slack
+        (a sign of a bug upstream rather than of numerical noise).
+    """
+    if not -1e-12 <= p <= 1.0 + 1e-12:
+        raise ValueError(f"probability out of range: {p!r}")
+    return min(max(p, eps), 1.0 - eps)
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of a non-empty iterable.
+
+    Defined here (rather than using ``statistics.mean``) so every caller gets
+    the same float semantics and a uniform error for empty input.
+    """
+    total = 0.0
+    count = 0
+    for v in values:
+        total += v
+        count += 1
+    if count == 0:
+        raise ValueError("mean of empty sequence")
+    return total / count
+
+
+def majority_threshold(n: int) -> int:
+    """Number of agreeing workers needed for a strict majority of ``n``.
+
+    The paper writes the threshold as ``⌈n/2⌉`` with ``n`` odd, i.e.
+    ``(n+1)//2``.  For even ``n`` (which CDAS avoids but the library
+    tolerates) this returns ``n//2 + 1``, the smallest count strictly above
+    half.
+    """
+    if n <= 0:
+        raise ValueError(f"worker count must be positive, got {n}")
+    return n // 2 + 1
+
+
+def binomial_pmf(n: int, k: int, p: float) -> float:
+    """``P[Binomial(n, p) = k]`` computed in log space for stability."""
+    if not 0 <= k <= n:
+        return 0.0
+    p = clamp_probability(p)
+    log_pmf = (
+        math.lgamma(n + 1)
+        - math.lgamma(k + 1)
+        - math.lgamma(n - k + 1)
+        + k * math.log(p)
+        + (n - k) * math.log(1.0 - p)
+    )
+    return math.exp(log_pmf)
+
+
+def binomial_tail(n: int, k: int, p: float) -> float:
+    """``P[Binomial(n, p) >= k]``.
+
+    Uses the paper's Algorithm-3 pmf recurrence
+    ``C(n, k-1)/C(n, k) = k/(n-k+1)`` but anchors the walk at the largest
+    term inside ``[k, n]`` (the distribution mode) computed in log space,
+    so the sum neither under- nor overflows for large ``n`` — the naive
+    Algorithm 3 starts from ``p**n``, which is 0.0 in doubles already at
+    ``n ≈ 700``.
+    """
+    if k <= 0:
+        return 1.0
+    if k > n:
+        return 0.0
+    p = clamp_probability(p)
+    q = 1.0 - p
+    mode = min(max(k, int((n + 1) * p)), n)
+    log_anchor = (
+        math.lgamma(n + 1)
+        - math.lgamma(mode + 1)
+        - math.lgamma(n - mode + 1)
+        + mode * math.log(p)
+        + (n - mode) * math.log(q)
+    )
+    # Sum pmf ratios relative to the anchor term; ratios are ≤ 1 and decay
+    # geometrically away from the mode, so plain accumulation is stable.
+    total = 1.0
+    ratio = 1.0
+    for i in range(mode, k, -1):  # walk down to k
+        ratio *= (q * i) / (p * (n - i + 1))
+        total += ratio
+    ratio = 1.0
+    for i in range(mode, n):  # walk up to n
+        ratio *= (p * (n - i)) / (q * (i + 1))
+        total += ratio
+    return min(math.exp(log_anchor) * total, 1.0)
+
+
+def majority_probability(n: int, mu: float) -> float:
+    """Theorem 1: ``E[P_{⌈n/2⌉}]`` for ``n`` i.i.d. workers of mean accuracy ``mu``.
+
+    This is the probability that at least ``⌈n/2⌉`` of ``n`` independent
+    workers answer correctly, i.e. the voting strategy succeeds.
+    """
+    return binomial_tail(n, majority_threshold(n), mu)
+
+
+def chernoff_majority_lower_bound(n: int, mu: float) -> float:
+    """Theorem 2: ``E[P] ≥ 1 - exp(-2n(μ - ½)²)``.
+
+    Only meaningful for ``mu > 0.5``; for ``mu ≤ 0.5`` the bound is vacuous
+    (non-positive) and the function returns 0.
+    """
+    if n <= 0:
+        raise ValueError(f"worker count must be positive, got {n}")
+    edge = mu - 0.5
+    if edge <= 0.0:
+        return 0.0
+    return 1.0 - math.exp(-2.0 * n * edge * edge)
+
+
+def logsumexp(log_terms: Sequence[float]) -> float:
+    """Stable ``log(Σ exp(x_i))`` for a non-empty sequence."""
+    if len(log_terms) == 0:
+        raise ValueError("logsumexp of empty sequence")
+    m = max(log_terms)
+    if m == float("-inf"):
+        return m
+    return m + math.log(sum(math.exp(x - m) for x in log_terms))
+
+
+def softmax_from_logs(log_terms: Sequence[float]) -> list[float]:
+    """Normalised ``exp(x_i) / Σ exp(x_j)`` computed without overflow.
+
+    This is exactly Equation 4 of the paper once each ``x_i`` is the summed
+    confidence of answer ``r_i``: the answer confidences are a softmax over
+    per-answer confidence totals.
+    """
+    denom = logsumexp(log_terms)
+    return [math.exp(x - denom) for x in log_terms]
+
+
+def harmonic_number(k: int) -> float:
+    """``H_k = Σ_{i=1..k} 1/i`` (``H_0 = 0``), used by Theorem 5's Lemma 1."""
+    if k < 0:
+        raise ValueError(f"harmonic number of negative k: {k}")
+    return sum(1.0 / i for i in range(1, k + 1))

@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment output.
+
+Every experiment module prints the series the paper plots as an aligned
+ASCII table so the harness output can be diffed, logged, and pasted into
+EXPERIMENTS.md.  Rendering is deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_percent", "render_rows"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render ``0.153`` as ``"15.3%"``."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render ``rows`` under ``headers`` with column alignment.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ------
+    1  2.5000
+    """
+    cells = [[_stringify(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in cells
+    ]
+    return "\n".join([header_line.rstrip(), rule, *[b.rstrip() for b in body]])
+
+
+def render_rows(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render a list of homogeneous dicts (the experiment-row format).
+
+    The column order follows the first row's insertion order, matching how
+    experiment modules construct their rows.
+    """
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    table_rows = [[row.get(h, "") for h in headers] for row in rows]
+    return format_table(headers, table_rows)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object], x_label: str = "x"
+) -> str:
+    """Render one named (x, y) series the way the paper's figures list them."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    rows = [[x, y] for x, y in zip(xs, ys)]
+    return f"series: {name}\n" + format_table([x_label, name], rows)

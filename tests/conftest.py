@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.core.domain import AnswerDomain
+
+# Derandomise hypothesis: a reproduction repo's suite must not flake on
+# example generation; failures stay reproducible run to run.
+settings.register_profile("repro", derandomize=True)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def small_pool() -> WorkerPool:
+    """A 120-worker pool shared by read-only tests (built once)."""
+    return WorkerPool.from_config(PoolConfig(size=120), seed=7)
+
+
+@pytest.fixture()
+def tsa_domain() -> AnswerDomain:
+    return AnswerDomain.closed(("positive", "neutral", "negative"))
+
+
+@pytest.fixture()
+def pos_neu_neg() -> AnswerDomain:
+    return AnswerDomain.closed(("pos", "neu", "neg"))

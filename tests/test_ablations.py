@@ -1,0 +1,98 @@
+"""Tests for the ablation studies (downscaled)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_aggregator_comparison,
+    run_colluder_ablation,
+    run_domain_pruning_ablation,
+    run_spammer_ablation,
+)
+
+SEED = 2012
+
+
+class TestSpammerAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_spammer_ablation(
+            SEED, review_count=60, fractions=(0.0, 0.2, 0.4)
+        )
+
+    def test_verification_most_robust_at_high_spam(self, result):
+        worst = result.rows[-1]
+        assert worst["verification"] >= worst["majority_voting"] - 0.02
+        assert worst["verification"] >= worst["half_voting"]
+
+    def test_voting_degrades_with_spam(self, result):
+        assert result.rows[-1]["half_voting"] < result.rows[0]["half_voting"]
+
+
+class TestColluderAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_colluder_ablation(
+            SEED, review_count=60, fractions=(0.0, 0.2, 0.3)
+        )
+
+    def test_voting_collapses_under_collusion(self, result):
+        first, last = result.rows[0], result.rows[-1]
+        assert last["majority_voting"] < first["majority_voting"] - 0.15
+
+    def test_verification_survives_collusion(self, result):
+        # Gold-sampling estimates colluders near zero accuracy, so their
+        # coordinated vote cannot outweigh honest workers.
+        last = result.rows[-1]
+        assert last["verification"] > last["majority_voting"] + 0.2
+
+
+class TestDomainPruningAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_domain_pruning_ablation(SEED, trials=150)
+
+    def test_same_accuracy_both_policies(self, result):
+        by_policy = {row["m_policy"]: row for row in result.rows}
+        assert abs(
+            by_policy["theorem5"]["accuracy"] - by_policy["full-domain"]["accuracy"]
+        ) < 0.05
+
+    def test_theorem5_better_calibrated(self, result):
+        by_policy = {row["m_policy"]: row for row in result.rows}
+        assert (
+            by_policy["theorem5"]["calibration_gap"]
+            < by_policy["full-domain"]["calibration_gap"]
+        )
+
+    def test_naive_m_overconfident(self, result):
+        by_policy = {row["m_policy"]: row for row in result.rows}
+        naive = by_policy["full-domain"]
+        assert naive["mean_final_confidence"] > naive["accuracy"] + 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_domain_pruning_ablation(SEED, domain_size=3)
+
+
+class TestAggregatorComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_aggregator_comparison(
+            SEED, review_count=60, worker_counts=(5, 9)
+        )
+
+    def test_cdas_beats_majority(self, result):
+        for row in result.rows:
+            assert row["cdas_verification"] >= row["majority_voting"] - 0.02
+
+    def test_all_columns_present(self, result):
+        for row in result.rows:
+            assert {"workers", "majority_voting", "dawid_skene",
+                    "cdas_verification"} <= set(row)
+
+    def test_everything_improves_with_workers(self, result):
+        first, last = result.rows[0], result.rows[-1]
+        assert last["cdas_verification"] >= first["cdas_verification"] - 0.02
+        assert last["dawid_skene"] >= first["dawid_skene"] - 0.02

@@ -1,0 +1,92 @@
+"""Tests for the HIT data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.hit import HIT, Assignment, Question, validate_assignment
+
+
+def _question(qid: str = "q1", **kwargs) -> Question:
+    defaults = dict(options=("a", "b"), truth="a")
+    defaults.update(kwargs)
+    return Question(question_id=qid, **defaults)
+
+
+class TestQuestion:
+    def test_valid(self):
+        q = _question(difficulty=0.4, reason_keywords=("x",))
+        assert q.truth == "a"
+
+    def test_truth_must_be_option(self):
+        with pytest.raises(ValueError, match="not among"):
+            _question(truth="z")
+
+    def test_needs_two_options(self):
+        with pytest.raises(ValueError, match="≥ 2 options"):
+            Question(question_id="q", options=("a",), truth="a")
+
+    def test_duplicate_options(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Question(question_id="q", options=("a", "a"), truth="a")
+
+    def test_difficulty_range_signed(self):
+        assert _question(difficulty=-0.5).difficulty == -0.5
+        with pytest.raises(ValueError):
+            _question(difficulty=1.5)
+        with pytest.raises(ValueError):
+            _question(difficulty=-1.5)
+
+
+class TestHIT:
+    def test_gold_real_split(self):
+        gold = _question("g1", is_gold=True)
+        real = _question("r1")
+        hit = HIT(hit_id="h", questions=(gold, real), assignments=3)
+        assert hit.gold_questions == (gold,)
+        assert hit.real_questions == (real,)
+
+    def test_question_lookup(self):
+        hit = HIT(hit_id="h", questions=(_question("q1"),), assignments=1)
+        assert hit.question("q1").question_id == "q1"
+        with pytest.raises(KeyError):
+            hit.question("missing")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no questions"):
+            HIT(hit_id="h", questions=(), assignments=1)
+
+    def test_duplicate_question_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            HIT(hit_id="h", questions=(_question("q"), _question("q")), assignments=1)
+
+    def test_nonpositive_assignments_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            HIT(hit_id="h", questions=(_question(),), assignments=0)
+
+
+class TestAssignment:
+    def test_answer_lookup(self):
+        a = Assignment(hit_id="h", worker_id="w", answers={"q1": "a"})
+        assert a.answer_for("q1") == "a"
+        assert a.answer_for("q2") is None
+
+    def test_validate_accepts_good_assignment(self):
+        hit = HIT(hit_id="h", questions=(_question("q1"),), assignments=1)
+        validate_assignment(
+            hit, Assignment(hit_id="h", worker_id="w", answers={"q1": "b"})
+        )
+
+    def test_validate_rejects_foreign_option(self):
+        hit = HIT(hit_id="h", questions=(_question("q1"),), assignments=1)
+        with pytest.raises(ValueError, match="outside options"):
+            validate_assignment(
+                hit, Assignment(hit_id="h", worker_id="w", answers={"q1": "zzz"})
+            )
+
+    def test_validate_rejects_wrong_hit(self):
+        hit = HIT(hit_id="h", questions=(_question("q1"),), assignments=1)
+        with pytest.raises(ValueError, match="validated against"):
+            validate_assignment(
+                hit, Assignment(hit_id="other", worker_id="w", answers={})
+            )

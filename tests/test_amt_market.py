@@ -1,0 +1,135 @@
+"""Tests for the simulated market: publication, arrival order, pricing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.hit import HIT, Question
+from repro.amt.latency import FixedLatency
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.amt.pricing import PriceSchedule
+
+
+def _hit(hit_id: str = "h1", n: int = 7, questions: int = 3) -> HIT:
+    qs = tuple(
+        Question(
+            question_id=f"q{i}",
+            options=("a", "b", "c"),
+            truth="a",
+            reason_keywords=("r1", "r2"),
+        )
+        for i in range(questions)
+    )
+    return HIT(hit_id=hit_id, questions=qs, assignments=n)
+
+
+@pytest.fixture()
+def market(small_pool) -> SimulatedMarket:
+    return SimulatedMarket(small_pool, seed=17)
+
+
+class TestPublish:
+    def test_workers_distinct(self, market):
+        handle = market.publish(_hit())
+        assert len({w.worker_id for w in handle.workers}) == 7
+
+    def test_submissions_time_ordered(self, market):
+        handle = market.publish(_hit("h-times", n=15))
+        subs = handle.collect_all()
+        times = [s.submit_time for s in subs]
+        assert times == sorted(times)
+
+    def test_every_question_answered(self, market):
+        handle = market.publish(_hit("h-complete"))
+        for sub in handle.collect_all():
+            assert set(sub.answers) == {"q0", "q1", "q2"}
+
+    def test_answers_within_options(self, market):
+        handle = market.publish(_hit("h-opts"))
+        for sub in handle.collect_all():
+            assert all(a in ("a", "b", "c") for a in sub.answers.values())
+
+    def test_duplicate_hit_id_rejected(self, market):
+        market.publish(_hit("dup"))
+        with pytest.raises(ValueError, match="already published"):
+            market.publish(_hit("dup"))
+
+    def test_determinism_across_markets(self, small_pool):
+        m1 = SimulatedMarket(small_pool, seed=5)
+        m2 = SimulatedMarket(small_pool, seed=5)
+        s1 = m1.publish(_hit("h")).collect_all()
+        s2 = m2.publish(_hit("h")).collect_all()
+        assert [a.answers for a in s1] == [a.answers for a in s2]
+        assert [a.worker_id for a in s1] == [a.worker_id for a in s2]
+
+    def test_different_seeds_differ(self, small_pool):
+        s1 = SimulatedMarket(small_pool, seed=5).publish(_hit("h", n=20)).collect_all()
+        s2 = SimulatedMarket(small_pool, seed=6).publish(_hit("h", n=20)).collect_all()
+        assert [a.worker_id for a in s1] != [a.worker_id for a in s2]
+
+    def test_handle_lookup(self, market):
+        handle = market.publish(_hit("h-find"))
+        assert market.handle("h-find") is handle
+        with pytest.raises(KeyError):
+            market.handle("never")
+
+
+class TestCollectionAndCancel:
+    def test_charges_on_collection(self, small_pool):
+        market = SimulatedMarket(
+            small_pool, seed=1, schedule=PriceSchedule(0.01, 0.005)
+        )
+        handle = market.publish(_hit("h", n=4))
+        assert market.ledger.total_cost == 0.0
+        handle.next_submission()
+        assert market.ledger.total_cost == pytest.approx(0.015)
+        handle.collect_all()
+        assert market.ledger.total_cost == pytest.approx(0.06)
+
+    def test_cancel_avoids_outstanding_cost(self, small_pool):
+        market = SimulatedMarket(
+            small_pool, seed=1, schedule=PriceSchedule(0.01, 0.005)
+        )
+        handle = market.publish(_hit("h", n=10))
+        handle.next_submission()
+        handle.next_submission()
+        avoided = handle.cancel()
+        assert avoided == 8
+        assert handle.done
+        assert handle.outstanding == 0
+        assert market.ledger.total_cost == pytest.approx(0.03)
+        assert market.ledger.avoided_cost == pytest.approx(0.12)
+        assert handle.next_submission() is None
+
+    def test_exhaustion(self, market):
+        handle = market.publish(_hit("h-fin", n=3))
+        assert len(handle.collect_all()) == 3
+        assert handle.next_submission() is None
+        assert handle.done
+        assert handle.collected == 3
+
+    def test_cancel_after_completion_is_noop(self, market):
+        handle = market.publish(_hit("h-noop", n=3))
+        handle.collect_all()
+        assert handle.cancel() == 0
+
+    def test_worker_profile_lookup(self, market):
+        handle = market.publish(_hit("h-prof", n=3))
+        sub = handle.next_submission()
+        profile = handle.worker_profile(sub.worker_id)
+        assert profile.worker_id == sub.worker_id
+        with pytest.raises(KeyError):
+            handle.worker_profile("stranger")
+
+
+class TestFixedLatencyOrdering:
+    def test_position_epsilon_breaks_ties(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=2, latency=FixedLatency(seconds=1.0))
+        handle = market.publish(_hit("h-ties", n=6))
+        subs = handle.collect_all()
+        # All base latencies equal → arrival order must follow assignment
+        # order via the epsilon, with strictly increasing times.
+        times = [s.submit_time for s in subs]
+        assert times == sorted(times)
+        assert len(set(times)) == 6

@@ -1,0 +1,119 @@
+"""Tests for worker pool construction and sampling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.amt.worker import WorkerProfile
+from repro.util.rng import substream
+
+
+class TestPoolConfig:
+    def test_defaults_valid(self):
+        PoolConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size": 0},
+            {"accuracy_alpha": 0},
+            {"accuracy_floor": 0.9, "accuracy_ceiling": 0.8},
+            {"spammer_fraction": 1.2},
+            {"spammer_fraction": 0.6, "colluder_fraction": 0.6},
+            {"colluder_clique_size": 1},
+            {"approval_high_fraction": -0.1},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            PoolConfig(**kwargs)
+
+
+class TestWorkerPoolFromConfig:
+    def test_size_and_unique_ids(self):
+        pool = WorkerPool.from_config(PoolConfig(size=150), seed=1)
+        assert len(pool) == 150
+        assert len({p.worker_id for p in pool.profiles}) == 150
+
+    def test_deterministic(self):
+        a = WorkerPool.from_config(PoolConfig(size=50), seed=9)
+        b = WorkerPool.from_config(PoolConfig(size=50), seed=9)
+        assert [p.true_accuracy for p in a.profiles] == [
+            p.true_accuracy for p in b.profiles
+        ]
+
+    def test_behaviour_mix(self):
+        pool = WorkerPool.from_config(
+            PoolConfig(size=100, spammer_fraction=0.1, colluder_fraction=0.06),
+            seed=2,
+        )
+        spam = sum(p.behaviour == "spammer" for p in pool.profiles)
+        collude = sum(p.behaviour == "colluder" for p in pool.profiles)
+        assert spam == 10
+        assert collude == 6
+
+    def test_colluders_form_cliques(self):
+        pool = WorkerPool.from_config(
+            PoolConfig(size=100, colluder_fraction=0.09, colluder_clique_size=3),
+            seed=2,
+        )
+        cliques = {}
+        for p in pool.profiles:
+            if p.behaviour == "colluder":
+                cliques.setdefault(p.clique, 0)
+                cliques[p.clique] += 1
+        assert all(size <= 3 for size in cliques.values())
+        assert len(cliques) == 3
+
+    def test_mean_accuracy_near_beta_mean(self):
+        pool = WorkerPool.from_config(
+            PoolConfig(size=2000, spammer_fraction=0.0), seed=3
+        )
+        # Beta(7,3) mean is 0.7.
+        assert pool.mean_true_accuracy() == pytest.approx(0.7, abs=0.02)
+
+    def test_approval_rates_skew_high(self):
+        pool = WorkerPool.from_config(PoolConfig(size=1000), seed=4)
+        high = sum(p.approval_rate >= 0.9 for p in pool.profiles) / 1000
+        # Figure 14: the approval histogram piles up at the top.
+        assert high > 0.55
+
+    def test_accuracies_clipped(self):
+        cfg = PoolConfig(size=500, accuracy_floor=0.3, accuracy_ceiling=0.9)
+        pool = WorkerPool.from_config(cfg, seed=5)
+        reliable = [p for p in pool.profiles if p.behaviour == "reliable"]
+        assert all(0.3 <= p.true_accuracy <= 0.9 for p in reliable)
+
+
+class TestSampling:
+    def test_sample_distinct(self, small_pool):
+        rng = substream(1, "s")
+        workers = small_pool.sample(30, rng)
+        assert len({w.worker_id for w in workers}) == 30
+
+    def test_sample_respects_exclusion(self, small_pool):
+        rng = substream(2, "s")
+        excluded = frozenset(p.worker_id for p in small_pool.profiles[:10])
+        workers = small_pool.sample(20, rng, exclude=excluded)
+        assert not ({w.worker_id for w in workers} & excluded)
+
+    def test_oversample_rejected(self, small_pool):
+        rng = substream(3, "s")
+        with pytest.raises(ValueError, match="eligible"):
+            small_pool.sample(len(small_pool) + 1, rng)
+
+    def test_profile_lookup(self, small_pool):
+        first = small_pool.profiles[0]
+        assert small_pool.profile(first.worker_id) is first
+        with pytest.raises(KeyError):
+            small_pool.profile("nope")
+
+    def test_duplicate_ids_rejected(self):
+        p = WorkerProfile("dup", 0.5, 0.5)
+        with pytest.raises(ValueError, match="duplicate"):
+            WorkerPool(profiles=[p, p])
+
+    def test_empty_pool_mean_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(profiles=[]).mean_true_accuracy()

@@ -1,0 +1,98 @@
+"""Tests for the economic model (§3.1) and the latency models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.latency import ExponentialLatency, FixedLatency, LognormalLatency
+from repro.amt.pricing import CostLedger, PriceSchedule
+from repro.util.rng import substream
+
+
+class TestPriceSchedule:
+    def test_per_assignment(self):
+        s = PriceSchedule(worker_reward=0.01, platform_fee=0.005)
+        assert s.per_assignment == pytest.approx(0.015)
+
+    def test_hit_cost(self):
+        s = PriceSchedule(worker_reward=0.01, platform_fee=0.005)
+        assert s.hit_cost(10) == pytest.approx(0.15)
+
+    def test_query_cost_formula(self):
+        # (mc+ms) * n * K * w from §3.1.
+        s = PriceSchedule(worker_reward=0.01, platform_fee=0.005)
+        assert s.query_cost(workers_per_hit=5, items_per_unit=100, window=24) == (
+            pytest.approx(0.015 * 5 * 100 * 24)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriceSchedule(worker_reward=-0.01)
+        with pytest.raises(ValueError):
+            PriceSchedule().hit_cost(-1)
+        with pytest.raises(ValueError):
+            PriceSchedule().query_cost(1, -1, 1)
+
+
+class TestCostLedger:
+    def test_charges_accumulate(self):
+        ledger = CostLedger(schedule=PriceSchedule(0.01, 0.005))
+        ledger.charge("h1", 3)
+        ledger.charge("h2", 2)
+        assert ledger.charged_assignments == 5
+        assert ledger.total_cost == pytest.approx(0.075)
+        assert ledger.cost_of("h1") == pytest.approx(0.045)
+        assert ledger.cost_of("unknown") == 0.0
+
+    def test_cancellations_tracked_separately(self):
+        ledger = CostLedger(schedule=PriceSchedule(0.01, 0.005))
+        ledger.charge("h1", 2)
+        ledger.cancel("h1", 8)
+        assert ledger.total_cost == pytest.approx(0.03)
+        assert ledger.avoided_cost == pytest.approx(0.12)
+        assert ledger.cancelled_assignments == 8
+
+    def test_validation(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError):
+            ledger.charge("h", 0)
+        with pytest.raises(ValueError):
+            ledger.cancel("h", -1)
+
+
+class TestLatencyModels:
+    def test_lognormal_positive_and_deterministic(self):
+        model = LognormalLatency(median_seconds=100.0, sigma=0.8)
+        a = model.sample(substream(1, "l"))
+        b = model.sample(substream(1, "l"))
+        assert a == b
+        assert a > 0
+
+    def test_lognormal_median_calibration(self):
+        model = LognormalLatency(median_seconds=100.0, sigma=0.8)
+        rng = substream(2, "l")
+        samples = sorted(model.sample(rng) for _ in range(4001))
+        assert samples[2000] == pytest.approx(100.0, rel=0.1)
+
+    def test_exponential_mean_calibration(self):
+        model = ExponentialLatency(mean_seconds=50.0)
+        rng = substream(3, "l")
+        mean = sum(model.sample(rng) for _ in range(4000)) / 4000
+        assert mean == pytest.approx(50.0, rel=0.1)
+
+    def test_fixed(self):
+        model = FixedLatency(seconds=2.5)
+        assert model.sample(substream(4, "l")) == 2.5
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: LognormalLatency(median_seconds=0),
+            lambda: LognormalLatency(sigma=0),
+            lambda: ExponentialLatency(mean_seconds=-1),
+            lambda: FixedLatency(seconds=-1),
+        ],
+    )
+    def test_validation(self, factory):
+        with pytest.raises(ValueError):
+            factory()

@@ -1,0 +1,159 @@
+"""Tests for simulated worker behaviours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.hit import Question
+from repro.amt.worker import (
+    ColluderBehaviour,
+    ReliableBehaviour,
+    SpammerBehaviour,
+    WorkerProfile,
+    behaviour_for,
+    effective_accuracy,
+)
+from repro.util.rng import substream
+
+
+def _question(difficulty: float = 0.0) -> Question:
+    return Question(
+        question_id="q",
+        options=("a", "b", "c"),
+        truth="a",
+        difficulty=difficulty,
+        reason_keywords=("k1", "k2", "k3"),
+    )
+
+
+def _profile(accuracy: float = 0.8, behaviour: str = "reliable", clique: int = 0):
+    return WorkerProfile(
+        worker_id="w",
+        true_accuracy=accuracy,
+        approval_rate=0.9,
+        behaviour=behaviour,
+        clique=clique,
+    )
+
+
+class TestWorkerProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="accuracy"):
+            WorkerProfile("w", 1.5, 0.9)
+        with pytest.raises(ValueError, match="approval"):
+            WorkerProfile("w", 0.5, -0.1)
+
+
+class TestEffectiveAccuracy:
+    def test_zero_difficulty_is_latent(self):
+        assert effective_accuracy(_profile(0.8), _question(0.0)) == pytest.approx(0.8)
+
+    def test_full_difficulty_is_uniform(self):
+        assert effective_accuracy(_profile(0.8), _question(1.0)) == pytest.approx(1 / 3)
+
+    def test_positive_difficulty_interpolates(self):
+        assert effective_accuracy(_profile(0.8), _question(0.5)) == pytest.approx(
+            0.5 * 0.8 + 0.5 / 3
+        )
+
+    def test_negative_difficulty_boosts(self):
+        assert effective_accuracy(_profile(0.7), _question(-0.5)) == pytest.approx(
+            0.5 * 0.7 + 0.5
+        )
+
+    def test_minus_one_is_certainty(self):
+        assert effective_accuracy(_profile(0.3), _question(-1.0)) == pytest.approx(1.0)
+
+
+class TestReliableBehaviour:
+    def test_empirical_accuracy_matches_latent(self):
+        rng = substream(11, "rel")
+        profile = _profile(0.75)
+        behaviour = ReliableBehaviour()
+        question = _question(0.0)
+        hits = sum(
+            behaviour.answer(profile, question, rng)[0] == "a" for _ in range(4000)
+        )
+        assert hits / 4000 == pytest.approx(0.75, abs=0.02)
+
+    def test_wrong_answers_cover_all_wrong_options(self):
+        rng = substream(12, "rel")
+        profile = _profile(0.0)  # always wrong
+        behaviour = ReliableBehaviour()
+        answers = {behaviour.answer(profile, _question(), rng)[0] for _ in range(200)}
+        assert answers == {"b", "c"}
+
+    def test_correct_answers_carry_reasons(self):
+        rng = substream(13, "rel")
+        profile = _profile(1.0)
+        answer, reasons = ReliableBehaviour().answer(profile, _question(), rng)
+        assert answer == "a"
+        assert 1 <= len(reasons) <= 2
+        assert set(reasons) <= {"k1", "k2", "k3"}
+
+    def test_wrong_answers_have_no_reasons(self):
+        rng = substream(14, "rel")
+        profile = _profile(0.0)
+        _, reasons = ReliableBehaviour().answer(profile, _question(), rng)
+        assert reasons == ()
+
+
+class TestSpammerBehaviour:
+    def test_uniform_over_options(self):
+        rng = substream(15, "spam")
+        profile = _profile(0.9, behaviour="spammer")
+        counts = {"a": 0, "b": 0, "c": 0}
+        for _ in range(3000):
+            counts[SpammerBehaviour().answer(profile, _question(), rng)[0]] += 1
+        for v in counts.values():
+            assert v / 3000 == pytest.approx(1 / 3, abs=0.04)
+
+
+class TestColluderBehaviour:
+    def test_clique_members_agree(self):
+        q = _question()
+        a1 = ColluderBehaviour().answer(
+            _profile(0.0, "colluder", clique=4), q, substream(1, "x")
+        )[0]
+        a2 = ColluderBehaviour().answer(
+            _profile(0.0, "colluder", clique=4), q, substream(2, "y")
+        )[0]
+        assert a1 == a2
+
+    def test_always_wrong(self):
+        q = _question()
+        answer = ColluderBehaviour().answer(
+            _profile(0.0, "colluder", clique=1), q, substream(3, "z")
+        )[0]
+        assert answer != q.truth
+
+    def test_different_cliques_can_differ(self):
+        # Across many questions, two cliques must disagree somewhere.
+        diffs = 0
+        for i in range(20):
+            q = Question(
+                question_id=f"q{i}", options=("a", "b", "c", "d"), truth="a"
+            )
+            a1 = ColluderBehaviour().answer(
+                _profile(0.0, "colluder", clique=1), q, substream(1, "c")
+            )[0]
+            a2 = ColluderBehaviour().answer(
+                _profile(0.0, "colluder", clique=2), q, substream(1, "c")
+            )[0]
+            diffs += a1 != a2
+        assert diffs > 0
+
+
+class TestBehaviourFor:
+    def test_resolution(self):
+        assert isinstance(behaviour_for(_profile()), ReliableBehaviour)
+        assert isinstance(
+            behaviour_for(_profile(behaviour="spammer")), SpammerBehaviour
+        )
+        assert isinstance(
+            behaviour_for(_profile(behaviour="colluder")), ColluderBehaviour
+        )
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown behaviour"):
+            behaviour_for(_profile(behaviour="alien"))

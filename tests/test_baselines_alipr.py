@@ -1,0 +1,68 @@
+"""Tests for the simulated ALIPR annotator (Figure 17's machine baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.alipr import SimulatedALIPR
+from repro.it.images import SUBJECTS, generate_images, tag_prototypes, tag_vocabulary
+
+
+class TestSimulatedALIPR:
+    def test_annotates_top_k(self):
+        images = generate_images(per_subject=2, seed=1)
+        alipr = SimulatedALIPR(seed=1, top_k=5)
+        tags = alipr.annotate(images[0])
+        assert len(tags) == 5
+        assert len(set(tags)) == 5
+        assert set(tags) <= set(alipr.vocabulary)
+
+    def test_rank_covers_vocabulary(self):
+        images = generate_images(per_subject=1, seed=2)
+        alipr = SimulatedALIPR(seed=2)
+        ranked = alipr.rank_tags(images[0])
+        assert len(ranked) == len(tag_vocabulary())
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_recall_in_unit_interval(self):
+        images = generate_images(per_subject=3, seed=3)
+        alipr = SimulatedALIPR(seed=3)
+        for image in images:
+            assert 0.0 <= alipr.recall(image) <= 1.0
+
+    def test_paper_band_low_accuracy(self):
+        """Figure 17 calibration: ALIPR recall lands well below the crowd,
+        in (or near) the paper's 10-30% band per subject."""
+        images = generate_images(per_subject=20, seed=2012)
+        alipr = SimulatedALIPR(seed=2012)
+        for subject in SUBJECTS:
+            group = [i for i in images if i.subject == subject]
+            acc = alipr.group_accuracy(group)
+            assert 0.02 <= acc <= 0.45, f"{subject}: {acc}"
+
+    def test_better_with_less_noise(self):
+        from repro.it.images import ImageCorpusConfig
+
+        sharp = generate_images(
+            per_subject=15, seed=4, config=ImageCorpusConfig(feature_noise=0.05)
+        )
+        noisy = generate_images(
+            per_subject=15, seed=4, config=ImageCorpusConfig(feature_noise=1.5)
+        )
+        alipr = SimulatedALIPR(seed=4)
+        assert alipr.group_accuracy(sharp) > alipr.group_accuracy(noisy)
+
+    def test_shared_prototypes_mode(self):
+        protos = tag_prototypes(seed=9)
+        alipr = SimulatedALIPR(prototypes=protos, top_k=3)
+        assert set(alipr.vocabulary) == set(protos)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedALIPR(top_k=0)
+        with pytest.raises(ValueError):
+            SimulatedALIPR(prototypes={})
+        alipr = SimulatedALIPR(seed=1)
+        with pytest.raises(ValueError, match="empty"):
+            alipr.group_accuracy([])

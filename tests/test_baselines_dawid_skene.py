@@ -1,0 +1,109 @@
+"""Tests for the Dawid–Skene EM extension baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dawid_skene import DawidSkene
+from repro.util.rng import substream
+
+LABELS = ("pos", "neu", "neg")
+
+
+def _synthetic_votes(
+    questions: int, workers: int, accuracy: float, seed: int
+) -> tuple[dict[str, dict[str, str]], dict[str, str]]:
+    """Votes from homogeneous workers of the given accuracy."""
+    rng = substream(seed, "ds")
+    truths = {}
+    votes: dict[str, dict[str, str]] = {}
+    for q in range(questions):
+        truth = LABELS[int(rng.integers(3))]
+        truths[f"q{q}"] = truth
+        sheet = {}
+        for w in range(workers):
+            if rng.random() < accuracy:
+                sheet[f"w{w}"] = truth
+            else:
+                wrong = [lab for lab in LABELS if lab != truth]
+                sheet[f"w{w}"] = wrong[int(rng.integers(2))]
+        votes[f"q{q}"] = sheet
+    return votes, truths
+
+
+class TestDawidSkene:
+    def test_recovers_truth_with_decent_workers(self):
+        votes, truths = _synthetic_votes(80, 9, accuracy=0.75, seed=1)
+        result = DawidSkene(LABELS).fit(votes)
+        correct = sum(result.predict(q) == t for q, t in truths.items())
+        assert correct / len(truths) > 0.9
+
+    def test_beats_single_worker_quality(self):
+        votes, truths = _synthetic_votes(100, 7, accuracy=0.65, seed=2)
+        result = DawidSkene(LABELS).fit(votes)
+        correct = sum(result.predict(q) == t for q, t in truths.items())
+        assert correct / len(truths) > 0.65
+
+    def test_posteriors_are_distributions(self):
+        votes, _ = _synthetic_votes(20, 5, accuracy=0.7, seed=3)
+        result = DawidSkene(LABELS).fit(votes)
+        for post in result.posteriors.values():
+            assert sum(post.values()) == pytest.approx(1.0)
+            assert all(0.0 <= p <= 1.0 for p in post.values())
+
+    def test_confusion_matrices_row_stochastic(self):
+        votes, _ = _synthetic_votes(30, 6, accuracy=0.7, seed=4)
+        result = DawidSkene(LABELS).fit(votes)
+        for confusion in result.worker_confusion.values():
+            assert np.allclose(confusion.sum(axis=1), 1.0)
+
+    def test_worker_accuracy_estimates_order(self):
+        # One strong worker among weak ones should get the higher
+        # estimated accuracy.
+        rng = substream(5, "mix")
+        votes: dict[str, dict[str, str]] = {}
+        for q in range(120):
+            truth = LABELS[int(rng.integers(3))]
+            sheet = {}
+            for w, acc in (("strong", 0.95), ("weak1", 0.4), ("weak2", 0.4),
+                           ("weak3", 0.4), ("weak4", 0.4)):
+                if rng.random() < acc:
+                    sheet[w] = truth
+                else:
+                    wrong = [lab for lab in LABELS if lab != truth]
+                    sheet[w] = wrong[int(rng.integers(2))]
+            votes[f"q{q}"] = sheet
+        result = DawidSkene(LABELS).fit(votes)
+        assert result.worker_accuracy("strong") > result.worker_accuracy("weak1")
+
+    def test_class_priors_sum_to_one(self):
+        votes, _ = _synthetic_votes(30, 5, accuracy=0.7, seed=6)
+        result = DawidSkene(LABELS).fit(votes)
+        assert sum(result.class_priors.values()) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        votes, _ = _synthetic_votes(30, 5, accuracy=0.7, seed=7)
+        a = DawidSkene(LABELS).fit(votes)
+        b = DawidSkene(LABELS).fit(votes)
+        assert a.posteriors == b.posteriors
+        assert a.iterations == b.iterations
+
+    def test_converges_within_cap(self):
+        votes, _ = _synthetic_votes(50, 7, accuracy=0.7, seed=8)
+        result = DawidSkene(LABELS, max_iterations=500, tolerance=1e-5).fit(votes)
+        assert result.iterations < 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DawidSkene(("only",))
+        with pytest.raises(ValueError):
+            DawidSkene(("a", "a"))
+        with pytest.raises(ValueError):
+            DawidSkene(LABELS, max_iterations=0)
+        with pytest.raises(ValueError):
+            DawidSkene(LABELS).fit({})
+        with pytest.raises(ValueError, match="no answers"):
+            DawidSkene(LABELS).fit({"q1": {}})
+        with pytest.raises(ValueError, match="outside labels"):
+            DawidSkene(LABELS).fit({"q1": {"w1": "weird"}})

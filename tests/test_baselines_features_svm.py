@@ -1,0 +1,141 @@
+"""Tests for the text features and the Pegasos SVM baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.features import Vocabulary, tokenize
+from repro.baselines.svm import PegasosSVM, TextClassifier
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Great MOVIE, loved it!") == ["great", "movie", "loved"]
+
+    def test_stopwords_removed(self):
+        assert tokenize("it is the best of the best") == ["best", "best"]
+
+    def test_keeps_contractions(self):
+        assert "don't" in tokenize("I don't care")
+
+    def test_numbers_kept(self):
+        assert tokenize("rated 10 out of 10") == ["rated", "10", "out", "10"]
+
+
+class TestVocabulary:
+    def test_fit_prunes_rare(self):
+        vocab = Vocabulary(min_count=2).fit(["apple apple pear", "apple banana"])
+        assert "apple" in vocab
+        assert "pear" not in vocab
+
+    def test_max_size(self):
+        vocab = Vocabulary(min_count=1, max_size=2).fit(
+            ["a1 a1 a1 b2 b2 c3 c3 c3 c3"]
+        )
+        assert len(vocab) == 2
+        assert "c3" in vocab and "a1" in vocab
+
+    def test_transform_shape_and_bias(self):
+        vocab = Vocabulary(min_count=1).fit(["alpha beta", "beta gamma"])
+        vec = vocab.transform("beta beta")
+        assert vec.shape == (len(vocab) + 1,)
+        assert vec[-1] == 1.0  # bias slot
+
+    def test_transform_l2_normalised(self):
+        vocab = Vocabulary(min_count=1).fit(["alpha beta gamma"])
+        vec = vocab.transform("alpha beta")
+        assert np.linalg.norm(vec[:-1]) == pytest.approx(1.0)
+
+    def test_oov_ignored(self):
+        vocab = Vocabulary(min_count=1).fit(["alpha beta"])
+        vec = vocab.transform("zeta eta theta")
+        assert np.all(vec[:-1] == 0.0)
+
+    def test_unfitted_transform_rejected(self):
+        with pytest.raises(ValueError, match="not fitted"):
+            Vocabulary().transform("anything")
+
+    def test_empty_vocab_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Vocabulary(min_count=5).fit(["one two three"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Vocabulary(min_count=0)
+        with pytest.raises(ValueError):
+            Vocabulary(max_size=0)
+
+
+class TestPegasosSVM:
+    def _separable(self, n=200, d=6, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, d))
+        w_true = rng.normal(size=d)
+        y = np.where(x @ w_true > 0, 1.0, -1.0)
+        return x, y
+
+    def test_fits_separable_data(self):
+        x, y = self._separable()
+        model = PegasosSVM(epochs=30).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_deterministic_given_seed(self):
+        x, y = self._separable()
+        m1 = PegasosSVM(epochs=5, seed=3).fit(x, y)
+        m2 = PegasosSVM(epochs=5, seed=3).fit(x, y)
+        assert np.allclose(m1.decision(x), m2.decision(x))
+
+    def test_label_validation(self):
+        x, _ = self._separable()
+        with pytest.raises(ValueError, match="±1"):
+            PegasosSVM().fit(x, np.zeros(len(x)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PegasosSVM().fit(np.zeros(3), np.ones(3))
+        with pytest.raises(ValueError, match="rows"):
+            PegasosSVM().fit(np.zeros((3, 2)), np.ones(4))
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError, match="not fitted"):
+            PegasosSVM().decision(np.zeros((1, 2)))
+
+
+class TestTextClassifier:
+    TRAIN = (
+        ["great amazing wonderful"] * 10
+        + ["terrible awful horrible"] * 10
+        + ["tickets showtime friday"] * 10
+    )
+    LABELS = ["pos"] * 10 + ["neg"] * 10 + ["neu"] * 10
+
+    def test_learns_separable_classes(self):
+        clf = TextClassifier(min_count=1, epochs=10).fit(self.TRAIN, self.LABELS)
+        assert clf.predict(["an amazing great film"]) == ["pos"]
+        assert clf.predict(["what a terrible awful mess"]) == ["neg"]
+        assert clf.predict(["friday showtime tickets please"]) == ["neu"]
+
+    def test_accuracy_on_train(self):
+        clf = TextClassifier(min_count=1, epochs=10).fit(self.TRAIN, self.LABELS)
+        assert clf.accuracy(self.TRAIN, self.LABELS) == 1.0
+
+    def test_classes_sorted(self):
+        clf = TextClassifier(min_count=1, epochs=2).fit(self.TRAIN, self.LABELS)
+        assert clf.classes == ("neg", "neu", "pos")
+
+    def test_decision_matrix_shape(self):
+        clf = TextClassifier(min_count=1, epochs=2).fit(self.TRAIN, self.LABELS)
+        margins = clf.decision_matrix(["great", "terrible"])
+        assert margins.shape == (2, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="texts vs"):
+            TextClassifier().fit(["a"], ["x", "y"])
+        with pytest.raises(ValueError, match="empty"):
+            TextClassifier().fit([], [])
+        with pytest.raises(ValueError, match="2 classes"):
+            TextClassifier(min_count=1).fit(["a b"], ["only"])
+        clf = TextClassifier(min_count=1, epochs=1).fit(self.TRAIN, self.LABELS)
+        with pytest.raises(ValueError, match="empty"):
+            clf.accuracy([], [])

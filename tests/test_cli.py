@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import experiment_registry, main
+
+
+class TestRegistry:
+    def test_contains_paper_and_ablation_experiments(self):
+        registry = experiment_registry()
+        assert "fig7" in registry
+        assert "table3+4" in registry
+        assert "ablation-colluders" in registry
+        assert "ablation-cross-job" in registry
+        assert "latency-study" in registry
+        assert "fig4" in registry
+        assert len(registry) == 23
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig18" in out
+        assert "ablation-aggregators" in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "table3+4"]) == 0
+        out = capsys.readouterr().out
+        assert "verification" in out
+        assert "0.495" in out
+
+    def test_run_fig6_with_seed(self, capsys):
+        assert main(["run", "fig6", "--seed", "7"]) == 0
+        assert "conservative" in capsys.readouterr().out
+
+    def test_run_csv_output(self, capsys):
+        assert main(["run", "fig6", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "required_accuracy,conservative,binary_search"
+        assert "," in out.splitlines()[1]
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_plan(self, capsys):
+        code = main(
+            [
+                "plan",
+                "--accuracy", "0.9",
+                "--budget", "100",
+                "--mu", "0.7",
+                "--rate", "50",
+                "--window", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workers per item" in out
+        assert "limited by" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,99 @@
+"""Tests for cost-constrained planning (the §3.1 economics inverted)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.pricing import PriceSchedule
+from repro.core.budget import (
+    max_accuracy_for_budget,
+    max_workers_within_budget,
+    plan_query,
+)
+from repro.core.prediction import (
+    PredictionInfeasibleError,
+    expected_majority_accuracy,
+    refined_worker_count,
+)
+
+SCHEDULE = PriceSchedule(worker_reward=0.01, platform_fee=0.005)
+
+
+class TestMaxWorkersWithinBudget:
+    def test_exact_inversion(self):
+        # $0.015 per assignment × 100 items × 1 window → $1.5 per worker.
+        n = max_workers_within_budget(7.5, SCHEDULE, items_per_unit=100, window=1)
+        assert n == 5
+        assert SCHEDULE.query_cost(n, 100, 1) <= 7.5
+
+    def test_rounds_down_to_odd(self):
+        n = max_workers_within_budget(6.1, SCHEDULE, items_per_unit=100, window=1)
+        assert n == 3  # could afford 4, rounded to odd 3
+
+    def test_zero_when_unaffordable(self):
+        assert max_workers_within_budget(0.5, SCHEDULE, 100, 1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_workers_within_budget(-1.0, SCHEDULE, 100, 1)
+        with pytest.raises(ValueError):
+            max_workers_within_budget(1.0, SCHEDULE, 0, 1)
+        with pytest.raises(ValueError):
+            max_workers_within_budget(1.0, PriceSchedule(0.0, 0.0), 100, 1)
+
+
+class TestMaxAccuracyForBudget:
+    def test_matches_theorem1_at_affordable_n(self):
+        acc = max_accuracy_for_budget(7.5, SCHEDULE, 0.7, 100, 1)
+        assert acc == pytest.approx(expected_majority_accuracy(5, 0.7))
+
+    def test_monotone_in_budget(self):
+        accs = [
+            max_accuracy_for_budget(b, SCHEDULE, 0.7, 100, 1)
+            for b in (2.0, 5.0, 10.0, 30.0)
+        ]
+        assert accs == sorted(accs)
+
+    def test_infeasible_budget(self):
+        with pytest.raises(PredictionInfeasibleError, match="affords no worker"):
+            max_accuracy_for_budget(0.01, SCHEDULE, 0.7, 100, 1)
+
+    def test_infeasible_mu(self):
+        with pytest.raises(PredictionInfeasibleError, match="0.5"):
+            max_accuracy_for_budget(100.0, SCHEDULE, 0.5, 100, 1)
+
+
+class TestPlanQuery:
+    def test_accuracy_limited_plan(self):
+        plan = plan_query(0.9, budget=1000.0, schedule=SCHEDULE,
+                          mean_accuracy=0.7, items_per_unit=100, window=1)
+        assert plan.limited_by == "accuracy"
+        assert plan.workers_per_item == refined_worker_count(0.9, 0.7)
+        assert plan.expected_accuracy >= 0.9
+        assert plan.projected_cost <= 1000.0
+
+    def test_budget_limited_plan(self):
+        plan = plan_query(0.99, budget=5.0, schedule=SCHEDULE,
+                          mean_accuracy=0.7, items_per_unit=100, window=1)
+        assert plan.limited_by == "budget"
+        assert plan.projected_cost <= 5.0
+        assert plan.expected_accuracy < 0.99
+
+    def test_budget_limited_is_honest_about_accuracy(self):
+        plan = plan_query(0.95, budget=5.0, schedule=SCHEDULE,
+                          mean_accuracy=0.7, items_per_unit=100, window=1)
+        assert plan.expected_accuracy == pytest.approx(
+            expected_majority_accuracy(plan.workers_per_item, 0.7)
+        )
+
+    def test_unrunnable_rejected(self):
+        with pytest.raises(PredictionInfeasibleError):
+            plan_query(0.9, budget=0.001, schedule=SCHEDULE,
+                       mean_accuracy=0.7, items_per_unit=100, window=1)
+
+    def test_window_scaling(self):
+        one = plan_query(0.9, budget=1e6, schedule=SCHEDULE,
+                         mean_accuracy=0.7, items_per_unit=100, window=1)
+        day = plan_query(0.9, budget=1e6, schedule=SCHEDULE,
+                         mean_accuracy=0.7, items_per_unit=100, window=24)
+        assert day.projected_cost == pytest.approx(24 * one.projected_cost)

@@ -1,0 +1,134 @@
+"""Tests for worker/answer confidence (Definitions 2-3, Equation 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.confidence import (
+    accuracy_from_confidence,
+    answer_confidences,
+    answer_log_weights,
+    confidences_from_log_weights,
+    worker_confidence,
+)
+from repro.core.domain import AnswerDomain
+from repro.core.types import WorkerAnswer
+
+
+class TestWorkerConfidence:
+    def test_definition_2_closed_form(self):
+        # c = ln((m-1) a / (1-a))
+        assert worker_confidence(0.73, 3) == pytest.approx(
+            math.log(2 * 0.73 / 0.27)
+        )
+
+    def test_uniform_guesser_has_zero_confidence(self):
+        for m in (2, 3, 5, 10):
+            assert worker_confidence(1.0 / m, m) == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_in_accuracy(self):
+        cs = [worker_confidence(a, 3) for a in (0.2, 0.4, 0.6, 0.8, 0.95)]
+        assert cs == sorted(cs)
+
+    def test_extremes_finite(self):
+        assert math.isfinite(worker_confidence(0.0, 3))
+        assert math.isfinite(worker_confidence(1.0, 3))
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            worker_confidence(0.5, 1)
+
+    def test_inverse(self):
+        for a in (0.1, 0.33, 0.5, 0.77, 0.99):
+            for m in (2, 3, 7):
+                c = worker_confidence(a, m)
+                assert accuracy_from_confidence(c, m) == pytest.approx(a, rel=1e-9)
+
+
+class TestAnswerLogWeights:
+    def test_dense_over_domain(self, pos_neu_neg):
+        obs = [WorkerAnswer("w1", "pos", 0.6)]
+        weights = answer_log_weights(obs, pos_neu_neg)
+        assert set(weights) == {"pos", "neu", "neg"}
+        assert weights["neu"] == 0.0
+        assert weights["neg"] == 0.0
+
+    def test_sums_per_answer(self, pos_neu_neg):
+        obs = [WorkerAnswer("w1", "pos", 0.6), WorkerAnswer("w2", "pos", 0.7)]
+        weights = answer_log_weights(obs, pos_neu_neg)
+        expected = worker_confidence(0.6, 3) + worker_confidence(0.7, 3)
+        assert weights["pos"] == pytest.approx(expected)
+
+    def test_out_of_domain_rejected(self, pos_neu_neg):
+        obs = [WorkerAnswer("w1", "maybe", 0.6)]
+        with pytest.raises(ValueError, match="outside"):
+            answer_log_weights(obs, pos_neu_neg)
+
+
+class TestAnswerConfidences:
+    def test_paper_table4_exact(self, pos_neu_neg):
+        obs = [
+            WorkerAnswer("w1", "pos", 0.54),
+            WorkerAnswer("w2", "pos", 0.31),
+            WorkerAnswer("w3", "neu", 0.49),
+            WorkerAnswer("w4", "neg", 0.73),
+            WorkerAnswer("w5", "pos", 0.46),
+        ]
+        rho = answer_confidences(obs, pos_neu_neg)
+        assert rho["pos"] == pytest.approx(0.329, abs=5e-4)
+        assert rho["neu"] == pytest.approx(0.176, abs=5e-4)
+        assert rho["neg"] == pytest.approx(0.495, abs=5e-4)
+
+    def test_sums_to_one_closed_domain(self, pos_neu_neg):
+        obs = [WorkerAnswer("w1", "pos", 0.8), WorkerAnswer("w2", "neg", 0.6)]
+        rho = answer_confidences(obs, pos_neu_neg)
+        assert sum(rho.values()) == pytest.approx(1.0)
+
+    def test_open_domain_reserves_mass_for_hidden_answers(self):
+        domain = AnswerDomain(labels=("a", "b"), m=5, closed_domain=False)
+        obs = [WorkerAnswer("w1", "a", 0.8)]
+        rho = answer_confidences(obs, domain)
+        # 3 hidden answers hold e^0 weight each → labels sum below 1.
+        assert sum(rho.values()) < 1.0
+        hidden_mass = 1.0 - sum(rho.values())
+        assert hidden_mass > 0.0
+
+    def test_high_accuracy_minority_beats_low_accuracy_majority(self, pos_neu_neg):
+        obs = [
+            WorkerAnswer("w1", "pos", 0.35),
+            WorkerAnswer("w2", "pos", 0.35),
+            WorkerAnswer("w3", "neg", 0.95),
+        ]
+        rho = answer_confidences(obs, pos_neu_neg)
+        assert rho["neg"] > rho["pos"]
+
+    def test_many_workers_no_overflow(self, pos_neu_neg):
+        obs = [WorkerAnswer(f"w{i}", "pos", 0.95) for i in range(500)]
+        rho = answer_confidences(obs, pos_neu_neg)
+        assert rho["pos"] == pytest.approx(1.0)
+        assert all(math.isfinite(v) for v in rho.values())
+
+    def test_below_uniform_votes_count_against(self, pos_neu_neg):
+        # A worker worse than uniform (a < 1/m) has negative confidence:
+        # their vote lowers the voted answer below unvoted ones.
+        obs = [WorkerAnswer("w1", "pos", 0.1)]
+        rho = answer_confidences(obs, pos_neu_neg)
+        assert rho["pos"] < rho["neu"]
+
+
+class TestConfidencesFromLogWeights:
+    def test_matches_answer_confidences(self, pos_neu_neg):
+        obs = [WorkerAnswer("w1", "pos", 0.7), WorkerAnswer("w2", "neu", 0.6)]
+        direct = answer_confidences(obs, pos_neu_neg)
+        via_weights = confidences_from_log_weights(
+            answer_log_weights(obs, pos_neu_neg), pos_neu_neg
+        )
+        for label in pos_neu_neg.labels:
+            assert direct[label] == pytest.approx(via_weights[label])
+
+    def test_too_many_labels_rejected(self):
+        domain = AnswerDomain.closed(("a", "b"))
+        with pytest.raises(ValueError, match="exceed"):
+            confidences_from_log_weights({"a": 0.0, "b": 0.0, "c": 0.0}, domain)

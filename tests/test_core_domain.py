@@ -1,0 +1,126 @@
+"""Tests for answer domains and Theorem 5's effective-m estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domain import (
+    AnswerDomain,
+    estimate_effective_m,
+    lemma1_lower_bound,
+    lemma2_lower_bound,
+)
+
+
+class TestLemma1:
+    def test_vacuous_for_k_le_1(self):
+        assert lemma1_lower_bound(0) is None
+        assert lemma1_lower_bound(1) is None
+
+    def test_k2_value(self):
+        # H_1 = 1, (k-1)(eps*k)^{1/(k-1)} = 0.1 → bound = 1/0.9.
+        assert lemma1_lower_bound(2, epsilon=0.05) == pytest.approx(1.0 / 0.9)
+
+    def test_k3_value(self):
+        # H_2 = 1.5, 2*(0.15)^{1/2} ≈ 0.7746 → 2/0.72540.
+        bound = lemma1_lower_bound(3, epsilon=0.05)
+        assert bound == pytest.approx(2.0 / (1.5 - 2.0 * 0.15**0.5), rel=1e-9)
+
+    def test_vacuous_when_denominator_nonpositive(self):
+        # k = 5 at eps 0.05: H_4 < 4*(0.25)^{1/4}.
+        assert lemma1_lower_bound(5, epsilon=0.05) is None
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            lemma1_lower_bound(3, epsilon=0.0)
+        with pytest.raises(ValueError):
+            lemma1_lower_bound(3, epsilon=1.0)
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            lemma1_lower_bound(-1)
+
+
+class TestLemma2:
+    def test_vacuous_for_k_le_1(self):
+        assert lemma2_lower_bound(1) is None
+
+    def test_k2_value(self):
+        # 1 - 2*sqrt(0.05) ≈ 0.5528 → 1/0.5528.
+        assert lemma2_lower_bound(2, epsilon=0.05) == pytest.approx(
+            1.0 / (1.0 - 2.0 * 0.05**0.5), rel=1e-9
+        )
+
+    def test_vacuous_for_large_k(self):
+        assert lemma2_lower_bound(3, epsilon=0.05) is None
+        assert lemma2_lower_bound(10, epsilon=0.05) is None
+
+
+class TestEstimateEffectiveM:
+    def test_floor_at_observed_count(self):
+        for k in range(1, 10):
+            assert estimate_effective_m(k) >= max(k, 2)
+
+    def test_known_values_at_paper_epsilon(self):
+        assert estimate_effective_m(1) == 2
+        assert estimate_effective_m(2) == 2
+        assert estimate_effective_m(3) == 3
+        # k=4: lemma 1 still yields a finite (if loose) bound of ~38.
+        assert estimate_effective_m(4) == 39
+        # k=5: both lemmas vacuous → falls back to k.
+        assert estimate_effective_m(5) == 5
+
+    def test_known_domain_caps(self):
+        assert estimate_effective_m(4, known_domain_size=3) == 3
+        assert estimate_effective_m(2, known_domain_size=10) == 2
+
+    def test_known_domain_must_be_ge_2(self):
+        with pytest.raises(ValueError):
+            estimate_effective_m(2, known_domain_size=1)
+
+
+class TestAnswerDomainClosed:
+    def test_m_is_label_count(self, tsa_domain):
+        assert tsa_domain.m == 3
+        assert tsa_domain.closed_domain
+        assert tsa_domain.unobserved_label_count == 0
+
+    def test_needs_two_labels(self):
+        with pytest.raises(ValueError):
+            AnswerDomain.closed(("only",))
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AnswerDomain.closed(("a", "a"))
+
+    def test_with_label_rejected_outside_closed(self, tsa_domain):
+        with pytest.raises(ValueError, match="closed domain"):
+            tsa_domain.with_label("maybe")
+
+    def test_with_label_noop_for_member(self, tsa_domain):
+        assert tsa_domain.with_label("neutral") is tsa_domain
+
+
+class TestAnswerDomainOpen:
+    def test_from_observed_preserves_order(self):
+        domain = AnswerDomain.open_ended(["b", "a", "b", "c"])
+        assert domain.labels == ("b", "a", "c")
+        assert not domain.closed_domain
+
+    def test_m_at_least_labels(self):
+        domain = AnswerDomain.open_ended(["x", "y", "z", "w"])
+        assert domain.m >= 4
+
+    def test_grows_with_new_label(self):
+        domain = AnswerDomain.open_ended(["x", "y"])
+        grown = domain.with_label("z")
+        assert "z" in grown.labels
+        assert grown.m >= domain.m
+
+    def test_consistency_validation(self):
+        with pytest.raises(ValueError, match="smaller than"):
+            AnswerDomain(labels=("a", "b", "c"), m=2, closed_domain=False)
+        with pytest.raises(ValueError, match="≥ 2"):
+            AnswerDomain(labels=("a",), m=1, closed_domain=False)
+        with pytest.raises(ValueError, match="closed domain declares"):
+            AnswerDomain(labels=("a", "b"), m=3, closed_domain=True)

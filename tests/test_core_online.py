@@ -1,0 +1,136 @@
+"""Tests for online aggregation (paper §4.2, Theorem 6, Algorithm 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.confidence import answer_confidences
+from repro.core.domain import AnswerDomain
+from repro.core.online import OnlineAggregator, run_online
+from repro.core.termination import ExpMax, MinMax
+from repro.core.types import WorkerAnswer
+
+
+def _answers(*specs: tuple[str, float]) -> list[WorkerAnswer]:
+    return [
+        WorkerAnswer(f"w{i}", answer, acc) for i, (answer, acc) in enumerate(specs)
+    ]
+
+
+class TestTheorem6:
+    def test_partial_confidence_equals_equation4_on_partial_obs(self, pos_neu_neg):
+        """Theorem 6: the online confidence of a partial observation is just
+        Equation 4 on that observation — no completion marginalisation."""
+        answers = _answers(("pos", 0.7), ("neg", 0.8), ("pos", 0.6), ("neu", 0.55))
+        agg = OnlineAggregator(pos_neu_neg, hired_workers=10, mean_accuracy=0.7)
+        for k, wa in enumerate(answers, start=1):
+            agg.submit(wa)
+            online = agg.confidences()
+            direct = answer_confidences(answers[:k], pos_neu_neg)
+            for label in pos_neu_neg.labels:
+                assert online[label] == pytest.approx(direct[label])
+
+
+class TestOnlineAggregator:
+    def test_trajectory_records_every_arrival(self, pos_neu_neg):
+        agg = OnlineAggregator(pos_neu_neg, hired_workers=3, mean_accuracy=0.7)
+        for wa in _answers(("pos", 0.7), ("pos", 0.7), ("neg", 0.9)):
+            agg.submit(wa)
+        assert [p.answers_received for p in agg.trajectory] == [1, 2, 3]
+        assert agg.remaining_workers == 0
+
+    def test_more_answers_than_hired_rejected(self, pos_neu_neg):
+        agg = OnlineAggregator(pos_neu_neg, hired_workers=1, mean_accuracy=0.7)
+        agg.submit(_answers(("pos", 0.7))[0])
+        with pytest.raises(ValueError, match="more answers"):
+            agg.submit(_answers(("neg", 0.7))[0])
+
+    def test_open_domain_grows(self):
+        domain = AnswerDomain.open_ended(["a", "b"])
+        agg = OnlineAggregator(domain, hired_workers=3, mean_accuracy=0.7)
+        agg.submit(WorkerAnswer("w1", "c", 0.8))
+        assert "c" in agg.domain.labels
+
+    def test_terminates_when_all_received(self, pos_neu_neg):
+        agg = OnlineAggregator(pos_neu_neg, hired_workers=1, mean_accuracy=0.7)
+        agg.submit(WorkerAnswer("w1", "pos", 0.7))
+        assert agg.should_terminate()
+
+    def test_no_strategy_waits_for_all(self, pos_neu_neg):
+        agg = OnlineAggregator(pos_neu_neg, hired_workers=5, mean_accuracy=0.7)
+        agg.submit(WorkerAnswer("w1", "pos", 0.99))
+        assert not agg.should_terminate()
+
+    def test_snapshot_requires_answer(self, pos_neu_neg):
+        agg = OnlineAggregator(pos_neu_neg, hired_workers=5, mean_accuracy=0.7)
+        with pytest.raises(ValueError):
+            agg.snapshot()
+
+    def test_verdict_is_argmax(self, pos_neu_neg):
+        agg = OnlineAggregator(pos_neu_neg, hired_workers=2, mean_accuracy=0.7)
+        agg.submit(WorkerAnswer("w1", "neg", 0.9))
+        verdict = agg.verdict()
+        assert verdict.answer == "neg"
+        assert verdict.method == "verification-online"
+
+    def test_invalid_construction(self, pos_neu_neg):
+        with pytest.raises(ValueError):
+            OnlineAggregator(pos_neu_neg, hired_workers=0, mean_accuracy=0.7)
+        with pytest.raises(ValueError):
+            OnlineAggregator(pos_neu_neg, hired_workers=3, mean_accuracy=1.4)
+
+
+class TestRunOnline:
+    def test_consumes_all_without_strategy(self, pos_neu_neg):
+        answers = _answers(("pos", 0.7), ("neg", 0.6), ("pos", 0.8))
+        result = run_online(answers, pos_neu_neg, mean_accuracy=0.7)
+        assert result.answers_used == 3
+        assert not result.terminated_early
+        assert result.verdict.answer == "pos"
+
+    def test_expmax_stops_early_on_unanimity(self, pos_neu_neg):
+        # 20 unanimous high-confidence answers: ExpMax must fire before
+        # the last one.
+        answers = _answers(*(("pos", 0.85) for _ in range(21)))
+        result = run_online(answers, pos_neu_neg, mean_accuracy=0.7, strategy=ExpMax())
+        assert result.terminated_early
+        assert result.answers_used < 21
+        assert result.verdict.answer == "pos"
+
+    def test_minmax_more_conservative_than_expmax(self, pos_neu_neg):
+        answers = _answers(*(("pos", 0.8) for _ in range(15)))
+        minmax = run_online(answers, pos_neu_neg, mean_accuracy=0.7, strategy=MinMax())
+        expmax = run_online(answers, pos_neu_neg, mean_accuracy=0.7, strategy=ExpMax())
+        assert minmax.answers_used >= expmax.answers_used
+
+    def test_minmax_stability_against_adversarial_tail(self, pos_neu_neg):
+        """Once MinMax fires, no completion by the remaining workers (at
+        the assumed accuracy) can change the winner — the paper's
+        stability claim, checked constructively."""
+        mu = 0.7
+        answers = _answers(*(("pos", 0.8) for _ in range(15)))
+        result = run_online(answers, pos_neu_neg, mean_accuracy=mu, strategy=MinMax())
+        assert result.terminated_early
+        used = result.answers_used
+        remaining = len(answers) - used
+        # Adversarial completion: everyone else votes the runner-up at mu.
+        scores = result.verdict.scores
+        runner_up = max(
+            (lab for lab in pos_neu_neg.labels if lab != result.verdict.answer),
+            key=lambda lab: scores[lab],
+        )
+        adversarial = list(answers[:used]) + [
+            WorkerAnswer(f"adv{i}", runner_up, mu) for i in range(remaining)
+        ]
+        final = answer_confidences(adversarial, pos_neu_neg)
+        best = max(pos_neu_neg.labels, key=lambda lab: final[lab])
+        assert best == result.verdict.answer
+
+    def test_hired_workers_validation(self, pos_neu_neg):
+        answers = _answers(("pos", 0.7), ("neg", 0.6))
+        with pytest.raises(ValueError):
+            run_online(answers, pos_neu_neg, mean_accuracy=0.7, hired_workers=1)
+
+    def test_empty_rejected(self, pos_neu_neg):
+        with pytest.raises(ValueError):
+            run_online([], pos_neu_neg, mean_accuracy=0.7)

@@ -1,0 +1,140 @@
+"""Tests for the prediction model (paper §3, Theorems 1-3, Algorithms 2-3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.prediction import (
+    MAX_WORKERS,
+    PredictionInfeasibleError,
+    WorkerCountPredictor,
+    conservative_worker_count,
+    expected_majority_accuracy,
+    refined_worker_count,
+)
+from repro.util.stats import majority_probability
+
+
+class TestConservativeWorkerCount:
+    def test_is_odd(self):
+        for c in (0.65, 0.8, 0.9, 0.99):
+            for mu in (0.6, 0.7, 0.85):
+                assert conservative_worker_count(c, mu) % 2 == 1
+
+    def test_satisfies_chernoff_bound(self):
+        # n ≥ -ln(1-C) / (2(mu-1/2)^2) must hold exactly.
+        for c in (0.65, 0.8, 0.95, 0.99):
+            for mu in (0.55, 0.7, 0.9):
+                n = conservative_worker_count(c, mu)
+                bound = -math.log(1.0 - c) / (2.0 * (mu - 0.5) ** 2)
+                assert n >= bound
+
+    def test_dominates_paper_rounding(self):
+        # The paper's printed formula 2*floor(.../4(mu-1/2)^2)+1 can fall
+        # below the Chernoff requirement; ours never returns less than the
+        # requirement and never exceeds the paper's value by more than 2.
+        for c in (0.65, 0.75, 0.9, 0.99):
+            for mu in (0.6, 0.7, 0.8):
+                ours = conservative_worker_count(c, mu)
+                paper = 2 * math.floor(
+                    -math.log(1.0 - c) / (4.0 * (mu - 0.5) ** 2)
+                ) + 1
+                assert paper - 2 <= ours <= paper + 2
+
+    def test_monotone_in_required_accuracy(self):
+        ns = [conservative_worker_count(c, 0.7) for c in (0.6, 0.7, 0.8, 0.9, 0.99)]
+        assert ns == sorted(ns)
+
+    def test_decreasing_in_mu(self):
+        ns = [conservative_worker_count(0.9, mu) for mu in (0.55, 0.65, 0.75, 0.9)]
+        assert ns == sorted(ns, reverse=True)
+
+    def test_infeasible_mu(self):
+        with pytest.raises(PredictionInfeasibleError, match="0.5"):
+            conservative_worker_count(0.9, 0.5)
+        with pytest.raises(PredictionInfeasibleError):
+            conservative_worker_count(0.9, 0.3)
+
+    def test_certainty_rejected(self):
+        with pytest.raises(PredictionInfeasibleError, match="unattainable"):
+            conservative_worker_count(1.0, 0.9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            conservative_worker_count(0.0, 0.7)
+        with pytest.raises(ValueError):
+            conservative_worker_count(0.9, 1.2)
+
+    def test_ceiling_guard(self):
+        # mu barely above 1/2 with extreme C explodes past the ceiling.
+        with pytest.raises(PredictionInfeasibleError, match="ceiling"):
+            conservative_worker_count(1 - 1e-9, 0.5001)
+        assert MAX_WORKERS > 0
+
+
+class TestRefinedWorkerCount:
+    def test_satisfies_requirement(self):
+        for c in (0.65, 0.8, 0.9, 0.95, 0.99):
+            for mu in (0.6, 0.7, 0.85):
+                n = refined_worker_count(c, mu)
+                assert expected_majority_accuracy(n, mu) >= c
+
+    def test_minimality(self):
+        # The returned n is the smallest odd count meeting the bar.
+        for c in (0.65, 0.8, 0.9, 0.95):
+            for mu in (0.6, 0.7, 0.85):
+                n = refined_worker_count(c, mu)
+                if n > 1:
+                    assert expected_majority_accuracy(n - 2, mu) < c
+
+    def test_matches_bruteforce(self):
+        for c in (0.7, 0.9):
+            for mu in (0.62, 0.75):
+                n = 1
+                while majority_probability(n, mu) < c:
+                    n += 2
+                assert refined_worker_count(c, mu) == n
+
+    def test_never_exceeds_conservative(self):
+        for c in (0.65, 0.85, 0.99):
+            for mu in (0.58, 0.7, 0.9):
+                assert refined_worker_count(c, mu) <= conservative_worker_count(c, mu)
+
+    def test_paper_figure6_halving(self):
+        # Figure 6: the refined estimate is roughly half (or less) of the
+        # conservative one across the sweep at practical mu.
+        for c in (0.75, 0.85, 0.95, 0.99):
+            refined = refined_worker_count(c, 0.7)
+            conservative = conservative_worker_count(c, 0.7)
+            assert refined <= 0.55 * conservative + 1
+
+    def test_is_odd(self):
+        for c in (0.66, 0.77, 0.88, 0.99):
+            assert refined_worker_count(c, 0.7) % 2 == 1
+
+
+class TestExpectedMajorityAccuracy:
+    def test_equals_util_majority_probability(self):
+        assert expected_majority_accuracy(9, 0.7) == majority_probability(9, 0.7)
+
+
+class TestWorkerCountPredictor:
+    def test_refined_default(self):
+        p = WorkerCountPredictor(mean_accuracy=0.7)
+        assert p.predict(0.9) == refined_worker_count(0.9, 0.7)
+
+    def test_conservative_mode(self):
+        p = WorkerCountPredictor(mean_accuracy=0.7, refined=False)
+        assert p.predict(0.9) == conservative_worker_count(0.9, 0.7)
+
+    def test_expected_accuracy_and_floor(self):
+        p = WorkerCountPredictor(mean_accuracy=0.75)
+        n = p.predict(0.9)
+        assert p.expected_accuracy(n) >= 0.9
+        assert p.chernoff_floor(n) <= p.expected_accuracy(n)
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            WorkerCountPredictor(mean_accuracy=1.5)

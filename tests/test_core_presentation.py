@@ -1,0 +1,93 @@
+"""Tests for §4.3 result presentation (h scoring, reports, reasons)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domain import AnswerDomain
+from repro.core.presentation import (
+    OpinionReport,
+    QuestionOutcome,
+    build_report,
+    h_score,
+)
+from repro.core.types import Verdict, WorkerAnswer
+
+
+def _accepted(qid: str, answer: str, observation=()) -> QuestionOutcome:
+    return QuestionOutcome(
+        question_id=qid,
+        verdict=Verdict(answer=answer, confidence=0.9, scores={answer: 0.9}),
+        accepted=True,
+        observation=observation,
+    )
+
+
+def _open(qid: str, scores: dict[str, float]) -> QuestionOutcome:
+    return QuestionOutcome(
+        question_id=qid,
+        verdict=Verdict(answer=None, confidence=None, scores=scores),
+        accepted=False,
+    )
+
+
+class TestHScore:
+    def test_accepted_unit_vote(self):
+        outcome = _accepted("t1", "pos")
+        assert h_score(outcome, "pos") == 1.0
+        assert h_score(outcome, "neg") == 0.0
+
+    def test_open_question_uses_confidence(self):
+        outcome = _open("t1", {"pos": 0.6, "neg": 0.4})
+        assert h_score(outcome, "pos") == pytest.approx(0.6)
+        assert h_score(outcome, "neg") == pytest.approx(0.4)
+
+    def test_unknown_label_scores_zero(self):
+        outcome = _open("t1", {"pos": 0.6})
+        assert h_score(outcome, "neu") == 0.0
+
+
+class TestBuildReport:
+    def test_percentages(self, pos_neu_neg):
+        outcomes = [
+            _accepted("t1", "pos"),
+            _accepted("t2", "pos"),
+            _accepted("t3", "neg"),
+            _open("t4", {"pos": 0.5, "neu": 0.25, "neg": 0.25}),
+        ]
+        report = build_report("Movie", outcomes, pos_neu_neg)
+        assert report.percentage("pos") == pytest.approx((1 + 1 + 0 + 0.5) / 4)
+        assert report.percentage("neg") == pytest.approx((1 + 0.25) / 4)
+        assert report.question_count == 4
+
+    def test_reasons_most_frequent_first(self, pos_neu_neg):
+        obs = [
+            WorkerAnswer("w1", "pos", 0.7, keywords=("plot", "cast")),
+            WorkerAnswer("w2", "pos", 0.7, keywords=("plot",)),
+            WorkerAnswer("w3", "neg", 0.7, keywords=("ending",)),
+        ]
+        outcomes = [_accepted("t1", "pos", observation=obs)]
+        report = build_report("Movie", outcomes, pos_neu_neg)
+        pos_row = next(r for r in report.rows if r.label == "pos")
+        assert pos_row.reasons[0] == "plot"
+        neg_row = next(r for r in report.rows if r.label == "neg")
+        assert neg_row.reasons == ("ending",)
+
+    def test_render_contains_percentages(self, pos_neu_neg):
+        report = build_report("Movie", [_accepted("t1", "pos")], pos_neu_neg)
+        text = report.render()
+        assert "Movie" in text
+        assert "100.0%" in text
+
+    def test_unknown_label_percentage_zero(self, pos_neu_neg):
+        report = build_report("Movie", [_accepted("t1", "pos")], pos_neu_neg)
+        assert report.percentage("nonexistent") == 0.0
+
+    def test_empty_outcomes_rejected(self, pos_neu_neg):
+        with pytest.raises(ValueError):
+            build_report("Movie", [], pos_neu_neg)
+
+    def test_report_type(self, pos_neu_neg):
+        report = build_report("Movie", [_accepted("t1", "neu")], pos_neu_neg)
+        assert isinstance(report, OpinionReport)
+        assert [r.label for r in report.rows] == list(pos_neu_neg.labels)

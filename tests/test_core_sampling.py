@@ -1,0 +1,142 @@
+"""Tests for gold-sampling accuracy estimation (paper §3.3, Algorithm 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sampling import (
+    GoldQuestion,
+    SampledQuestion,
+    WorkerAccuracyEstimator,
+    compose_hit_questions,
+    score_gold_answers,
+)
+from repro.util.rng import substream
+
+
+def _gold_pool(n: int) -> list[GoldQuestion]:
+    return [GoldQuestion(question_id=f"g{i}", truth="a") for i in range(n)]
+
+
+class TestSampledQuestion:
+    def test_gold_needs_truth(self):
+        with pytest.raises(ValueError, match="lacks a truth"):
+            SampledQuestion(question_id="q", payload=None, is_gold=True)
+
+    def test_real_must_not_carry_truth(self):
+        with pytest.raises(ValueError, match="must not carry"):
+            SampledQuestion(question_id="q", payload=None, is_gold=False, truth="a")
+
+
+class TestComposeHitQuestions:
+    def test_gold_share_matches_alpha(self):
+        rng = substream(1, "compose")
+        real = [(f"r{i}", f"payload{i}") for i in range(80)]
+        slots = compose_hit_questions(real, _gold_pool(40), 0.2, rng)
+        gold = [s for s in slots if s.is_gold]
+        # alpha*B/(1-alpha) = 0.2*80/0.8 = 20 → gold is 20 of 100 slots.
+        assert len(gold) == 20
+        assert len(slots) == 100
+
+    def test_zero_rate_means_no_gold(self):
+        rng = substream(1, "compose")
+        slots = compose_hit_questions([("r0", None)], _gold_pool(5), 0.0, rng)
+        assert all(not s.is_gold for s in slots)
+
+    def test_shuffle_is_deterministic(self):
+        real = [(f"r{i}", None) for i in range(30)]
+        a = compose_hit_questions(real, _gold_pool(30), 0.2, substream(5, "x"))
+        b = compose_hit_questions(real, _gold_pool(30), 0.2, substream(5, "x"))
+        assert [s.question_id for s in a] == [s.question_id for s in b]
+
+    def test_gold_not_all_at_end(self):
+        real = [(f"r{i}", None) for i in range(40)]
+        slots = compose_hit_questions(real, _gold_pool(30), 0.2, substream(9, "x"))
+        gold_positions = [i for i, s in enumerate(slots) if s.is_gold]
+        assert gold_positions != list(range(len(slots) - len(gold_positions), len(slots)))
+
+    def test_insufficient_pool_rejected(self):
+        real = [(f"r{i}", None) for i in range(80)]
+        with pytest.raises(ValueError, match="pool has"):
+            compose_hit_questions(real, _gold_pool(3), 0.2, substream(1, "x"))
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            compose_hit_questions([], _gold_pool(1), 1.0, substream(1, "x"))
+
+
+class TestWorkerAccuracyEstimator:
+    def test_raw_rate_no_smoothing(self):
+        est = WorkerAccuracyEstimator()
+        for correct in (True, True, False, True):
+            est.record("w", correct)
+        assert est.accuracy("w") == pytest.approx(0.75)
+        assert est.observations("w") == 4
+
+    def test_unseen_worker_gets_prior(self):
+        est = WorkerAccuracyEstimator(prior_accuracy=0.6)
+        assert est.accuracy("ghost") == 0.6
+
+    def test_smoothing_pulls_toward_prior(self):
+        est = WorkerAccuracyEstimator(prior_accuracy=0.5, smoothing=2.0)
+        est.record("w", True)
+        # (1 + 2*0.5) / (1 + 2) = 2/3 instead of raw 1.0.
+        assert est.accuracy("w") == pytest.approx(2.0 / 3.0)
+
+    def test_mean_accuracy(self):
+        est = WorkerAccuracyEstimator()
+        est.record("a", True)
+        est.record("b", False)
+        assert est.mean_accuracy() == pytest.approx(0.5)
+
+    def test_mean_accuracy_prior_fallback(self):
+        est = WorkerAccuracyEstimator(prior_accuracy=0.55)
+        assert est.mean_accuracy() == 0.55
+
+    def test_as_mapping(self):
+        est = WorkerAccuracyEstimator()
+        est.record("a", True)
+        assert est.as_mapping() == {"a": 1.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerAccuracyEstimator(prior_accuracy=1.2)
+        with pytest.raises(ValueError):
+            WorkerAccuracyEstimator(smoothing=-1.0)
+
+
+class TestScoreGoldAnswers:
+    def test_algorithm4_tallies(self):
+        questions = [
+            SampledQuestion("g1", None, True, truth="a"),
+            SampledQuestion("g2", None, True, truth="b"),
+            SampledQuestion("r1", "payload", False),
+        ]
+        est = WorkerAccuracyEstimator()
+        result = score_gold_answers(
+            questions,
+            {
+                "w1": {"g1": "a", "g2": "b", "r1": "whatever"},
+                "w2": {"g1": "a", "g2": "x", "r1": "whatever"},
+            },
+            est,
+        )
+        assert result["w1"] == pytest.approx(1.0)
+        assert result["w2"] == pytest.approx(0.5)
+        # Real questions never enter the tally.
+        assert est.observations("w1") == 2
+
+    def test_skipped_gold_not_counted(self):
+        questions = [SampledQuestion("g1", None, True, truth="a")]
+        est = WorkerAccuracyEstimator(prior_accuracy=0.5)
+        score_gold_answers(questions, {"w": {}}, est)
+        assert est.observations("w") == 0
+        assert est.accuracy("w") == 0.5
+
+    def test_estimator_accumulates_across_hits(self):
+        est = WorkerAccuracyEstimator()
+        q1 = [SampledQuestion("g1", None, True, truth="a")]
+        q2 = [SampledQuestion("g2", None, True, truth="a")]
+        score_gold_answers(q1, {"w": {"g1": "a"}}, est)
+        score_gold_answers(q2, {"w": {"g2": "x"}}, est)
+        assert est.accuracy("w") == pytest.approx(0.5)

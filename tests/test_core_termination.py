@@ -1,0 +1,153 @@
+"""Tests for the §4.2.2 early-termination strategies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.confidence import worker_confidence
+from repro.core.domain import AnswerDomain
+from repro.core.termination import (
+    STRATEGY_NAMES,
+    ExpMax,
+    MinExp,
+    MinMax,
+    TerminationSnapshot,
+    strategy_by_name,
+)
+
+
+def _snapshot(
+    weights: dict[str, float],
+    remaining: int,
+    mu: float = 0.7,
+    domain: AnswerDomain | None = None,
+) -> TerminationSnapshot:
+    if domain is None:
+        domain = AnswerDomain.closed(tuple(weights))
+    return TerminationSnapshot(
+        log_weights=weights, domain=domain, remaining_workers=remaining, mean_accuracy=mu
+    )
+
+
+class TestSnapshot:
+    def test_leader_and_runner_up(self):
+        snap = _snapshot({"a": 3.0, "b": 1.0, "c": 2.0}, remaining=2)
+        assert snap.leader_and_runner_up() == ("a", "c")
+
+    def test_runner_up_none_with_hidden_answers(self):
+        domain = AnswerDomain(labels=("a",), m=4, closed_domain=False)
+        snap = _snapshot({"a": 2.0}, remaining=3, domain=domain)
+        leader, runner = snap.leader_and_runner_up()
+        assert leader == "a"
+        assert runner is None
+
+    def test_single_label_no_hidden_rejected(self):
+        domain = AnswerDomain(labels=("a", "b"), m=2, closed_domain=True)
+        snap = TerminationSnapshot(
+            log_weights={"a": 1.0, "b": 0.5},
+            domain=domain,
+            remaining_workers=0,
+            mean_accuracy=0.7,
+        )
+        # Fine with two labels; the error case needs a 1-label closed
+        # domain, which AnswerDomain itself forbids — so nothing to test
+        # beyond construction here.
+        assert snap.leader_and_runner_up()[0] == "a"
+
+    def test_log_boost(self):
+        snap = _snapshot({"a": 1.0, "b": 0.0}, remaining=4, mu=0.8)
+        expected = 4 * worker_confidence(0.8, 2)
+        assert snap.log_boost() == pytest.approx(expected)
+
+    def test_zero_remaining_boost(self):
+        snap = _snapshot({"a": 1.0, "b": 0.0}, remaining=0)
+        assert snap.log_boost() == 0.0
+
+    def test_adversarial_confidences_properties(self):
+        snap = _snapshot({"a": 2.0, "b": 1.0, "c": 0.0}, remaining=3)
+        min_p1, max_p2 = snap.adversarial_confidences()
+        exp_p1, exp_p2 = snap.expected_confidences()
+        # Equations 5/6: worst case can only hurt the leader and help the
+        # runner-up.
+        assert min_p1 <= exp_p1 + 1e-12
+        assert max_p2 >= exp_p2 - 1e-12
+        assert 0.0 < min_p1 < 1.0
+        assert 0.0 < max_p2 < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            _snapshot({"a": 1.0, "b": 0.0}, remaining=-1)
+        with pytest.raises(ValueError, match="not in"):
+            _snapshot({"a": 1.0, "b": 0.0}, remaining=1, mu=2.0)
+        with pytest.raises(ValueError, match="missing"):
+            TerminationSnapshot(
+                log_weights={"a": 1.0},
+                domain=AnswerDomain.closed(("a", "b")),
+                remaining_workers=1,
+                mean_accuracy=0.7,
+            )
+
+
+class TestStrategies:
+    def test_all_stop_when_nothing_remains(self):
+        snap = _snapshot({"a": 0.5, "b": 0.4}, remaining=0)
+        for name in STRATEGY_NAMES:
+            assert strategy_by_name(name).should_stop(snap)
+
+    def test_none_stop_with_huge_outstanding_pool(self):
+        snap = _snapshot({"a": 1.0, "b": 0.9}, remaining=50)
+        for name in STRATEGY_NAMES:
+            assert not strategy_by_name(name).should_stop(snap)
+
+    def test_minmax_log_weight_equivalence(self):
+        # MinMax ⟺ w1 > w2 + boost (shared denominator cancels).
+        for lead, runner, remaining in ((5.0, 1.0, 1), (5.0, 1.0, 3), (2.0, 1.9, 1)):
+            snap = _snapshot({"a": lead, "b": runner}, remaining=remaining)
+            direct = lead > runner + snap.log_boost()
+            assert MinMax().should_stop(snap) == direct
+
+    def test_minexp_easier_than_minmax(self):
+        # Any state where MinMax fires, MinExp fires too (exp2 ≤ max2).
+        for weights in ({"a": 6.0, "b": 1.0}, {"a": 4.0, "b": 0.5}, {"a": 9.0, "b": 2.0}):
+            for remaining in (1, 2, 4):
+                snap = _snapshot(weights, remaining=remaining)
+                if MinMax().should_stop(snap):
+                    assert MinExp().should_stop(snap)
+
+    def test_expmax_easier_than_minmax(self):
+        for weights in ({"a": 6.0, "b": 1.0}, {"a": 4.0, "b": 0.5}, {"a": 9.0, "b": 2.0}):
+            for remaining in (1, 2, 4):
+                snap = _snapshot(weights, remaining=remaining)
+                if MinMax().should_stop(snap):
+                    assert ExpMax().should_stop(snap)
+
+    def test_strategy_by_name(self):
+        assert isinstance(strategy_by_name("minmax"), MinMax)
+        assert isinstance(strategy_by_name("minexp"), MinExp)
+        assert isinstance(strategy_by_name("expmax"), ExpMax)
+        with pytest.raises(ValueError, match="unknown"):
+            strategy_by_name("always")
+
+    def test_clear_leader_one_remaining_stops(self):
+        # One outstanding worker cannot overturn a 5-confidence lead.
+        snap = _snapshot({"a": 6.0, "b": 0.5, "c": 0.0}, remaining=1)
+        assert MinMax().should_stop(snap)
+        assert MinExp().should_stop(snap)
+        assert ExpMax().should_stop(snap)
+
+    def test_hidden_answer_runner_up_path(self):
+        # Open domain, single observed label: the adversary boosts a
+        # hidden answer.  With enough outstanding votes no rule fires.
+        domain = AnswerDomain(labels=("a",), m=5, closed_domain=False)
+        snap = _snapshot({"a": 1.0}, remaining=10, domain=domain)
+        assert not MinMax().should_stop(snap)
+        # ...but with a commanding lead and one straggler they do.
+        snap2 = _snapshot({"a": 9.0}, remaining=1, domain=domain)
+        assert MinMax().should_stop(snap2)
+
+    def test_denominators_finite(self):
+        snap = _snapshot({"a": 300.0, "b": 200.0}, remaining=5)
+        min_p1, max_p2 = snap.adversarial_confidences()
+        assert math.isfinite(min_p1) and math.isfinite(max_p2)

@@ -1,0 +1,146 @@
+"""Tests for the three verification models (paper §4.1, §5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domain import AnswerDomain
+from repro.core.types import WorkerAnswer, votes_by_answer
+from repro.core.verification import (
+    HalfVoting,
+    MajorityVoting,
+    ProbabilisticVerification,
+    verify_with_all,
+)
+
+
+def _obs(*answers: tuple[str, str, float]) -> list[WorkerAnswer]:
+    return [WorkerAnswer(w, a, acc) for w, a, acc in answers]
+
+
+class TestVotesByAnswer:
+    def test_counts(self):
+        obs = _obs(("w1", "a", 0.5), ("w2", "a", 0.5), ("w3", "b", 0.5))
+        assert votes_by_answer(obs) == {"a": 2, "b": 1}
+
+    def test_order_preserved(self):
+        obs = _obs(("w1", "z", 0.5), ("w2", "a", 0.5))
+        assert list(votes_by_answer(obs)) == ["z", "a"]
+
+
+class TestHalfVoting:
+    def test_accepts_majority(self):
+        obs = _obs(("w1", "a", 0.5), ("w2", "a", 0.5), ("w3", "b", 0.5))
+        verdict = HalfVoting().verify(obs)
+        assert verdict.answer == "a"
+        assert verdict.confidence == pytest.approx(2 / 3)
+
+    def test_abstains_without_majority(self):
+        obs = _obs(("w1", "a", 0.5), ("w2", "b", 0.5), ("w3", "c", 0.5))
+        verdict = HalfVoting().verify(obs)
+        assert verdict.answer is None
+        assert not verdict.decided
+
+    def test_hired_workers_denominator(self):
+        # 2 of 5 hired workers voting "a" is not a half majority even if
+        # only 3 replied.
+        obs = _obs(("w1", "a", 0.5), ("w2", "a", 0.5), ("w3", "b", 0.5))
+        verdict = HalfVoting(hired_workers=5).verify(obs)
+        assert verdict.answer is None
+
+    def test_hired_fewer_than_answers_rejected(self):
+        obs = _obs(("w1", "a", 0.5), ("w2", "a", 0.5))
+        with pytest.raises(ValueError):
+            HalfVoting(hired_workers=1).verify(obs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HalfVoting().verify([])
+
+
+class TestMajorityVoting:
+    def test_accepts_plurality(self):
+        obs = _obs(
+            ("w1", "a", 0.5), ("w2", "a", 0.5), ("w3", "b", 0.5), ("w4", "c", 0.5)
+        )
+        assert MajorityVoting().verify(obs).answer == "a"
+
+    def test_abstains_on_tie(self):
+        obs = _obs(("w1", "a", 0.5), ("w2", "b", 0.5))
+        assert MajorityVoting().verify(obs).answer is None
+
+    def test_plurality_below_half_still_accepted(self):
+        # 2-1-1-1: plurality without majority — majority-voting accepts,
+        # half-voting abstains (this is the gap Figure 9 measures).
+        obs = _obs(
+            ("w1", "a", 0.5),
+            ("w2", "a", 0.5),
+            ("w3", "b", 0.5),
+            ("w4", "c", 0.5),
+            ("w5", "d", 0.5),
+        )
+        assert MajorityVoting().verify(obs).answer == "a"
+        assert HalfVoting().verify(obs).answer is None
+
+
+class TestProbabilisticVerification:
+    def test_paper_table4(self, pos_neu_neg):
+        obs = _obs(
+            ("w1", "pos", 0.54),
+            ("w2", "pos", 0.31),
+            ("w3", "neu", 0.49),
+            ("w4", "neg", 0.73),
+            ("w5", "pos", 0.46),
+        )
+        verdict = ProbabilisticVerification(domain=pos_neu_neg).verify(obs)
+        assert verdict.answer == "neg"
+        assert verdict.confidence == pytest.approx(0.495, abs=5e-4)
+
+    def test_never_abstains(self, pos_neu_neg):
+        obs = _obs(("w1", "pos", 0.5), ("w2", "neg", 0.5))
+        verdict = ProbabilisticVerification(domain=pos_neu_neg).verify(obs)
+        assert verdict.decided
+
+    def test_equal_accuracy_reduces_to_majority(self, pos_neu_neg):
+        obs = _obs(
+            ("w1", "pos", 0.7), ("w2", "pos", 0.7), ("w3", "neg", 0.7)
+        )
+        verdict = ProbabilisticVerification(domain=pos_neu_neg).verify(obs)
+        assert verdict.answer == "pos"
+
+    def test_open_domain_inference(self):
+        obs = _obs(("w1", "42", 0.9), ("w2", "41", 0.4))
+        verdict = ProbabilisticVerification().verify(obs)
+        assert verdict.answer == "42"
+
+    def test_scores_are_probabilities(self, pos_neu_neg):
+        obs = _obs(("w1", "pos", 0.8), ("w2", "neu", 0.6), ("w3", "neg", 0.55))
+        verdict = ProbabilisticVerification(domain=pos_neu_neg).verify(obs)
+        assert sum(verdict.scores.values()) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in verdict.scores.values())
+
+    def test_empty_rejected(self, pos_neu_neg):
+        with pytest.raises(ValueError):
+            ProbabilisticVerification(domain=pos_neu_neg).verify([])
+
+
+class TestVerifyWithAll:
+    def test_returns_all_three(self, pos_neu_neg):
+        obs = _obs(("w1", "pos", 0.7), ("w2", "pos", 0.6), ("w3", "neg", 0.8))
+        verdicts = verify_with_all(obs, pos_neu_neg, hired_workers=3)
+        assert set(verdicts) == {"half-voting", "majority-voting", "verification"}
+        assert verdicts["half-voting"].method == "half-voting"
+
+    def test_methods_can_disagree(self, pos_neu_neg):
+        # The Table-4 situation: voting picks pos, verification picks neg.
+        obs = _obs(
+            ("w1", "pos", 0.54),
+            ("w2", "pos", 0.31),
+            ("w3", "neu", 0.49),
+            ("w4", "neg", 0.73),
+            ("w5", "pos", 0.46),
+        )
+        verdicts = verify_with_all(obs, pos_neu_neg, hired_workers=5)
+        assert verdicts["half-voting"].answer == "pos"
+        assert verdicts["majority-voting"].answer == "pos"
+        assert verdicts["verification"].answer == "neg"

@@ -1,0 +1,119 @@
+"""Failure-injection and edge-case coverage across the stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.hit import HIT, Question
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.core.domain import AnswerDomain
+from repro.core.online import run_online
+from repro.core.prediction import PredictionInfeasibleError
+from repro.core.termination import ExpMax, MinMax
+from repro.core.types import WorkerAnswer
+from repro.core.verification import ProbabilisticVerification
+from repro.engine.engine import CrowdsourcingEngine, EngineConfig
+
+
+def _q(qid: str = "q") -> Question:
+    return Question(question_id=qid, options=("a", "b", "c"), truth="a")
+
+
+class TestMarketExhaustion:
+    def test_hit_larger_than_pool_rejected(self):
+        pool = WorkerPool.from_config(PoolConfig(size=10), seed=1)
+        market = SimulatedMarket(pool, seed=1)
+        with pytest.raises(ValueError, match="eligible"):
+            market.publish(HIT(hit_id="big", questions=(_q(),), assignments=11))
+
+    def test_hit_exactly_pool_size_allowed(self):
+        pool = WorkerPool.from_config(PoolConfig(size=10), seed=1)
+        market = SimulatedMarket(pool, seed=1)
+        handle = market.publish(HIT(hit_id="all", questions=(_q(),), assignments=10))
+        assert len(handle.collect_all()) == 10
+
+
+class TestEngineInfeasibility:
+    def test_uncalibrated_engine_cannot_predict(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=2)
+        engine = CrowdsourcingEngine(market, seed=2)
+        # Prior mu = 0.5 → prediction infeasible, loud error.
+        with pytest.raises(PredictionInfeasibleError):
+            engine.predict_workers(0.9)
+
+    def test_forced_worker_count_bypasses_prediction(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=3)
+        engine = CrowdsourcingEngine(market, seed=3)
+        result = engine.run_batch([_q()], 0.9, gold_pool=[_q("g")], worker_count=3)
+        assert result.workers_hired == 3
+
+
+class TestDegenerateObservations:
+    def test_all_workers_agree_max_confidence(self, pos_neu_neg):
+        obs = [WorkerAnswer(f"w{i}", "pos", 0.9) for i in range(9)]
+        verdict = ProbabilisticVerification(domain=pos_neu_neg).verify(obs)
+        assert verdict.answer == "pos"
+        assert verdict.confidence > 0.999
+
+    def test_all_workers_at_exact_uniform_accuracy(self, pos_neu_neg):
+        # Accuracy 1/m ⇒ zero confidence ⇒ all answers equally likely.
+        obs = [
+            WorkerAnswer("w1", "pos", 1 / 3),
+            WorkerAnswer("w2", "neg", 1 / 3),
+        ]
+        verifier = ProbabilisticVerification(domain=pos_neu_neg)
+        scores = verifier.verify(obs).scores
+        assert scores["pos"] == pytest.approx(scores["neg"])
+        assert scores["pos"] == pytest.approx(scores["neu"])
+
+    def test_single_answer_runs_online(self, pos_neu_neg):
+        result = run_online(
+            [WorkerAnswer("w", "neu", 0.8)], pos_neu_neg, mean_accuracy=0.7
+        )
+        assert result.verdict.answer == "neu"
+        assert result.answers_used == 1
+
+    def test_online_with_strategy_and_two_labels(self):
+        domain = AnswerDomain.closed(("yes", "no"))
+        answers = [WorkerAnswer(f"w{i}", "yes", 0.9) for i in range(9)]
+        result = run_online(answers, domain, mean_accuracy=0.7, strategy=ExpMax())
+        assert result.verdict.answer == "yes"
+        assert result.answers_used <= 9
+
+    def test_minmax_never_fires_on_alternating_votes(self, pos_neu_neg):
+        # Perfectly split evidence keeps min1 ≤ max2 throughout.
+        answers = []
+        for i in range(10):
+            answers.append(
+                WorkerAnswer(f"w{i}", "pos" if i % 2 == 0 else "neg", 0.7)
+            )
+        result = run_online(answers, pos_neu_neg, mean_accuracy=0.7, strategy=MinMax())
+        assert not result.terminated_early
+
+
+class TestEngineGoldExhaustion:
+    def test_gold_pool_smaller_than_needed_rejected(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=4)
+        engine = CrowdsourcingEngine(
+            market, seed=4, config=EngineConfig(sampling_rate=0.5)
+        )
+        questions = [_q(f"q{i}") for i in range(10)]
+        with pytest.raises(ValueError, match="gold"):
+            engine.run_batch(questions, 0.9, gold_pool=[_q("g")], worker_count=3)
+
+    def test_zero_sampling_rate_needs_no_gold(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=5)
+        engine = CrowdsourcingEngine(
+            market, seed=5, config=EngineConfig(sampling_rate=0.0)
+        )
+        result = engine.run_batch([_q()], 0.9, gold_pool=[], worker_count=3)
+        assert len(result.records) == 1
+        # Without gold the estimator never learns: every worker sits at
+        # the prior.
+        assert engine.estimator.known_workers() == []
+
+
+class TestQuestionTopicDefault:
+    def test_default_topic_is_general(self):
+        assert _q().topic == "general"

@@ -1,0 +1,216 @@
+"""Tests for the two-phase crowdsourcing engine (Algorithm 1 + 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.hit import Question
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.engine.engine import CrowdsourcingEngine, EngineConfig
+from repro.engine.privacy import PrivacyManager
+
+
+def _questions(count: int, difficulty: float = 0.0) -> list[Question]:
+    options = ("pos", "neu", "neg")
+    return [
+        Question(
+            question_id=f"q{i}",
+            options=options,
+            truth=options[i % 3],
+            difficulty=difficulty,
+        )
+        for i in range(count)
+    ]
+
+
+def _gold(count: int) -> list[Question]:
+    options = ("pos", "neu", "neg")
+    return [
+        Question(question_id=f"gold{i}", options=options, truth=options[i % 3])
+        for i in range(count)
+    ]
+
+
+@pytest.fixture()
+def engine(small_pool) -> CrowdsourcingEngine:
+    market = SimulatedMarket(small_pool, seed=21)
+    return CrowdsourcingEngine(market, seed=21)
+
+
+class TestEngineConfig:
+    def test_defaults_valid(self):
+        EngineConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sampling_rate": 1.0},
+            {"verifier": "quantum"},
+            {"min_answers_before_termination": 0},
+            {"termination": "never"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(**kwargs)
+
+
+class TestCalibration:
+    def test_calibrate_learns_mu(self, engine):
+        before = engine.mean_accuracy()
+        mu = engine.calibrate(_gold(15), workers_per_hit=20, hits=2)
+        assert before == 0.5  # prior
+        assert 0.5 < mu < 0.95
+        assert engine.mean_accuracy() == mu
+
+    def test_calibrate_requires_gold(self, engine):
+        with pytest.raises(ValueError):
+            engine.calibrate([])
+
+    def test_prediction_after_calibration(self, engine):
+        engine.calibrate(_gold(15), workers_per_hit=20, hits=2)
+        n = engine.predict_workers(0.9)
+        assert n % 2 == 1
+        assert n >= 3
+
+
+class TestComposeQuestions:
+    def test_gold_share(self, engine):
+        from repro.util.rng import substream
+
+        composed = engine.compose_questions(
+            _questions(80), _gold(40), substream(1, "c")
+        )
+        gold = [q for q in composed if q.is_gold]
+        assert len(gold) == 20  # 0.2 * 80 / 0.8
+        assert len(composed) == 100
+
+    def test_gold_ids_prefixed(self, engine):
+        from repro.util.rng import substream
+
+        composed = engine.compose_questions(_questions(8), _gold(10), substream(1, "c"))
+        assert all(q.question_id.startswith("gold:") for q in composed if q.is_gold)
+
+    def test_insufficient_gold_rejected(self, engine):
+        from repro.util.rng import substream
+
+        with pytest.raises(ValueError, match="gold"):
+            engine.compose_questions(_questions(80), _gold(2), substream(1, "c"))
+
+
+class TestRunBatch:
+    def test_basic_run(self, engine):
+        engine.calibrate(_gold(15), workers_per_hit=20, hits=2)
+        result = engine.run_batch(_questions(10), 0.85, gold_pool=_gold(10))
+        assert result.workers_hired >= 3
+        assert result.assignments_collected == result.workers_hired
+        assert len(result.records) == 10
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.cost == pytest.approx(
+            engine.market.schedule.per_assignment * result.assignments_collected
+        )
+
+    def test_worker_count_override(self, engine):
+        result = engine.run_batch(_questions(6), 0.9, gold_pool=_gold(10), worker_count=5)
+        assert result.workers_hired == 5
+
+    def test_empty_batch_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.run_batch([], 0.9)
+
+    def test_records_align_with_questions(self, engine):
+        questions = _questions(6)
+        result = engine.run_batch(questions, 0.9, gold_pool=_gold(10), worker_count=7)
+        assert {r.question.question_id for r in result.records} == {
+            q.question_id for q in questions
+        }
+        for record in result.records:
+            assert len(record.observation) == 7
+
+    def test_verification_accuracy_reasonable(self, engine):
+        result = engine.run_batch(_questions(30), 0.9, gold_pool=_gold(12), worker_count=11)
+        assert result.accuracy >= 0.8
+
+    def test_estimator_learns_from_batch_gold(self, engine):
+        assert not engine.estimator.known_workers()
+        engine.run_batch(_questions(10), 0.9, gold_pool=_gold(10), worker_count=5)
+        assert engine.estimator.known_workers()
+
+
+class TestEarlyTermination:
+    def test_expmax_can_save_assignments(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=33)
+        engine = CrowdsourcingEngine(
+            market, seed=33, config=EngineConfig(termination="expmax")
+        )
+        engine.calibrate(_gold(15), workers_per_hit=20, hits=2)
+        # Single easy question with a large forced crowd: the rule must
+        # fire before all 31 assignments are consumed.
+        result = engine.run_batch(
+            _questions(1, difficulty=-0.5), 0.9, gold_pool=_gold(10), worker_count=31
+        )
+        assert result.terminated_early
+        assert result.assignments_collected < 31
+        assert result.assignments_cancelled > 0
+        assert result.accuracy == 1.0
+
+    def test_no_termination_collects_all(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=34)
+        engine = CrowdsourcingEngine(market, seed=34)  # termination=None
+        result = engine.run_batch(
+            _questions(1), 0.9, gold_pool=_gold(10), worker_count=15
+        )
+        assert not result.terminated_early
+        assert result.assignments_collected == 15
+
+
+class TestVerifierConfig:
+    def test_half_voting_engine_can_abstain(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=35)
+        engine = CrowdsourcingEngine(
+            market, seed=35, config=EngineConfig(verifier="half-voting")
+        )
+        result = engine.run_batch(
+            _questions(40, difficulty=0.6), 0.9, gold_pool=_gold(10), worker_count=3
+        )
+        assert result.no_answer_ratio > 0.0
+
+    def test_majority_voting_engine(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=36)
+        engine = CrowdsourcingEngine(
+            market, seed=36, config=EngineConfig(verifier="majority-voting")
+        )
+        result = engine.run_batch(
+            _questions(10), 0.9, gold_pool=_gold(10), worker_count=5
+        )
+        assert all(
+            r.verdict.method == "majority-voting" for r in result.records
+        )
+
+
+class TestPrivacyIntegration:
+    def test_blocked_workers_answers_discarded(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=37)
+        blocked = frozenset(p.worker_id for p in small_pool.profiles)
+        engine = CrowdsourcingEngine(
+            market,
+            seed=37,
+            privacy=PrivacyManager(blocked_workers=blocked),
+        )
+        result = engine.run_batch(
+            _questions(4), 0.9, gold_pool=_gold(10), worker_count=5
+        )
+        # Everyone is blocked → no observations, explicit abstention.
+        assert all(len(r.observation) == 0 for r in result.records)
+        assert all(r.verdict.answer is None for r in result.records)
+
+    def test_partial_blocking_keeps_rest(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=38)
+        engine = CrowdsourcingEngine(
+            market, seed=38, privacy=PrivacyManager(min_approval_rate=0.0)
+        )
+        result = engine.run_batch(
+            _questions(4), 0.9, gold_pool=_gold(10), worker_count=5
+        )
+        assert all(len(r.observation) == 5 for r in result.records)

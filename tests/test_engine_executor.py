@@ -1,0 +1,79 @@
+"""Tests for the program executor (stream filtering, batching, summaries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.presentation import QuestionOutcome
+from repro.core.types import Verdict
+from repro.engine.executor import ProgramExecutor, batched
+from repro.engine.query import Query
+from repro.tsa.tweets import Tweet
+
+
+class TestBatched:
+    def test_even_split(self):
+        assert list(batched(range(6), 2)) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_trailing_partial(self):
+        assert list(batched(range(5), 2)) == [[0, 1], [2, 3], [4]]
+
+    def test_empty(self):
+        assert list(batched([], 3)) == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(batched([1], 0))
+
+
+def _tweet(text: str, tid: str = "t1") -> Tweet:
+    return Tweet(
+        tweet_id=tid, movie="Thor", text=text, sentiment="positive", difficulty=0.0
+    )
+
+
+class TestFilterStream:
+    def test_keyword_filter(self):
+        executor = ProgramExecutor(text_of=lambda t: t.text)
+        query = Query(keywords=("Thor",), required_accuracy=0.9, domain=("a", "b"))
+        tweets = [
+            _tweet("thor was great", "t1"),
+            _tweet("loki stole the show", "t2"),
+            _tweet("THOR again", "t3"),
+        ]
+        kept = list(executor.filter_stream(tweets, query))
+        assert [t.tweet_id for t in kept] == ["t1", "t3"]
+
+    def test_buffer_batches(self):
+        executor = ProgramExecutor(text_of=lambda t: t.text)
+        query = Query(keywords=("thor",), required_accuracy=0.9, domain=("a", "b"))
+        tweets = [_tweet(f"thor {i}", f"t{i}") for i in range(5)]
+        batches = list(executor.buffer_batches(tweets, query, batch_size=2))
+        assert [len(b) for b in batches] == [2, 2, 1]
+
+
+class TestSummarize:
+    def test_uses_query_domain(self):
+        executor = ProgramExecutor()
+        query = Query(
+            keywords=("Thor",),
+            required_accuracy=0.9,
+            domain=("positive", "neutral", "negative"),
+            subject="Thor",
+        )
+        outcomes = [
+            QuestionOutcome(
+                question_id="t1",
+                verdict=Verdict(answer="positive", confidence=0.9),
+                accepted=True,
+            ),
+            QuestionOutcome(
+                question_id="t2",
+                verdict=Verdict(answer="negative", confidence=0.8),
+                accepted=True,
+            ),
+        ]
+        report = executor.summarize(query, outcomes)
+        assert report.subject == "Thor"
+        assert report.percentage("positive") == pytest.approx(0.5)
+        assert report.percentage("negative") == pytest.approx(0.5)

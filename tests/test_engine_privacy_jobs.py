@@ -1,0 +1,104 @@
+"""Tests for the privacy manager and job manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.worker import WorkerProfile
+from repro.engine.jobs import JobManager, JobSpec
+from repro.engine.privacy import MASK, PrivacyManager
+from repro.engine.query import Query
+from repro.engine.templates import QueryTemplate
+from repro.tsa.app import build_tsa_spec
+
+
+class TestPrivacyManagerMasking:
+    def test_masks_handles(self):
+        pm = PrivacyManager()
+        assert pm.sanitize_text("ask @john_doe about it") == f"ask {MASK} about it"
+
+    def test_masks_emails(self):
+        pm = PrivacyManager()
+        assert MASK in pm.sanitize_text("mail me: a.b+c@example.org thanks")
+
+    def test_masks_long_numbers(self):
+        pm = PrivacyManager()
+        out = pm.sanitize_text("call 5551234567 now, room 42 stays")
+        assert MASK in out
+        assert "42" in out  # short numbers are not sensitive
+
+    def test_extra_patterns(self):
+        pm = PrivacyManager(extra_patterns=(r"project-\w+",))
+        assert pm.sanitize_text("project-tiger is live") == f"{MASK} is live"
+
+    def test_clean_text_untouched(self):
+        pm = PrivacyManager()
+        text = "a perfectly ordinary tweet about a movie"
+        assert pm.sanitize_text(text) == text
+
+
+class TestPrivacyManagerWorkerGate:
+    def _worker(self, approval: float, worker_id: str = "w1") -> WorkerProfile:
+        return WorkerProfile(worker_id, 0.7, approval)
+
+    def test_approval_gate(self):
+        pm = PrivacyManager(min_approval_rate=0.9)
+        assert pm.worker_allowed(self._worker(0.95))
+        assert not pm.worker_allowed(self._worker(0.5))
+
+    def test_blocklist(self):
+        pm = PrivacyManager(blocked_workers=frozenset({"bad"}))
+        assert not pm.worker_allowed(self._worker(1.0, "bad"))
+        assert pm.worker_allowed(self._worker(1.0, "good"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyManager(min_approval_rate=1.5)
+
+
+class TestJobManager:
+    def _spec(self, name: str = "job-a") -> JobSpec:
+        return JobSpec(
+            name=name,
+            template=QueryTemplate(
+                job_name=name, instructions="i", item_label="Item", prompt="p"
+            ),
+            computer_tasks=("filter",),
+            human_tasks=("classify",),
+        )
+
+    def test_register_and_plan(self):
+        jm = JobManager()
+        jm.register(self._spec())
+        query = Query(keywords=("x",), required_accuracy=0.9, domain=("a", "b"))
+        plan = jm.plan("job-a", query)
+        assert plan.job_name == "job-a"
+        assert "classify" in plan.describe()
+        assert jm.registered_jobs == ("job-a",)
+
+    def test_duplicate_registration_rejected(self):
+        jm = JobManager()
+        jm.register(self._spec())
+        with pytest.raises(ValueError, match="already registered"):
+            jm.register(self._spec())
+
+    def test_unknown_job_rejected(self):
+        jm = JobManager()
+        with pytest.raises(KeyError, match="no job"):
+            jm.plan("ghost", Query(keywords=("x",), required_accuracy=0.9, domain=("a", "b")))
+
+    def test_spec_needs_both_sides(self):
+        with pytest.raises(ValueError, match="both"):
+            JobSpec(
+                name="half",
+                template=QueryTemplate(
+                    job_name="half", instructions="i", item_label="I", prompt="p"
+                ),
+                computer_tasks=(),
+                human_tasks=("classify",),
+            )
+
+    def test_tsa_spec_registers(self):
+        jm = JobManager()
+        jm.register(build_tsa_spec())
+        assert "twitter-sentiment" in jm.registered_jobs

@@ -1,0 +1,108 @@
+"""Tests for Query (Definition 1) and HIT templates (Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.hit import Question
+from repro.engine.query import Query
+from repro.engine.templates import QueryTemplate, render_hit_description
+
+
+def _query(**kwargs) -> Query:
+    defaults = dict(
+        keywords=("iPhone4S", "iPhone 4S"),
+        required_accuracy=0.95,
+        domain=("Best Ever", "Good", "Not Satisfied"),
+        timestamp="2011-10-14",
+        window=10,
+    )
+    defaults.update(kwargs)
+    return Query(**defaults)
+
+
+class TestQuery:
+    def test_paper_example(self):
+        q = _query()
+        assert q.subject == "iPhone4S"  # defaults to first keyword
+        assert q.answer_domain().m == 3
+
+    def test_keyword_matching_case_insensitive(self):
+        q = _query()
+        assert q.matches("just got my IPHONE4S today")
+        assert q.matches("the iphone 4s is ok")
+        assert not q.matches("galaxy nexus all the way")
+
+    def test_explicit_subject(self):
+        assert _query(subject="Apple Phone").subject == "Apple Phone"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"keywords": ()},
+            {"required_accuracy": 0.0},
+            {"required_accuracy": 1.0},
+            {"domain": ("only",)},
+            {"domain": ("a", "a")},
+            {"window": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            _query(**kwargs)
+
+
+class TestQueryTemplate:
+    def _template(self, **kwargs) -> QueryTemplate:
+        defaults = dict(
+            job_name="twitter-sentiment",
+            instructions="Classify each tweet.",
+            item_label="Tweet",
+            prompt="What is the opinion of this review?",
+        )
+        defaults.update(kwargs)
+        return QueryTemplate(**defaults)
+
+    def _question(self) -> Question:
+        return Question(
+            question_id="t1",
+            options=("positive", "negative"),
+            truth="positive",
+            payload="Great movie <3 @friend",
+        )
+
+    def test_renders_sections_per_question(self):
+        template = self._template()
+        q2 = Question(
+            question_id="t2", options=("positive", "negative"), truth="negative",
+            payload="meh",
+        )
+        html = template.render_hit([self._question(), q2])
+        assert html.count('<div class="question"') == 2
+        assert 'data-job="twitter-sentiment"' in html
+
+    def test_escapes_payload(self):
+        html = self._template().render_question(self._question())
+        assert "<3" not in html  # must be escaped
+        assert "&lt;3" in html
+
+    def test_options_become_radios(self):
+        html = self._template().render_question(self._question())
+        assert html.count('type="radio"') == 2
+        assert 'value="positive"' in html
+
+    def test_text_filter_applied(self):
+        template = self._template(text_filter=lambda t: t.replace("@friend", "[x]"))
+        html = template.render_question(self._question())
+        assert "@friend" not in html
+        assert "[x]" in html
+
+    def test_empty_hit_rejected(self):
+        with pytest.raises(ValueError):
+            self._template().render_hit([])
+
+    def test_function_alias(self):
+        template = self._template()
+        assert render_hit_description(template, [self._question()]) == (
+            template.render_hit([self._question()])
+        )

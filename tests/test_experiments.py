@@ -1,0 +1,254 @@
+"""Tests for the experiment modules: each runs (downscaled) and shows the
+paper's qualitative shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import all_experiments
+from repro.experiments import (
+    fig05_svm_vs_crowd,
+    fig06_worker_prediction,
+    fig07_accuracy_vs_workers,
+    fig08_accuracy_vs_required,
+    fig09_no_answer_vs_workers,
+    fig10_no_answer_vs_reviews,
+    fig11_arrival_sequences,
+    fig14_approval_vs_accuracy,
+    fig15_sampling_worker_accuracy,
+    fig16_sampling_verification,
+    fig17_alipr_vs_crowd,
+    fig18_it_accuracy,
+    table01_presentation,
+    table34_verification_example,
+)
+from repro.experiments.fig1213_termination import run_fig12, run_fig13, simulate
+
+SEED = 2012
+
+
+class TestRegistry:
+    def test_every_table_and_figure_registered(self):
+        registry = all_experiments()
+        assert len(registry) == 17
+        assert {"table1", "table3+4"} <= set(registry)
+        assert {f"fig{i}" for i in range(4, 19)} <= set(registry)
+
+
+class TestTable1:
+    def test_percentages_track_ground_truth(self):
+        res = table01_presentation.run(SEED, review_count=60, workers_per_review=9)
+        report = res.extras["report"]
+        assert abs(report.percentage("Best Ever") - 0.6) < 0.15
+        assert abs(report.percentage("Not Satisfied") - 0.3) < 0.15
+
+    def test_reasons_recovered(self):
+        res = table01_presentation.run(SEED, review_count=60, workers_per_review=9)
+        report = res.extras["report"]
+        best = next(r for r in report.rows if r.label == "Best Ever")
+        assert set(best.reasons) <= {"Siri", "iOS 5", "Performance"}
+        assert best.reasons
+
+
+class TestFig4:
+    def test_session_resolves_and_skews_positive(self):
+        from repro.experiments import fig04_live_view
+
+        res = fig04_live_view.run(SEED, tweet_count=12, checkpoint_minutes=(4, 14))
+        mid, final = res.rows
+        assert mid["tweets_seen"] <= final["tweets_seen"] == 12
+        assert final["resolved"] == 12
+        assert final["positive_pct"] > final["negative_pct"]
+
+
+class TestTable34:
+    def test_exact_paper_numbers(self):
+        res = table34_verification_example.run()
+        by_model = {row["model"]: row for row in res.rows}
+        assert by_model["half-voting"]["answer"] == "pos"
+        assert by_model["majority-voting"]["answer"] == "pos"
+        v = by_model["verification"]
+        assert v["answer"] == "neg"
+        assert v["pos"] == pytest.approx(0.329, abs=1e-3)
+        assert v["neu"] == pytest.approx(0.176, abs=1e-3)
+        assert v["neg"] == pytest.approx(0.495, abs=1e-3)
+
+
+class TestFig5:
+    def test_crowd_beats_svm_with_five_workers(self):
+        res = fig05_svm_vs_crowd.run(
+            SEED, tweets_per_test_movie=60, train_movies=15, tweets_per_train_movie=40
+        )
+        for row in res.rows:
+            assert row["tsa_5_workers"] > row["libsvm"]
+            assert row["tsa_5_workers"] >= row["tsa_1_workers"] - 0.05
+
+    def test_svm_in_paper_band(self):
+        res = fig05_svm_vs_crowd.run(
+            SEED, tweets_per_test_movie=60, train_movies=15, tweets_per_train_movie=40
+        )
+        for row in res.rows:
+            assert 0.4 <= row["libsvm"] <= 0.8
+
+
+class TestFig6:
+    def test_refined_at_most_conservative(self):
+        res = fig06_worker_prediction.run()
+        for row in res.rows:
+            assert row["binary_search"] <= row["conservative"]
+
+    def test_both_monotone_in_c(self):
+        res = fig06_worker_prediction.run()
+        cons = res.column("conservative")
+        refined = res.column("binary_search")
+        assert cons == sorted(cons)
+        assert refined == sorted(refined)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig07_accuracy_vs_workers.run(SEED, review_count=120, max_workers=15)
+
+    def test_verification_dominates(self, result):
+        for row in result.rows:
+            assert row["verification"] >= row["half_voting"] - 0.03
+
+    def test_accuracy_improves_with_workers(self, result):
+        first, last = result.rows[0], result.rows[-1]
+        assert last["verification"] > first["verification"]
+
+
+class TestFig8:
+    def test_verification_meets_requirement(self):
+        res = fig08_accuracy_vs_required.run(SEED, review_count=120)
+        for row in res.rows:
+            assert row["verification"] >= row["required_accuracy"] - 0.03
+
+
+class TestFig910:
+    def test_half_voting_abstains_more(self):
+        res = fig09_no_answer_vs_workers.run(SEED, review_count=120, max_workers=15)
+        # From 7 workers on, half-voting abstains at least as often.
+        for row in res.rows[3:]:
+            assert row["half_voting"] >= row["majority_voting"] - 1e-9
+
+    def test_no_answer_flat_in_reviews(self):
+        res = fig10_no_answer_vs_reviews.run(SEED, max_reviews=160, step=40)
+        ratios = res.column("half_voting")
+        assert max(ratios) - min(ratios) < 0.25
+
+
+class TestFig11:
+    def test_sequences_converge(self):
+        res = fig11_arrival_sequences.run(
+            SEED, worker_count=12, review_count=20, sequences=3
+        )
+        last = res.rows[-1]
+        finals = [last[f"sequence_{i}"] for i in (1, 2, 3)]
+        assert max(finals) - min(finals) < 1e-9
+
+    def test_early_divergence_exists(self):
+        res = fig11_arrival_sequences.run(
+            SEED, worker_count=12, review_count=20, sequences=4
+        )
+        first = res.rows[0]
+        earlies = [first[f"sequence_{i}"] for i in (1, 2, 3, 4)]
+        assert max(earlies) - min(earlies) > 0.0
+
+
+class TestFig1213:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return simulate(SEED, review_count=60, c_values=(0.7, 0.85))
+
+    def test_all_strategies_save_workers(self, cells):
+        for cell in cells:
+            if cell.predicted_workers > 3:
+                assert cell.mean_answers_used < cell.predicted_workers
+
+    def test_minmax_most_conservative(self, cells):
+        by_c: dict[float, dict[str, float]] = {}
+        for cell in cells:
+            by_c.setdefault(cell.required_accuracy, {})[cell.strategy] = (
+                cell.mean_answers_used
+            )
+        for strategies in by_c.values():
+            assert strategies["minmax"] >= strategies["minexp"] - 1e-9
+            assert strategies["minmax"] >= strategies["expmax"] - 1e-9
+
+    def test_row_shapes(self):
+        f12 = run_fig12(SEED, review_count=40, c_values=(0.7, 0.85))
+        f13 = run_fig13(SEED, review_count=40, c_values=(0.7, 0.85))
+        assert len(f12.rows) == 2
+        assert set(f12.rows[0]) >= {"minmax", "minexp", "expmax"}
+        for row in f13.rows:
+            assert row["expmax"] >= row["required_accuracy"] - 0.08
+
+
+class TestFig14:
+    def test_approval_piles_high_accuracy_spreads(self):
+        res = fig14_approval_vs_accuracy.run(SEED, questions_per_worker=40, worker_sample=200)
+        top = res.rows[-1]  # the 95-100 bin
+        assert top["approval_rate_pct"] > 40
+        assert top["real_accuracy_pct"] < 10
+        # Real accuracy has mass in the mid bins.
+        mid = [r for r in res.rows if r["bin"] in ("60-65", "65-70", "70-75")]
+        assert sum(r["real_accuracy_pct"] for r in mid) > 20
+
+
+class TestFig15:
+    def test_error_decreases_with_rate(self):
+        res = fig15_sampling_worker_accuracy.run(SEED, worker_sample=100)
+        errors = res.column("average_error")
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] == 0.0
+
+    def test_mean_accuracy_stable(self):
+        res = fig15_sampling_worker_accuracy.run(SEED, worker_sample=100)
+        means = res.column("mean_accuracy")
+        assert max(means) - min(means) < 0.05
+
+
+class TestFig16:
+    def test_higher_rate_never_much_worse(self):
+        res = fig16_sampling_verification.run(
+            SEED, review_count=60, c_min=0.7, c_max=0.9, c_step=0.1
+        )
+        for row in res.rows:
+            assert row["rate_100"] >= row["rate_5"] - 0.05
+            assert row["rate_20"] >= row["rate_5"] - 0.05
+
+
+class TestFig17:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig17_alipr_vs_crowd.run(SEED, images_per_subject=10)
+
+    def test_alipr_in_band(self, result):
+        for row in result.rows:
+            assert 0.02 <= row["alipr"] <= 0.45
+
+    def test_crowd_dominates_alipr(self, result):
+        for row in result.rows:
+            assert row["crowd_1_workers"] > row["alipr"] + 0.3
+            assert row["crowd_5_workers"] >= row["crowd_1_workers"] - 0.05
+
+
+class TestFig18:
+    def test_meets_requirement(self):
+        res = fig18_it_accuracy.run(
+            SEED, images_per_subject=4, c_min=0.8, c_max=0.92, c_step=0.04
+        )
+        for row in res.rows:
+            assert row["real_accuracy"] >= row["required_accuracy"] - 0.02
+
+
+class TestExperimentResultAPI:
+    def test_render_and_column(self):
+        res = fig06_worker_prediction.run()
+        text = res.render()
+        assert "[fig6]" in text
+        assert res.column("conservative")
+        with pytest.raises(KeyError):
+            res.column("nonexistent")

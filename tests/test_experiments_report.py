@@ -1,0 +1,85 @@
+"""Tests for the EXPERIMENTS.md report builder and the result base class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import all_experiments
+from repro.experiments.base import ExperimentResult
+from repro.experiments.report import PAPER_CLAIMS, build_report
+
+
+class TestPaperClaims:
+    def test_claims_cover_every_registered_experiment(self):
+        assert set(PAPER_CLAIMS) == set(all_experiments())
+
+    def test_claims_are_substantive(self):
+        for claim in PAPER_CLAIMS.values():
+            assert len(claim) > 40  # a real sentence, not a placeholder
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # Full default-size report; cached for the class.
+        return build_report()
+
+    def test_contains_every_experiment_section(self, report):
+        for experiment_id in all_experiments():
+            assert f"## {experiment_id}:" in report
+
+    def test_contains_ablation_section(self, report):
+        assert "# Ablations and extension studies" in report
+        assert "ablation-colluders" in report
+        assert "latency-study" in report
+
+    def test_paper_vs_measured_structure(self, report):
+        assert report.count("**Paper reports:**") == len(all_experiments())
+        assert report.count("**Measured:**") == len(all_experiments())
+
+    def test_table34_exact_numbers_present(self, report):
+        assert "0.495" in report
+        assert "0.329" in report
+
+
+class TestExperimentResult:
+    def _result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="x",
+            title="t",
+            rows=[{"a": 1, "b": 2.0}, {"a": 3, "b": 4.0}],
+            notes="n",
+        )
+
+    def test_render_sections(self):
+        text = self._result().render()
+        assert text.startswith("[x] t")
+        assert "notes: n" in text
+
+    def test_column(self):
+        assert self._result().column("a") == [1, 3]
+
+    def test_column_unknown_key(self):
+        with pytest.raises(KeyError, match="no column"):
+            self._result().column("zzz")
+
+    def test_column_empty_rows(self):
+        empty = ExperimentResult(experiment_id="x", title="t", rows=[])
+        with pytest.raises(ValueError, match="no rows"):
+            empty.column("a")
+
+    def test_render_without_notes(self):
+        result = ExperimentResult(experiment_id="x", title="t", rows=[{"a": 1}])
+        assert "notes:" not in result.render()
+
+    def test_to_csv(self):
+        csv_text = self._result().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.0"
+        assert lines[2] == "3,4.0"
+
+    def test_to_csv_empty_rejected(self):
+        empty = ExperimentResult(experiment_id="x", title="t", rows=[])
+        with pytest.raises(ValueError, match="no rows"):
+            empty.to_csv()

@@ -1,0 +1,152 @@
+"""Cross-module integration tests: the full CDAS loop under one roof."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.engine.engine import CrowdsourcingEngine, EngineConfig
+from repro.engine.executor import ProgramExecutor
+from repro.engine.jobs import JobManager
+from repro.engine.privacy import PrivacyManager
+from repro.tsa.app import TSAJob, build_tsa_spec, movie_query
+from repro.tsa.stream import TweetStream
+from repro.tsa.tweets import generate_tweets, tweet_to_question
+
+
+def _world(seed: int, termination: str | None = None):
+    pool = WorkerPool.from_config(PoolConfig(size=300), seed=seed)
+    market = SimulatedMarket(pool, seed=seed)
+    config = EngineConfig(termination=termination)
+    return pool, market, CrowdsourcingEngine(market, seed=seed, config=config)
+
+
+class TestQualityGuarantee:
+    def test_predicted_workers_meet_required_accuracy(self):
+        """Theorem 4 end to end: calibrate, predict, run, and verify the
+        realised accuracy clears the requirement (with sampling slack)."""
+        _, market, engine = _world(seed=101)
+        gold = [
+            tweet_to_question(t)
+            for t in generate_tweets(["Inception"], per_movie=60, seed=102)
+        ]
+        engine.calibrate(gold[:20], workers_per_hit=25, hits=2)
+        tweets = generate_tweets(["Thor", "Rio"], per_movie=40, seed=103)
+        questions = [tweet_to_question(t) for t in tweets]
+        required = 0.85
+        result = engine.run_batch(questions, required, gold_pool=gold[20:])
+        assert result.accuracy >= required - 0.05
+
+    def test_more_required_accuracy_costs_more(self):
+        _, market, engine = _world(seed=104)
+        gold = [
+            tweet_to_question(t)
+            for t in generate_tweets(["Inception"], per_movie=30, seed=105)
+        ]
+        engine.calibrate(gold[:20], workers_per_hit=25, hits=2)
+        n_low = engine.predict_workers(0.7)
+        n_high = engine.predict_workers(0.95)
+        assert n_high > n_low
+
+
+class TestEarlyTerminationEconomics:
+    def test_termination_reduces_cost_not_accuracy(self):
+        gold_tweets = generate_tweets(["Inception"], per_movie=30, seed=202)
+        tweets = generate_tweets(["Thor"], per_movie=25, seed=203)
+
+        def run(termination):
+            _, market, engine = _world(seed=201, termination=termination)
+            engine.calibrate(
+                [tweet_to_question(t) for t in gold_tweets[:20]],
+                workers_per_hit=25,
+                hits=2,
+            )
+            job = TSAJob(engine, batch_size=1)  # per-tweet HITs terminate best
+            result = job.run(
+                movie_query("Thor", 0.9),
+                gold_tweets=gold_tweets[20:],
+                tweets=tweets,
+                worker_count=15,
+            )
+            return result, market
+
+        full, full_market = run(None)
+        early, early_market = run("expmax")
+        assert early.cost < full.cost
+        assert early_market.ledger.cancelled_assignments > 0
+        assert early.accuracy >= full.accuracy - 0.1
+
+    def test_ledger_consistency(self):
+        _, market, engine = _world(seed=204, termination="expmax")
+        gold = generate_tweets(["Inception"], per_movie=20, seed=205)
+        tweets = generate_tweets(["Rio"], per_movie=10, seed=206)
+        job = TSAJob(engine, batch_size=1)
+        job.run(
+            movie_query("Rio", 0.85),
+            gold_tweets=gold,
+            tweets=tweets,
+            worker_count=11,
+        )
+        ledger = market.ledger
+        # Charged + cancelled must cover every published assignment.
+        published = sum(
+            market.handle(f"hit-{i:05d}").hit.assignments
+            for i in range(market.published_hits)
+        )
+        assert ledger.charged_assignments + ledger.cancelled_assignments == published
+        assert ledger.total_cost == pytest.approx(
+            ledger.schedule.per_assignment * ledger.charged_assignments
+        )
+
+
+class TestFullPipelineWithAllComponents:
+    def test_job_manager_privacy_stream_report(self):
+        pool = WorkerPool.from_config(PoolConfig(size=300), seed=301)
+        market = SimulatedMarket(pool, seed=301)
+        privacy = PrivacyManager(min_approval_rate=0.0)
+        engine = CrowdsourcingEngine(market, seed=301, privacy=privacy)
+
+        manager = JobManager()
+        manager.register(build_tsa_spec(text_filter=privacy.sanitize_text))
+        query = movie_query("Thor", 0.85, window=24)
+        plan = manager.plan("twitter-sentiment", query)
+        assert "twitter-sentiment" in plan.describe()
+
+        gold = generate_tweets(["Inception"], per_movie=25, seed=302)
+        engine.calibrate(
+            [tweet_to_question(t) for t in gold[:15]], workers_per_hit=20, hits=2
+        )
+        corpus = generate_tweets(["Thor"], per_movie=30, seed=303)
+        stream = TweetStream.from_corpus(corpus)
+        executor = ProgramExecutor(text_of=lambda t: t.text)
+        candidates = list(executor.filter_stream(stream.window(query), query))
+        assert candidates
+
+        job = TSAJob(engine, stream=stream, batch_size=15)
+        result = job.run(query, gold_tweets=gold[15:])
+        assert result.accuracy > 0.7
+        report_text = result.report.render()
+        assert "Thor" in report_text
+
+    def test_determinism_of_full_pipeline(self):
+        def run_once():
+            pool = WorkerPool.from_config(PoolConfig(size=200), seed=401)
+            market = SimulatedMarket(pool, seed=401)
+            engine = CrowdsourcingEngine(market, seed=401)
+            gold = generate_tweets(["Inception"], per_movie=20, seed=402)
+            tweets = generate_tweets(["Rio"], per_movie=15, seed=403)
+            job = TSAJob(engine, batch_size=15)
+            return job.run(
+                movie_query("Rio", 0.8),
+                gold_tweets=gold,
+                tweets=tweets,
+                worker_count=7,
+            )
+
+        a, b = run_once(), run_once()
+        assert a.accuracy == b.accuracy
+        assert a.cost == b.cost
+        assert [r.verdict.answer for r in a.records] == [
+            r.verdict.answer for r in b.records
+        ]

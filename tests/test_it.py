@@ -1,0 +1,125 @@
+"""Tests for the IT application: corpus and end-to-end job."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amt.market import SimulatedMarket
+from repro.engine.engine import CrowdsourcingEngine
+from repro.it.app import ITJob, build_it_spec
+from repro.it.images import (
+    IMAGE_TAG_DIFFICULTY,
+    NOISE_TAGS,
+    SUBJECT_TAGS,
+    SUBJECTS,
+    ImageCorpusConfig,
+    generate_images,
+    image_tag_questions,
+    tag_prototypes,
+    tag_vocabulary,
+)
+
+
+class TestImageCorpus:
+    def test_counts(self):
+        images = generate_images(per_subject=4, seed=1)
+        assert len(images) == 4 * len(SUBJECTS)
+
+    def test_subject_tag_always_true(self):
+        for image in generate_images(per_subject=3, seed=2):
+            assert image.subject in image.true_tags
+
+    def test_true_tags_from_subject_pool(self):
+        for image in generate_images(per_subject=3, seed=3):
+            assert set(image.true_tags) <= set(SUBJECT_TAGS[image.subject])
+
+    def test_candidates_contain_truth_and_noise(self):
+        cfg = ImageCorpusConfig(noise_tags_per_image=3)
+        for image in generate_images(per_subject=3, seed=4, config=cfg):
+            assert set(image.true_tags) <= set(image.candidate_tags)
+            noise = set(image.candidate_tags) - set(image.true_tags)
+            assert len(noise) == 3
+            assert noise <= set(NOISE_TAGS)
+
+    def test_deterministic(self):
+        a = generate_images(per_subject=3, seed=5)
+        b = generate_images(per_subject=3, seed=5)
+        assert [i.candidate_tags for i in a] == [i.candidate_tags for i in b]
+
+    def test_features_near_prototype_mean(self):
+        cfg = ImageCorpusConfig(feature_noise=0.0)
+        protos = tag_prototypes(5, cfg.feature_dim)
+        image = generate_images(per_subject=1, seed=5, config=cfg)[0]
+        expected = np.mean([protos[t] for t in image.true_tags], axis=0)
+        assert np.allclose(image.feature_array(), expected)
+
+    def test_vocabulary_unique_and_covers_all(self):
+        vocab = tag_vocabulary()
+        assert len(vocab) == len(set(vocab))
+        for subject in SUBJECTS:
+            assert set(SUBJECT_TAGS[subject]) <= set(vocab)
+        assert set(NOISE_TAGS) <= set(vocab)
+
+    def test_unknown_subject_rejected(self):
+        with pytest.raises(ValueError, match="unknown subject"):
+            generate_images(per_subject=1, seed=1, subjects=("volcano",))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ImageCorpusConfig(true_tags_per_image=0)
+        with pytest.raises(ValueError):
+            ImageCorpusConfig(feature_noise=-1.0)
+
+
+class TestImageTagQuestions:
+    def test_one_question_per_candidate(self):
+        image = generate_images(per_subject=1, seed=6)[0]
+        questions = image_tag_questions(image)
+        assert len(questions) == len(image.candidate_tags)
+        assert all(q.options == ("yes", "no") for q in questions)
+        assert all(q.difficulty == IMAGE_TAG_DIFFICULTY for q in questions)
+
+    def test_truth_matches_membership(self):
+        image = generate_images(per_subject=1, seed=7)[0]
+        for q in image_tag_questions(image):
+            tag = q.question_id.split("#", 1)[1]
+            expected = "yes" if tag in image.true_tags else "no"
+            assert q.truth == expected
+
+
+class TestITJobEndToEnd:
+    def test_full_run(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=60)
+        engine = CrowdsourcingEngine(market, seed=60)
+        images = generate_images(per_subject=2, seed=61)[:6]
+        gold = generate_images(per_subject=1, seed=62)
+        job = ITJob(engine, images_per_hit=3)
+        result = job.run(images, required_accuracy=0.85, gold_images=gold, worker_count=5)
+        assert result.decision_accuracy > 0.8
+        assert 0.0 <= result.tag_recall() <= 1.0
+        assert result.cost > 0
+
+    def test_accepted_tags_subset_of_candidates(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=63)
+        engine = CrowdsourcingEngine(market, seed=63)
+        images = generate_images(per_subject=1, seed=64)[:2]
+        gold = generate_images(per_subject=1, seed=66)
+        job = ITJob(engine, images_per_hit=2)
+        result = job.run(
+            images, required_accuracy=0.85, gold_images=gold, worker_count=3
+        )
+        for image in images:
+            assert set(result.accepted_tags(image.image_id)) <= set(
+                image.candidate_tags
+            )
+
+    def test_no_images_rejected(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=65)
+        engine = CrowdsourcingEngine(market, seed=65)
+        with pytest.raises(ValueError):
+            ITJob(engine).run([], required_accuracy=0.9)
+
+    def test_spec_shape(self):
+        spec = build_it_spec()
+        assert spec.name == "image-tagging"

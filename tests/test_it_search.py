@@ -1,0 +1,125 @@
+"""Tests for human-assisted image search (§2.1's pipeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.market import SimulatedMarket
+from repro.engine.engine import CrowdsourcingEngine
+from repro.it.app import ITJob
+from repro.it.images import generate_images
+from repro.it.search import (
+    TagIndex,
+    build_index_from_crowd,
+    crowd_search_pipeline,
+    evaluate_search,
+)
+
+SEED = 2012
+
+
+class TestTagIndex:
+    def test_ranked_by_confidence(self):
+        index = TagIndex()
+        index.add("sun", "img-b", 0.7)
+        index.add("sun", "img-a", 0.9)
+        index.add("sun", "img-c", 0.8)
+        assert index.search("sun") == ["img-a", "img-c", "img-b"]
+
+    def test_limit(self):
+        index = TagIndex()
+        for i, conf in enumerate((0.9, 0.8, 0.7)):
+            index.add("sky", f"img-{i}", conf)
+        assert index.search("sky", limit=2) == ["img-0", "img-1"]
+
+    def test_unknown_tag_empty(self):
+        assert TagIndex().search("nothing") == []
+
+    def test_duplicate_posting_rejected(self):
+        index = TagIndex()
+        index.add("sun", "img", 0.9)
+        with pytest.raises(ValueError, match="duplicate posting"):
+            index.add("sun", "img", 0.8)
+
+    def test_confidence_validated(self):
+        with pytest.raises(ValueError):
+            TagIndex().add("sun", "img", 1.5)
+
+    def test_len_and_tags(self):
+        index = TagIndex()
+        index.add("a", "i1", 0.5)
+        index.add("b", "i1", 0.5)
+        index.add("b", "i2", 0.5)
+        assert len(index) == 3
+        assert index.tags() == ("a", "b")
+
+
+class TestEvaluateSearch:
+    def test_perfect_index(self):
+        images = generate_images(per_subject=2, seed=SEED)[:4]
+        index = TagIndex()
+        for img in images:
+            for tag in img.true_tags:
+                index.add(tag, img.image_id, 1.0)
+        evaluation = evaluate_search(index, images)
+        assert evaluation.precision == 1.0
+        assert evaluation.recall == 1.0
+        assert evaluation.f1 == 1.0
+
+    def test_empty_index_zero_recall(self):
+        images = generate_images(per_subject=1, seed=SEED)[:2]
+        evaluation = evaluate_search(TagIndex(), images)
+        assert evaluation.recall == 0.0
+        # Nothing retrieved → vacuous precision 1.0, f1 dominated by recall.
+        assert evaluation.f1 == 0.0
+
+    def test_wrong_postings_hurt_precision(self):
+        images = generate_images(per_subject=1, seed=SEED)[:2]
+        index = TagIndex()
+        img = images[0]
+        noise_tag = next(
+            t for t in img.candidate_tags if t not in img.true_tags
+        )
+        index.add(noise_tag, img.image_id, 0.9)
+        evaluation = evaluate_search(index, images, query_tags=[noise_tag])
+        assert evaluation.precision == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no corpus"):
+            evaluate_search(TagIndex(), [])
+        images = generate_images(per_subject=1, seed=SEED)[:1]
+        with pytest.raises(ValueError, match="no query tags"):
+            evaluate_search(TagIndex(), images, query_tags=[])
+
+
+class TestEndToEndPipeline:
+    def test_crowd_built_index_searches_well(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=71)
+        engine = CrowdsourcingEngine(market, seed=71)
+        images = generate_images(per_subject=2, seed=72)
+        gold = generate_images(per_subject=1, seed=73)
+        index, result, evaluation = crowd_search_pipeline(
+            engine, images, gold, required_accuracy=0.9, worker_count=5
+        )
+        # Crowd decisions are ~95% right on easy tag questions, so search
+        # quality over the ground truth should be high.
+        assert evaluation.precision > 0.8
+        assert evaluation.recall > 0.8
+        assert len(index) > 0
+        assert result.cost > 0
+
+    def test_build_index_only_accepted_tags(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=74)
+        engine = CrowdsourcingEngine(market, seed=74)
+        images = generate_images(per_subject=1, seed=75)[:3]
+        gold = generate_images(per_subject=1, seed=76)
+        job = ITJob(engine, images_per_hit=3)
+        index, result = build_index_from_crowd(
+            job, images, 0.9, gold_images=gold, worker_count=3
+        )
+        accepted_pairs = {
+            record.question.question_id
+            for record in result.records
+            if record.verdict.answer == "yes"
+        }
+        assert len(index) == len(accepted_pairs)

@@ -1,0 +1,47 @@
+"""Tests for the waiting-time extension study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.latency_study import run_latency_study
+
+SEED = 2012
+
+
+class TestLatencyStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_latency_study(SEED, review_count=60, worker_count=11)
+
+    def _by_mode(self, result):
+        return {row["mode"]: row for row in result.rows}
+
+    def test_all_modes_present(self, result):
+        modes = {row["mode"] for row in result.rows}
+        assert modes == {"wait-for-all", "minmax", "minexp", "expmax"}
+
+    def test_every_strategy_faster_than_waiting(self, result):
+        by_mode = self._by_mode(result)
+        baseline = by_mode["wait-for-all"]["mean_seconds"]
+        for mode in ("minmax", "minexp", "expmax"):
+            assert by_mode[mode]["mean_seconds"] < baseline
+
+    def test_tail_latency_reduced(self, result):
+        by_mode = self._by_mode(result)
+        baseline = by_mode["wait-for-all"]["p90_seconds"]
+        for mode in ("minmax", "minexp", "expmax"):
+            assert by_mode[mode]["p90_seconds"] < baseline
+
+    def test_accuracy_essentially_kept(self, result):
+        by_mode = self._by_mode(result)
+        baseline = by_mode["wait-for-all"]["accuracy"]
+        for mode in ("minmax", "minexp", "expmax"):
+            assert by_mode[mode]["accuracy"] >= baseline - 0.05
+
+    def test_wait_for_all_consumes_everything(self, result):
+        assert self._by_mode(result)["wait-for-all"]["mean_answers"] == 11.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="≥ 3 workers"):
+            run_latency_study(SEED, worker_count=2)

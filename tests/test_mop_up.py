@@ -1,0 +1,86 @@
+"""Mop-up coverage for small behaviours not exercised elsewhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.market import SimulatedMarket
+from repro.engine.engine import CrowdsourcingEngine
+from repro.engine.privacy import PrivacyManager
+from repro.engine.query import Query
+from repro.system import CDAS
+from repro.tsa.app import movie_query
+from repro.tsa.stream import TweetStream
+from repro.tsa.tweets import generate_tweets
+
+
+class TestStreamStringTimestamps:
+    def test_string_timestamp_window_starts_at_zero(self):
+        tweets = generate_tweets(["Thor"], per_movie=20, seed=5)
+        stream = TweetStream.from_corpus(tweets, unit_seconds=3600.0)
+        numeric = Query(
+            keywords=("Thor",), required_accuracy=0.9,
+            domain=("a", "b"), timestamp=0.0, window=24,
+        )
+        stringy = Query(
+            keywords=("Thor",), required_accuracy=0.9,
+            domain=("a", "b"), timestamp="2011-10-01", window=24,
+        )
+        assert [t.tweet_id for t in stream.window(stringy)] == [
+            t.tweet_id for t in stream.window(numeric)
+        ]
+
+
+class TestCDASWithPrivacy:
+    def test_facade_threads_privacy_manager(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=96)
+        privacy = PrivacyManager(
+            blocked_workers=frozenset(p.worker_id for p in small_pool.profiles)
+        )
+        system = CDAS.with_default_jobs(market, seed=96, privacy=privacy)
+        gold = generate_tweets(["Inception"], per_movie=20, seed=97)
+        tweets = generate_tweets(["Rio"], per_movie=5, seed=98)
+        result = system.submit(
+            "twitter-sentiment",
+            movie_query("Rio", 0.85),
+            gold_tweets=gold,
+            tweets=tweets,
+            worker_count=3,
+            batch_size=5,
+        )
+        # Everyone blocked → every record abstains.
+        assert all(r.verdict.answer is None for r in result.records)
+
+
+class TestEngineHitIds:
+    def test_hit_ids_unique_across_calls(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=99)
+        engine = CrowdsourcingEngine(market, seed=99)
+        from repro.amt.hit import Question
+
+        q = [Question(question_id="q", options=("a", "b"), truth="a")]
+        g = [Question(question_id="g", options=("a", "b"), truth="a")]
+        r1 = engine.run_batch(q, 0.9, gold_pool=g, worker_count=3)
+        r2 = engine.run_batch(
+            [Question(question_id="q2", options=("a", "b"), truth="a")],
+            0.9,
+            gold_pool=g,
+            worker_count=3,
+        )
+        assert r1.hit_id != r2.hit_id
+
+
+class TestVerdictDecided:
+    def test_decided_property(self):
+        from repro.core.types import Verdict
+
+        assert Verdict(answer="a", confidence=0.9).decided
+        assert not Verdict(answer=None, confidence=None).decided
+
+
+class TestWorkerAnswerValidation:
+    def test_accuracy_range_enforced(self):
+        from repro.core.types import WorkerAnswer
+
+        with pytest.raises(ValueError, match="not in"):
+            WorkerAnswer("w", "a", 1.5)

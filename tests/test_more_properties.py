@@ -1,0 +1,147 @@
+"""Second hypothesis suite: economics, market, corpus and budget invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amt.pricing import CostLedger, PriceSchedule
+from repro.core.budget import max_workers_within_budget, plan_query
+from repro.core.prediction import PredictionInfeasibleError
+from repro.core.sampling import WorkerAccuracyEstimator
+from repro.tsa.tweets import generate_tweets
+from repro.util.stats import binomial_pmf, binomial_tail
+
+prices = st.builds(
+    PriceSchedule,
+    worker_reward=st.floats(min_value=0.001, max_value=1.0),
+    platform_fee=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+class TestPricingProperties:
+    @given(prices, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=100, deadline=None)
+    def test_hit_cost_linear(self, schedule, n):
+        assert schedule.hit_cost(n) == schedule.per_assignment * n
+
+    @given(
+        prices,
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=48),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_query_cost_decomposes(self, schedule, n, k, w):
+        assert math.isclose(
+            schedule.query_cost(n, k, w), schedule.hit_cost(n) * k * w
+        )
+
+    @given(
+        prices,
+        st.lists(
+            st.tuples(st.integers(1, 20), st.integers(0, 20)), min_size=1, max_size=20
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ledger_conservation(self, schedule, events):
+        """total + avoided always equals per_assignment × (charged+cancelled)."""
+        ledger = CostLedger(schedule=schedule)
+        for i, (charge, cancel) in enumerate(events):
+            ledger.charge(f"h{i}", charge)
+            if cancel:
+                ledger.cancel(f"h{i}", cancel)
+        expected = schedule.per_assignment * (
+            ledger.charged_assignments + ledger.cancelled_assignments
+        )
+        assert math.isclose(ledger.total_cost + ledger.avoided_cost, expected)
+
+
+class TestBudgetProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1000.0),
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=1, max_value=48),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_affordable_count_is_affordable_and_maximal(self, budget, k, w):
+        schedule = PriceSchedule(0.01, 0.005)
+        n = max_workers_within_budget(budget, schedule, k, w)
+        if n > 0:
+            assert n % 2 == 1
+            assert schedule.query_cost(n, k, w) <= budget
+            # Two more workers would exceed the budget (n is maximal odd)
+            assert schedule.query_cost(n + 2, k, w) > budget
+
+    @given(
+        st.floats(min_value=0.55, max_value=0.98),
+        st.floats(min_value=1.0, max_value=10_000.0),
+        st.floats(min_value=0.55, max_value=0.95),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_plan_never_overspends(self, c, budget, mu):
+        schedule = PriceSchedule(0.01, 0.005)
+        try:
+            plan = plan_query(c, budget, schedule, mu, items_per_unit=50, window=2)
+        except PredictionInfeasibleError:
+            return
+        assert plan.projected_cost <= budget + 1e-9
+        if plan.limited_by == "accuracy":
+            assert plan.expected_accuracy >= c
+
+
+class TestEstimatorProperties:
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=200),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_estimate_between_rate_and_prior(self, outcomes, smoothing, prior):
+        est = WorkerAccuracyEstimator(prior_accuracy=prior, smoothing=smoothing)
+        for o in outcomes:
+            est.record("w", o)
+        rate = sum(outcomes) / len(outcomes)
+        lo, hi = min(rate, prior), max(rate, prior)
+        assert lo - 1e-9 <= est.accuracy("w") <= hi + 1e-9
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_raw_estimator_is_exact_rate(self, outcomes):
+        est = WorkerAccuracyEstimator(smoothing=0.0)
+        for o in outcomes:
+            est.record("w", o)
+        assert est.accuracy("w") == sum(outcomes) / len(outcomes)
+
+
+class TestBinomialIdentity:
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tail_equals_pmf_partial_sums(self, n, p):
+        for k in (0, 1, n // 2, n):
+            tail = binomial_tail(n, k, p)
+            direct = sum(binomial_pmf(n, i, p) for i in range(k, n + 1))
+            assert math.isclose(tail, direct, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestCorpusProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_generation_deterministic_in_seed(self, seed):
+        a = generate_tweets(["Thor"], per_movie=5, seed=seed)
+        b = generate_tweets(["Thor"], per_movie=5, seed=seed)
+        assert [(t.text, t.sentiment) for t in a] == [
+            (t.text, t.sentiment) for t in b
+        ]
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_difficulties_in_range(self, seed):
+        for tweet in generate_tweets(["Rio"], per_movie=20, seed=seed):
+            assert 0.0 <= tweet.difficulty <= 1.0
+            assert "Rio" in tweet.text

@@ -1,0 +1,101 @@
+"""Hand-computed paper arithmetic, pinned exactly.
+
+Each test re-derives a number from the paper's formulas by hand and pins
+the implementation to it — the tightest fidelity check available without
+the authors' raw data.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.confidence import worker_confidence
+from repro.core.domain import lemma1_lower_bound, lemma2_lower_bound
+from repro.core.prediction import conservative_worker_count, refined_worker_count
+from repro.util.stats import (
+    chernoff_majority_lower_bound,
+    majority_probability,
+)
+
+
+class TestTheorem3ByHand:
+    def test_c90_mu70(self):
+        # -ln(1-0.9) / (2·(0.2)²) = 2.302585/0.08 = 28.78 → odd 29.
+        assert conservative_worker_count(0.90, 0.70) == 29
+
+    def test_c95_mu70(self):
+        # -ln(0.05)/0.08 = 2.9957/0.08 = 37.45 → odd 39.
+        assert conservative_worker_count(0.95, 0.70) == 39
+
+    def test_c99_mu60(self):
+        # -ln(0.01)/(2·0.01) = 4.6052/0.02 = 230.26 → odd 231.
+        assert conservative_worker_count(0.99, 0.60) == 231
+
+    def test_c80_mu80(self):
+        # -ln(0.2)/(2·0.09) = 1.6094/0.18 = 8.94 → odd 9.
+        assert conservative_worker_count(0.80, 0.80) == 9
+
+
+class TestTheorem2ByHand:
+    def test_bound_value(self):
+        # 1 - e^{-2·29·0.04} = 1 - e^{-2.32}.
+        assert chernoff_majority_lower_bound(29, 0.70) == pytest.approx(
+            1.0 - math.exp(-2.32)
+        )
+
+
+class TestTheorem1ByHand:
+    def test_three_workers_mu70(self):
+        # P(≥2 of 3) = 3·(0.7²·0.3) + 0.7³ = 0.441 + 0.343 = 0.784.
+        assert majority_probability(3, 0.7) == pytest.approx(0.784)
+
+    def test_five_workers_mu60(self):
+        # P(≥3 of 5) at p=0.6: C(5,3)0.6³0.4² + C(5,4)0.6⁴0.4 + 0.6⁵
+        expected = 10 * 0.6**3 * 0.4**2 + 5 * 0.6**4 * 0.4 + 0.6**5
+        assert majority_probability(5, 0.6) == pytest.approx(expected)
+
+    def test_refined_counts_follow(self):
+        # mu=0.7: E[P] at n=1,3,5,7 = .7, .784, .837, .874 → first n with
+        # E ≥ 0.85 is 7.
+        assert refined_worker_count(0.85, 0.7) == 7
+        # First n with E ≥ 0.78 is 3.
+        assert refined_worker_count(0.78, 0.7) == 3
+
+
+class TestDefinition2ByHand:
+    def test_table3_worker_confidences(self):
+        # c = ln((m-1)a/(1-a)), m=3: w4 (a=0.73): ln(2·0.73/0.27).
+        assert worker_confidence(0.73, 3) == pytest.approx(
+            math.log(2 * 0.73 / 0.27)
+        )
+        # w2 (a=0.31) is below the 3-way guessing point → negative.
+        assert worker_confidence(0.31, 3) < 0
+
+
+class TestTheorem5ByHand:
+    def test_lemma1_k2(self):
+        # m > (k-1)/(H₁ - 1·(0.05·2)^1) = 1/(1-0.1) = 1.111...
+        assert lemma1_lower_bound(2, 0.05) == pytest.approx(1.0 / 0.9)
+
+    def test_lemma2_k2(self):
+        # m > 1/(1 - 2·√0.05) = 1/(1-0.44721) = 1.8090...
+        assert lemma2_lower_bound(2, 0.05) == pytest.approx(
+            1.0 / (1.0 - 2.0 * math.sqrt(0.05))
+        )
+
+    def test_theorem5_k2_uses_tighter_lemma2(self):
+        from repro.core.domain import estimate_effective_m
+
+        # max(1.11, 1.81) → m > 1.81 → m = 2.
+        assert estimate_effective_m(2, 0.05) == 2
+
+
+class TestEconomicsByHand:
+    def test_paper_example_cost(self):
+        # §1: $0.01/HIT-worker; 5 workers on 100 tweets = $5 worker cost.
+        from repro.amt.pricing import PriceSchedule
+
+        schedule = PriceSchedule(worker_reward=0.01, platform_fee=0.0)
+        assert schedule.query_cost(5, 100, 1) == pytest.approx(5.0)

@@ -1,0 +1,85 @@
+"""Tests for non-uniform answer priors in Equation 4 (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.confidence import answer_confidences
+from repro.core.domain import AnswerDomain
+from repro.core.types import WorkerAnswer
+from repro.core.verification import ProbabilisticVerification
+
+
+def _obs(*answers: tuple[str, float]) -> list[WorkerAnswer]:
+    return [WorkerAnswer(f"w{i}", a, acc) for i, (a, acc) in enumerate(answers)]
+
+
+class TestPriorsInEquation4:
+    def test_uniform_prior_matches_paper_form(self, pos_neu_neg):
+        obs = _obs(("pos", 0.7), ("neg", 0.6))
+        uniform = {"pos": 1 / 3, "neu": 1 / 3, "neg": 1 / 3}
+        with_priors = answer_confidences(obs, pos_neu_neg, priors=uniform)
+        without = answer_confidences(obs, pos_neu_neg)
+        for label in pos_neu_neg.labels:
+            assert with_priors[label] == pytest.approx(without[label])
+
+    def test_prior_breaks_symmetric_tie(self, pos_neu_neg):
+        # One pos vote, one neg vote, equal accuracies: uniform priors tie;
+        # a pos-heavy prior must favour pos.
+        obs = _obs(("pos", 0.7), ("neg", 0.7))
+        skewed = {"pos": 0.6, "neu": 0.1, "neg": 0.3}
+        rho = answer_confidences(obs, pos_neu_neg, priors=skewed)
+        assert rho["pos"] > rho["neg"]
+
+    def test_still_a_distribution(self, pos_neu_neg):
+        obs = _obs(("pos", 0.8), ("neu", 0.55), ("neg", 0.6))
+        skewed = {"pos": 0.5, "neu": 0.25, "neg": 0.25}
+        rho = answer_confidences(obs, pos_neu_neg, priors=skewed)
+        assert sum(rho.values()) == pytest.approx(1.0)
+
+    def test_strong_evidence_overrides_prior(self, pos_neu_neg):
+        obs = _obs(("neg", 0.95), ("neg", 0.95), ("neg", 0.95))
+        pos_heavy = {"pos": 0.8, "neu": 0.1, "neg": 0.1}
+        rho = answer_confidences(obs, pos_neu_neg, priors=pos_heavy)
+        assert rho["neg"] > rho["pos"]
+
+    def test_priors_must_sum_to_one(self, pos_neu_neg):
+        obs = _obs(("pos", 0.7))
+        with pytest.raises(ValueError, match="sum to 1"):
+            answer_confidences(obs, pos_neu_neg, priors={"pos": 0.5, "neu": 0.2, "neg": 0.2})
+
+    def test_priors_must_cover_labels(self, pos_neu_neg):
+        obs = _obs(("pos", 0.7))
+        with pytest.raises(ValueError, match="missing labels"):
+            answer_confidences(obs, pos_neu_neg, priors={"pos": 1.0})
+
+    def test_priors_must_be_positive(self, pos_neu_neg):
+        obs = _obs(("pos", 0.7))
+        with pytest.raises(ValueError, match="strictly positive"):
+            answer_confidences(
+                obs, pos_neu_neg, priors={"pos": 1.0, "neu": 0.0, "neg": 0.0}
+            )
+
+    def test_open_domain_rejected(self):
+        domain = AnswerDomain(labels=("a", "b"), m=5, closed_domain=False)
+        obs = _obs(("a", 0.7))
+        with pytest.raises(ValueError, match="closed domain"):
+            answer_confidences(
+                domain=domain,
+                observation=obs,
+                priors={"a": 0.5, "b": 0.5},
+            )
+
+
+class TestVerifierWithPriors:
+    def test_verifier_accepts_prior_tuples(self, pos_neu_neg):
+        obs = _obs(("pos", 0.7), ("neg", 0.7))
+        verifier = ProbabilisticVerification(
+            domain=pos_neu_neg,
+            priors=(("pos", 0.6), ("neu", 0.1), ("neg", 0.3)),
+        )
+        assert verifier.verify(obs).answer == "pos"
+
+    def test_default_has_no_priors(self, pos_neu_neg):
+        verifier = ProbabilisticVerification(domain=pos_neu_neg)
+        assert verifier.priors is None

@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) on the core model's invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.confidence import (
+    accuracy_from_confidence,
+    answer_confidences,
+    worker_confidence,
+)
+from repro.core.domain import AnswerDomain, estimate_effective_m
+from repro.core.online import run_online
+from repro.core.prediction import refined_worker_count
+from repro.core.termination import MinMax, TerminationSnapshot
+from repro.core.types import WorkerAnswer
+from repro.core.verification import (
+    HalfVoting,
+    MajorityVoting,
+    ProbabilisticVerification,
+)
+from repro.util.stats import (
+    binomial_tail,
+    chernoff_majority_lower_bound,
+    majority_probability,
+    majority_threshold,
+    softmax_from_logs,
+)
+
+LABELS = ("pos", "neu", "neg")
+
+accuracies = st.floats(min_value=0.01, max_value=0.99)
+answers = st.sampled_from(LABELS)
+worker_answers = st.builds(
+    WorkerAnswer,
+    worker_id=st.uuids().map(str),
+    answer=answers,
+    accuracy=accuracies,
+)
+observations = st.lists(worker_answers, min_size=1, max_size=25)
+
+
+class TestConfidenceProperties:
+    @given(observations)
+    @settings(max_examples=200, deadline=None)
+    def test_confidences_form_distribution(self, obs):
+        rho = answer_confidences(obs, AnswerDomain.closed(LABELS))
+        assert all(0.0 <= v <= 1.0 for v in rho.values())
+        assert math.isclose(sum(rho.values()), 1.0, rel_tol=1e-9)
+
+    @given(observations, answers)
+    @settings(max_examples=200, deadline=None)
+    def test_adding_confident_vote_raises_confidence(self, obs, label):
+        domain = AnswerDomain.closed(LABELS)
+        before = answer_confidences(obs, domain)[label]
+        extra = WorkerAnswer("extra", label, 0.9)
+        after = answer_confidences([*obs, extra], domain)[label]
+        assert after >= before - 1e-12
+
+    @given(accuracies, st.integers(min_value=2, max_value=10))
+    @settings(max_examples=200, deadline=None)
+    def test_confidence_accuracy_roundtrip(self, accuracy, m):
+        c = worker_confidence(accuracy, m)
+        assert math.isclose(accuracy_from_confidence(c, m), accuracy, rel_tol=1e-6)
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=20))
+    @settings(max_examples=200, deadline=None)
+    def test_softmax_is_distribution(self, logs):
+        probs = softmax_from_logs(logs)
+        assert math.isclose(sum(probs), 1.0, rel_tol=1e-9)
+        assert all(p >= 0 for p in probs)
+
+
+class TestPredictionProperties:
+    @given(
+        st.floats(min_value=0.55, max_value=0.99),
+        st.floats(min_value=0.55, max_value=0.95),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_refined_count_meets_requirement_and_is_minimal(self, c, mu):
+        n = refined_worker_count(c, mu)
+        assert n % 2 == 1
+        assert majority_probability(n, mu) >= c
+        if n > 1:
+            assert majority_probability(n - 2, mu) < c
+
+    @given(
+        st.integers(min_value=1, max_value=201).filter(lambda n: n % 2 == 1),
+        st.floats(min_value=0.51, max_value=0.99),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_chernoff_below_exact(self, n, mu):
+        assert chernoff_majority_lower_bound(n, mu) <= majority_probability(n, mu) + 1e-12
+
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=0, max_value=300),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_binomial_tail_bounds_and_monotonicity(self, n, k, p):
+        tail = binomial_tail(n, k, p)
+        assert 0.0 <= tail <= 1.0
+        assert binomial_tail(n, k + 1, p) <= tail + 1e-12
+
+
+class TestVerifierProperties:
+    @given(observations)
+    @settings(max_examples=200, deadline=None)
+    def test_probabilistic_never_abstains(self, obs):
+        verdict = ProbabilisticVerification(
+            domain=AnswerDomain.closed(LABELS)
+        ).verify(obs)
+        assert verdict.answer in LABELS
+
+    @given(observations)
+    @settings(max_examples=200, deadline=None)
+    def test_half_implies_majority(self, obs):
+        """Any answer accepted by half-voting is also the majority-voting
+        winner: a >half share is necessarily the unique plurality."""
+        half = HalfVoting().verify(obs)
+        if half.answer is not None:
+            majority = MajorityVoting().verify(obs)
+            assert majority.answer == half.answer
+
+    @given(observations)
+    @settings(max_examples=200, deadline=None)
+    def test_equal_accuracy_verification_agrees_with_plurality(self, obs):
+        same = [
+            WorkerAnswer(wa.worker_id, wa.answer, 0.8) for wa in obs
+        ]
+        verdict = ProbabilisticVerification(
+            domain=AnswerDomain.closed(LABELS)
+        ).verify(same)
+        majority = MajorityVoting().verify(same)
+        if majority.answer is not None:
+            assert verdict.answer == majority.answer
+
+    @given(observations, st.permutations(range(25)))
+    @settings(max_examples=100, deadline=None)
+    def test_verification_order_invariant(self, obs, perm):
+        domain = AnswerDomain.closed(LABELS)
+        shuffled = [obs[i % len(obs)] for i in perm[: len(obs)]]
+        # Build a true permutation of obs indices.
+        idx = [i for i in perm if i < len(obs)]
+        shuffled = [obs[i] for i in idx]
+        if len(shuffled) != len(obs):
+            return
+        a = answer_confidences(obs, domain)
+        b = answer_confidences(shuffled, domain)
+        for label in LABELS:
+            assert math.isclose(a[label], b[label], rel_tol=1e-9)
+
+
+class TestDomainProperties:
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=100, deadline=None)
+    def test_effective_m_floors(self, k):
+        m = estimate_effective_m(k)
+        assert m >= max(2, k)
+
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=2, max_value=50))
+    @settings(max_examples=100, deadline=None)
+    def test_effective_m_respects_known_domain(self, k, known):
+        m = estimate_effective_m(k, known_domain_size=known)
+        assert m <= known
+
+
+class TestOnlineProperties:
+    @given(
+        st.lists(
+            st.tuples(answers, st.floats(min_value=0.4, max_value=0.95)),
+            min_size=2,
+            max_size=20,
+        ),
+        st.floats(min_value=0.55, max_value=0.9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_minmax_stop_is_stable_under_assumed_accuracy(self, specs, mu):
+        """Whenever MinMax stops early, completing the HIT with runner-up
+        votes at the assumed accuracy cannot change the winner."""
+        domain = AnswerDomain.closed(LABELS)
+        obs = [WorkerAnswer(f"w{i}", a, acc) for i, (a, acc) in enumerate(specs)]
+        result = run_online(obs, domain, mean_accuracy=mu, strategy=MinMax())
+        if not result.terminated_early:
+            return
+        used = result.answers_used
+        scores = result.verdict.scores
+        runner_up = max(
+            (lab for lab in LABELS if lab != result.verdict.answer),
+            key=lambda lab: scores[lab],
+        )
+        adversarial = list(obs[:used]) + [
+            WorkerAnswer(f"adv{i}", runner_up, mu)
+            for i in range(len(obs) - used)
+        ]
+        final = answer_confidences(adversarial, domain)
+        assert max(LABELS, key=lambda lab: final[lab]) == result.verdict.answer
+
+    @given(
+        st.lists(
+            st.tuples(answers, st.floats(min_value=0.4, max_value=0.95)),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_snapshot_min_max_bracket_expectations(self, specs):
+        domain = AnswerDomain.closed(LABELS)
+        obs = [WorkerAnswer(f"w{i}", a, acc) for i, (a, acc) in enumerate(specs)]
+        from repro.core.confidence import answer_log_weights
+
+        snap = TerminationSnapshot(
+            log_weights=answer_log_weights(obs, domain),
+            domain=domain,
+            remaining_workers=3,
+            mean_accuracy=0.7,
+        )
+        min_p1, max_p2 = snap.adversarial_confidences()
+        exp_p1, exp_p2 = snap.expected_confidences()
+        assert min_p1 <= exp_p1 + 1e-9
+        assert max_p2 >= exp_p2 - 1e-9
+
+
+class TestMajorityThresholdProperty:
+    @given(st.integers(min_value=1, max_value=999))
+    @settings(max_examples=200, deadline=None)
+    def test_threshold_is_smallest_strict_majority(self, n):
+        t = majority_threshold(n)
+        assert t > n / 2
+        assert t - 1 <= n / 2

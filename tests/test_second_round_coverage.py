@@ -1,0 +1,109 @@
+"""Second-round coverage: interleaving, gold indistinguishability, scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.hit import HIT, Question
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.core.domain import AnswerDomain
+from repro.core.online import OnlineAggregator
+from repro.core.types import WorkerAnswer
+from repro.engine.engine import CrowdsourcingEngine
+from repro.engine.templates import QueryTemplate
+from repro.it.search import TagIndex
+
+
+def _q(qid: str, gold: bool = False) -> Question:
+    return Question(
+        question_id=qid,
+        options=("a", "b", "c"),
+        truth="a",
+        is_gold=gold,
+        payload=f"payload for {qid}",
+    )
+
+
+class TestGoldIndistinguishability:
+    def test_gold_and_real_render_identically(self):
+        """§3.3 requires workers cannot spot the testing samples: apart
+        from the ids, a gold question's markup must match a real one's."""
+        template = QueryTemplate(
+            job_name="j", instructions="i", item_label="Item", prompt="p"
+        )
+        real = _q("x")
+        gold = Question(
+            question_id="x",  # same id to isolate the is_gold flag
+            options=real.options,
+            truth=real.truth,
+            is_gold=True,
+            payload=real.payload,
+        )
+        assert template.render_question(real) == template.render_question(gold)
+        assert "gold" not in template.render_question(gold).lower()
+
+
+class TestInterleavedHITs:
+    def test_two_hits_pull_independently(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=81)
+        h1 = market.publish(HIT(hit_id="h1", questions=(_q("q1"),), assignments=4))
+        h2 = market.publish(HIT(hit_id="h2", questions=(_q("q2"),), assignments=4))
+        # Interleave pulls; per-HIT attribution must stay exact.
+        h1.next_submission()
+        h2.next_submission()
+        h1.next_submission()
+        h2.cancel()
+        h1.collect_all()
+        per = market.schedule.per_assignment
+        assert market.ledger.cost_of("h1") == pytest.approx(4 * per)
+        assert market.ledger.cost_of("h2") == pytest.approx(1 * per)
+        assert market.ledger.avoided_cost == pytest.approx(3 * per)
+
+    def test_interleaving_does_not_change_answers(self, small_pool):
+        def answers_for(interleave: bool) -> list[dict]:
+            market = SimulatedMarket(small_pool, seed=82)
+            h1 = market.publish(HIT(hit_id="h1", questions=(_q("q1"),), assignments=3))
+            h2 = market.publish(HIT(hit_id="h2", questions=(_q("q2"),), assignments=3))
+            if interleave:
+                out = []
+                for _ in range(3):
+                    out.append(h1.next_submission().answers)
+                    h2.next_submission()
+                return out
+            return [a.answers for a in h1.collect_all()]
+
+        assert answers_for(True) == answers_for(False)
+
+
+class TestUnanimousConfidenceMonotone:
+    def test_confidence_rises_with_unanimous_votes(self, pos_neu_neg):
+        agg = OnlineAggregator(pos_neu_neg, hired_workers=12, mean_accuracy=0.7)
+        last = 0.0
+        for i in range(12):
+            point = agg.submit(WorkerAnswer(f"w{i}", "pos", 0.8))
+            assert point.best_confidence >= last - 1e-12
+            last = point.best_confidence
+        assert last > 0.99
+
+
+class TestTagIndexDeterminism:
+    def test_equal_confidence_ties_break_by_id(self):
+        index = TagIndex()
+        index.add("sun", "img-z", 0.8)
+        index.add("sun", "img-a", 0.8)
+        assert index.search("sun") == ["img-a", "img-z"]
+
+
+class TestModerateScale:
+    def test_engine_handles_wide_batch_quickly(self, small_pool):
+        """A 120-question, 15-worker batch (1800 answers) stays correct;
+        this doubles as a scale smoke test for the per-question loops."""
+        market = SimulatedMarket(small_pool, seed=83)
+        engine = CrowdsourcingEngine(market, seed=83)
+        questions = [_q(f"q{i}") for i in range(120)]
+        gold = [_q(f"g{i}") for i in range(40)]
+        result = engine.run_batch(questions, 0.9, gold_pool=gold, worker_count=15)
+        assert len(result.records) == 120
+        assert result.accuracy > 0.9
+        assert result.assignments_collected == 15

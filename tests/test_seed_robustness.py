@@ -1,0 +1,56 @@
+"""Seed robustness: the paper's shapes must hold across seeds.
+
+A reproduction that only works at one magic seed is a coincidence.  These
+tests re-run downscaled versions of the headline experiments at several
+seeds and assert the *qualitative* claims each time.  Sizes are kept small
+(the full-size sweeps live in the experiment defaults / benchmarks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig07_accuracy_vs_workers,
+    fig08_accuracy_vs_required,
+    fig15_sampling_worker_accuracy,
+)
+from repro.experiments.ablations import run_colluder_ablation
+from repro.experiments.fig1213_termination import simulate
+
+SEEDS = (7, 1234, 987654)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestShapesAcrossSeeds:
+    def test_fig7_verification_dominates(self, seed):
+        result = fig07_accuracy_vs_workers.run(seed, review_count=80, max_workers=11)
+        for row in result.rows:
+            assert row["verification"] >= row["half_voting"] - 0.05
+        assert result.rows[-1]["verification"] > result.rows[0]["verification"] - 0.02
+
+    def test_fig8_verification_meets_requirement(self, seed):
+        result = fig08_accuracy_vs_required.run(
+            seed, review_count=80, c_min=0.7, c_max=0.9, c_step=0.1
+        )
+        for row in result.rows:
+            assert row["verification"] >= row["required_accuracy"] - 0.05
+
+    def test_fig15_error_shrinks_with_rate(self, seed):
+        result = fig15_sampling_worker_accuracy.run(seed, worker_sample=80)
+        errors = result.column("average_error")
+        assert errors[0] > errors[-1]
+        assert errors[-1] == 0.0
+
+    def test_termination_saves_workers(self, seed):
+        cells = simulate(seed, review_count=40, c_values=(0.8,))
+        for cell in cells:
+            assert cell.mean_answers_used <= cell.predicted_workers
+
+    def test_colluders_break_voting_not_verification(self, seed):
+        result = run_colluder_ablation(
+            seed, review_count=50, fractions=(0.0, 0.3)
+        )
+        clean, attacked = result.rows
+        assert attacked["majority_voting"] < clean["majority_voting"]
+        assert attacked["verification"] > attacked["majority_voting"]

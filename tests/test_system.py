@@ -1,0 +1,103 @@
+"""Tests for the CDAS facade (Figure 2 wiring)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.market import SimulatedMarket
+from repro.engine.jobs import JobSpec
+from repro.engine.query import Query
+from repro.engine.templates import QueryTemplate
+from repro.it.images import generate_images
+from repro.system import CDAS
+from repro.tsa.app import movie_query
+from repro.tsa.tweets import generate_tweets, tweet_to_question
+
+
+@pytest.fixture()
+def system(small_pool) -> CDAS:
+    market = SimulatedMarket(small_pool, seed=91)
+    return CDAS.with_default_jobs(market, seed=91)
+
+
+class TestRegistration:
+    def test_default_jobs_present(self, system):
+        assert set(system.jobs) == {"twitter-sentiment", "image-tagging"}
+
+    def test_custom_job_registers(self, system):
+        spec = JobSpec(
+            name="custom",
+            template=QueryTemplate(
+                job_name="custom", instructions="i", item_label="Item", prompt="p"
+            ),
+            computer_tasks=("t",),
+            human_tasks=("h",),
+        )
+        calls = []
+
+        def runner(engine, plan, inputs):
+            calls.append((plan.job_name, inputs))
+            return "done"
+
+        system.register_job(spec, runner)
+        out = system.submit(
+            "custom",
+            Query(keywords=("x",), required_accuracy=0.9, domain=("a", "b")),
+            extra=1,
+        )
+        assert out == "done"
+        assert calls == [("custom", {"extra": 1})]
+
+    def test_duplicate_rejected(self, system):
+        from repro.tsa.app import build_tsa_spec
+
+        with pytest.raises(ValueError):
+            system.register_job(build_tsa_spec(), lambda e, p, i: None)
+
+    def test_unknown_job_rejected(self, system):
+        with pytest.raises(KeyError):
+            system.submit(
+                "ghost", Query(keywords=("x",), required_accuracy=0.9, domain=("a", "b"))
+            )
+
+
+class TestEndToEnd:
+    def test_tsa_through_facade(self, system):
+        gold = generate_tweets(["Inception"], per_movie=25, seed=92)
+        system.calibrate([tweet_to_question(t) for t in gold[:15]])
+        tweets = generate_tweets(["Rio"], per_movie=10, seed=93)
+        result = system.submit(
+            "twitter-sentiment",
+            movie_query("Rio", 0.85),
+            gold_tweets=gold[15:],
+            tweets=tweets,
+            worker_count=5,
+            batch_size=10,
+        )
+        assert len(result.records) == 10
+        assert system.total_cost > 0
+
+    def test_it_through_facade(self, system):
+        images = generate_images(per_subject=1, seed=94)[:3]
+        gold_images = generate_images(per_subject=1, seed=95)
+        result = system.submit(
+            "image-tagging",
+            Query(
+                keywords=("images",),
+                required_accuracy=0.9,
+                domain=("yes", "no"),
+            ),
+            images=images,
+            gold_images=gold_images,
+            worker_count=3,
+        )
+        assert result.decision_accuracy > 0.5
+
+    def test_missing_required_inputs(self, system):
+        with pytest.raises(ValueError, match="gold_tweets"):
+            system.submit("twitter-sentiment", movie_query("Rio", 0.85))
+        with pytest.raises(ValueError, match="images"):
+            system.submit(
+                "image-tagging",
+                Query(keywords=("x",), required_accuracy=0.9, domain=("yes", "no")),
+            )

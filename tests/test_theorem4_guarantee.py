@@ -1,0 +1,72 @@
+"""Statistical validation of Theorem 4: prediction + verification ≥ C.
+
+Theorem 4 promises: if the worker count satisfies ``E[P_{⌈n/2⌉}] ≥ C``,
+probability-based verification returns the true answer with probability at
+least ``C``.  We validate it Monte-Carlo style on homogeneous and
+heterogeneous populations with *oracle* accuracies (isolating the theorem
+from estimation error, which Figures 15/16 cover separately).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domain import AnswerDomain
+from repro.core.prediction import refined_worker_count
+from repro.core.types import WorkerAnswer
+from repro.core.verification import ProbabilisticVerification
+from repro.util.rng import substream
+
+LABELS = ("a", "b", "c")
+TRIALS = 600
+
+
+def _simulate_accuracy(mu: float, c: float, seed: int, heterogeneous: bool) -> float:
+    """Empirical accuracy of verification at n = g(C) over many questions."""
+    n = refined_worker_count(c, mu)
+    rng = substream(seed, f"thm4:{mu}:{c}:{heterogeneous}")
+    domain = AnswerDomain.closed(LABELS)
+    verifier = ProbabilisticVerification(domain=domain)
+    correct = 0
+    for _ in range(TRIALS):
+        truth = LABELS[int(rng.integers(3))]
+        observation = []
+        for w in range(n):
+            if heterogeneous:
+                # Worker accuracies spread ±0.15 around mu (clipped), mean mu.
+                accuracy = float(min(0.98, max(0.02, mu + rng.uniform(-0.15, 0.15))))
+            else:
+                accuracy = mu
+            if rng.random() < accuracy:
+                answer = truth
+            else:
+                wrong = [lab for lab in LABELS if lab != truth]
+                answer = wrong[int(rng.integers(2))]
+            observation.append(WorkerAnswer(f"w{w}", answer, accuracy))
+        verdict = verifier.verify(observation)
+        correct += verdict.answer == truth
+    return correct / TRIALS
+
+
+#: Three-sigma slack for a Bernoulli mean over TRIALS samples at p ≈ C.
+def _slack(c: float) -> float:
+    return 3.0 * (c * (1 - c) / TRIALS) ** 0.5
+
+
+class TestTheorem4:
+    @pytest.mark.parametrize("mu", [0.6, 0.7, 0.8])
+    @pytest.mark.parametrize("c", [0.7, 0.85, 0.95])
+    def test_homogeneous_population_meets_requirement(self, mu, c):
+        accuracy = _simulate_accuracy(mu, c, seed=2012, heterogeneous=False)
+        assert accuracy >= c - _slack(c)
+
+    @pytest.mark.parametrize("c", [0.75, 0.9])
+    def test_heterogeneous_population_meets_requirement(self, c):
+        accuracy = _simulate_accuracy(0.7, c, seed=2013, heterogeneous=True)
+        assert accuracy >= c - _slack(c)
+
+    def test_verification_beats_required_with_margin_at_high_n(self):
+        # At C = 0.95 / mu = 0.7 the prediction hires ~49 workers; the
+        # verifier typically lands clearly above the floor.
+        accuracy = _simulate_accuracy(0.7, 0.95, seed=2014, heterogeneous=False)
+        assert accuracy >= 0.95

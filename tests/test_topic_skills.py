@@ -1,0 +1,97 @@
+"""Tests for per-topic worker skills (§3.3 cross-job accuracy variation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.hit import Question
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.amt.worker import WorkerProfile, effective_accuracy
+from repro.experiments.ablations import run_cross_job_ablation
+
+SEED = 2012
+
+
+def _question(topic: str, difficulty: float = 0.0) -> Question:
+    return Question(
+        question_id="q",
+        options=("a", "b", "c"),
+        truth="a",
+        difficulty=difficulty,
+        topic=topic,
+    )
+
+
+class TestSkillDelta:
+    def _profile(self) -> WorkerProfile:
+        return WorkerProfile(
+            "w", 0.7, 0.9, skills=(("sentiment", 0.15), ("imaging", -0.2))
+        )
+
+    def test_known_topic_applies_offset(self):
+        p = self._profile()
+        assert p.topic_accuracy("sentiment") == pytest.approx(0.85)
+        assert p.topic_accuracy("imaging") == pytest.approx(0.5)
+
+    def test_unknown_topic_is_base(self):
+        assert self._profile().topic_accuracy("general") == pytest.approx(0.7)
+
+    def test_clipping(self):
+        high = WorkerProfile("w", 0.95, 0.9, skills=(("t", 0.2),))
+        low = WorkerProfile("w2", 0.1, 0.9, skills=(("t", -0.5),))
+        assert high.topic_accuracy("t") == 1.0
+        assert low.topic_accuracy("t") == 0.0
+
+    def test_duplicate_topics_rejected(self):
+        with pytest.raises(ValueError, match="duplicate topics"):
+            WorkerProfile("w", 0.7, 0.9, skills=(("t", 0.1), ("t", 0.2)))
+
+    def test_effective_accuracy_uses_topic(self):
+        p = self._profile()
+        assert effective_accuracy(p, _question("sentiment")) == pytest.approx(0.85)
+        assert effective_accuracy(p, _question("imaging")) == pytest.approx(0.5)
+
+    def test_difficulty_composes_with_topic(self):
+        p = self._profile()
+        # d=0.5 on a 3-option sentiment question: 0.5*0.85 + 0.5/3.
+        assert effective_accuracy(p, _question("sentiment", 0.5)) == pytest.approx(
+            0.5 * 0.85 + 0.5 / 3
+        )
+
+
+class TestPoolSkills:
+    def test_skills_generated_when_configured(self):
+        pool = WorkerPool.from_config(
+            PoolConfig(size=60, skill_topics=("a", "b"), skill_sigma=0.1), seed=SEED
+        )
+        reliable = [p for p in pool.profiles if p.behaviour == "reliable"]
+        assert all(len(p.skills) == 2 for p in reliable)
+        deltas = [d for p in reliable for _, d in p.skills]
+        assert any(d > 0 for d in deltas) and any(d < 0 for d in deltas)
+
+    def test_no_skills_by_default(self):
+        pool = WorkerPool.from_config(PoolConfig(size=30), seed=SEED)
+        assert all(p.skills == () for p in pool.profiles)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sigma"):
+            PoolConfig(skill_sigma=-0.1)
+        with pytest.raises(ValueError, match="duplicate"):
+            PoolConfig(skill_topics=("a", "a"))
+
+
+class TestCrossJobAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_cross_job_ablation(SEED, review_count=80)
+
+    def test_same_job_gold_wins(self, result):
+        by_source = {
+            row["accuracy_source"]: row["verification_accuracy"]
+            for row in result.rows
+        }
+        assert by_source["same_job_gold"] >= by_source["cross_job_gold"]
+        assert by_source["same_job_gold"] > by_source["approval_rate"]
+
+    def test_three_sources(self, result):
+        assert len(result.rows) == 3

@@ -1,0 +1,163 @@
+"""Tests for the TSA application: corpus, stream, end-to-end job."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.market import SimulatedMarket
+from repro.engine.engine import CrowdsourcingEngine
+from repro.tsa.app import TSAJob, build_tsa_spec, movie_query
+from repro.tsa.lexicon import SENTIMENTS
+from repro.tsa.stream import TweetStream
+from repro.tsa.tweets import (
+    Tweet,
+    TweetGeneratorConfig,
+    generate_tweets,
+    tweet_to_question,
+)
+
+
+class TestGenerateTweets:
+    def test_counts_and_ids_unique(self):
+        tweets = generate_tweets(["Thor", "Rio"], per_movie=30, seed=1)
+        assert len(tweets) == 60
+        assert len({t.tweet_id for t in tweets}) == 60
+
+    def test_deterministic(self):
+        a = generate_tweets(["Thor"], per_movie=20, seed=5)
+        b = generate_tweets(["Thor"], per_movie=20, seed=5)
+        assert [t.text for t in a] == [t.text for t in b]
+
+    def test_movie_name_in_text(self):
+        tweets = generate_tweets(["Thor"], per_movie=50, seed=2)
+        assert all("Thor" in t.text for t in tweets)
+
+    def test_sentiments_valid(self):
+        tweets = generate_tweets(["Thor"], per_movie=100, seed=3)
+        assert {t.sentiment for t in tweets} <= set(SENTIMENTS)
+
+    def test_sentiment_mix_roughly_matches_weights(self):
+        tweets = generate_tweets(
+            ["Thor", "Rio", "Hanna", "Paul"], per_movie=250, seed=4
+        )
+        share_pos = sum(t.sentiment == "positive" for t in tweets) / len(tweets)
+        # Plain/ambiguous families use the 60/10/30 prior; contrast and
+        # hard are 50/50 pos-neg, so overall positive is ~0.5.
+        assert 0.40 <= share_pos <= 0.62
+
+    def test_hard_fraction_controls_difficulty(self):
+        easy_cfg = TweetGeneratorConfig(
+            plain_fraction=1.0,
+            contrast_fraction=0.0,
+            hard_fraction=0.0,
+            ambiguous_fraction=0.0,
+        )
+        tweets = generate_tweets(["Thor"], per_movie=50, seed=5, config=easy_cfg)
+        assert all(t.difficulty == 0.0 for t in tweets)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            TweetGeneratorConfig(plain_fraction=0.9)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_tweets([], per_movie=5, seed=1)
+        with pytest.raises(ValueError):
+            generate_tweets(["Thor"], per_movie=0, seed=1)
+
+
+class TestTweetToQuestion:
+    def test_mapping(self):
+        tweet = generate_tweets(["Thor"], per_movie=1, seed=6)[0]
+        q = tweet_to_question(tweet)
+        assert q.question_id == tweet.tweet_id
+        assert q.truth == tweet.sentiment
+        assert q.options == SENTIMENTS
+        assert q.payload == tweet.text
+
+
+class TestTweetStream:
+    def _stream(self) -> TweetStream:
+        tweets = generate_tweets(["Thor", "Rio"], per_movie=40, seed=7)
+        return TweetStream.from_corpus(tweets, unit_seconds=3600.0)
+
+    def test_sorted_by_time(self):
+        stream = self._stream()
+        times = [t.timestamp for t in stream.tweets]
+        assert times == sorted(times)
+
+    def test_window_filters_keyword_and_time(self):
+        stream = self._stream()
+        query = movie_query("Thor", 0.9, window=24, timestamp=0.0)
+        hits = list(stream.window(query))
+        assert hits
+        assert all("Thor" in t.text for t in hits)
+
+    def test_narrow_window(self):
+        stream = self._stream()
+        narrow = movie_query("Thor", 0.9, window=2, timestamp=0.0)
+        wide = movie_query("Thor", 0.9, window=24, timestamp=0.0)
+        assert len(list(stream.window(narrow))) <= len(list(stream.window(wide)))
+
+    def test_arrival_rate(self):
+        stream = self._stream()
+        query = movie_query("Thor", 0.9, window=24, timestamp=0.0)
+        k = stream.arrival_rate(query)
+        assert k == pytest.approx(len(list(stream.window(query))) / 24)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TweetStream(tweets=(), unit_seconds=0)
+
+
+class TestTSAJobEndToEnd:
+    def test_full_query(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=44)
+        engine = CrowdsourcingEngine(market, seed=44)
+        gold = generate_tweets(["Inception"], per_movie=25, seed=45)
+        engine.calibrate(
+            [tweet_to_question(t) for t in gold[:15]], workers_per_hit=15, hits=2
+        )
+        tweets = generate_tweets(["Thor"], per_movie=30, seed=46)
+        stream = TweetStream.from_corpus(tweets)
+        job = TSAJob(engine, stream=stream, batch_size=15)
+        result = job.run(movie_query("Thor", 0.85), gold_tweets=gold[15:])
+        assert result.records
+        assert result.accuracy > 0.7
+        assert result.cost > 0
+        assert result.report.subject == "Thor"
+        # Percentages are h-scores over the three labels.
+        total = sum(result.report.percentage(s) for s in SENTIMENTS)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_explicit_tweets_bypass_stream(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=47)
+        engine = CrowdsourcingEngine(market, seed=47)
+        gold = generate_tweets(["Inception"], per_movie=20, seed=48)
+        tweets = generate_tweets(["Rio"], per_movie=10, seed=49)
+        job = TSAJob(engine, batch_size=10)
+        result = job.run(
+            movie_query("Rio", 0.8),
+            gold_tweets=gold,
+            tweets=tweets,
+            worker_count=5,
+        )
+        assert len(result.records) == 10
+        assert result.workers_per_hit == 5
+
+    def test_no_matches_rejected(self, small_pool):
+        market = SimulatedMarket(small_pool, seed=50)
+        engine = CrowdsourcingEngine(market, seed=50)
+        job = TSAJob(engine, batch_size=10)
+        with pytest.raises(ValueError, match="matched no tweets"):
+            job.run(
+                movie_query("Nonexistent Movie", 0.8),
+                gold_tweets=[],
+                tweets=generate_tweets(["Rio"], per_movie=5, seed=51),
+                worker_count=3,
+            )
+
+    def test_spec_shape(self):
+        spec = build_tsa_spec()
+        assert spec.name == "twitter-sentiment"
+        assert spec.template.item_label == "Tweet"

@@ -1,0 +1,184 @@
+"""Tests for the §4.3 continuous live view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.core.termination import ExpMax
+from repro.engine.query import Query
+from repro.tsa.continuous import ContinuousTSA
+from repro.tsa.stream import TweetStream
+from repro.tsa.tweets import Tweet
+from repro.util.rng import substream
+
+MINUTE = 60.0
+
+
+def _stream(seed: int = 1, count: int = 12) -> TweetStream:
+    rng = substream(seed, "live-test")
+    tweets = []
+    for i in range(count):
+        sentiment = "positive" if rng.random() < 0.7 else "negative"
+        tweets.append(
+            Tweet(
+                tweet_id=f"t{i:03d}",
+                movie="Thor",
+                text=f"Thor live tweet {i}",
+                sentiment=sentiment,
+                difficulty=0.0,
+                timestamp=float(rng.uniform(0.0, 10 * MINUTE)),
+            )
+        )
+    return TweetStream.from_corpus(tweets, unit_seconds=MINUTE)
+
+
+def _query() -> Query:
+    return Query(
+        keywords=("Thor",),
+        required_accuracy=0.9,
+        domain=("positive", "neutral", "negative"),
+        timestamp=0.0,
+        window=12,
+        subject="Thor",
+    )
+
+
+def _live(seed: int = 1, strategy=None, workers: int = 5) -> ContinuousTSA:
+    pool = WorkerPool.from_config(PoolConfig(size=150), seed=seed)
+    return ContinuousTSA(
+        pool=pool,
+        stream=_stream(seed),
+        query=_query(),
+        workers_per_tweet=workers,
+        worker_accuracy=0.72,
+        mean_response_seconds=60.0,
+        strategy=strategy,
+        seed=seed,
+    )
+
+
+class TestAdvanceTo:
+    def test_tweets_become_visible_over_time(self):
+        live = _live()
+        early = live.advance_to(1 * MINUTE)
+        late = live.advance_to(10 * MINUTE)
+        assert early.tweets_seen <= late.tweets_seen
+        assert late.tweets_seen == 12
+
+    def test_everything_resolves_eventually(self):
+        live = _live()
+        final = live.advance_to(1000 * MINUTE)
+        assert final.tweets_resolved == final.tweets_seen == 12
+        assert final.answers_outstanding == 0
+
+    def test_outstanding_decreases_to_zero(self):
+        live = _live()
+        mid = live.advance_to(5 * MINUTE)
+        final = live.advance_to(1000 * MINUTE)
+        assert final.answers_outstanding == 0
+        assert mid.answers_outstanding >= 0
+
+    def test_monotonicity_enforced(self):
+        live = _live()
+        live.advance_to(5 * MINUTE)
+        with pytest.raises(ValueError, match="monotone"):
+            live.advance_to(1 * MINUTE)
+
+    def test_negative_time_rejected(self):
+        live = _live()
+        with pytest.raises(ValueError, match="negative"):
+            live.advance_to(-1.0)
+
+
+class TestSnapshots:
+    def test_report_percentages_reflect_stream_mix(self):
+        live = _live()
+        final = live.advance_to(1000 * MINUTE)
+        # ~70% positive ground truth with accurate-ish workers.
+        assert final.report.percentage("positive") > 0.5
+
+    def test_supporting_tweets_newest_first(self):
+        live = _live()
+        final = live.advance_to(1000 * MINUTE)
+        for texts in final.supporting_tweets.values():
+            assert isinstance(texts, tuple)
+        # Every resolved tweet appears under exactly one label.
+        total = sum(len(v) for v in final.supporting_tweets.values())
+        assert total == final.tweets_seen
+
+    def test_render_contains_counts(self):
+        live = _live()
+        snap = live.advance_to(3 * MINUTE)
+        text = snap.render()
+        assert "tweets seen" in text
+        assert "Thor" in text
+
+    def test_empty_prefix_renders(self):
+        live = _live()
+        snap = live.advance_to(0.0)
+        assert snap.tweets_resolved == 0
+        assert snap.render()
+
+
+class TestEarlyAcceptance:
+    def test_strategy_accepts_before_all_answers(self):
+        live = _live(strategy=ExpMax(), workers=15)
+        final = live.advance_to(1000 * MINUTE)
+        # With a stopping rule, at least one tweet froze its verdict with
+        # answers still pending (which were then treated as cancelled).
+        delivered = sum(lq.cursor for lq in live._questions)
+        scheduled = sum(len(lq.arrivals) for lq in live._questions)
+        assert delivered < scheduled
+        assert final.tweets_resolved == 12
+
+    def test_timeline_checkpoints(self):
+        live = _live()
+        snaps = live.timeline([MINUTE, 5 * MINUTE, 20 * MINUTE])
+        assert [s.elapsed_seconds for s in snaps] == [60.0, 300.0, 1200.0]
+        with pytest.raises(ValueError, match="non-decreasing"):
+            _live().timeline([5 * MINUTE, MINUTE])
+
+
+class TestTimeInvariance:
+    def test_many_small_steps_equal_one_big_step(self):
+        """Advancing in any sequence of increments must land in the same
+        state as one jump to the final time — the event timeline is fixed
+        at construction and delivery is purely time-driven."""
+        stepped = _live(seed=9)
+        for t in (30.0, 90.0, 200.0, 500.0, 1500.0, 4000.0):
+            snap_stepped = stepped.advance_to(t)
+        jumped = _live(seed=9)
+        snap_jumped = jumped.advance_to(4000.0)
+        assert snap_stepped.tweets_seen == snap_jumped.tweets_seen
+        assert snap_stepped.tweets_resolved == snap_jumped.tweets_resolved
+        assert snap_stepped.answers_outstanding == snap_jumped.answers_outstanding
+        for label in ("positive", "neutral", "negative"):
+            assert snap_stepped.report.percentage(label) == pytest.approx(
+                snap_jumped.report.percentage(label)
+            )
+
+    def test_stepping_with_strategy_matches_jump(self):
+        from repro.core.termination import ExpMax
+
+        stepped = _live(seed=10, strategy=ExpMax(), workers=9)
+        for t in (60.0, 120.0, 600.0, 5000.0):
+            snap_stepped = stepped.advance_to(t)
+        jumped = _live(seed=10, strategy=ExpMax(), workers=9)
+        snap_jumped = jumped.advance_to(5000.0)
+        assert snap_stepped.tweets_resolved == snap_jumped.tweets_resolved
+        for label in ("positive", "neutral", "negative"):
+            assert snap_stepped.report.percentage(label) == pytest.approx(
+                snap_jumped.report.percentage(label)
+            )
+
+
+class TestValidation:
+    def test_bad_construction(self):
+        pool = WorkerPool.from_config(PoolConfig(size=50), seed=1)
+        with pytest.raises(ValueError):
+            ContinuousTSA(pool, _stream(), _query(), workers_per_tweet=0)
+        with pytest.raises(ValueError):
+            ContinuousTSA(pool, _stream(), _query(), worker_accuracy=1.0)
+        with pytest.raises(ValueError):
+            ContinuousTSA(pool, _stream(), _query(), mean_response_seconds=0)

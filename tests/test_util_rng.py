@@ -1,0 +1,74 @@
+"""Tests for repro.util.rng: determinism and substream independence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.rng import derive_seed, permutation_of, spawn, substream
+
+
+class TestSpawn:
+    def test_same_seed_same_stream(self):
+        assert spawn(42).random() == spawn(42).random()
+
+    def test_different_seeds_differ(self):
+        assert spawn(1).random() != spawn(2).random()
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn(-1)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a") == derive_seed(7, "a")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_fits_in_63_bits(self):
+        for label in ("x", "y", "a-very-long-label-with-unicode-ü"):
+            assert 0 <= derive_seed(123456789, label) < 2**63
+
+    def test_no_collision_over_many_labels(self):
+        seeds = {derive_seed(0, f"label-{i}") for i in range(10_000)}
+        assert len(seeds) == 10_000
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(-5, "a")
+
+
+class TestSubstream:
+    def test_substreams_are_independent(self):
+        a = substream(99, "alpha")
+        b = substream(99, "beta")
+        # Streams from different labels should not be identical.
+        assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+    def test_substream_reproducible(self):
+        xs = substream(5, "pool").random(3).tolist()
+        ys = substream(5, "pool").random(3).tolist()
+        assert xs == ys
+
+
+class TestPermutationOf:
+    def test_is_a_permutation(self):
+        perm = permutation_of(3, "seq", 20)
+        assert sorted(perm) == list(range(20))
+
+    def test_deterministic(self):
+        assert permutation_of(3, "seq", 10) == permutation_of(3, "seq", 10)
+
+    def test_label_changes_order(self):
+        assert permutation_of(3, "s1", 30) != permutation_of(3, "s2", 30)
+
+    def test_empty(self):
+        assert permutation_of(1, "x", 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            permutation_of(1, "x", -1)

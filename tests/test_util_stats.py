@@ -1,0 +1,171 @@
+"""Tests for repro.util.stats against closed forms and scipy."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy import stats as sps
+
+from repro.util.stats import (
+    binomial_pmf,
+    binomial_tail,
+    chernoff_majority_lower_bound,
+    clamp_probability,
+    harmonic_number,
+    logsumexp,
+    majority_probability,
+    majority_threshold,
+    mean,
+    softmax_from_logs,
+)
+
+
+class TestClampProbability:
+    def test_inside_range_untouched(self):
+        assert clamp_probability(0.5) == 0.5
+
+    def test_clamps_zero_and_one(self):
+        assert 0.0 < clamp_probability(0.0) < 1e-6
+        assert 1.0 - 1e-6 < clamp_probability(1.0) < 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            clamp_probability(1.5)
+        with pytest.raises(ValueError):
+            clamp_probability(-0.2)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_generator_input(self):
+        assert mean(x for x in (2.0, 4.0)) == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestMajorityThreshold:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (3, 2), (5, 3), (29, 15)])
+    def test_odd(self, n, expected):
+        assert majority_threshold(n) == expected
+
+    def test_even_is_strict_majority(self):
+        assert majority_threshold(4) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            majority_threshold(0)
+
+
+class TestBinomialPmf:
+    @pytest.mark.parametrize("n,k,p", [(5, 2, 0.3), (10, 0, 0.7), (10, 10, 0.7), (1, 1, 0.5)])
+    def test_matches_scipy(self, n, k, p):
+        assert binomial_pmf(n, k, p) == pytest.approx(sps.binom.pmf(k, n, p), rel=1e-9)
+
+    def test_out_of_support_is_zero(self):
+        assert binomial_pmf(5, 6, 0.5) == 0.0
+        assert binomial_pmf(5, -1, 0.5) == 0.0
+
+    def test_sums_to_one(self):
+        total = sum(binomial_pmf(12, k, 0.37) for k in range(13))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+
+class TestBinomialTail:
+    @pytest.mark.parametrize(
+        "n,k,p",
+        [(5, 3, 0.6), (29, 15, 0.7), (101, 51, 0.55), (9, 5, 0.9), (3, 2, 0.51)],
+    )
+    def test_matches_scipy_sf(self, n, k, p):
+        expected = sps.binom.sf(k - 1, n, p)
+        assert binomial_tail(n, k, p) == pytest.approx(expected, rel=1e-9)
+
+    def test_k_zero_is_one(self):
+        assert binomial_tail(10, 0, 0.3) == 1.0
+
+    def test_k_above_n_is_zero(self):
+        assert binomial_tail(10, 11, 0.3) == 0.0
+
+    def test_large_n_stable(self):
+        # Algorithm-3 recurrence must not over/underflow at n = 2001.
+        value = binomial_tail(2001, 1001, 0.6)
+        assert 0.999 < value <= 1.0
+
+
+class TestMajorityProbability:
+    def test_single_worker_is_accuracy(self):
+        assert majority_probability(1, 0.73) == pytest.approx(0.73)
+
+    def test_condorcet_monotone_in_n(self):
+        values = [majority_probability(n, 0.7) for n in range(1, 40, 2)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_condorcet_decreasing_below_half(self):
+        values = [majority_probability(n, 0.4) for n in range(1, 40, 2)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_paper_magnitude_at_29_workers(self):
+        # Paper Figure 7: ~0.99 at 29 workers with mu ≈ 0.7.
+        assert majority_probability(29, 0.7) > 0.98
+
+
+class TestChernoffBound:
+    def test_is_a_lower_bound(self):
+        for n in (1, 5, 15, 51):
+            for mu in (0.55, 0.65, 0.8, 0.95):
+                assert chernoff_majority_lower_bound(n, mu) <= majority_probability(
+                    n, mu
+                ) + 1e-12
+
+    def test_vacuous_at_half(self):
+        assert chernoff_majority_lower_bound(11, 0.5) == 0.0
+        assert chernoff_majority_lower_bound(11, 0.3) == 0.0
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            chernoff_majority_lower_bound(0, 0.7)
+
+
+class TestLogsumexp:
+    def test_matches_direct_small_values(self):
+        xs = [0.1, 0.5, -0.3]
+        assert logsumexp(xs) == pytest.approx(math.log(sum(math.exp(x) for x in xs)))
+
+    def test_handles_large_values(self):
+        assert logsumexp([1000.0, 1000.0]) == pytest.approx(1000.0 + math.log(2))
+
+    def test_all_minus_inf(self):
+        assert logsumexp([float("-inf"), float("-inf")]) == float("-inf")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            logsumexp([])
+
+
+class TestSoftmaxFromLogs:
+    def test_sums_to_one(self):
+        probs = softmax_from_logs([0.0, 1.0, 2.0])
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_order_preserved(self):
+        probs = softmax_from_logs([0.0, 3.0, 1.0])
+        assert probs[1] > probs[2] > probs[0]
+
+    def test_overflow_safe(self):
+        probs = softmax_from_logs([800.0, 805.0])
+        assert probs[1] == pytest.approx(1.0 / (1.0 + math.exp(-5.0)))
+
+
+class TestHarmonicNumber:
+    def test_known_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(4) == pytest.approx(1.0 + 0.5 + 1 / 3 + 0.25)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)

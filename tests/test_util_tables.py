@@ -1,0 +1,61 @@
+"""Tests for repro.util.tables rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import format_percent, format_series, format_table, render_rows
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.153) == "15.3%"
+
+    def test_digits(self):
+        assert format_percent(0.5, digits=0) == "50%"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "n"], [["short", 1], ["a-longer-name", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        # The second column starts right after the widest first-column cell
+        # plus the two-space separator, in every row.
+        offset = len("a-longer-name") + 2
+        assert lines[0][offset] == "n"
+        assert lines[2][offset] == "1"
+        assert lines[3][offset:] == "22"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="row width"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestRenderRows:
+    def test_empty(self):
+        assert render_rows([]) == "(no rows)"
+
+    def test_column_order_follows_first_row(self):
+        out = render_rows([{"b": 1, "a": 2}])
+        header = out.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_key_renders_empty(self):
+        out = render_rows([{"a": 1, "b": 2}, {"a": 3}])
+        assert out  # no crash; missing cell rendered blank
+
+
+class TestFormatSeries:
+    def test_roundtrip(self):
+        out = format_series("acc", [1, 3], [0.5, 0.75], x_label="n")
+        assert "series: acc" in out
+        assert "0.7500" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            format_series("s", [1, 2], [1.0])

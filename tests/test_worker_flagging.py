@@ -1,0 +1,97 @@
+"""Tests for the quality-management worker screen (§6-inspired extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.hit import Question
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.engine.engine import CrowdsourcingEngine, EngineConfig
+
+
+def _gold(count: int) -> list[Question]:
+    options = ("pos", "neu", "neg")
+    return [
+        Question(question_id=f"g{i}", options=options, truth=options[i % 3])
+        for i in range(count)
+    ]
+
+
+def _questions(count: int) -> list[Question]:
+    options = ("pos", "neu", "neg")
+    return [
+        Question(question_id=f"q{i}", options=options, truth=options[i % 3])
+        for i in range(count)
+    ]
+
+
+def _spammy_engine(seed: int, flag_threshold: float | None) -> CrowdsourcingEngine:
+    pool = WorkerPool.from_config(
+        PoolConfig(size=200, spammer_fraction=0.35), seed=seed
+    )
+    market = SimulatedMarket(pool, seed=seed)
+    config = EngineConfig(
+        flag_threshold=flag_threshold,
+        flag_min_observations=10,
+        estimator_smoothing=0.0,
+    )
+    return CrowdsourcingEngine(market, seed=seed, config=config)
+
+
+class TestConfigValidation:
+    def test_threshold_range(self):
+        with pytest.raises(ValueError, match="flag threshold"):
+            EngineConfig(flag_threshold=1.2)
+
+    def test_min_observations(self):
+        with pytest.raises(ValueError, match="flag_min_observations"):
+            EngineConfig(flag_min_observations=0)
+
+    def test_disabled_by_default(self):
+        assert EngineConfig().flag_threshold is None
+
+
+class TestFlagging:
+    def test_spammers_get_flagged(self):
+        engine = _spammy_engine(seed=11, flag_threshold=0.45)
+        engine.calibrate(_gold(15), workers_per_hit=40, hits=3)
+        flagged = set(engine.flagged_workers())
+        assert flagged  # with 35% spammers some must be caught
+        # Flagged workers' estimated accuracy really is below threshold.
+        for worker in flagged:
+            assert engine.estimator.accuracy(worker) < 0.45
+            assert engine.estimator.observations(worker) >= 10
+
+    def test_no_flagging_without_threshold(self):
+        engine = _spammy_engine(seed=11, flag_threshold=None)
+        engine.calibrate(_gold(15), workers_per_hit=40, hits=3)
+        assert engine.flagged_workers() == []
+
+    def test_insufficient_evidence_never_flags(self):
+        engine = _spammy_engine(seed=12, flag_threshold=0.45)
+        # One short calibration HIT: nobody reaches 10 gold observations.
+        engine.calibrate(_gold(5), workers_per_hit=20, hits=1)
+        assert engine.flagged_workers() == []
+
+    def test_flagged_votes_excluded_from_observations(self):
+        engine = _spammy_engine(seed=13, flag_threshold=0.45)
+        engine.calibrate(_gold(15), workers_per_hit=40, hits=3)
+        flagged = set(engine.flagged_workers())
+        assert flagged
+        result = engine.run_batch(
+            _questions(10), 0.85, gold_pool=_gold(10), worker_count=9
+        )
+        for record in result.records:
+            voters = {wa.worker_id for wa in record.observation}
+            assert not voters & flagged
+
+    def test_screening_does_not_hurt_accuracy(self):
+        def run(threshold):
+            engine = _spammy_engine(seed=14, flag_threshold=threshold)
+            engine.calibrate(_gold(15), workers_per_hit=40, hits=3)
+            return engine.run_batch(
+                _questions(40), 0.85, gold_pool=_gold(10), worker_count=9
+            ).accuracy
+
+        assert run(0.45) >= run(None) - 0.05
