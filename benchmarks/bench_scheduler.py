@@ -1,0 +1,110 @@
+"""Bench: serial ``run_batch`` vs. the concurrent ``HITScheduler``.
+
+Measures the same workload — 16 batches of 8 questions, a forced 9-worker
+crowd each — at 1, 4 and 16 in-flight HITs.  Two readings matter:
+
+* *wall-clock* (what pytest-benchmark reports) — the pump itself must not
+  cost more than the blocking loop it replaced;
+* *simulated makespan* (``scheduler.clock``, reported via ``extra_info``)
+  — with 1 slot, HITs run back to back and the makespan is the sum of
+  their durations; with 4/16 slots they overlap and the makespan collapses
+  toward the slowest HIT.  That collapse is the throughput win an
+  asynchronous deployment gets from interleaving real crowds.
+
+The serial baseline is ``run_batch`` in a loop (which is itself a
+single-slot scheduler under the hood, so slot-count is the *only*
+variable).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.hit import Question
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.engine.engine import CrowdsourcingEngine
+from repro.engine.scheduler import HITScheduler
+
+BATCHES = 16
+QUESTIONS_PER_BATCH = 8
+WORKERS_PER_HIT = 9
+OPTIONS = ("pos", "neu", "neg")
+
+
+def _questions(prefix: str) -> list[Question]:
+    return [
+        Question(
+            question_id=f"{prefix}:q{i}", options=OPTIONS, truth=OPTIONS[i % 3]
+        )
+        for i in range(QUESTIONS_PER_BATCH)
+    ]
+
+
+def _gold() -> list[Question]:
+    return [
+        Question(question_id=f"gold{i}", options=OPTIONS, truth=OPTIONS[i % 3])
+        for i in range(12)
+    ]
+
+
+def _engine(bench_seed: int) -> CrowdsourcingEngine:
+    pool = WorkerPool.from_config(PoolConfig(size=400), seed=bench_seed)
+    market = SimulatedMarket(pool, seed=bench_seed)
+    return CrowdsourcingEngine(market, seed=bench_seed)
+
+
+def _run_serial(bench_seed: int):
+    engine = _engine(bench_seed)
+    results = [
+        engine.run_batch(
+            _questions(f"b{b}"), 0.9, gold_pool=_gold(), worker_count=WORKERS_PER_HIT
+        )
+        for b in range(BATCHES)
+    ]
+    return engine, results
+
+
+def _run_scheduled(bench_seed: int, max_in_flight: int):
+    engine = _engine(bench_seed)
+    scheduler = HITScheduler(engine, max_in_flight=max_in_flight)
+    for b in range(BATCHES):
+        scheduler.submit(
+            _questions(f"b{b}"), 0.9, gold_pool=_gold(), worker_count=WORKERS_PER_HIT
+        )
+    results = scheduler.run()
+    return engine, scheduler, results
+
+
+def test_bench_serial_run_batch(benchmark, bench_seed):
+    engine, results = benchmark.pedantic(
+        _run_serial, args=(bench_seed,), rounds=1, iterations=1
+    )
+    assert len(results) == BATCHES
+    benchmark.extra_info["assignments"] = sum(
+        r.assignments_collected for r in results
+    )
+
+
+@pytest.mark.parametrize("in_flight", [1, 4, 16])
+def test_bench_scheduler_in_flight(benchmark, bench_seed, in_flight):
+    engine, scheduler, results = benchmark.pedantic(
+        _run_scheduled, args=(bench_seed, in_flight), rounds=1, iterations=1
+    )
+    assert len(results) == BATCHES
+    assert scheduler.peak_in_flight == min(in_flight, BATCHES)
+    # Same total crowd work regardless of concurrency...
+    assert (
+        sum(r.assignments_collected for r in results)
+        == BATCHES * WORKERS_PER_HIT
+    )
+    makespan = scheduler.clock
+    benchmark.extra_info["simulated_makespan_s"] = round(makespan, 2)
+    benchmark.extra_info["hits_per_simulated_hour"] = round(
+        BATCHES / (makespan / 3600.0), 1
+    )
+    # ...but overlapping HITs compress the simulated makespan: at k slots
+    # the headline shape is a near-linear speedup over the serial drain.
+    if in_flight > 1:
+        _, serial_sched, _ = _run_scheduled(bench_seed, 1)
+        assert makespan < serial_sched.clock / (in_flight / 2)

@@ -1,7 +1,16 @@
-"""Legacy shim: this offline environment lacks the ``wheel`` package, so
-PEP 660 editable installs fail; ``pip install -e . --no-use-pep517`` (or
-``python setup.py develop``) uses this file instead.  All metadata lives in
-pyproject.toml."""
+"""Legacy shim for environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml (PEP 621); setuptools reads it from
+there.  In a normal environment ``pip install -e .`` is all you need.  In
+this offline image ``wheel`` is absent, which breaks *both* pip editable
+paths (PEP 660 and ``--no-use-pep517`` — modern pip requires wheel for
+each), so the working editable story here is the classic
+
+    python setup.py develop
+
+which needs only setuptools, or simply ``PYTHONPATH=src`` for no-install
+use.
+"""
 
 from setuptools import setup
 

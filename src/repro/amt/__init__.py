@@ -4,6 +4,7 @@ Workers (honest, spamming, colluding), HITs, asynchronous submissions,
 the §3.1 economic model, and cancellation for early termination.
 """
 
+from repro.amt.backend import EventPump, HITHandle, MarketBackend, SubmissionEvent
 from repro.amt.hit import HIT, Assignment, Question, validate_assignment
 from repro.amt.latency import (
     ExponentialLatency,
@@ -25,6 +26,10 @@ from repro.amt.worker import (
 )
 
 __all__ = [
+    "EventPump",
+    "HITHandle",
+    "MarketBackend",
+    "SubmissionEvent",
     "HIT",
     "Assignment",
     "Question",

@@ -1,0 +1,217 @@
+"""The market backend protocol and the global submission-event merge.
+
+The engine historically hard-wired :class:`~repro.amt.market.SimulatedMarket`
+and drained each HIT to completion before publishing the next.  Both limits
+fall away here (see DESIGN.md §3):
+
+* :class:`MarketBackend` / :class:`HITHandle` name the *minimal* surface the
+  engine actually consumes — publish a HIT, peek/pull submissions in arrival
+  order, cancel the remainder, account costs.  ``SimulatedMarket`` is one
+  implementation; a live-AMT client or a trace-replay backend satisfies the
+  same protocol without touching the engine.
+* :class:`EventPump` merges the submission streams of many in-flight HITs
+  into one globally arrival-ordered stream of :class:`SubmissionEvent`\\ s,
+  so answers from concurrent HITs interleave exactly as they would on the
+  real platform.  The scheduler pumps this stream; each pop *collects* (and
+  therefore pays for) exactly one assignment.
+
+Determinism: a handle's arrival times are fixed at publish time, peeking
+never charges or consumes anything, and cross-HIT ties are broken by
+publication order — the merged stream is a pure function of the market
+seeds and the publish sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.amt.hit import HIT, Assignment
+from repro.amt.pricing import CostLedger
+from repro.amt.worker import WorkerProfile
+
+__all__ = ["SubmissionEvent", "HITHandle", "MarketBackend", "EventPump"]
+
+
+@dataclass(frozen=True, slots=True)
+class SubmissionEvent:
+    """One collected assignment, stamped with its place in the merged stream.
+
+    Attributes
+    ----------
+    hit_id:
+        The HIT this submission belongs to (routes the event to its session).
+    assignment:
+        The worker's completed assignment.
+    time:
+        Global simulated arrival time: the handle's publication time plus
+        the assignment's submit latency.
+    sequence:
+        0-based position in the merged stream (strictly increasing across
+        every event one pump emits).
+    """
+
+    hit_id: str
+    assignment: Assignment
+    time: float
+    sequence: int
+
+
+@runtime_checkable
+class HITHandle(Protocol):
+    """Handle to one published HIT: peek, pull, or cancel its submissions.
+
+    ``peek_time`` must be free of side effects (no charge, no consumption);
+    ``next_submission`` collects — and charges for — exactly one assignment;
+    ``cancel`` forfeits whatever was not collected yet.
+
+    ``peek_time() is None`` with ``done`` False means *nothing pending yet*
+    (a live backend waiting on its first worker); the pump parks such
+    handles and re-polls them.  Pre-generated handles like the simulator's
+    always have a head until drained or cancelled.
+
+    ``cancel`` must flip ``done`` to True before returning — the scheduler
+    treats a cancelled handle as finished immediately.  A live backend
+    whose platform-side cancellation is asynchronous should still report
+    ``done`` locally and discard (not deliver) any in-transit submissions.
+    """
+
+    @property
+    def hit(self) -> HIT: ...
+
+    @property
+    def outstanding(self) -> int: ...
+
+    @property
+    def done(self) -> bool: ...
+
+    def peek_time(self) -> float | None: ...
+
+    def next_submission(self) -> Assignment | None: ...
+
+    def cancel(self) -> int: ...
+
+    def worker_profile(self, worker_id: str) -> WorkerProfile: ...
+
+
+@runtime_checkable
+class MarketBackend(Protocol):
+    """What the engine requires of a crowdsourcing platform.
+
+    Implementations own worker recruitment, answer generation (or real
+    collection), latency, and pricing; the engine only publishes HITs and
+    consumes the resulting handles and ledger.
+    """
+
+    ledger: CostLedger
+
+    def publish(self, hit: HIT) -> HITHandle: ...
+
+
+class EventPump:
+    """Merge many in-flight HIT handles into one arrival-ordered event stream.
+
+    Handles are registered with :meth:`add` (at any point — the scheduler
+    publishes new HITs while earlier ones are still collecting) together
+    with their simulated publication time; an assignment's global arrival
+    time is ``published_at + submit_time``.  :meth:`next_event` pops the
+    globally earliest pending submission across every live handle.
+
+    A min-heap keyed by ``(arrival time, publication order)`` keeps each pop
+    ``O(log h)`` in the number of in-flight handles.  Heap entries are
+    per-handle *heads*, refreshed after each pop; entries of cancelled or
+    drained handles are dropped lazily when they surface.
+    """
+
+    def __init__(self) -> None:
+        self._order = 0
+        # (global arrival time of the handle's head, publication order,
+        #  handle, published_at)
+        self._heap: list[tuple[float, int, HITHandle, float]] = []
+        # Live handles with nothing pending *yet* (a live backend before its
+        # first worker submits); re-polled on every pop so late-arriving
+        # heads are picked up rather than dropped.
+        self._dormant: list[tuple[HITHandle, float, int]] = []
+        self._sequence = 0
+
+    def add(self, handle: HITHandle, published_at: float = 0.0) -> None:
+        """Register a handle published at simulated time ``published_at``."""
+        order = self._order
+        self._order += 1
+        self._push(handle, published_at, order)
+
+    def _push(self, handle: HITHandle, published_at: float, order: int) -> None:
+        head = handle.peek_time()
+        if head is not None:
+            heapq.heappush(self._heap, (published_at + head, order, handle, published_at))
+        elif not handle.done:
+            self._dormant.append((handle, published_at, order))
+
+    def _poll_dormant(self) -> None:
+        """Move dormant handles that now have a pending head onto the heap."""
+        if not self._dormant:
+            return
+        still_dormant = []
+        for handle, published_at, order in self._dormant:
+            if handle.done:
+                continue
+            head = handle.peek_time()
+            if head is None:
+                still_dormant.append((handle, published_at, order))
+            else:
+                heapq.heappush(
+                    self._heap, (published_at + head, order, handle, published_at)
+                )
+        self._dormant = still_dormant
+
+    @property
+    def pending(self) -> bool:
+        """Whether any registered handle still has submissions to deliver
+        (or is live but dormant — nothing pending *yet*)."""
+        return any(
+            not handle.done for _, _, handle, _ in self._heap
+        ) or any(not handle.done for handle, _, _ in self._dormant)
+
+    def next_event(self) -> SubmissionEvent | None:
+        """Collect the globally earliest pending submission.
+
+        ``None`` means nothing is pending *right now*: every registered
+        handle is drained, cancelled, or dormant (live with no submission
+        yet — check :attr:`pending` to distinguish; a synchronous caller
+        would poll or sleep, the planned asyncio pump awaits).
+        """
+        self._poll_dormant()
+        while self._heap:
+            time, order, handle, published_at = heapq.heappop(self._heap)
+            head = handle.peek_time()
+            if head is None:
+                # Cancelled or drained since queued — or live with nothing
+                # pending anymore (its head was pulled externally): park
+                # live handles for re-polling instead of evicting them.
+                if not handle.done:
+                    self._dormant.append((handle, published_at, order))
+                continue
+            if published_at + head != time:
+                # The handle was advanced outside the pump (e.g. a direct
+                # ``next_submission`` call); re-queue its current head.
+                self._push(handle, published_at, order)
+                continue
+            assignment = handle.next_submission()
+            assert assignment is not None  # peek said one was pending
+            self._push(handle, published_at, order)
+            event = SubmissionEvent(
+                hit_id=handle.hit.hit_id,
+                assignment=assignment,
+                time=time,
+                sequence=self._sequence,
+            )
+            self._sequence += 1
+            return event
+        return None
+
+    def drain(self) -> Iterator[SubmissionEvent]:
+        """Iterate events until every registered handle is exhausted."""
+        while (event := self.next_event()) is not None:
+            yield event

@@ -16,6 +16,11 @@ Everything is pre-generated at publish time from the market seed, so a
 given ``(pool, seed, HIT)`` triple always produces the same workers, the
 same answers and the same arrival order, regardless of how the engine
 interleaves its pulls.
+
+:class:`SimulatedMarket` is the reference implementation of the
+:class:`repro.amt.backend.MarketBackend` protocol (and its handles of
+:class:`repro.amt.backend.HITHandle`); the engine depends only on that
+protocol, never on this class.
 """
 
 from __future__ import annotations
@@ -64,6 +69,18 @@ class PublishedHIT:
     @property
     def done(self) -> bool:
         return self._cancelled or self._cursor >= len(self._assignments)
+
+    def peek_time(self) -> float | None:
+        """Arrival time of the next submission, without collecting it.
+
+        Free of side effects — nothing is consumed and nothing is charged —
+        so event mergers (:class:`repro.amt.backend.EventPump`) can order
+        concurrent HITs' submissions before committing to (and paying for)
+        a pull.  ``None`` when the HIT is drained or cancelled.
+        """
+        if self.done:
+            return None
+        return self._assignments[self._cursor].submit_time
 
     def next_submission(self) -> Assignment | None:
         """Collect (and pay for) the next submission, ``None`` when done."""

@@ -13,6 +13,8 @@ from repro.engine.engine import (
 )
 from repro.engine.executor import ProgramExecutor, batched
 from repro.engine.jobs import JobManager, JobSpec, ProcessingPlan
+from repro.engine.scheduler import BatchSpec, HITScheduler, SessionGroup
+from repro.engine.session import HITSession, SessionState
 from repro.engine.privacy import MASK, PrivacyManager
 from repro.engine.query import Query
 from repro.engine.templates import QueryTemplate, render_hit_description
@@ -24,6 +26,11 @@ __all__ = [
     "QuestionRecord",
     "ProgramExecutor",
     "batched",
+    "BatchSpec",
+    "HITScheduler",
+    "SessionGroup",
+    "HITSession",
+    "SessionState",
     "JobManager",
     "JobSpec",
     "ProcessingPlan",

@@ -11,6 +11,15 @@ assignments once a §4.2.2 stopping rule holds for every real question; and
 finally accept each question's best answer by probability-based
 verification (§4.1).
 
+Since the event-driven refactor (DESIGN.md §3) this module holds only the
+engine-wide state and policy: the accuracy estimator, the configuration,
+the privacy screen, and the phase-1 planning helpers.  The per-HIT
+collect/verify machinery lives in :class:`~repro.engine.session.HITSession`,
+and :class:`~repro.engine.scheduler.HITScheduler` pumps many sessions
+concurrently over one merged arrival stream.  :meth:`CrowdsourcingEngine.run_batch`
+remains the blocking entry point — now a thin wrapper that runs a
+single-session scheduler, with results identical to the historical loop.
+
 The engine deliberately never reads simulator-only oracles (true worker
 accuracies, non-gold truths): everything it learns comes through gold
 sampling, exactly like the deployed system.  Experiments compare its output
@@ -19,19 +28,18 @@ against ground truth from the outside.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.amt.backend import MarketBackend
 from repro.amt.hit import HIT, Question
-from repro.amt.market import SimulatedMarket
-from repro.core.confidence import answer_log_weights
 from repro.core.domain import AnswerDomain
 from repro.core.prediction import WorkerCountPredictor
 from repro.core.presentation import QuestionOutcome
 from repro.core.sampling import DEFAULT_SAMPLING_RATE, WorkerAccuracyEstimator
-from repro.core.termination import TerminationSnapshot, strategy_by_name
+from repro.core.termination import strategy_by_name
 from repro.core.types import Verdict, WorkerAnswer
 from repro.core.verification import (
     HalfVoting,
@@ -40,7 +48,6 @@ from repro.core.verification import (
     Verifier,
 )
 from repro.engine.privacy import PrivacyManager
-from repro.util.rng import substream
 
 __all__ = ["EngineConfig", "QuestionRecord", "HITRunResult", "CrowdsourcingEngine"]
 
@@ -170,7 +177,9 @@ class CrowdsourcingEngine:
     Parameters
     ----------
     market:
-        The (simulated) crowdsourcing platform.
+        Any :class:`~repro.amt.backend.MarketBackend` — the simulated
+        platform by default; live or replay backends satisfy the same
+        protocol.
     seed:
         Seeds gold injection shuffles; independent of the market's seed.
     config:
@@ -183,7 +192,7 @@ class CrowdsourcingEngine:
 
     def __init__(
         self,
-        market: SimulatedMarket,
+        market: MarketBackend,
         seed: int = 0,
         config: EngineConfig | None = None,
         privacy: PrivacyManager | None = None,
@@ -195,10 +204,22 @@ class CrowdsourcingEngine:
             prior_accuracy=self.config.prior_accuracy,
             smoothing=self.config.estimator_smoothing,
         )
-        self._seed = seed
+        self.seed = seed
         self._hit_counter = 0
 
     # -- phase 1 helpers -----------------------------------------------------
+
+    @property
+    def hit_counter(self) -> int:
+        """How many HIT ids this engine has minted (sessions read it to
+        derive their compose substream before consuming an id)."""
+        return self._hit_counter
+
+    def next_hit_id(self, kind: str) -> str:
+        """Mint the next engine-unique HIT id (``hit-00042`` style)."""
+        hit_id = f"{kind}-{self._hit_counter:05d}"
+        self._hit_counter += 1
+        return hit_id
 
     def mean_accuracy(self) -> float:
         """The engine's current ``μ``: mean of gold-sampled estimates."""
@@ -229,7 +250,7 @@ class CrowdsourcingEngine:
             raise ValueError("calibration needs at least one gold question")
         for i in range(hits):
             hit = HIT(
-                hit_id=self._next_hit_id("calibration"),
+                hit_id=self.next_hit_id("calibration"),
                 questions=tuple(
                     _as_gold(q) for q in gold_questions
                 ),
@@ -237,7 +258,7 @@ class CrowdsourcingEngine:
             )
             handle = self.market.publish(hit)
             while (assignment := handle.next_submission()) is not None:
-                self._score_gold(hit.questions, assignment.worker_id, assignment.answers)
+                self.score_gold(hit.questions, assignment.worker_id, assignment.answers)
         return self.mean_accuracy()
 
     def compose_questions(
@@ -268,7 +289,7 @@ class CrowdsourcingEngine:
         order = rng.permutation(len(combined))
         return tuple(combined[i] for i in order)
 
-    # -- phase 2: the main loop ----------------------------------------------
+    # -- phase 2: blocking entry point ----------------------------------------
 
     def run_batch(
         self,
@@ -278,6 +299,11 @@ class CrowdsourcingEngine:
         worker_count: int | None = None,
     ) -> HITRunResult:
         """Process one batch end-to-end (Algorithm 1 + Algorithm 5).
+
+        A thin wrapper that runs one :class:`~repro.engine.session.HITSession`
+        to completion on a single-slot :class:`~repro.engine.scheduler.HITScheduler`;
+        verdicts, costs and RNG consumption are identical to the historical
+        blocking loop.
 
         Parameters
         ----------
@@ -293,79 +319,26 @@ class CrowdsourcingEngine:
             Override ``n`` (experiments sweeping worker counts use this);
             ``None`` asks the prediction model.
         """
-        if not real_questions:
-            raise ValueError("cannot run an empty batch")
-        rng = substream(self._seed, f"compose:{self._hit_counter}")
-        questions = self.compose_questions(real_questions, gold_pool, rng)
-        n = worker_count if worker_count is not None else self.predict_workers(
-            required_accuracy
+        from repro.engine.scheduler import HITScheduler
+
+        scheduler = HITScheduler(self, max_in_flight=1)
+        session = scheduler.submit(
+            real_questions,
+            required_accuracy,
+            gold_pool=gold_pool,
+            worker_count=worker_count,
         )
-        hit = HIT(
-            hit_id=self._next_hit_id("hit"),
-            questions=questions,
-            assignments=n,
-        )
-        handle = self.market.publish(hit)
+        scheduler.run()
+        assert session.result is not None
+        return session.result
 
-        real = [q for q in questions if not q.is_gold]
-        votes: dict[str, list[tuple[str, str, tuple[str, ...]]]] = {
-            q.question_id: [] for q in real
-        }
-        strategy = (
-            strategy_by_name(self.config.termination)
-            if self.config.termination is not None
-            else None
-        )
-        collected = 0
-        terminated_early = False
-        while (assignment := handle.next_submission()) is not None:
-            collected += 1
-            if self.privacy is not None:
-                profile = handle.worker_profile(assignment.worker_id)
-                if not self.privacy.worker_allowed(profile):
-                    continue
-            self._score_gold(questions, assignment.worker_id, assignment.answers)
-            for q in real:
-                answer = assignment.answers.get(q.question_id)
-                if answer is None:
-                    continue
-                votes[q.question_id].append(
-                    (
-                        assignment.worker_id,
-                        answer,
-                        assignment.keywords.get(q.question_id, ()),
-                    )
-                )
-            if strategy is not None and self._all_questions_stable(
-                real, votes, handle.outstanding, strategy
-            ):
-                handle.cancel()
-                terminated_early = True
-                break
+    # -- shared per-submission policy (used by sessions) -----------------------
 
-        records = tuple(self._finalize(q, votes[q.question_id], n) for q in real)
-        return HITRunResult(
-            hit_id=hit.hit_id,
-            workers_hired=n,
-            assignments_collected=collected,
-            assignments_cancelled=n - collected,
-            terminated_early=terminated_early,
-            cost=self.market.ledger.cost_of(hit.hit_id),
-            records=records,
-        )
-
-    # -- internals -------------------------------------------------------------
-
-    def _next_hit_id(self, kind: str) -> str:
-        hit_id = f"{kind}-{self._hit_counter:05d}"
-        self._hit_counter += 1
-        return hit_id
-
-    def _score_gold(
+    def score_gold(
         self,
         questions: Sequence[Question],
         worker_id: str,
-        answers,
+        answers: Mapping[str, str],
     ) -> None:
         """Algorithm 4: fold one assignment's gold outcomes into the estimator."""
         for q in questions:
@@ -385,7 +358,7 @@ class CrowdsourcingEngine:
         """All currently flagged workers (insertion order of first gold)."""
         return [w for w in self.estimator.known_workers() if self.is_flagged(w)]
 
-    def _observation(
+    def observation_of(
         self, votes: Sequence[tuple[str, str, tuple[str, ...]]]
     ) -> tuple[WorkerAnswer, ...]:
         """Build an observation with the estimator's *current* accuracies,
@@ -401,52 +374,28 @@ class CrowdsourcingEngine:
             if not self.is_flagged(worker_id)
         )
 
-    def _all_questions_stable(
-        self,
-        real: Sequence[Question],
-        votes: dict[str, list[tuple[str, str, tuple[str, ...]]]],
-        outstanding: int,
-        strategy,
-    ) -> bool:
-        """Early-termination gate: every real question's rule must hold."""
-        mean_acc = self.mean_accuracy()
-        for q in real:
-            observation = self._observation(votes[q.question_id])
-            if len(observation) < self.config.min_answers_before_termination:
-                return False
-            domain = AnswerDomain.closed(q.options)
-            snapshot = TerminationSnapshot(
-                log_weights=answer_log_weights(observation, domain),
-                domain=domain,
-                remaining_workers=outstanding,
-                mean_accuracy=mean_acc,
-            )
-            if not strategy.should_stop(snapshot):
-                return False
-        return True
-
-    def _verifier_for(self, question: Question, hired: int) -> Verifier:
+    def verifier_for(self, question: Question, collected: int) -> Verifier:
+        """The configured §4.1 verifier, sized for one question."""
         if self.config.verifier == "half-voting":
-            return HalfVoting(hired_workers=hired)
+            return HalfVoting(hired_workers=collected)
         if self.config.verifier == "majority-voting":
             return MajorityVoting()
         return ProbabilisticVerification(domain=AnswerDomain.closed(question.options))
 
-    def _finalize(
+    def finalize_question(
         self,
         question: Question,
         votes: Sequence[tuple[str, str, tuple[str, ...]]],
-        hired: int,
     ) -> QuestionRecord:
         """Accept the final answer for one question (§4.1)."""
-        observation = self._observation(votes)
+        observation = self.observation_of(votes)
         if not observation:
             # Every submission was privacy-rejected: abstain explicitly.
             verdict = Verdict(answer=None, confidence=None, method=self.config.verifier)
         else:
             # Half-voting is judged against the answers actually collected —
             # after early termination the cancelled workers cannot vote.
-            verifier = self._verifier_for(question, len(observation))
+            verifier = self.verifier_for(question, len(observation))
             verdict = verifier.verify(observation)
         return QuestionRecord(
             question=question, verdict=verdict, observation=observation

@@ -1,0 +1,296 @@
+"""Event-driven HIT scheduling: many in-flight sessions, one arrival stream.
+
+:class:`HITScheduler` is the pump at the heart of the refactored engine
+(DESIGN.md §3).  It keeps up to ``max_in_flight`` :class:`HITSession`\\ s
+published at once, merges their submission streams through an
+:class:`~repro.amt.backend.EventPump`, and steps each session with its own
+events in *global* arrival order — so a submission to HIT B lands between
+two submissions to HIT A exactly as it would on the live platform, and
+gold evidence from any in-flight HIT sharpens the shared accuracy
+estimator for all of them.
+
+Work arrives two ways:
+
+* :meth:`submit` — enqueue one batch eagerly and get its session back;
+* :meth:`add_source` — hand over a *lazy* iterable of :class:`BatchSpec`\\ s;
+  the scheduler materialises the next spec only when a publish slot frees
+  up, which is how the program executor streams an unbounded filtered feed
+  without building every batch up front.
+
+Everything is deterministic for fixed seeds: sessions publish in
+submission order, the merged stream is a pure function of the market seeds
+and publish times, and the scheduler's simulated clock advances only on
+popped events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.amt.backend import EventPump, SubmissionEvent
+from repro.amt.hit import Question
+from repro.engine.engine import HITRunResult
+from repro.engine.session import HITSession
+
+if TYPE_CHECKING:
+    from repro.engine.engine import CrowdsourcingEngine
+
+__all__ = ["BatchSpec", "SessionGroup", "HITScheduler"]
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """A not-yet-published batch: the arguments of one ``run_batch`` call."""
+
+    real_questions: tuple[Question, ...]
+    required_accuracy: float
+    gold_pool: tuple[Question, ...] = ()
+    worker_count: int | None = None
+
+
+class SessionGroup:
+    """The sessions spawned for one logical unit of work (e.g. one query).
+
+    ``add_source`` returns a group; after :meth:`HITScheduler.run` the
+    group's :attr:`results` hold the per-HIT outcomes in spawn order, which
+    is how a job assembles its query-level report from a shared scheduler.
+    """
+
+    def __init__(self) -> None:
+        self.sessions: list[HITSession] = []
+
+    @property
+    def results(self) -> tuple[HITRunResult, ...]:
+        """Per-HIT results in spawn order (raises if any session is unrun)."""
+        out = []
+        for session in self.sessions:
+            if session.result is None:
+                raise ValueError(
+                    f"session {session.state.value!r} has no result yet — "
+                    "run the scheduler first"
+                )
+            out.append(session.result)
+        return tuple(out)
+
+
+class HITScheduler:
+    """Pump submissions across many concurrent HIT sessions.
+
+    Parameters
+    ----------
+    engine:
+        The engine whose policy and estimator every session shares.
+    max_in_flight:
+        Publish-slot budget: how many HITs may collect concurrently.  ``1``
+        reproduces the historical serial engine exactly; the default keeps
+        four HITs in flight.
+    track_trajectories:
+        Forwarded to every spawned session (live Algorithm-5 trajectories).
+    on_event:
+        Optional observer called with ``(event, session)`` after each
+        submission is applied — dashboards and tests use it to watch the
+        interleaving without disturbing it.
+    """
+
+    def __init__(
+        self,
+        engine: "CrowdsourcingEngine",
+        max_in_flight: int = 4,
+        track_trajectories: bool = False,
+        on_event: Callable[[SubmissionEvent, HITSession], None] | None = None,
+    ) -> None:
+        if max_in_flight <= 0:
+            raise ValueError(f"max_in_flight must be positive, got {max_in_flight}")
+        self.engine = engine
+        self.max_in_flight = max_in_flight
+        self._track = track_trajectories
+        self._on_event = on_event
+        self._pump = EventPump()
+        self._pending: deque[HITSession] = deque()
+        self._sources: deque[tuple[Iterator[BatchSpec], SessionGroup]] = deque()
+        self._in_flight: dict[str, HITSession] = {}
+        self._all: list[HITSession] = []
+        #: Simulated time of the last processed event — new HITs publish "now".
+        self.clock = 0.0
+        #: High-water mark of concurrently collecting HITs.
+        self.peak_in_flight = 0
+        #: Total submissions processed across all sessions.
+        self.events_processed = 0
+
+    # -- enqueueing ----------------------------------------------------------
+
+    def submit(
+        self,
+        real_questions: Sequence[Question],
+        required_accuracy: float,
+        gold_pool: Sequence[Question] = (),
+        worker_count: int | None = None,
+    ) -> HITSession:
+        """Enqueue one batch; returns its (not yet published) session."""
+        spec = BatchSpec(
+            real_questions=tuple(real_questions),
+            required_accuracy=required_accuracy,
+            gold_pool=tuple(gold_pool),
+            worker_count=worker_count,
+        )
+        session = self._spawn(spec, group=None)
+        self._pending.append(session)
+        return session
+
+    def add_source(self, specs: Iterable[BatchSpec]) -> SessionGroup:
+        """Enqueue a lazy batch source; specs are drawn as slots free up.
+
+        Publish slots rotate round-robin across registered sources (after
+        any eagerly submitted sessions, which drain first), so several
+        queries sharing one scheduler genuinely interleave instead of the
+        first source monopolising every slot until it runs dry.  Returns
+        the :class:`SessionGroup` collecting the spawned sessions.
+        """
+        group = SessionGroup()
+        self._sources.append((iter(specs), group))
+        return group
+
+    def add_batches(
+        self,
+        batches: Iterable[Sequence[Question]],
+        required_accuracy: float,
+        gold_pool: Sequence[Question] = (),
+        worker_count: int | None = None,
+    ) -> SessionGroup:
+        """Lazy convenience over :meth:`add_source`: one spec per batch.
+
+        ``batches`` may be any (possibly unbounded) iterable of question
+        batches sharing one accuracy target and gold pool; each is wrapped
+        in a :class:`BatchSpec` only when a publish slot frees up.
+        """
+        gold = tuple(gold_pool)
+        return self.add_source(
+            BatchSpec(
+                real_questions=tuple(batch),
+                required_accuracy=required_accuracy,
+                gold_pool=gold,
+                worker_count=worker_count,
+            )
+            for batch in batches
+        )
+
+    # -- the pump ------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """How many HITs are currently collecting."""
+        return len(self._in_flight)
+
+    @property
+    def sessions(self) -> tuple[HITSession, ...]:
+        """Every session this scheduler has spawned, in submission order."""
+        return tuple(self._all)
+
+    def _spawn(self, spec: BatchSpec, group: SessionGroup | None) -> HITSession:
+        """Create (but do not publish) one session — the single construction
+        site for both eager submissions and source-drawn specs."""
+        session = HITSession(
+            self.engine,
+            spec.real_questions,
+            spec.required_accuracy,
+            gold_pool=spec.gold_pool,
+            worker_count=spec.worker_count,
+            track_trajectories=self._track,
+        )
+        if group is not None:
+            group.sessions.append(session)
+        self._all.append(session)
+        return session
+
+    def _next_session(self) -> HITSession | None:
+        """The next session to publish: eager queue first, then lazy
+        sources in round-robin order."""
+        if self._pending:
+            return self._pending.popleft()
+        while self._sources:
+            specs, group = self._sources[0]
+            spec = next(specs, None)
+            if spec is None:
+                self._sources.popleft()
+                continue
+            # Round-robin: the next pull comes from the next source.
+            self._sources.rotate(-1)
+            return self._spawn(spec, group)
+        return None
+
+    def _fill(self) -> None:
+        """Publish queued sessions until slots or work run out."""
+        while len(self._in_flight) < self.max_in_flight:
+            session = self._next_session()
+            if session is None:
+                return
+            handle = session.publish()
+            self._in_flight[handle.hit.hit_id] = session
+            self._pump.add(handle, published_at=self.clock)
+            self.peak_in_flight = max(self.peak_in_flight, len(self._in_flight))
+
+    def _seal_finished(self) -> int:
+        """Retire in-flight sessions whose handles finished without a final
+        event (live-backend HIT expiry or external cancellation); their
+        collected votes are verified as-is.  Returns how many were sealed."""
+        finished = [
+            hit_id
+            for hit_id, session in self._in_flight.items()
+            if session.handle is not None and session.handle.done
+        ]
+        for hit_id in finished:
+            self._in_flight.pop(hit_id).seal()
+        return len(finished)
+
+    def step(self) -> SubmissionEvent | None:
+        """Publish up to capacity, then process one submission event.
+
+        Returns the processed event, or ``None`` when no work remains.
+        """
+        while True:
+            # Seal before filling so an externally-finished handle releases
+            # its slot immediately instead of occupying it until the pump
+            # next runs dry.
+            self._seal_finished()
+            self._fill()
+            if not self._in_flight:
+                return None
+            event = self._pump.next_event()
+            if event is not None:
+                break
+            if not self._seal_finished():
+                # Every in-flight handle is dormant (live, nothing pending
+                # yet).  Pre-generated backends like the simulator never get
+                # here; a polling/awaiting loop for live backends is a
+                # ROADMAP item — this synchronous pump cannot wait, so it
+                # refuses loudly.
+                raise RuntimeError(
+                    f"{len(self._in_flight)} HITs in flight but nothing "
+                    "pending yet; the synchronous scheduler needs handles "
+                    "with pre-generated or blocking submissions"
+                )
+        self.clock = max(self.clock, event.time)
+        self.events_processed += 1
+        session = self._in_flight[event.hit_id]
+        session.on_submission(event.assignment)
+        if self._on_event is not None:
+            self._on_event(event, session)
+        if session.done:
+            del self._in_flight[event.hit_id]
+        return event
+
+    def run(self) -> list[HITRunResult]:
+        """Pump until every queued and sourced session completes.
+
+        Returns the per-HIT results in submission order (the order
+        :attr:`sessions` reports, not completion order).
+        """
+        while self.step() is not None:
+            pass
+        unfinished = sum(1 for session in self._all if session.result is None)
+        if unfinished:  # cannot happen after a clean pump; never mask it
+            raise RuntimeError(f"{unfinished} sessions finished without a result")
+        return [session.result for session in self._all]

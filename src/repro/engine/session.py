@@ -1,0 +1,313 @@
+"""Per-HIT state machine: plan → publish → collect → verify.
+
+:class:`HITSession` is one batch's journey through Algorithm 1 + 5,
+re-expressed as an event consumer: where the old engine drove a blocking
+``while next_submission()`` loop, a session is *stepped* one
+:class:`~repro.amt.backend.SubmissionEvent` at a time by the scheduler, so
+many sessions can interleave on a single merged arrival stream.
+
+The session owns everything that is per-HIT — the composed questions, the
+vote log, the termination strategy, the final records — and borrows
+everything that is engine-wide (worker-accuracy estimator, config, privacy
+manager, HIT-id counter) from its :class:`~repro.engine.engine.CrowdsourcingEngine`.
+Stepping a session performs *exactly* the operations of the legacy blocking
+loop in the same order, which is what keeps ``run_batch`` (now a one-session
+scheduler run) bit-for-bit identical to the pre-scheduler engine.
+
+When ``track_trajectories`` is set, the session additionally feeds each
+arrival into a per-question :class:`~repro.core.online.OnlineAggregator`
+(Algorithm 5), exposing live confidences and full §4.2 trajectories while
+the HIT is still collecting.  The aggregators freeze each vote's worker
+accuracy at arrival time; the authoritative verdicts instead re-read the
+estimator at verification time (so later gold evidence retroactively
+re-weights early votes, and flagged workers drop out) — identical to the
+legacy behaviour.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.amt.backend import HITHandle
+from repro.amt.hit import HIT, Assignment, Question
+from repro.core.confidence import answer_log_weights
+from repro.core.domain import AnswerDomain
+from repro.core.online import OnlineAggregator, TrajectoryPoint
+from repro.core.termination import TerminationSnapshot, strategy_by_name
+from repro.core.types import WorkerAnswer
+from repro.engine.engine import HITRunResult
+from repro.util.rng import substream
+
+if TYPE_CHECKING:
+    from repro.engine.engine import CrowdsourcingEngine
+
+__all__ = ["SessionState", "HITSession"]
+
+#: A raw vote as logged by the session: (worker id, answer, reason keywords).
+Vote = tuple[str, str, tuple[str, ...]]
+
+
+class SessionState(Enum):
+    """Lifecycle of a session (monotone, left to right)."""
+
+    PLANNED = "planned"
+    COLLECTING = "collecting"
+    DONE = "done"
+
+
+class HITSession:
+    """One batch's plan → publish → collect → verify lifecycle.
+
+    Parameters
+    ----------
+    engine:
+        The engine whose policy (config, estimator, privacy) governs this
+        session.  Sessions share the engine's estimator, so gold evidence
+        collected by one in-flight HIT immediately sharpens the accuracy
+        estimates every other session verifies with.
+    real_questions:
+        The batch's actual work items.
+    required_accuracy:
+        The query's ``C``; drives worker-count prediction when
+        ``worker_count`` is not forced.
+    gold_pool:
+        Gold probes available for §3.3 injection.
+    worker_count:
+        Force ``n`` instead of asking the prediction model.
+    track_trajectories:
+        Maintain per-question :class:`OnlineAggregator` trajectories while
+        collecting (off by default — it adds per-arrival confidence work
+        the blocking path never did).
+    """
+
+    def __init__(
+        self,
+        engine: "CrowdsourcingEngine",
+        real_questions: Sequence[Question],
+        required_accuracy: float,
+        gold_pool: Sequence[Question] = (),
+        worker_count: int | None = None,
+        track_trajectories: bool = False,
+    ) -> None:
+        if not real_questions:
+            raise ValueError("cannot run an empty batch")
+        self._engine = engine
+        self._input_questions = tuple(real_questions)
+        self._required_accuracy = required_accuracy
+        self._gold_pool = tuple(gold_pool)
+        self._worker_count = worker_count
+        self._track = track_trajectories
+        self.state = SessionState.PLANNED
+        self.handle: HITHandle | None = None
+        self.result: HITRunResult | None = None
+        self._hit: HIT | None = None
+        self._real: list[Question] = []
+        self._votes: dict[str, list[Vote]] = {}
+        self._aggregators: dict[str, OnlineAggregator] = {}
+        self._strategy = (
+            strategy_by_name(engine.config.termination)
+            if engine.config.termination is not None
+            else None
+        )
+        self._collected = 0
+        self._terminated_early = False
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.state is SessionState.DONE
+
+    @property
+    def hit_id(self) -> str:
+        if self._hit is None:
+            raise ValueError("session not published yet")
+        return self._hit.hit_id
+
+    @property
+    def assignments_collected(self) -> int:
+        return self._collected
+
+    # -- plan + publish ------------------------------------------------------
+
+    def publish(self) -> HITHandle:
+        """Phase 1: compose, predict ``n``, publish; returns the handle.
+
+        Replays the legacy engine's exact call sequence: the compose RNG is
+        the ``compose:<counter>`` substream of the engine seed *before* the
+        counter is consumed by the HIT id.
+        """
+        if self.state is not SessionState.PLANNED:
+            raise ValueError(f"cannot publish a session in state {self.state.value!r}")
+        engine = self._engine
+        rng = substream(engine.seed, f"compose:{engine.hit_counter}")
+        questions = engine.compose_questions(
+            self._input_questions, self._gold_pool, rng
+        )
+        n = (
+            self._worker_count
+            if self._worker_count is not None
+            else engine.predict_workers(self._required_accuracy)
+        )
+        self._hit = HIT(
+            hit_id=engine.next_hit_id("hit"),
+            questions=questions,
+            assignments=n,
+        )
+        self.handle = engine.market.publish(self._hit)
+        self._real = [q for q in questions if not q.is_gold]
+        self._votes = {q.question_id: [] for q in self._real}
+        if self._track:
+            mean = engine.mean_accuracy()
+            self._aggregators = {
+                q.question_id: OnlineAggregator(
+                    domain=AnswerDomain.closed(q.options),
+                    hired_workers=n,
+                    mean_accuracy=mean,
+                )
+                for q in self._real
+            }
+        self.state = SessionState.COLLECTING
+        return self.handle
+
+    # -- collect -------------------------------------------------------------
+
+    def on_submission(self, assignment: Assignment) -> None:
+        """Step the state machine with one arrived assignment.
+
+        Mirrors one iteration of the legacy blocking loop: count the
+        collection, apply the privacy screen, score gold, log votes, then
+        evaluate the termination rule (cancelling the handle's outstanding
+        assignments when it fires).  Transitions to ``DONE`` — finalising
+        verdicts — once the handle has nothing left to deliver.
+        """
+        if self.state is not SessionState.COLLECTING:
+            raise ValueError(f"cannot step a session in state {self.state.value!r}")
+        assert self.handle is not None and self._hit is not None
+        engine = self._engine
+        self._collected += 1
+        allowed = True
+        if engine.privacy is not None:
+            profile = self.handle.worker_profile(assignment.worker_id)
+            allowed = engine.privacy.worker_allowed(profile)
+        if allowed:
+            engine.score_gold(
+                self._hit.questions, assignment.worker_id, assignment.answers
+            )
+            for q in self._real:
+                answer = assignment.answers.get(q.question_id)
+                if answer is None:
+                    continue
+                vote = (
+                    assignment.worker_id,
+                    answer,
+                    assignment.keywords.get(q.question_id, ()),
+                )
+                self._votes[q.question_id].append(vote)
+                if self._track:
+                    self._aggregators[q.question_id].submit(
+                        WorkerAnswer(
+                            worker_id=vote[0],
+                            answer=vote[1],
+                            accuracy=engine.estimator.accuracy(vote[0]),
+                            keywords=vote[2],
+                            timestamp=assignment.submit_time,
+                        )
+                    )
+            # not self._terminated_early: once the rule fired and we
+            # cancelled, never re-evaluate or re-cancel (the legacy loop
+            # broke out immediately; a misbehaving handle delivering
+            # post-cancel events must not diverge from that).
+            if (
+                self._strategy is not None
+                and not self._terminated_early
+                and self._all_questions_stable()
+            ):
+                self.handle.cancel()
+                self._terminated_early = True
+        if self.handle.done:
+            self._finish()
+
+    def _all_questions_stable(self) -> bool:
+        """Early-termination gate: every real question's rule must hold."""
+        engine = self._engine
+        assert self.handle is not None
+        if self._strategy is None:
+            return False
+        mean_acc = engine.mean_accuracy()
+        outstanding = self.handle.outstanding
+        for q in self._real:
+            observation = engine.observation_of(self._votes[q.question_id])
+            if len(observation) < engine.config.min_answers_before_termination:
+                return False
+            domain = AnswerDomain.closed(q.options)
+            snapshot = TerminationSnapshot(
+                log_weights=answer_log_weights(observation, domain),
+                domain=domain,
+                remaining_workers=outstanding,
+                mean_accuracy=mean_acc,
+            )
+            if not self._strategy.should_stop(snapshot):
+                return False
+        return True
+
+    def seal(self) -> None:
+        """Finalize a collecting session whose handle is already done.
+
+        The normal path finishes inside :meth:`on_submission` when the
+        final event is processed.  A live backend, however, can complete a
+        handle *without* delivering another event — HIT expiry, external
+        cancellation — leaving the session collecting with nothing left to
+        pump.  Sealing verifies whatever was collected (zero votes yield
+        explicit abstentions, like the all-privacy-rejected case).
+        """
+        if self.state is SessionState.DONE:
+            return
+        if self.state is not SessionState.COLLECTING:
+            raise ValueError(f"cannot seal a session in state {self.state.value!r}")
+        assert self.handle is not None
+        if not self.handle.done:
+            raise ValueError("cannot seal a session whose handle is still delivering")
+        self._finish()
+
+    # -- live view (Algorithm 5 reuse) ---------------------------------------
+
+    def confidences(self, question_id: str) -> dict[str, float]:
+        """Live per-answer confidences for one question (needs tracking)."""
+        return self._aggregator_for(question_id).confidences()
+
+    def trajectory(self, question_id: str) -> tuple[TrajectoryPoint, ...]:
+        """The question's §4.2 arrival trajectory so far (needs tracking)."""
+        return self._aggregator_for(question_id).trajectory
+
+    def _aggregator_for(self, question_id: str) -> OnlineAggregator:
+        if not self._track:
+            raise ValueError("session was created with track_trajectories=False")
+        try:
+            return self._aggregators[question_id]
+        except KeyError:
+            raise KeyError(f"no real question {question_id!r} in this HIT") from None
+
+    # -- verify --------------------------------------------------------------
+
+    def _finish(self) -> None:
+        """Phase 2 epilogue: verify every real question and seal the result."""
+        assert self._hit is not None
+        engine = self._engine
+        n = self._hit.assignments
+        records = tuple(
+            engine.finalize_question(q, self._votes[q.question_id])
+            for q in self._real
+        )
+        self.result = HITRunResult(
+            hit_id=self._hit.hit_id,
+            workers_hired=n,
+            assignments_collected=self._collected,
+            assignments_cancelled=n - self._collected,
+            terminated_early=self._terminated_early,
+            cost=engine.market.ledger.cost_of(self._hit.hit_id),
+            records=records,
+        )
+        self.state = SessionState.DONE

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.engine.engine import CrowdsourcingEngine, HITRunResult, QuestionRecord
 from repro.engine.jobs import JobSpec
+from repro.engine.scheduler import HITScheduler, SessionGroup
 from repro.engine.templates import QueryTemplate
 from repro.it.images import SyntheticImage, image_tag_questions
 
@@ -95,13 +96,24 @@ class ITJob:
         A calibrated :class:`CrowdsourcingEngine`.
     images_per_hit:
         How many images' tag questions are batched into one HIT.
+    max_in_flight:
+        Concurrent-HIT budget when :meth:`run` drives its own scheduler
+        (1, the default, reproduces the historical serial behaviour).
     """
 
-    def __init__(self, engine: CrowdsourcingEngine, images_per_hit: int = 5) -> None:
+    def __init__(
+        self,
+        engine: CrowdsourcingEngine,
+        images_per_hit: int = 5,
+        max_in_flight: int = 1,
+    ) -> None:
         if images_per_hit <= 0:
             raise ValueError(f"images per HIT must be positive, got {images_per_hit}")
+        if max_in_flight <= 0:
+            raise ValueError(f"max_in_flight must be positive, got {max_in_flight}")
         self.engine = engine
         self.images_per_hit = images_per_hit
+        self.max_in_flight = max_in_flight
         self.spec = build_it_spec()
 
     def run(
@@ -112,21 +124,51 @@ class ITJob:
         worker_count: int | None = None,
     ) -> ITResult:
         """Tag ``images``, using ``gold_images`` as §3.3 probes."""
+        scheduler = HITScheduler(self.engine, max_in_flight=self.max_in_flight)
+        group = self.submit(
+            scheduler,
+            images,
+            required_accuracy,
+            gold_images=gold_images,
+            worker_count=worker_count,
+        )
+        scheduler.run()
+        return self.assemble(images, group)
+
+    def submit(
+        self,
+        scheduler: HITScheduler,
+        images: Sequence[SyntheticImage],
+        required_accuracy: float,
+        gold_images: Sequence[SyntheticImage] = (),
+        worker_count: int | None = None,
+    ) -> SessionGroup:
+        """Enqueue the images' tag batches on a (possibly shared) scheduler.
+
+        Batches are fed lazily — each HIT's questions are built when the
+        scheduler opens a slot; assemble with :meth:`assemble` after running.
+        """
         if not images:
             raise ValueError("no images to tag")
-        gold_pool = [q for img in gold_images for q in image_tag_questions(img)]
-        hit_results: list[HITRunResult] = []
-        for start in range(0, len(images), self.images_per_hit):
-            chunk = images[start : start + self.images_per_hit]
-            questions = [q for img in chunk for q in image_tag_questions(img)]
-            hit_results.append(
-                self.engine.run_batch(
-                    questions,
-                    required_accuracy=required_accuracy,
-                    gold_pool=gold_pool,
-                    worker_count=worker_count,
-                )
-            )
+        gold_pool = tuple(q for img in gold_images for q in image_tag_questions(img))
+
+        def batches():
+            for start in range(0, len(images), self.images_per_hit):
+                chunk = images[start : start + self.images_per_hit]
+                yield [q for img in chunk for q in image_tag_questions(img)]
+
+        return scheduler.add_batches(
+            batches(),
+            required_accuracy=required_accuracy,
+            gold_pool=gold_pool,
+            worker_count=worker_count,
+        )
+
+    def assemble(
+        self, images: Sequence[SyntheticImage], group: SessionGroup
+    ) -> ITResult:
+        """Fold a completed group's per-HIT results into the tagging result."""
+        hit_results = group.results
         records = tuple(r for h in hit_results for r in h.records)
         return ITResult(
             images=tuple(images), records=records, hit_results=tuple(hit_results)

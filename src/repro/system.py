@@ -14,6 +14,12 @@ Each registered job binds a :class:`~repro.engine.jobs.JobSpec` (the
 human/computer split and HIT template) to a *runner* that executes a plan
 on the engine.  The two paper applications ship as default bindings; new
 job types register the same way (the extensibility §2.2 advertises).
+
+Jobs may additionally register a *submitter*, which enqueues their HITs on
+a shared :class:`~repro.engine.scheduler.HITScheduler` instead of running
+them to completion — that is what powers :meth:`CDAS.submit_many`: several
+queries (even of different job types) share one scheduler, one worker pool
+and one merged arrival stream, with their HITs interleaving in flight.
 """
 
 from __future__ import annotations
@@ -21,17 +27,25 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from typing import Any
 
+from repro.amt.backend import MarketBackend
 from repro.amt.hit import Question
-from repro.amt.market import SimulatedMarket
 from repro.engine.engine import CrowdsourcingEngine, EngineConfig
 from repro.engine.jobs import JobManager, JobSpec, ProcessingPlan
 from repro.engine.privacy import PrivacyManager
 from repro.engine.query import Query
+from repro.engine.scheduler import HITScheduler
 
-__all__ = ["JobRunner", "CDAS"]
+__all__ = ["JobRunner", "JobSubmitter", "CDAS", "runner_from_submitter"]
 
 #: A runner executes a processing plan: (engine, plan, job inputs) → result.
 JobRunner = Callable[[CrowdsourcingEngine, ProcessingPlan, dict[str, Any]], Any]
+
+#: A submitter enqueues a plan's HITs on a *shared* scheduler and returns a
+#: finalizer that assembles the job-level result once the scheduler has run.
+JobSubmitter = Callable[
+    [CrowdsourcingEngine, HITScheduler, ProcessingPlan, dict[str, Any]],
+    Callable[[], Any],
+]
 
 
 class CDAS:
@@ -48,7 +62,7 @@ class CDAS:
 
     def __init__(
         self,
-        market: SimulatedMarket,
+        market: MarketBackend,
         seed: int = 0,
         engine_config: EngineConfig | None = None,
         privacy: PrivacyManager | None = None,
@@ -59,13 +73,35 @@ class CDAS:
         )
         self.job_manager = JobManager()
         self._runners: dict[str, JobRunner] = {}
+        self._submitters: dict[str, JobSubmitter] = {}
 
     # -- job registration ----------------------------------------------------
 
-    def register_job(self, spec: JobSpec, runner: JobRunner) -> None:
-        """Bind a job type to its execution logic."""
+    def register_job(
+        self,
+        spec: JobSpec,
+        runner: JobRunner | None = None,
+        submitter: JobSubmitter | None = None,
+    ) -> None:
+        """Bind a job type to its execution logic.
+
+        ``runner`` serves the blocking :meth:`submit` path; ``submitter``
+        additionally lets the job participate in :meth:`submit_many`'s
+        shared scheduler.  Registering only a submitter derives the runner
+        from it (:func:`runner_from_submitter`), which guarantees the two
+        paths accept identical inputs; pass an explicit runner only for
+        jobs that cannot express their work as scheduler batches.
+        """
+        if runner is None:
+            if submitter is None:
+                raise ValueError(
+                    f"job {spec.name!r} needs a runner, a submitter, or both"
+                )
+            runner = runner_from_submitter(submitter)
         self.job_manager.register(spec)
         self._runners[spec.name] = runner
+        if submitter is not None:
+            self._submitters[spec.name] = submitter
 
     @property
     def jobs(self) -> tuple[str, ...]:
@@ -74,7 +110,7 @@ class CDAS:
     @classmethod
     def with_default_jobs(
         cls,
-        market: SimulatedMarket,
+        market: MarketBackend,
         seed: int = 0,
         engine_config: EngineConfig | None = None,
         privacy: PrivacyManager | None = None,
@@ -86,8 +122,8 @@ class CDAS:
         from repro.it.app import build_it_spec
         from repro.tsa.app import build_tsa_spec
 
-        system.register_job(build_tsa_spec(), _tsa_runner)
-        system.register_job(build_it_spec(), _it_runner)
+        system.register_job(build_tsa_spec(), submitter=_tsa_submitter)
+        system.register_job(build_it_spec(), submitter=_it_submitter)
         return system
 
     # -- operations ------------------------------------------------------------
@@ -114,16 +150,83 @@ class CDAS:
         runner = self._runners[job_name]
         return runner(self.engine, plan, dict(job_inputs))
 
+    def submit_many(
+        self,
+        requests: Sequence[tuple[str, Query, dict[str, Any]]],
+        max_in_flight: int = 4,
+    ) -> list[Any]:
+        """Run several queries — possibly of different job types — at once.
+
+        All requests share one :class:`HITScheduler` (and therefore one
+        worker pool and one merged arrival stream): HITs from different
+        queries interleave, gold evidence from any of them sharpens the
+        shared accuracy estimator, and up to ``max_in_flight`` HITs collect
+        concurrently.  Results come back in request order.
+
+        Failure semantics are all-or-nothing: unknown job names are
+        rejected before anything is planned, and if any submitter raises
+        (missing inputs, unmatched query) the shared scheduler is discarded
+        *before it runs* — nothing has been published to the market, so no
+        cost is incurred and no request executes partially.
+
+        Parameters
+        ----------
+        requests:
+            ``(job_name, query, job_inputs)`` triples; each job must have
+            been registered with a scheduler-aware submitter.
+        max_in_flight:
+            Concurrent-HIT budget across *all* requests.
+        """
+        # Reject unknown jobs before planning anything.  Per-request input
+        # errors surface from the submitters below — still before run(),
+        # i.e. before any HIT is published or charged.
+        missing = sorted({name for name, _, _ in requests if name not in self._submitters})
+        if missing:
+            raise ValueError(
+                f"job(s) {missing!r} have no scheduler-aware submitter; "
+                "register one to use submit_many"
+            )
+        scheduler = HITScheduler(self.engine, max_in_flight=max_in_flight)
+        finalizers = []
+        for job_name, query, job_inputs in requests:
+            plan = self.job_manager.plan(job_name, query)
+            submitter = self._submitters[job_name]
+            finalizers.append(submitter(self.engine, scheduler, plan, dict(job_inputs)))
+        scheduler.run()
+        return [finalize() for finalize in finalizers]
+
     @property
     def total_cost(self) -> float:
         """Everything this system has spent on the market so far."""
         return self.market.ledger.total_cost
 
 
-def _tsa_runner(
-    engine: CrowdsourcingEngine, plan: ProcessingPlan, inputs: dict[str, Any]
-):
-    """Default runner for the twitter-sentiment job.
+def runner_from_submitter(submitter: JobSubmitter) -> JobRunner:
+    """Derive the blocking runner from a scheduler-aware submitter.
+
+    Enqueues on a private one-slot scheduler, runs it, and finalizes —
+    exactly what a hand-written serial runner would do, so the two paths
+    (``submit`` and ``submit_many``) can never drift on accepted inputs.
+    """
+
+    def runner(
+        engine: CrowdsourcingEngine, plan: ProcessingPlan, inputs: dict[str, Any]
+    ) -> Any:
+        scheduler = HITScheduler(engine, max_in_flight=1)
+        finalize = submitter(engine, scheduler, plan, inputs)
+        scheduler.run()
+        return finalize()
+
+    return runner
+
+
+def _tsa_submitter(
+    engine: CrowdsourcingEngine,
+    scheduler: HITScheduler,
+    plan: ProcessingPlan,
+    inputs: dict[str, Any],
+) -> Callable[[], Any]:
+    """Default submitter for the twitter-sentiment job.
 
     Expected inputs: ``gold_tweets`` (required), plus either ``stream``
     (a :class:`~repro.tsa.stream.TweetStream`) or ``tweets`` (an explicit
@@ -138,18 +241,23 @@ def _tsa_runner(
         stream=inputs.get("stream"),
         batch_size=inputs.get("batch_size", 20),
     )
-    return job.run(
+    group = job.submit(
+        scheduler,
         plan.query,
         gold_tweets=inputs["gold_tweets"],
         tweets=inputs.get("tweets"),
         worker_count=inputs.get("worker_count"),
     )
+    return lambda: job.assemble(plan.query, group)
 
 
-def _it_runner(
-    engine: CrowdsourcingEngine, plan: ProcessingPlan, inputs: dict[str, Any]
-):
-    """Default runner for the image-tagging job.
+def _it_submitter(
+    engine: CrowdsourcingEngine,
+    scheduler: HITScheduler,
+    plan: ProcessingPlan,
+    inputs: dict[str, Any],
+) -> Callable[[], Any]:
+    """Default submitter for the image-tagging job.
 
     Expected inputs: ``images`` (required), optional ``gold_images``,
     ``images_per_hit`` and ``worker_count``.  The query's required
@@ -160,9 +268,11 @@ def _it_runner(
     if "images" not in inputs:
         raise ValueError("image-tagging requires images")
     job = ITJob(engine, images_per_hit=inputs.get("images_per_hit", 5))
-    return job.run(
+    group = job.submit(
+        scheduler,
         inputs["images"],
         required_accuracy=plan.query.required_accuracy,
         gold_images=inputs.get("gold_images", ()),
         worker_count=inputs.get("worker_count"),
     )
+    return lambda: job.assemble(inputs["images"], group)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.core.presentation import OpinionReport
 from repro.engine.engine import CrowdsourcingEngine, HITRunResult, QuestionRecord
 from repro.engine.executor import ProgramExecutor, batched
+from repro.engine.scheduler import HITScheduler, SessionGroup
 from repro.engine.jobs import JobSpec
 from repro.engine.query import Query
 from repro.engine.templates import QueryTemplate
@@ -116,6 +117,11 @@ class TSAJob:
     batch_size:
         Tweets per HIT (the paper's ``B``; deployment used 100, the
         default here is smaller to keep simulations quick).
+    max_in_flight:
+        How many of the query's HITs may collect concurrently when
+        :meth:`run` drives its own scheduler.  The default of 1 reproduces
+        the historical serial behaviour exactly; raising it interleaves
+        the query's batches on one merged arrival stream.
     """
 
     def __init__(
@@ -123,12 +129,16 @@ class TSAJob:
         engine: CrowdsourcingEngine,
         stream: TweetStream | None = None,
         batch_size: int = 20,
+        max_in_flight: int = 1,
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch size must be positive, got {batch_size}")
+        if max_in_flight <= 0:
+            raise ValueError(f"max_in_flight must be positive, got {max_in_flight}")
         self.engine = engine
         self.stream = stream
         self.batch_size = batch_size
+        self.max_in_flight = max_in_flight
         self.executor = ProgramExecutor(text_of=lambda t: t.text)
         self.spec = build_tsa_spec()
 
@@ -155,6 +165,33 @@ class TSAJob:
         worker_count:
             Force ``n`` instead of asking the prediction model.
         """
+        scheduler = HITScheduler(self.engine, max_in_flight=self.max_in_flight)
+        group = self.submit(
+            scheduler,
+            query,
+            gold_tweets=gold_tweets,
+            tweets=tweets,
+            worker_count=worker_count,
+        )
+        scheduler.run()
+        return self.assemble(query, group)
+
+    def submit(
+        self,
+        scheduler: HITScheduler,
+        query: Query,
+        gold_tweets: Sequence[Tweet],
+        tweets: Sequence[Tweet] | None = None,
+        worker_count: int | None = None,
+    ) -> SessionGroup:
+        """Enqueue the query's batches on a (possibly shared) scheduler.
+
+        Candidates are resolved eagerly (so an unmatched query still fails
+        fast), but batches are fed lazily: each HIT's questions are built
+        only when the scheduler opens a publish slot for it.  Assemble the
+        query's report from the returned group with :meth:`assemble` after
+        the scheduler has run.
+        """
         if tweets is None:
             if self.stream is None:
                 raise ValueError("no stream configured and no tweets passed")
@@ -165,18 +202,20 @@ class TSAJob:
             raise ValueError(
                 f"query {query.subject!r} matched no tweets in its window"
             )
-        gold_questions = [tweet_to_question(t) for t in gold_tweets]
-        hit_results: list[HITRunResult] = []
-        for batch in batched(candidates, self.batch_size):
-            questions = [tweet_to_question(t) for t in batch]
-            hit_results.append(
-                self.engine.run_batch(
-                    questions,
-                    required_accuracy=query.required_accuracy,
-                    gold_pool=gold_questions,
-                    worker_count=worker_count,
-                )
-            )
+        gold_questions = tuple(tweet_to_question(t) for t in gold_tweets)
+        return scheduler.add_batches(
+            (
+                [tweet_to_question(t) for t in batch]
+                for batch in batched(candidates, self.batch_size)
+            ),
+            required_accuracy=query.required_accuracy,
+            gold_pool=gold_questions,
+            worker_count=worker_count,
+        )
+
+    def assemble(self, query: Query, group: SessionGroup) -> TSAResult:
+        """Fold a completed group's per-HIT results into the query report."""
+        hit_results = group.results
         records = tuple(r for h in hit_results for r in h.records)
         outcomes = [r.outcome() for r in records]
         report = self.executor.summarize(query, outcomes)

@@ -1,0 +1,288 @@
+"""Tests for the market backend protocol and the global event merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.backend import EventPump, HITHandle, MarketBackend, SubmissionEvent
+from repro.amt.hit import HIT, Question
+from repro.amt.market import SimulatedMarket
+
+
+def _hit(hit_id: str, assignments: int = 5, questions: int = 3) -> HIT:
+    options = ("pos", "neu", "neg")
+    return HIT(
+        hit_id=hit_id,
+        questions=tuple(
+            Question(
+                question_id=f"{hit_id}:q{i}", options=options, truth=options[i % 3]
+            )
+            for i in range(questions)
+        ),
+        assignments=assignments,
+    )
+
+
+@pytest.fixture()
+def market(small_pool) -> SimulatedMarket:
+    return SimulatedMarket(small_pool, seed=11)
+
+
+class TestProtocolConformance:
+    def test_simulated_market_is_a_backend(self, market):
+        assert isinstance(market, MarketBackend)
+
+    def test_published_hit_is_a_handle(self, market):
+        handle = market.publish(_hit("h0"))
+        assert isinstance(handle, HITHandle)
+
+
+class TestPeekTime:
+    def test_peek_matches_next_submission(self, market):
+        handle = market.publish(_hit("h0"))
+        peeked = handle.peek_time()
+        assignment = handle.next_submission()
+        assert peeked == assignment.submit_time
+
+    def test_peek_is_free(self, market):
+        handle = market.publish(_hit("h0"))
+        for _ in range(10):
+            handle.peek_time()
+        assert market.ledger.charged_assignments == 0
+        assert handle.collected == 0
+
+    def test_peek_none_when_drained(self, market):
+        handle = market.publish(_hit("h0", assignments=2))
+        handle.collect_all()
+        assert handle.peek_time() is None
+
+    def test_peek_none_after_cancel(self, market):
+        handle = market.publish(_hit("h0"))
+        handle.next_submission()
+        handle.cancel()
+        assert handle.peek_time() is None
+
+
+class TestEventPump:
+    def test_single_handle_replays_arrival_order(self, market):
+        handle = market.publish(_hit("h0", assignments=6))
+        expected = [a.submit_time for a in handle._assignments]
+        pump = EventPump()
+        pump.add(handle)
+        events = list(pump.drain())
+        assert [e.time for e in events] == expected
+        assert [e.sequence for e in events] == list(range(6))
+        assert all(e.hit_id == "h0" for e in events)
+
+    def test_merges_two_hits_in_global_time_order(self, market):
+        h0 = market.publish(_hit("h0", assignments=6))
+        h1 = market.publish(_hit("h1", assignments=6))
+        pump = EventPump()
+        pump.add(h0)
+        pump.add(h1)
+        events = list(pump.drain())
+        assert len(events) == 12
+        assert [e.time for e in events] == sorted(e.time for e in events)
+        # Both HITs' submissions interleave rather than running back to back.
+        first_six = {e.hit_id for e in events[:6]}
+        assert first_six == {"h0", "h1"}
+
+    def test_published_at_offsets_shift_global_order(self, market):
+        h0 = market.publish(_hit("h0", assignments=3))
+        h1 = market.publish(_hit("h1", assignments=3))
+        pump = EventPump()
+        pump.add(h0, published_at=0.0)
+        # Published far in the future: all of h1 must come after all of h0.
+        pump.add(h1, published_at=1e9)
+        events = list(pump.drain())
+        assert [e.hit_id for e in events] == ["h0"] * 3 + ["h1"] * 3
+
+    def test_cancelled_handle_is_skipped(self, market):
+        h0 = market.publish(_hit("h0", assignments=4))
+        h1 = market.publish(_hit("h1", assignments=4))
+        pump = EventPump()
+        pump.add(h0)
+        pump.add(h1)
+        first = pump.next_event()
+        assert first is not None
+        h1.cancel()
+        rest = list(pump.drain())
+        assert all(e.hit_id == "h0" for e in rest)
+        remaining_h0 = 4 - (1 if first.hit_id == "h0" else 0)
+        cancelled_h1 = 1 if first.hit_id == "h1" else 0
+        assert len(rest) == remaining_h0
+        assert h1.collected == cancelled_h1
+
+    def test_charges_exactly_per_pop(self, market):
+        h0 = market.publish(_hit("h0", assignments=5))
+        pump = EventPump()
+        pump.add(h0)
+        pump.next_event()
+        pump.next_event()
+        assert market.ledger.charged_assignments == 2
+
+    def test_external_pull_requeues_head(self, market):
+        h0 = market.publish(_hit("h0", assignments=4))
+        pump = EventPump()
+        pump.add(h0)
+        # Someone drains one submission behind the pump's back.
+        stolen = h0.next_submission()
+        events = list(pump.drain())
+        assert len(events) == 3
+        assert stolen.worker_id not in {e.assignment.worker_id for e in events}
+
+    def test_deterministic_across_runs(self, small_pool):
+        def run():
+            market = SimulatedMarket(small_pool, seed=13)
+            pump = EventPump()
+            for k in range(3):
+                pump.add(market.publish(_hit(f"h{k}", assignments=5)))
+            return [(e.hit_id, e.assignment.worker_id, e.time) for e in pump.drain()]
+
+        assert run() == run()
+
+    def test_empty_pump_is_dry(self):
+        pump = EventPump()
+        assert pump.next_event() is None
+        assert not pump.pending
+
+    def test_dormant_live_handle_is_parked_and_repolled(self):
+        """A handle with nothing pending *yet* (live backend) is not dropped."""
+        from repro.amt.hit import Assignment
+
+        hit = _hit("h0", assignments=2, questions=1)
+
+        class LateHandle:
+            """Submissions materialise only after deliver() — like live AMT."""
+
+            def __init__(self) -> None:
+                self.hit = hit
+                self._queue: list[Assignment] = []
+                self._collected = 0
+                self._cancelled = False
+
+            def deliver(self, worker_id: str, when: float) -> None:
+                self._queue.append(
+                    Assignment(
+                        hit_id=hit.hit_id,
+                        worker_id=worker_id,
+                        answers={q.question_id: q.truth for q in hit.questions},
+                        submit_time=when,
+                    )
+                )
+
+            @property
+            def outstanding(self) -> int:
+                return 0 if self._cancelled else hit.assignments - self._collected
+
+            @property
+            def done(self) -> bool:
+                return self._cancelled or self._collected >= hit.assignments
+
+            def peek_time(self) -> float | None:
+                if self.done or not self._queue:
+                    return None
+                return self._queue[0].submit_time
+
+            def next_submission(self) -> Assignment | None:
+                if self.done or not self._queue:
+                    return None
+                self._collected += 1
+                return self._queue.pop(0)
+
+            def cancel(self) -> int:
+                avoided = self.outstanding
+                self._cancelled = True
+                return avoided
+
+            def worker_profile(self, worker_id: str):
+                raise KeyError(worker_id)
+
+        handle = LateHandle()
+        assert isinstance(handle, HITHandle)
+        pump = EventPump()
+        pump.add(handle)
+        # Nothing pending yet: dry pop, but the handle stays registered.
+        assert pump.next_event() is None
+        assert pump.pending
+        handle.deliver("w1", 5.0)
+        event = pump.next_event()
+        assert event is not None and event.assignment.worker_id == "w1"
+        assert pump.next_event() is None and pump.pending  # dormant again
+        handle.deliver("w2", 9.0)
+        assert pump.next_event().assignment.worker_id == "w2"
+        assert pump.next_event() is None
+        assert not pump.pending  # both assignments collected → done
+
+    def test_live_handle_drained_externally_is_parked_not_evicted(self):
+        """A heap-queued live handle whose head is stolen externally must be
+        re-parked for re-polling, not dropped forever."""
+        from repro.amt.hit import Assignment
+
+        hit = _hit("h0", assignments=3, questions=1)
+
+        class LiveHandle:
+            def __init__(self) -> None:
+                self.hit = hit
+                self._queue: list[Assignment] = []
+                self._collected = 0
+
+            def deliver(self, worker_id: str, when: float) -> None:
+                self._queue.append(
+                    Assignment(
+                        hit_id=hit.hit_id,
+                        worker_id=worker_id,
+                        answers={q.question_id: q.truth for q in hit.questions},
+                        submit_time=when,
+                    )
+                )
+
+            @property
+            def outstanding(self) -> int:
+                return hit.assignments - self._collected
+
+            @property
+            def done(self) -> bool:
+                return self._collected >= hit.assignments
+
+            def peek_time(self) -> float | None:
+                if self.done or not self._queue:
+                    return None
+                return self._queue[0].submit_time
+
+            def next_submission(self) -> Assignment | None:
+                if self.done or not self._queue:
+                    return None
+                self._collected += 1
+                return self._queue.pop(0)
+
+            def cancel(self) -> int:
+                return 0
+
+            def worker_profile(self, worker_id: str):
+                raise KeyError(worker_id)
+
+        handle = LiveHandle()
+        pump = EventPump()
+        pump.add(handle)
+        handle.deliver("w1", 1.0)
+        handle.deliver("w2", 2.0)
+        # Collect w1; the pump re-queues w2's head onto the heap.
+        assert pump.next_event().assignment.worker_id == "w1"
+        # w2 is stolen behind the pump's back: heap entry goes stale while
+        # the handle is still live (1 of 3 outstanding, queue empty).
+        assert handle.next_submission().worker_id == "w2"
+        assert pump.next_event() is None
+        assert pump.pending  # parked, not evicted
+        handle.deliver("w3", 7.0)
+        assert pump.next_event().assignment.worker_id == "w3"
+        assert not pump.pending
+
+    def test_event_is_frozen(self, market):
+        handle = market.publish(_hit("h0"))
+        pump = EventPump()
+        pump.add(handle)
+        event = pump.next_event()
+        assert isinstance(event, SubmissionEvent)
+        with pytest.raises(AttributeError):
+            event.time = 0.0
