@@ -1,0 +1,96 @@
+"""Bench: weighted-priority admission vs. FIFO on one scheduler service.
+
+Two tenants contend for the service's publish slots: ``light``
+(priority 1) submits first, ``heavy`` (priority 4) submits second, each
+with an 8-batch TSA query.  Under FIFO the earlier tenant monopolises the
+slots until its batches run dry — the later tenant waits the whole drain.
+Under weighted stride scheduling the heavy tenant draws ~4 of every 5
+grants despite submitting later, so its simulated completion time
+collapses.  ``extra_info`` records both tenants' completion clocks and the
+early grant shares; the assertions pin the headline: weighted-priority
+allocation is *measurably* different from FIFO (the heavy tenant finishes
+well before the FIFO drain would let it), while total crowd work is
+identical.
+
+Wall-clock (what pytest-benchmark reports) additionally guards the service
+pump itself: admission bookkeeping must stay a rounding error next to the
+simulated market work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.system import CDAS
+from repro.tsa.app import movie_query
+from repro.tsa.tweets import generate_tweets
+
+TWEETS_PER_QUERY = 40
+BATCH_SIZE = 5  # → 8 batches per query
+WORKERS_PER_HIT = 7
+SLOTS = 2
+
+
+def _run_service(bench_seed: int, allocation: str):
+    pool = WorkerPool.from_config(PoolConfig(size=300), seed=bench_seed)
+    cdas = CDAS.with_default_jobs(
+        SimulatedMarket(pool, seed=bench_seed), seed=bench_seed
+    )
+    tweets = generate_tweets(
+        ["lightmovie", "heavymovie"], per_movie=TWEETS_PER_QUERY, seed=bench_seed + 1
+    )
+    gold = generate_tweets(["gold-movie"], per_movie=10, seed=bench_seed + 2)
+    service = cdas.service(
+        max_in_flight=SLOTS, track_trajectories=False, allocation=allocation
+    )
+    service.register_tenant("light", priority=1.0)
+    service.register_tenant("heavy", priority=4.0)
+    handles = {
+        "light": service.submit(
+            "twitter-sentiment", movie_query("lightmovie", 0.9), tenant="light",
+            tweets=tweets, gold_tweets=gold,
+            worker_count=WORKERS_PER_HIT, batch_size=BATCH_SIZE,
+        ),
+        "heavy": service.submit(
+            "twitter-sentiment", movie_query("heavymovie", 0.9), tenant="heavy",
+            tweets=tweets, gold_tweets=gold,
+            worker_count=WORKERS_PER_HIT, batch_size=BATCH_SIZE,
+        ),
+    }
+    done_at: dict[str, float] = {}
+    while service.step():
+        for name, handle in handles.items():
+            if handle.done and name not in done_at:
+                done_at[name] = service.scheduler.clock
+    for name, handle in handles.items():
+        done_at.setdefault(name, service.scheduler.clock)
+    return service, handles, done_at
+
+
+@pytest.mark.parametrize("allocation", ["fifo", "weighted"])
+def test_bench_service_allocation(benchmark, bench_seed, allocation):
+    service, handles, done_at = benchmark.pedantic(
+        _run_service, args=(bench_seed, allocation), rounds=1, iterations=1
+    )
+    # Same total crowd work whichever way slots were allocated.
+    assert all(handle.done for handle in handles.values())
+    assert sum(
+        h.progress().items_finalized for h in handles.values()
+    ) == 2 * TWEETS_PER_QUERY
+    early_grants = [t for t, _ in service.admission.grant_log[:10]]
+    benchmark.extra_info["heavy_done_at_s"] = round(done_at["heavy"], 2)
+    benchmark.extra_info["light_done_at_s"] = round(done_at["light"], 2)
+    benchmark.extra_info["heavy_share_first10"] = early_grants.count("heavy") / 10
+    if allocation == "fifo":
+        # FIFO: the earlier tenant drains first; heavy waits its turn.
+        assert early_grants[:8] == ["light"] * 8
+        assert done_at["light"] < done_at["heavy"]
+    else:
+        # Weighted: the heavy tenant takes ~4/5 of early grants despite
+        # submitting later...
+        assert early_grants.count("heavy") >= 6
+        # ...and finishes measurably before the FIFO drain would allow.
+        _, _, fifo_done = _run_service(bench_seed, "fifo")
+        assert done_at["heavy"] < 0.8 * fifo_done["heavy"]

@@ -1,9 +1,12 @@
-"""Many HITs in flight: the event-driven scheduler and submit_many.
+"""Many HITs in flight: the event-driven scheduler and the service surface.
 
 Runs the same 8-batch workload serially (one HIT at a time, the historical
 engine behaviour) and with 4 HITs in flight on one merged arrival stream,
-then shows two queries of *different* job types sharing a single scheduler
-through ``CDAS.submit_many``.
+then shows two queries of *different* job types sharing one scheduler
+service: submitted as non-blocking ``QueryHandle``\\ s, observed via
+``progress()`` while interleaving, and collected with ``result()``.  The
+blocking ``CDAS.submit_many`` wrapper over the same service closes the
+demo.
 
     PYTHONPATH=src python examples/concurrent_scheduler.py
 """
@@ -58,14 +61,50 @@ def main() -> None:
     for k in (1, 4, 8):
         run_workload(k)
 
-    print("\nTwo job types sharing one scheduler via CDAS.submit_many:")
+    print("\nTwo job types sharing one scheduler service (QueryHandle surface):")
     pool = WorkerPool.from_config(PoolConfig(size=300), seed=11)
     cdas = CDAS.with_default_jobs(SimulatedMarket(pool, seed=11), seed=11)
     tweets = generate_tweets(["solaris"], per_movie=40, seed=5)
     gold_tweets = generate_tweets(["gold-movie"], per_movie=10, seed=6)
     images = generate_images(per_subject=1, seed=3)
     gold_images = generate_images(per_subject=1, seed=4)
-    tsa, it = cdas.submit_many(
+    service = cdas.service(max_in_flight=4)
+    tsa_handle = service.submit(
+        "twitter-sentiment",
+        movie_query("solaris", 0.9),
+        tweets=tweets,
+        gold_tweets=gold_tweets,
+        worker_count=7,
+    )
+    it_handle = service.submit(
+        "image-tagging",
+        movie_query("images", 0.9),
+        images=images,
+        gold_images=gold_images,
+        worker_count=7,
+    )
+    events = 0
+    while service.step():
+        events += 1
+        if events % 12 == 0:
+            for handle in (tsa_handle, it_handle):
+                p = handle.progress()
+                print(
+                    f"  [{handle.query.subject:<7}] {p.state.value:<8} "
+                    f"answered {p.items_answered:3d}  est "
+                    f"{p.accuracy_estimate or 0:.2f}  spend ${p.spend:.2f}"
+                )
+    tsa, it = tsa_handle.result(), it_handle.result()
+    print(f"  TSA  : {len(tsa.records)} tweets judged, accuracy {tsa.accuracy:.2f}")
+    print(f"  IT   : {len(it.records)} tag decisions, accuracy {it.decision_accuracy:.2f}")
+    print(f"  spend: ${cdas.total_cost:.2f} on one shared worker pool")
+
+    print("\nSame pair through the blocking CDAS.submit_many wrapper:")
+    cdas2 = CDAS.with_default_jobs(
+        SimulatedMarket(WorkerPool.from_config(PoolConfig(size=300), seed=11), seed=11),
+        seed=11,
+    )
+    tsa2, it2 = cdas2.submit_many(
         [
             (
                 "twitter-sentiment",
@@ -80,9 +119,8 @@ def main() -> None:
         ],
         max_in_flight=4,
     )
-    print(f"  TSA  : {len(tsa.records)} tweets judged, accuracy {tsa.accuracy:.2f}")
-    print(f"  IT   : {len(it.records)} tag decisions, accuracy {it.decision_accuracy:.2f}")
-    print(f"  spend: ${cdas.total_cost:.2f} on one shared worker pool")
+    same = tsa2.report == tsa.report and len(it2.records) == len(it.records)
+    print(f"  identical results from the wrapper: {same}")
 
 
 if __name__ == "__main__":

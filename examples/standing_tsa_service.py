@@ -1,0 +1,129 @@
+"""Standing TSA query on the scheduler service (Definition 1, deployed).
+
+The paper defines a CDAS query as a *standing* analytics job over a time
+window — users deploy it and watch the opinion report refine while tweets
+keep arriving.  This demo drives exactly that shape end to end:
+
+* a ``kungfu panda`` query follows four consecutive one-minute windows of
+  a timestamped tweet stream through **one** ``QueryHandle`` — batches for
+  window 2 are crowd-sourced while window 1's HITs are still collecting;
+* mid-run, a second tenant's query is admitted onto the *running* service
+  and interleaves on the same merged arrival stream under
+  weighted-priority admission;
+* the second query is cancelled mid-flight — its unpublished batches are
+  dropped, its in-flight HITs are cancelled through the market backend,
+  and its spend freezes on the spot.
+
+    PYTHONPATH=src python examples/standing_tsa_service.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.system import CDAS
+from repro.tsa.app import movie_query
+from repro.tsa.stream import TweetStream
+from repro.tsa.tweets import generate_tweets, tweet_to_question
+
+WINDOWS = 4
+TWEETS_PER_WINDOW = 8
+UNIT_SECONDS = 60.0
+
+
+def build_stream() -> TweetStream:
+    """A corpus whose tweets arrive spread across consecutive windows."""
+    tweets = generate_tweets(
+        ["kungfu panda"], per_movie=WINDOWS * TWEETS_PER_WINDOW, seed=21
+    )
+    spaced = [
+        dataclasses.replace(
+            tweet,
+            timestamp=(i // TWEETS_PER_WINDOW) * UNIT_SECONDS
+            + (i % TWEETS_PER_WINDOW),
+        )
+        for i, tweet in enumerate(tweets)
+    ]
+    return TweetStream.from_corpus(spaced, unit_seconds=UNIT_SECONDS)
+
+
+def progress_line(tag: str, handle) -> str:
+    p = handle.progress()
+    estimate = "n/a " if p.accuracy_estimate is None else f"{p.accuracy_estimate:.2f}"
+    return (
+        f"  {tag:<9} {p.state.value:<9} answered {p.items_answered:2d} "
+        f"hits {p.hits_completed}+{p.hits_in_flight} est {estimate} "
+        f"spend ${p.spend:.2f}"
+    )
+
+
+def main() -> None:
+    pool = WorkerPool.from_config(PoolConfig(size=250), seed=13)
+    cdas = CDAS.with_default_jobs(SimulatedMarket(pool, seed=13), seed=13)
+    gold = generate_tweets(["gold-movie"], per_movie=12, seed=22)
+    cdas.calibrate([tweet_to_question(t) for t in gold], workers_per_hit=10, hits=1)
+
+    service = cdas.service(max_in_flight=3)
+    service.register_tenant("dashboard", priority=3.0)
+    service.register_tenant("backfill", priority=1.0)
+
+    standing = service.submit(
+        "twitter-sentiment",
+        movie_query("kungfu panda", 0.9, window=1),
+        tenant="dashboard",
+        stream=build_stream(),
+        windows=WINDOWS,
+        gold_tweets=gold,
+        worker_count=5,
+        batch_size=4,
+    )
+    print(
+        f"deployed standing query {standing.query.subject!r} over "
+        f"{WINDOWS} one-minute windows — one handle, state {standing.state.value}"
+    )
+
+    backfill = None
+    events = 0
+    while service.step():
+        events += 1
+        if events == 25:
+            backfill = service.submit(
+                "twitter-sentiment",
+                movie_query("kungfu panda", 0.9),
+                tenant="backfill",
+                tweets=generate_tweets(["kungfu panda"], per_movie=60, seed=23),
+                gold_tweets=gold,
+                worker_count=5,
+                batch_size=6,
+            )
+            print(f"-- event {events}: second tenant admitted on the running service --")
+        if events == 55 and backfill is not None and not backfill.done:
+            backfill.cancel()
+            print(
+                f"-- event {events}: backfill cancelled mid-flight at "
+                f"${backfill.spend:.2f}; no further charges --"
+            )
+        if events % 30 == 0:
+            print(f"-- event {events} --")
+            print(progress_line("standing", standing))
+            if backfill is not None:
+                print(progress_line("backfill", backfill))
+
+    result = standing.result()
+    print("\nstanding query drained:")
+    print(progress_line("standing", standing))
+    if backfill is not None:
+        print(progress_line("backfill", backfill))
+    print()
+    print(result.report.render())
+    print(
+        f"\ntenant spend: dashboard ${service.tenant_spend('dashboard'):.2f}, "
+        f"backfill ${service.tenant_spend('backfill'):.2f} "
+        f"(frozen at cancellation)"
+    )
+
+
+if __name__ == "__main__":
+    main()

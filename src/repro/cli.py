@@ -10,6 +10,9 @@ Commands
     Print the full paper-vs-measured report (EXPERIMENTS.md content).
 ``plan --accuracy C --budget B --mu MU --rate K --window W``
     Cost/accuracy planning for a streaming query (§3.1 economics).
+``serve [--slots N] [--seed N] [--progress-every E]``
+    Drive mixed TSA + IT queries from two tenants through one long-lived
+    scheduler service, printing per-handle progress lines (DESIGN.md §7).
 """
 
 from __future__ import annotations
@@ -92,6 +95,88 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be ≥ 1, got {value}")
+    return parsed
+
+
+def _progress_line(handle) -> str:
+    progress = handle.progress()
+    estimate = (
+        "  n/a"
+        if progress.accuracy_estimate is None
+        else f"{progress.accuracy_estimate:5.2f}"
+    )
+    return (
+        f"  [{handle.tenant:<6}] {handle.query.subject:<8} "
+        f"{progress.state.value:<9} answered {progress.items_answered:3d}  "
+        f"hits {progress.hits_completed}+{progress.hits_in_flight}  "
+        f"est {estimate}  spend ${progress.spend:.2f}"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Mixed multi-tenant workload on one scheduler service (DESIGN.md §7)."""
+    from repro.amt.market import SimulatedMarket
+    from repro.amt.pool import PoolConfig, WorkerPool
+    from repro.it.images import generate_images
+    from repro.system import CDAS
+    from repro.tsa.app import movie_query
+    from repro.tsa.tweets import generate_tweets, tweet_to_question
+
+    pool = WorkerPool.from_config(PoolConfig(size=200), seed=args.seed)
+    cdas = CDAS.with_default_jobs(
+        SimulatedMarket(pool, seed=args.seed), seed=args.seed
+    )
+    gold = generate_tweets(["gold-movie"], per_movie=12, seed=args.seed + 1)
+    cdas.calibrate(
+        [tweet_to_question(t) for t in gold], workers_per_hit=10, hits=1
+    )
+    tweets = generate_tweets(["rio", "solaris"], per_movie=18, seed=args.seed + 2)
+    images = generate_images(per_subject=1, seed=args.seed + 3)[:3]
+    gold_images = generate_images(per_subject=1, seed=args.seed + 4)
+
+    service = cdas.service(max_in_flight=args.slots)
+    service.register_tenant("acme", priority=2.0)
+    service.register_tenant("globex", priority=1.0)
+    handles = [
+        service.submit(
+            "twitter-sentiment", movie_query("rio", 0.9), tenant="acme",
+            tweets=tweets, gold_tweets=gold, worker_count=5, batch_size=6,
+        ),
+        service.submit(
+            "twitter-sentiment", movie_query("solaris", 0.9), tenant="globex",
+            tweets=tweets, gold_tweets=gold, worker_count=5, batch_size=6,
+        ),
+        service.submit(
+            "image-tagging", movie_query("images", 0.9), tenant="globex",
+            images=images, gold_images=gold_images, worker_count=5,
+        ),
+    ]
+    print(
+        f"serving {len(handles)} queries from 2 tenants "
+        f"({args.slots} publish slots, weighted-priority admission)"
+    )
+    events = 0
+    while service.step():
+        events += 1
+        if events % args.progress_every == 0:
+            print(f"-- after {events} submissions --")
+            for handle in handles:
+                print(_progress_line(handle))
+    print("-- service idle --")
+    for handle in handles:
+        print(_progress_line(handle))
+    print(
+        f"total spend ${cdas.total_cost:.2f} "
+        f"(acme ${service.tenant_spend('acme'):.2f}, "
+        f"globex ${service.tenant_spend('globex'):.2f})"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -124,6 +209,25 @@ def build_parser() -> argparse.ArgumentParser:
     plan_p.add_argument("--reward", type=float, default=0.01, help="m_c per assignment")
     plan_p.add_argument("--fee", type=float, default=0.005, help="m_s per assignment")
     plan_p.set_defaults(func=_cmd_plan)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run mixed TSA+IT queries through one scheduler service",
+    )
+    serve_p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    serve_p.add_argument(
+        "--slots",
+        type=_positive_int,
+        default=4,
+        help="max_in_flight publish slots",
+    )
+    serve_p.add_argument(
+        "--progress-every",
+        type=_positive_int,
+        default=10,
+        help="print per-handle progress every N submissions",
+    )
+    serve_p.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -13,7 +13,17 @@ from repro.engine.engine import (
 )
 from repro.engine.executor import ProgramExecutor, batched
 from repro.engine.jobs import JobManager, JobSpec, ProcessingPlan
-from repro.engine.scheduler import BatchSpec, HITScheduler, SessionGroup
+from repro.engine.scheduler import BatchSink, BatchSpec, HITScheduler, SessionGroup
+from repro.engine.service import (
+    AdmissionController,
+    AdmissionRejected,
+    QueryCancelled,
+    QueryHandle,
+    QueryProgress,
+    QueryState,
+    SchedulerService,
+    TenantPolicy,
+)
 from repro.engine.session import HITSession, SessionState
 from repro.engine.privacy import MASK, PrivacyManager
 from repro.engine.query import Query
@@ -26,9 +36,18 @@ __all__ = [
     "QuestionRecord",
     "ProgramExecutor",
     "batched",
+    "BatchSink",
     "BatchSpec",
     "HITScheduler",
     "SessionGroup",
+    "AdmissionController",
+    "AdmissionRejected",
+    "QueryCancelled",
+    "QueryHandle",
+    "QueryProgress",
+    "QueryState",
+    "SchedulerService",
+    "TenantPolicy",
     "HITSession",
     "SessionState",
     "JobManager",

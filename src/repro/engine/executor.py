@@ -17,7 +17,7 @@ from repro.amt.hit import Question
 from repro.core.domain import AnswerDomain
 from repro.core.presentation import OpinionReport, QuestionOutcome, build_report
 from repro.engine.query import Query
-from repro.engine.scheduler import HITScheduler, SessionGroup
+from repro.engine.scheduler import BatchSink, SessionGroup
 
 __all__ = ["ProgramExecutor", "batched"]
 
@@ -69,7 +69,7 @@ class ProgramExecutor:
 
     def submit_stream(
         self,
-        scheduler: HITScheduler,
+        sink: BatchSink,
         items: Iterable[T],
         query: Query,
         to_question: Callable[[T], Question],
@@ -78,19 +78,20 @@ class ProgramExecutor:
         gold_pool: Sequence[Question] = (),
         worker_count: int | None = None,
     ) -> SessionGroup:
-        """Feed the filtered stream to a scheduler *incrementally*.
+        """Feed the filtered stream to a scheduler or service *incrementally*.
 
         Instead of materialising every batch up front (the old
         ``for batch in buffer_batches(...): engine.run_batch(batch)`` shape),
-        this registers a lazy :class:`BatchSpec` source: the scheduler pulls —
-        and only then materialises — the next batch when a publish slot
-        frees up, so an unbounded stream never sits buffered in memory and
-        up to ``max_in_flight`` batches crowd-source concurrently.
+        this registers a lazy :class:`BatchSpec` source on any
+        :class:`BatchSink`: the sink pulls — and only then materialises —
+        the next batch when a publish slot frees up, so an unbounded stream
+        never sits buffered in memory and up to ``max_in_flight`` batches
+        crowd-source concurrently.
 
-        Returns the :class:`SessionGroup` whose results (available after
-        :meth:`HITScheduler.run`) feed :meth:`summarize`.
+        Returns the :class:`SessionGroup` whose results (available once the
+        sink has run) feed :meth:`summarize`.
         """
-        return scheduler.add_batches(
+        return sink.add_batches(
             (
                 [to_question(item) for item in batch]
                 for batch in self.buffer_batches(items, query, batch_size)

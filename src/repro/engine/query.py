@@ -14,7 +14,7 @@ window=10)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.domain import AnswerDomain
 
@@ -51,6 +51,12 @@ class Query:
     timestamp: str | float = 0.0
     window: int = 1
     subject: str = ""
+    #: Keywords lowered once at construction — ``matches`` sits on the hot
+    #: path of ``ProgramExecutor.filter_stream``, which scans every stream
+    #: item; re-lowering the keyword set per item dominated that loop.
+    _lowered_keywords: tuple[str, ...] = field(
+        init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.keywords:
@@ -67,6 +73,9 @@ class Query:
             raise ValueError(f"window must be positive, got {self.window}")
         if not self.subject:
             object.__setattr__(self, "subject", self.keywords[0])
+        object.__setattr__(
+            self, "_lowered_keywords", tuple(k.lower() for k in self.keywords)
+        )
 
     def answer_domain(self) -> AnswerDomain:
         """The query's ``R`` as a closed :class:`AnswerDomain`."""
@@ -75,4 +84,4 @@ class Query:
     def matches(self, text: str) -> bool:
         """Keyword filter used by the program executor."""
         lowered = text.lower()
-        return any(k.lower() in lowered for k in self.keywords)
+        return any(k in lowered for k in self._lowered_keywords)

@@ -28,7 +28,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.amt.backend import EventPump, SubmissionEvent
 from repro.amt.hit import Question
@@ -38,7 +38,13 @@ from repro.engine.session import HITSession
 if TYPE_CHECKING:
     from repro.engine.engine import CrowdsourcingEngine
 
-__all__ = ["BatchSpec", "SessionGroup", "HITScheduler"]
+__all__ = [
+    "BatchSpec",
+    "BatchSink",
+    "SessionGroup",
+    "HITScheduler",
+    "specs_from_batches",
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +55,49 @@ class BatchSpec:
     required_accuracy: float
     gold_pool: tuple[Question, ...] = ()
     worker_count: int | None = None
+
+
+def specs_from_batches(
+    batches: Iterable[Sequence[Question]],
+    required_accuracy: float,
+    gold_pool: Sequence[Question] = (),
+    worker_count: int | None = None,
+) -> Iterator[BatchSpec]:
+    """Wrap question batches in :class:`BatchSpec`\\ s, one lazily per batch.
+
+    The single construction site behind every sink's ``add_batches`` —
+    scheduler and service paths must build identical specs.
+    """
+    gold = tuple(gold_pool)
+    for batch in batches:
+        yield BatchSpec(
+            real_questions=tuple(batch),
+            required_accuracy=required_accuracy,
+            gold_pool=gold,
+            worker_count=worker_count,
+        )
+
+
+@runtime_checkable
+class BatchSink(Protocol):
+    """Anything that accepts lazy batch sources and yields session groups.
+
+    This is the surface job submitters actually consume: the scheduler
+    itself satisfies it (batches run directly), and so does the service
+    layer's :class:`~repro.engine.service.QueryIntake` (batches are routed
+    through admission control before reaching a scheduler).  Submitters
+    written against this protocol work on both paths unchanged.
+    """
+
+    def add_source(self, specs: Iterable[BatchSpec]) -> "SessionGroup": ...
+
+    def add_batches(
+        self,
+        batches: Iterable[Sequence[Question]],
+        required_accuracy: float,
+        gold_pool: Sequence[Question] = (),
+        worker_count: int | None = None,
+    ) -> "SessionGroup": ...
 
 
 class SessionGroup:
@@ -166,15 +215,10 @@ class HITScheduler:
         batches sharing one accuracy target and gold pool; each is wrapped
         in a :class:`BatchSpec` only when a publish slot frees up.
         """
-        gold = tuple(gold_pool)
         return self.add_source(
-            BatchSpec(
-                real_questions=tuple(batch),
-                required_accuracy=required_accuracy,
-                gold_pool=gold,
-                worker_count=worker_count,
+            specs_from_batches(
+                batches, required_accuracy, gold_pool, worker_count
             )
-            for batch in batches
         )
 
     # -- the pump ------------------------------------------------------------
@@ -183,6 +227,36 @@ class HITScheduler:
     def in_flight(self) -> int:
         """How many HITs are currently collecting."""
         return len(self._in_flight)
+
+    @property
+    def pending_count(self) -> int:
+        """Eagerly submitted sessions waiting for a publish slot."""
+        return len(self._pending)
+
+    def withdraw(self, session: HITSession) -> bool:
+        """Remove a not-yet-published session from the queue.
+
+        Returns ``True`` when the session was still pending (it is dropped
+        entirely — never published, never charged); ``False`` when it was
+        already published, in which case the caller should cancel its
+        handle instead.
+        """
+        try:
+            self._pending.remove(session)
+        except ValueError:
+            return False
+        self._all.remove(session)
+        return True
+
+    def reap(self) -> int:
+        """Seal in-flight sessions whose handles finished out-of-band.
+
+        The pump does this on every :meth:`step`; callers that cancel
+        handles directly (the service layer's ``QueryHandle.cancel``) call
+        this to release the publish slots immediately instead of waiting
+        for the next step.  Returns how many sessions were sealed.
+        """
+        return self._seal_finished()
 
     @property
     def sessions(self) -> tuple[HITSession, ...]:

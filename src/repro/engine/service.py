@@ -1,0 +1,839 @@
+"""Handle-based query lifecycle on a long-lived scheduler service.
+
+The paper frames a CDAS query (Definition 1) as a *standing* analytics job:
+users deploy it, then observe progress while the crowd works.  The blocking
+``CDAS.submit`` cannot serve that shape — it occupies the caller until the
+last verdict lands — so this module turns submission inside out:
+
+* :class:`SchedulerService` wraps one shared
+  :class:`~repro.engine.scheduler.HITScheduler` and stays alive across
+  queries.  ``submit`` validates and plans eagerly (bad requests fail
+  before anything is published) but returns immediately with a
+  :class:`QueryHandle`; the service pumps all admitted queries' HITs on one
+  merged arrival stream via :meth:`step` / :meth:`run_until_idle`, and new
+  queries may be submitted *while it runs*.
+* :class:`QueryHandle` exposes the query lifecycle
+  (``QUEUED → ADMITTED → RUNNING → DONE | CANCELLED | FAILED``), live
+  :meth:`~QueryHandle.progress` (items answered, a confidence-based
+  accuracy estimate from the sessions' online aggregators, per-query spend
+  from the market ledger), blocking :meth:`~QueryHandle.result`, and
+  :meth:`~QueryHandle.cancel` — unpublished batches are dropped, in-flight
+  HITs are cancelled through the backend, and nothing further is charged.
+* :class:`AdmissionController` sits between handles and the scheduler:
+  per-tenant budget caps (admission is refused once a tenant's spend
+  reaches its cap) and weighted-priority allocation of the scheduler's
+  ``max_in_flight`` publish slots via two-level stride scheduling, so
+  contending tenants get service proportional to priority instead of FIFO.
+  With a single tenant and equal priorities the grant order degenerates to
+  the scheduler's historical round-robin, which is what keeps the blocking
+  ``CDAS.submit`` / ``submit_many`` wrappers bit-for-bit identical to the
+  pre-service engine.
+
+The service is single-threaded and cooperative: ``step()`` performs one
+pump iteration (admission, slot grants, one submission event), so a caller
+interleaves submissions, progress reads and cancellations between steps —
+the synchronous analogue of the planned asyncio pump (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Any
+
+from repro.amt.backend import SubmissionEvent
+from repro.amt.hit import Question
+from repro.engine.jobs import ProcessingPlan
+from repro.engine.query import Query
+from repro.engine.scheduler import (
+    BatchSpec,
+    HITScheduler,
+    SessionGroup,
+    specs_from_batches,
+)
+from repro.engine.session import HITSession, SessionState
+
+if TYPE_CHECKING:
+    from repro.engine.engine import CrowdsourcingEngine
+
+__all__ = [
+    "QueryState",
+    "QueryProgress",
+    "QueryHandle",
+    "TenantPolicy",
+    "AdmissionRejected",
+    "QueryCancelled",
+    "QueryIntake",
+    "AdmissionController",
+    "SchedulerService",
+]
+
+#: A submitter enqueues a plan's batches on a sink and returns a finalizer
+#: (same shape as :data:`repro.system.JobSubmitter`, duplicated here to
+#: avoid a circular import with the facade).
+Submitter = Callable[..., Callable[[], Any]]
+
+
+class QueryState(Enum):
+    """Lifecycle of a submitted query (monotone, left to right)."""
+
+    QUEUED = "queued"  # planned + validated, waiting for admission
+    ADMITTED = "admitted"  # eligible for publish slots, none granted yet
+    RUNNING = "running"  # at least one batch handed to the scheduler
+    DONE = "done"  # every batch verified, result assembled
+    CANCELLED = "cancelled"  # caller cancelled; no further charges
+    FAILED = "failed"  # admission starved or finalization raised
+
+
+#: States from which a query never moves again.
+TERMINAL_STATES = frozenset(
+    {QueryState.DONE, QueryState.CANCELLED, QueryState.FAILED}
+)
+
+
+class AdmissionRejected(RuntimeError):
+    """A tenant's budget cap refuses this submission (or starves it)."""
+
+
+class QueryCancelled(RuntimeError):
+    """``result()`` was asked for a query that was cancelled."""
+
+
+@dataclass(frozen=True, slots=True)
+class TenantPolicy:
+    """Admission policy for one tenant.
+
+    Attributes
+    ----------
+    name:
+        Tenant key; queries are submitted under it.
+    budget_cap:
+        Ceiling on the tenant's cumulative market spend across all its
+        queries, or ``None`` for uncapped.  Once spend reaches the cap, new
+        submissions are rejected and running queries stop receiving publish
+        slots (their in-flight HITs finish; unpublished batches drop).
+    priority:
+        Stride-scheduling weight: slots are granted proportionally to it
+        when tenants contend.
+    """
+
+    name: str
+    budget_cap: float | None = None
+    priority: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.priority <= 0:
+            raise ValueError(f"priority must be positive, got {self.priority}")
+        if self.budget_cap is not None and self.budget_cap < 0:
+            raise ValueError(f"budget cap must be ≥ 0, got {self.budget_cap}")
+
+
+@dataclass(frozen=True, slots=True)
+class QueryProgress:
+    """One observation of a handle's progress (all counters monotone).
+
+    Attributes
+    ----------
+    state:
+        The query's lifecycle state at observation time.
+    items_answered:
+        Real questions with at least one collected worker vote.
+    items_finalized:
+        Real questions whose HIT completed and verdict is sealed.
+    hits_completed / hits_in_flight:
+        The query's sessions by phase.
+    accuracy_estimate:
+        Mean best-answer confidence over every question with data — live
+        online-aggregator confidences for collecting HITs, verified verdict
+        confidences for sealed ones; ``None`` before any answer arrives.
+    spend:
+        Market dollars attributed to this query's HITs by the ledger.
+    budget_exhausted:
+        Whether a budget limit stopped the query short of its full batch
+        list (remaining batches were dropped).
+    """
+
+    state: QueryState
+    items_answered: int
+    items_finalized: int
+    hits_completed: int
+    hits_in_flight: int
+    accuracy_estimate: float | None
+    spend: float
+    budget_exhausted: bool
+
+
+class QueryIntake:
+    """The :class:`~repro.engine.scheduler.BatchSink` submitters fill.
+
+    Job submitters call ``add_batches`` / ``add_source`` exactly as they
+    would on a raw scheduler; here the lazy spec sources are only
+    *recorded*, and the service materialises and publishes them one at a
+    time as the admission controller grants slots.
+    """
+
+    def __init__(self) -> None:
+        self.sources: deque[tuple[Iterator[BatchSpec], SessionGroup]] = deque()
+
+    def add_source(self, specs: Iterable[BatchSpec]) -> SessionGroup:
+        group = SessionGroup()
+        self.sources.append((iter(specs), group))
+        return group
+
+    def add_batches(
+        self,
+        batches: Iterable[Sequence[Question]],
+        required_accuracy: float,
+        gold_pool: Sequence[Question] = (),
+        worker_count: int | None = None,
+    ) -> SessionGroup:
+        return self.add_source(
+            specs_from_batches(
+                batches, required_accuracy, gold_pool, worker_count
+            )
+        )
+
+
+class _QueryRecord:
+    """Service-internal state of one submitted query."""
+
+    def __init__(
+        self,
+        seq: int,
+        job_name: str,
+        plan: ProcessingPlan,
+        tenant: TenantPolicy,
+        priority: float,
+        budget: float | None,
+        sources: deque[tuple[Iterator[BatchSpec], SessionGroup]],
+        finalize: Callable[[], Any],
+    ) -> None:
+        self.seq = seq
+        self.job_name = job_name
+        self.plan = plan
+        self.tenant = tenant
+        self.priority = priority
+        self.budget = budget
+        self.sources = sources
+        self.groups = [group for _, group in sources]
+        self.finalize = finalize
+        self.state = QueryState.QUEUED
+        self.sessions: list[HITSession] = []  # grant order
+        self.result_value: Any = None
+        self.error: BaseException | None = None
+        self.budget_exhausted = False
+        #: Stride-scheduling pass value within the tenant.
+        self.pass_value = 0.0
+        self._peeked: BatchSpec | None = None
+        self._peeked_group: SessionGroup | None = None
+        self._final_spend: float | None = None
+
+    # -- batch source --------------------------------------------------------
+
+    def peek_batch(self) -> BatchSpec | None:
+        """Materialise (once) the next batch, or ``None`` when drained.
+
+        Sources registered by one submitter drain sequentially; distinct
+        *queries* interleave via the admission controller, which is where
+        fairness belongs.
+        """
+        while self._peeked is None and self.sources:
+            specs, group = self.sources[0]
+            spec = next(specs, None)
+            if spec is None:
+                self.sources.popleft()
+                continue
+            self._peeked, self._peeked_group = spec, group
+        return self._peeked
+
+    def take_batch(self) -> tuple[BatchSpec, SessionGroup]:
+        spec, group = self._peeked, self._peeked_group
+        assert spec is not None and group is not None
+        self._peeked = self._peeked_group = None
+        return spec, group
+
+    def drop_remaining_batches(self) -> None:
+        self.sources.clear()
+        self._peeked = self._peeked_group = None
+
+    # -- observations --------------------------------------------------------
+
+    def spend(self, ledger) -> float:
+        """Market dollars charged to this query's published HITs.
+
+        Memoised once terminal: nothing charges a DONE / CANCELLED /
+        FAILED query again, and admission sums spend across every record a
+        tenant ever ran on each grant — without the cache a long-lived
+        service would re-walk the whole ledger history per slot.
+        """
+        if self._final_spend is not None:
+            return self._final_spend
+        total = sum(
+            ledger.cost_of(session.hit_id)
+            for session in self.sessions
+            if session.handle is not None
+        )
+        if self.state in TERMINAL_STATES:
+            self._final_spend = total
+        return total
+
+    @property
+    def work_done(self) -> bool:
+        """No batches left to publish and every granted session sealed."""
+        return (
+            self.peek_batch() is None
+            and all(session.done for session in self.sessions)
+        )
+
+
+class AdmissionController:
+    """Per-tenant budget caps + weighted-priority slot allocation.
+
+    Slot grants use two-level stride scheduling: tenants advance a pass
+    value by ``1/priority`` per granted slot, and each tenant's queries do
+    the same within the tenant.  Ties break by registration order, so equal
+    priorities reproduce strict round-robin — the scheduler's historical
+    multi-source behaviour, which the blocking facade wrappers rely on.
+
+    ``allocation="fifo"`` disables the strides (earliest submitted
+    grantable query always wins) and exists as the baseline the service
+    throughput benchmark contrasts against.
+    """
+
+    def __init__(self, allocation: str = "weighted") -> None:
+        if allocation not in ("weighted", "fifo"):
+            raise ValueError(f"unknown allocation policy {allocation!r}")
+        self.allocation = allocation
+        self._tenants: dict[str, TenantPolicy] = {}
+        self._tenant_pass: dict[str, float] = {}
+        self._tenant_seq: dict[str, int] = {}
+        self._records: dict[str, list[_QueryRecord]] = {}
+        #: ``(tenant, query seq)`` per granted slot — benchmarks and tests
+        #: read the interleaving from here.
+        self.grant_log: list[tuple[str, int]] = []
+
+    # -- tenants -------------------------------------------------------------
+
+    def register_tenant(
+        self,
+        name: str,
+        budget_cap: float | None = None,
+        priority: float = 1.0,
+    ) -> TenantPolicy:
+        """Declare (or redeclare) a tenant's cap and priority."""
+        policy = TenantPolicy(name=name, budget_cap=budget_cap, priority=priority)
+        self._tenants[name] = policy
+        self._tenant_seq.setdefault(name, len(self._tenant_seq))
+        self._tenant_pass.setdefault(name, 0.0)
+        self._records.setdefault(name, [])
+        return policy
+
+    def tenant(self, name: str) -> TenantPolicy:
+        """The named tenant, auto-registered with defaults on first use."""
+        if name not in self._tenants:
+            return self.register_tenant(name)
+        return self._tenants[name]
+
+    @property
+    def tenants(self) -> tuple[TenantPolicy, ...]:
+        return tuple(self._tenants.values())
+
+    def records_of(self, name: str) -> tuple[_QueryRecord, ...]:
+        return tuple(self._records.get(name, ()))
+
+    # -- admission -----------------------------------------------------------
+
+    def check_submit(self, policy: TenantPolicy, tenant_spend: float) -> None:
+        """Refuse a new submission once the tenant's cap is spent."""
+        if policy.budget_cap is not None and tenant_spend >= policy.budget_cap:
+            raise AdmissionRejected(
+                f"tenant {policy.name!r} has spent ${tenant_spend:.4f} of its "
+                f"${policy.budget_cap:.4f} budget cap; submission refused"
+            )
+
+    def register(self, record: _QueryRecord) -> None:
+        self.tenant(record.tenant.name)
+        self._records[record.tenant.name].append(record)
+
+    def tenant_headroom(self, policy: TenantPolicy, tenant_spend: float) -> bool:
+        return policy.budget_cap is None or tenant_spend < policy.budget_cap
+
+    # -- slot allocation -----------------------------------------------------
+
+    def _grantable(self, record: _QueryRecord, ledger) -> bool:
+        """Budget-enforce then test whether ``record`` can take a slot.
+
+        A query whose own budget is spent has its remaining batches dropped
+        here (it completes with what it ran, flagged ``budget_exhausted``).
+        """
+        if record.state not in (QueryState.ADMITTED, QueryState.RUNNING):
+            return False
+        if (
+            record.budget is not None
+            and not record.budget_exhausted
+            # Only a query with batches still to publish can be stopped
+            # short; one that spent its budget on its *last* batch simply
+            # completes (the flag means "remaining batches were dropped").
+            and record.peek_batch() is not None
+            and record.spend(ledger) >= record.budget
+        ):
+            record.budget_exhausted = True
+            record.drop_remaining_batches()
+        return record.peek_batch() is not None
+
+    def next_grant(self, ledger) -> _QueryRecord | None:
+        """Pick the next query to receive a publish slot, or ``None``.
+
+        Tenant caps are enforced per grant: a tenant at its cap yields no
+        further slots, and its still-grantable queries have their remaining
+        batches dropped (marked ``budget_exhausted``) so they complete with
+        the work already in flight.
+        """
+        candidates: dict[str, list[_QueryRecord]] = {}
+        for name, records in self._records.items():
+            policy = self._tenants[name]
+            grantable = [r for r in records if self._grantable(r, ledger)]
+            if not grantable:
+                continue
+            tenant_spend = sum(r.spend(ledger) for r in records)
+            if not self.tenant_headroom(policy, tenant_spend):
+                for record in grantable:
+                    record.budget_exhausted = True
+                    record.drop_remaining_batches()
+                continue
+            candidates[name] = grantable
+        if not candidates:
+            return None
+        if self.allocation == "fifo":
+            record = min(
+                (r for rs in candidates.values() for r in rs),
+                key=lambda r: r.seq,
+            )
+            self.grant_log.append((record.tenant.name, record.seq))
+            return record
+        name = min(
+            candidates,
+            key=lambda n: (self._tenant_pass[n], self._tenant_seq[n]),
+        )
+        policy = self._tenants[name]
+        record = min(candidates[name], key=lambda r: (r.pass_value, r.seq))
+        self._tenant_pass[name] += 1.0 / policy.priority
+        record.pass_value += 1.0 / record.priority
+        self.grant_log.append((name, record.seq))
+        return record
+
+
+class QueryHandle:
+    """Non-blocking view of one submitted query.
+
+    Returned immediately by :meth:`SchedulerService.submit`; the query
+    advances whenever the service is pumped (by anyone — ``step``,
+    ``run_until_idle``, or another handle's blocking :meth:`result`).
+    """
+
+    def __init__(self, service: "SchedulerService", record: _QueryRecord) -> None:
+        self._service = service
+        self._record = record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryHandle(job={self.job_name!r}, subject="
+            f"{self.query.subject!r}, tenant={self.tenant!r}, "
+            f"state={self.state.value!r})"
+        )
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def job_name(self) -> str:
+        return self._record.job_name
+
+    @property
+    def query(self) -> Query:
+        return self._record.plan.query
+
+    @property
+    def tenant(self) -> str:
+        return self._record.tenant.name
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def state(self) -> QueryState:
+        return self._record.state
+
+    @property
+    def done(self) -> bool:
+        """Terminal in any way: DONE, CANCELLED or FAILED."""
+        return self._record.state in TERMINAL_STATES
+
+    def progress(self) -> QueryProgress:
+        """Snapshot the query's progress (cheap; safe at any state)."""
+        record = self._record
+        ledger = self._service.engine.market.ledger
+        answered = 0
+        finalized = 0
+        completed = 0
+        in_flight = 0
+        confidences: list[float] = []
+        for session in record.sessions:
+            answered += session.questions_answered
+            if session.result is not None:
+                completed += 1
+                for question_record in session.result.records:
+                    finalized += 1
+                    if question_record.verdict.confidence is not None:
+                        confidences.append(question_record.verdict.confidence)
+            else:
+                if session.state is SessionState.COLLECTING:
+                    in_flight += 1
+                confidences.extend(session.live_best_confidences())
+        return QueryProgress(
+            state=record.state,
+            items_answered=answered,
+            items_finalized=finalized,
+            hits_completed=completed,
+            hits_in_flight=in_flight,
+            accuracy_estimate=(
+                sum(confidences) / len(confidences) if confidences else None
+            ),
+            spend=record.spend(ledger),
+            budget_exhausted=record.budget_exhausted,
+        )
+
+    @property
+    def spend(self) -> float:
+        """Market dollars this query has been charged so far."""
+        return self._record.spend(self._service.engine.market.ledger)
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Pump the service until this query is terminal; return its result.
+
+        Parameters
+        ----------
+        timeout:
+            Wall-clock seconds to keep pumping before raising
+            :class:`TimeoutError`; ``None`` waits until terminal or idle.
+
+        Raises
+        ------
+        QueryCancelled
+            The query was cancelled (partial observations remain readable
+            through :meth:`progress`).
+        AdmissionRejected / Exception
+            Whatever failed the query (budget starvation at admission, or
+            an error raised while assembling the result).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.done:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"query {self.query.subject!r} still "
+                    f"{self._record.state.value} after {timeout}s"
+                )
+            if not self._service.step():
+                break
+        record = self._record
+        if record.state is QueryState.DONE:
+            return record.result_value
+        if record.state is QueryState.CANCELLED:
+            raise QueryCancelled(f"query {self.query.subject!r} was cancelled")
+        if record.error is not None:
+            raise record.error
+        raise RuntimeError(  # cannot happen after a clean pump; never mask it
+            f"service went idle with query {self.query.subject!r} "
+            f"{record.state.value}"
+        )
+
+    def cancel(self) -> bool:
+        """Stop the query: drop unpublished batches, cancel in-flight HITs.
+
+        Cancellation is charge-final: batches never granted a slot are
+        dropped before publication (zero spend if nothing was published),
+        and published HITs are cancelled through the market backend so
+        their outstanding assignments are forfeited, never collected, never
+        charged.  Returns ``False`` when the query was already terminal.
+        """
+        return self._service._cancel(self._record)
+
+
+class SchedulerService:
+    """Long-lived submission front-end over one shared scheduler.
+
+    Parameters
+    ----------
+    engine:
+        The crowdsourcing engine all queries share (one estimator, one
+        market, one ledger).
+    planner:
+        ``(job_name, query) → ProcessingPlan`` — the job manager's bind
+        step, injected to keep this module independent of the facade.
+    submitters:
+        Per-job scheduler-aware submitters (see :data:`Submitter`).
+    max_in_flight:
+        Publish-slot budget across every admitted query.
+    track_trajectories:
+        Maintain per-question online aggregators in each session so
+        :meth:`QueryHandle.progress` can report live accuracy estimates
+        (costs per-arrival confidence work; verdicts are unaffected).
+    allocation:
+        ``"weighted"`` (stride scheduling, the default) or ``"fifo"``
+        (baseline for benchmarks).
+    on_event:
+        Optional observer forwarded to the scheduler, called with
+        ``(event, session)`` after each submission is applied.
+    """
+
+    def __init__(
+        self,
+        engine: "CrowdsourcingEngine",
+        planner: Callable[[str, Query], ProcessingPlan],
+        submitters: Mapping[str, Submitter],
+        max_in_flight: int = 4,
+        track_trajectories: bool = False,
+        allocation: str = "weighted",
+        on_event: Callable[[SubmissionEvent, HITSession], None] | None = None,
+    ) -> None:
+        self.engine = engine
+        self._planner = planner
+        self._submitters = dict(submitters)
+        self.max_in_flight = max_in_flight
+        self.scheduler = HITScheduler(
+            engine,
+            max_in_flight=max_in_flight,
+            track_trajectories=track_trajectories,
+            on_event=on_event,
+        )
+        self.admission = AdmissionController(allocation=allocation)
+        self._records: list[_QueryRecord] = []
+        self._handles: list[QueryHandle] = []
+
+    # -- tenants ---------------------------------------------------------------
+
+    def register_tenant(
+        self,
+        name: str,
+        budget_cap: float | None = None,
+        priority: float = 1.0,
+    ) -> TenantPolicy:
+        """Declare a tenant's budget cap and slot priority."""
+        return self.admission.register_tenant(
+            name, budget_cap=budget_cap, priority=priority
+        )
+
+    def tenant_spend(self, name: str) -> float:
+        """Cumulative market spend of one tenant's queries."""
+        ledger = self.engine.market.ledger
+        return sum(r.spend(ledger) for r in self.admission.records_of(name))
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        job_name: str,
+        query: Query,
+        *,
+        tenant: str = "default",
+        budget: float | None = None,
+        priority: float | None = None,
+        **job_inputs: Any,
+    ) -> QueryHandle:
+        """Plan and validate a query now; run it as the service is pumped.
+
+        The job manager plans eagerly and the job's submitter validates its
+        inputs eagerly (bad requests raise *here*, before any HIT exists),
+        but no batch is materialised or published until the admission
+        controller grants slots during :meth:`step`.
+
+        Parameters
+        ----------
+        job_name / query / job_inputs:
+            As for the blocking facade (``gold_tweets=…``, ``images=…``).
+        tenant:
+            Admission-control tenant (auto-registered, uncapped, priority 1
+            if never declared).
+        budget:
+            Optional per-query spend ceiling: once reached, remaining
+            batches are dropped and the query completes with the work
+            already in flight (``progress().budget_exhausted``).
+        priority:
+            Per-query stride weight within the tenant; defaults to the
+            tenant's own priority.
+
+        Raises
+        ------
+        KeyError
+            Unknown job name.
+        ValueError
+            The job has no scheduler-aware submitter, or its inputs are
+            invalid.
+        AdmissionRejected
+            The tenant's budget cap is already spent.
+        """
+        plan = self._planner(job_name, query)
+        if job_name not in self._submitters:
+            raise ValueError(
+                f"job {job_name!r} has no scheduler-aware submitter; "
+                "register one to use the service"
+            )
+        if budget is not None and budget < 0:
+            raise ValueError(f"budget must be ≥ 0, got {budget}")
+        if priority is not None and priority <= 0:
+            raise ValueError(f"priority must be positive, got {priority}")
+        policy = self.admission.tenant(tenant)
+        self.admission.check_submit(policy, self.tenant_spend(tenant))
+        intake = QueryIntake()
+        finalize = self._submitters[job_name](
+            self.engine, intake, plan, dict(job_inputs)
+        )
+        record = _QueryRecord(
+            seq=len(self._records),
+            job_name=job_name,
+            plan=plan,
+            tenant=policy,
+            priority=policy.priority if priority is None else priority,
+            budget=budget,
+            sources=intake.sources,
+            finalize=finalize,
+        )
+        self._records.append(record)
+        self.admission.register(record)
+        handle = QueryHandle(self, record)
+        self._handles.append(handle)
+        return handle
+
+    @property
+    def handles(self) -> tuple[QueryHandle, ...]:
+        """Every handle this service has issued, in submission order."""
+        return tuple(self._handles)
+
+    # -- the pump --------------------------------------------------------------
+
+    def step(self) -> bool:
+        """One pump iteration; ``False`` when the service is idle.
+
+        Admits queued queries, grants free publish slots by weighted
+        priority, and processes one submission event.  Callers interleave
+        ``submit`` / ``progress`` / ``cancel`` between steps.
+        """
+        self.scheduler.reap()
+        self._admit_queued()
+        granted = self._fill_slots()
+        event = self.scheduler.step()
+        self._sweep_completions()
+        return granted or event is not None
+
+    def run_until_idle(self) -> int:
+        """Pump until no admitted query has work left; returns step count."""
+        steps = 0
+        while self.step():
+            steps += 1
+        return steps
+
+    @property
+    def idle(self) -> bool:
+        """Nothing in flight and nothing grantable right now."""
+        return self.scheduler.in_flight == 0 and all(
+            record.state in TERMINAL_STATES for record in self._records
+        )
+
+    def _admit_queued(self) -> None:
+        """QUEUED → ADMITTED while the tenant has budget headroom.
+
+        A queued query whose tenant cap filled up *after* submission fails
+        here with :class:`AdmissionRejected` (stored, raised by
+        ``result()``) rather than starving silently.
+        """
+        for record in self._records:
+            if record.state is not QueryState.QUEUED:
+                continue
+            policy = record.tenant
+            if self.admission.tenant_headroom(
+                policy, self.tenant_spend(policy.name)
+            ):
+                record.state = QueryState.ADMITTED
+            else:
+                record.error = AdmissionRejected(
+                    f"tenant {policy.name!r} exhausted its budget cap before "
+                    f"query {record.plan.query.subject!r} was admitted"
+                )
+                record.state = QueryState.FAILED
+                record.drop_remaining_batches()
+
+    def _fill_slots(self) -> bool:
+        """Grant free publish slots to admitted queries; True if any."""
+        granted = False
+        free = (
+            self.max_in_flight
+            - self.scheduler.in_flight
+            - self.scheduler.pending_count
+        )
+        ledger = self.engine.market.ledger
+        while free > 0:
+            record = self.admission.next_grant(ledger)
+            if record is None:
+                break
+            spec, group = record.take_batch()
+            session = self.scheduler.submit(
+                spec.real_questions,
+                spec.required_accuracy,
+                gold_pool=spec.gold_pool,
+                worker_count=spec.worker_count,
+            )
+            group.sessions.append(session)
+            record.sessions.append(session)
+            if record.state is QueryState.ADMITTED:
+                record.state = QueryState.RUNNING
+            free -= 1
+            granted = True
+        return granted
+
+    def _sweep_completions(self) -> None:
+        """Finalize queries whose batches are all published and sealed."""
+        for record in self._records:
+            if record.state not in (QueryState.ADMITTED, QueryState.RUNNING):
+                continue
+            if not record.work_done:
+                continue
+            if record.budget_exhausted and not record.sessions:
+                record.error = AdmissionRejected(
+                    f"budget exhausted before any batch of query "
+                    f"{record.plan.query.subject!r} was published"
+                )
+                record.state = QueryState.FAILED
+                continue
+            try:
+                record.result_value = record.finalize()
+                record.state = QueryState.DONE
+            except Exception as exc:  # surfaced via handle.result()
+                record.error = exc
+                record.state = QueryState.FAILED
+
+    # -- cancellation ----------------------------------------------------------
+
+    def _cancel(self, record: _QueryRecord) -> bool:
+        if record.state in TERMINAL_STATES:
+            return False
+        record.drop_remaining_batches()
+        for session in list(record.sessions):
+            if session.handle is None:
+                # Spawned but never published: withdraw before any charge.
+                # The session also vanishes from its group — it can never
+                # hold a result, and SessionGroup.results must stay
+                # well-defined for observers still holding the group.
+                if self.scheduler.withdraw(session):
+                    record.sessions.remove(session)
+                    for group in record.groups:
+                        if session in group.sessions:
+                            group.sessions.remove(session)
+            elif not session.handle.done:
+                # Published: forfeit the outstanding assignments through
+                # the backend; collected ones stay charged (AMT semantics).
+                session.handle.cancel()
+        record.state = QueryState.CANCELLED
+        # Release the cancelled HITs' publish slots immediately.
+        self.scheduler.reap()
+        return True

@@ -130,6 +130,28 @@ class HITSession:
     def assignments_collected(self) -> int:
         return self._collected
 
+    @property
+    def questions_answered(self) -> int:
+        """Real questions with at least one collected vote.
+
+        Monotone over the session's lifetime (votes only accumulate), so
+        the service layer can report query progress from it while the HIT
+        is still collecting.
+        """
+        return sum(1 for votes in self._votes.values() if votes)
+
+    def live_best_confidences(self) -> tuple[float, ...]:
+        """Best-answer confidence per answered question, from the live
+        :class:`OnlineAggregator`\\ s (empty without ``track_trajectories``
+        — callers degrade to finalized verdicts only)."""
+        if not self._track:
+            return ()
+        return tuple(
+            max(self._aggregators[qid].confidences().values())
+            for qid, votes in self._votes.items()
+            if votes
+        )
+
     # -- plan + publish ------------------------------------------------------
 
     def publish(self) -> HITHandle:

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.engine.engine import CrowdsourcingEngine, HITRunResult, QuestionRecord
 from repro.engine.jobs import JobSpec
-from repro.engine.scheduler import HITScheduler, SessionGroup
+from repro.engine.scheduler import BatchSink, HITScheduler, SessionGroup
 from repro.engine.templates import QueryTemplate
 from repro.it.images import SyntheticImage, image_tag_questions
 
@@ -137,16 +137,16 @@ class ITJob:
 
     def submit(
         self,
-        scheduler: HITScheduler,
+        sink: BatchSink,
         images: Sequence[SyntheticImage],
         required_accuracy: float,
         gold_images: Sequence[SyntheticImage] = (),
         worker_count: int | None = None,
     ) -> SessionGroup:
-        """Enqueue the images' tag batches on a (possibly shared) scheduler.
+        """Enqueue the images' tag batches on a shared scheduler or service sink.
 
         Batches are fed lazily — each HIT's questions are built when the
-        scheduler opens a slot; assemble with :meth:`assemble` after running.
+        sink opens a slot; assemble with :meth:`assemble` after running.
         """
         if not images:
             raise ValueError("no images to tag")
@@ -157,7 +157,7 @@ class ITJob:
                 chunk = images[start : start + self.images_per_hit]
                 yield [q for img in chunk for q in image_tag_questions(img)]
 
-        return scheduler.add_batches(
+        return sink.add_batches(
             batches(),
             required_accuracy=required_accuracy,
             gold_pool=gold_pool,

@@ -5,21 +5,32 @@ engine, program executor — behind one object, so deploying an analytics
 job looks like the paper describes: register the job type once, then
 submit Definition-1 queries against it.
 
+The primary surface is the handle-based service (DESIGN.md §7)::
+
     cdas = CDAS.with_default_jobs(market, seed=7)
     cdas.calibrate(gold_questions)
-    result = cdas.submit("twitter-sentiment", query,
-                         tweets=tweets, gold_tweets=gold)
+    service = cdas.service(max_in_flight=8)
+    handle = service.submit("twitter-sentiment", query, tenant="acme",
+                            tweets=tweets, gold_tweets=gold)
+    while service.step():
+        print(handle.progress())
+    report = handle.result()
 
 Each registered job binds a :class:`~repro.engine.jobs.JobSpec` (the
-human/computer split and HIT template) to a *runner* that executes a plan
-on the engine.  The two paper applications ship as default bindings; new
-job types register the same way (the extensibility §2.2 advertises).
+human/computer split and HIT template) to a *submitter* that enqueues the
+job's batches on any :class:`~repro.engine.scheduler.BatchSink` — a raw
+shared :class:`~repro.engine.scheduler.HITScheduler`, or the service
+layer's admission-controlled intake.  The two paper applications ship as
+default bindings; new job types register the same way (the extensibility
+§2.2 advertises).
 
-Jobs may additionally register a *submitter*, which enqueues their HITs on
-a shared :class:`~repro.engine.scheduler.HITScheduler` instead of running
-them to completion — that is what powers :meth:`CDAS.submit_many`: several
-queries (even of different job types) share one scheduler, one worker pool
-and one merged arrival stream, with their HITs interleaving in flight.
+The historical blocking calls remain as thin wrappers over the service:
+``submit`` runs a one-slot service to idle and returns the result;
+``submit_many`` shares one service (one scheduler, one worker pool, one
+merged arrival stream) across requests.  Both are bit-for-bit identical to
+the pre-service engine (the ``run_batch`` golden pins the substrate, and
+equal-priority admission degenerates to the scheduler's historical
+round-robin).
 """
 
 from __future__ import annotations
@@ -33,17 +44,19 @@ from repro.engine.engine import CrowdsourcingEngine, EngineConfig
 from repro.engine.jobs import JobManager, JobSpec, ProcessingPlan
 from repro.engine.privacy import PrivacyManager
 from repro.engine.query import Query
-from repro.engine.scheduler import HITScheduler
+from repro.engine.scheduler import BatchSink, HITScheduler
+from repro.engine.service import SchedulerService
 
 __all__ = ["JobRunner", "JobSubmitter", "CDAS", "runner_from_submitter"]
 
 #: A runner executes a processing plan: (engine, plan, job inputs) → result.
 JobRunner = Callable[[CrowdsourcingEngine, ProcessingPlan, dict[str, Any]], Any]
 
-#: A submitter enqueues a plan's HITs on a *shared* scheduler and returns a
-#: finalizer that assembles the job-level result once the scheduler has run.
+#: A submitter enqueues a plan's HITs on a *shared* batch sink (a scheduler
+#: or the service layer's intake) and returns a finalizer that assembles
+#: the job-level result once the batches have run.
 JobSubmitter = Callable[
-    [CrowdsourcingEngine, HITScheduler, ProcessingPlan, dict[str, Any]],
+    [CrowdsourcingEngine, BatchSink, ProcessingPlan, dict[str, Any]],
     Callable[[], Any],
 ]
 
@@ -74,6 +87,9 @@ class CDAS:
         self.job_manager = JobManager()
         self._runners: dict[str, JobRunner] = {}
         self._submitters: dict[str, JobSubmitter] = {}
+        #: Jobs whose runner was passed explicitly (not derived from the
+        #: submitter) — submit() must keep honouring it over the service.
+        self._explicit_runners: set[str] = set()
 
     # -- job registration ----------------------------------------------------
 
@@ -85,12 +101,12 @@ class CDAS:
     ) -> None:
         """Bind a job type to its execution logic.
 
-        ``runner`` serves the blocking :meth:`submit` path; ``submitter``
-        additionally lets the job participate in :meth:`submit_many`'s
-        shared scheduler.  Registering only a submitter derives the runner
-        from it (:func:`runner_from_submitter`), which guarantees the two
-        paths accept identical inputs; pass an explicit runner only for
-        jobs that cannot express their work as scheduler batches.
+        ``submitter`` lets the job run on the service and on
+        :meth:`submit_many`'s shared scheduler; the blocking :meth:`submit`
+        path is derived from it (:func:`runner_from_submitter`) so the two
+        surfaces accept identical inputs.  Pass an explicit ``runner`` only
+        for jobs that cannot express their work as scheduler batches —
+        such jobs support :meth:`submit` but not the service.
         """
         if runner is None:
             if submitter is None:
@@ -98,6 +114,8 @@ class CDAS:
                     f"job {spec.name!r} needs a runner, a submitter, or both"
                 )
             runner = runner_from_submitter(submitter)
+        else:
+            self._explicit_runners.add(spec.name)
         self.job_manager.register(spec)
         self._runners[spec.name] = runner
         if submitter is not None:
@@ -139,16 +157,48 @@ class CDAS:
             gold_questions, workers_per_hit=workers_per_hit, hits=hits
         )
 
-    def submit(self, job_name: str, query: Query, **job_inputs: Any) -> Any:
-        """Run one query end to end through the registered job.
+    def service(
+        self,
+        max_in_flight: int = 4,
+        track_trajectories: bool = True,
+        allocation: str = "weighted",
+        on_event: Callable[..., None] | None = None,
+    ) -> SchedulerService:
+        """A long-lived scheduler service over this system's engine.
 
-        The job manager produces the processing plan; the bound runner
-        executes it on the engine with the job-specific inputs (tweet
-        corpora, image sets, gold pools...).
+        The service accepts submissions while running and hands back
+        :class:`~repro.engine.service.QueryHandle`\\ s; see
+        :class:`~repro.engine.service.SchedulerService`.  Every job
+        registered with a submitter is available on it.
         """
-        plan = self.job_manager.plan(job_name, query)
-        runner = self._runners[job_name]
-        return runner(self.engine, plan, dict(job_inputs))
+        return SchedulerService(
+            self.engine,
+            self.job_manager.plan,
+            self._submitters,
+            max_in_flight=max_in_flight,
+            track_trajectories=track_trajectories,
+            allocation=allocation,
+            on_event=on_event,
+        )
+
+    def submit(self, job_name: str, query: Query, **job_inputs: Any) -> Any:
+        """Run one query end to end through the registered job (blocking).
+
+        A thin wrapper over the service: submit, run a one-slot service to
+        idle, return ``handle.result()``.  Jobs whose runner was registered
+        explicitly (rather than derived from a submitter) keep executing
+        through that runner, as they always did.
+        """
+        if job_name not in self._submitters or job_name in self._explicit_runners:
+            # Plans here; the service path plans inside service.submit
+            # (both raise KeyError for unknown job names).
+            plan = self.job_manager.plan(job_name, query)
+            runner = self._runners[job_name]
+            return runner(self.engine, plan, dict(job_inputs))
+        service = self.service(max_in_flight=1, track_trajectories=False)
+        handle = service.submit(job_name, query, **job_inputs)
+        service.run_until_idle()
+        return handle.result()
 
     def submit_many(
         self,
@@ -157,17 +207,18 @@ class CDAS:
     ) -> list[Any]:
         """Run several queries — possibly of different job types — at once.
 
-        All requests share one :class:`HITScheduler` (and therefore one
-        worker pool and one merged arrival stream): HITs from different
+        A blocking wrapper over one shared service (one scheduler, one
+        worker pool, one merged arrival stream): HITs from different
         queries interleave, gold evidence from any of them sharpens the
         shared accuracy estimator, and up to ``max_in_flight`` HITs collect
         concurrently.  Results come back in request order.
 
         Failure semantics are all-or-nothing: unknown job names are
         rejected before anything is planned, and if any submitter raises
-        (missing inputs, unmatched query) the shared scheduler is discarded
-        *before it runs* — nothing has been published to the market, so no
-        cost is incurred and no request executes partially.
+        (missing inputs, unmatched query) it does so during the eager
+        ``service.submit`` validation — before the service is pumped, so
+        nothing has been published to the market, no cost is incurred and
+        no request executes partially.
 
         Parameters
         ----------
@@ -177,23 +228,19 @@ class CDAS:
         max_in_flight:
             Concurrent-HIT budget across *all* requests.
         """
-        # Reject unknown jobs before planning anything.  Per-request input
-        # errors surface from the submitters below — still before run(),
-        # i.e. before any HIT is published or charged.
         missing = sorted({name for name, _, _ in requests if name not in self._submitters})
         if missing:
             raise ValueError(
                 f"job(s) {missing!r} have no scheduler-aware submitter; "
                 "register one to use submit_many"
             )
-        scheduler = HITScheduler(self.engine, max_in_flight=max_in_flight)
-        finalizers = []
-        for job_name, query, job_inputs in requests:
-            plan = self.job_manager.plan(job_name, query)
-            submitter = self._submitters[job_name]
-            finalizers.append(submitter(self.engine, scheduler, plan, dict(job_inputs)))
-        scheduler.run()
-        return [finalize() for finalize in finalizers]
+        service = self.service(max_in_flight=max_in_flight, track_trajectories=False)
+        handles = [
+            service.submit(job_name, query, **job_inputs)
+            for job_name, query, job_inputs in requests
+        ]
+        service.run_until_idle()
+        return [handle.result() for handle in handles]
 
     @property
     def total_cost(self) -> float:
@@ -222,7 +269,7 @@ def runner_from_submitter(submitter: JobSubmitter) -> JobRunner:
 
 def _tsa_submitter(
     engine: CrowdsourcingEngine,
-    scheduler: HITScheduler,
+    sink: BatchSink,
     plan: ProcessingPlan,
     inputs: dict[str, Any],
 ) -> Callable[[], Any]:
@@ -230,7 +277,11 @@ def _tsa_submitter(
 
     Expected inputs: ``gold_tweets`` (required), plus either ``stream``
     (a :class:`~repro.tsa.stream.TweetStream`) or ``tweets`` (an explicit
-    corpus); optional ``batch_size`` and ``worker_count``.
+    corpus); optional ``batch_size`` and ``worker_count``.  Passing
+    ``windows=N`` (requires ``stream``) turns the query into a *standing*
+    query: N consecutive ``(t + i·w)`` windows of the stream flow through
+    the one handle (``windows=None`` with the key present follows the
+    stream to its end).
     """
     from repro.tsa.app import TSAJob
 
@@ -241,19 +292,28 @@ def _tsa_submitter(
         stream=inputs.get("stream"),
         batch_size=inputs.get("batch_size", 20),
     )
-    group = job.submit(
-        scheduler,
-        plan.query,
-        gold_tweets=inputs["gold_tweets"],
-        tweets=inputs.get("tweets"),
-        worker_count=inputs.get("worker_count"),
-    )
+    if "windows" in inputs:
+        group = job.submit_standing(
+            sink,
+            plan.query,
+            gold_tweets=inputs["gold_tweets"],
+            windows=inputs["windows"],
+            worker_count=inputs.get("worker_count"),
+        )
+    else:
+        group = job.submit(
+            sink,
+            plan.query,
+            gold_tweets=inputs["gold_tweets"],
+            tweets=inputs.get("tweets"),
+            worker_count=inputs.get("worker_count"),
+        )
     return lambda: job.assemble(plan.query, group)
 
 
 def _it_submitter(
     engine: CrowdsourcingEngine,
-    scheduler: HITScheduler,
+    sink: BatchSink,
     plan: ProcessingPlan,
     inputs: dict[str, Any],
 ) -> Callable[[], Any]:
@@ -269,7 +329,7 @@ def _it_submitter(
         raise ValueError("image-tagging requires images")
     job = ITJob(engine, images_per_hit=inputs.get("images_per_hit", 5))
     group = job.submit(
-        scheduler,
+        sink,
         inputs["images"],
         required_accuracy=plan.query.required_accuracy,
         gold_images=inputs.get("gold_images", ()),

@@ -9,13 +9,19 @@ the per-tweet verdicts into the §4.3 opinion report.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-from dataclasses import dataclass
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, replace
 
 from repro.core.presentation import OpinionReport
 from repro.engine.engine import CrowdsourcingEngine, HITRunResult, QuestionRecord
 from repro.engine.executor import ProgramExecutor, batched
-from repro.engine.scheduler import HITScheduler, SessionGroup
+from repro.engine.scheduler import (
+    BatchSink,
+    BatchSpec,
+    HITScheduler,
+    SessionGroup,
+    specs_from_batches,
+)
 from repro.engine.jobs import JobSpec
 from repro.engine.query import Query
 from repro.engine.templates import QueryTemplate
@@ -178,19 +184,19 @@ class TSAJob:
 
     def submit(
         self,
-        scheduler: HITScheduler,
+        sink: BatchSink,
         query: Query,
         gold_tweets: Sequence[Tweet],
         tweets: Sequence[Tweet] | None = None,
         worker_count: int | None = None,
     ) -> SessionGroup:
-        """Enqueue the query's batches on a (possibly shared) scheduler.
+        """Enqueue the query's batches on a shared scheduler or service sink.
 
         Candidates are resolved eagerly (so an unmatched query still fails
         fast), but batches are fed lazily: each HIT's questions are built
-        only when the scheduler opens a publish slot for it.  Assemble the
+        only when the sink opens a publish slot for it.  Assemble the
         query's report from the returned group with :meth:`assemble` after
-        the scheduler has run.
+        the sink has run.
         """
         if tweets is None:
             if self.stream is None:
@@ -203,7 +209,7 @@ class TSAJob:
                 f"query {query.subject!r} matched no tweets in its window"
             )
         gold_questions = tuple(tweet_to_question(t) for t in gold_tweets)
-        return scheduler.add_batches(
+        return sink.add_batches(
             (
                 [tweet_to_question(t) for t in batch]
                 for batch in batched(candidates, self.batch_size)
@@ -212,6 +218,68 @@ class TSAJob:
             gold_pool=gold_questions,
             worker_count=worker_count,
         )
+
+    def submit_standing(
+        self,
+        sink: BatchSink,
+        query: Query,
+        gold_tweets: Sequence[Tweet],
+        windows: int | None = None,
+        worker_count: int | None = None,
+    ) -> SessionGroup:
+        """Deploy the query as a *standing* query over consecutive windows.
+
+        Definition 1 queries are standing jobs: the window ``(t, w)`` keeps
+        sliding forward while the user observes.  This feeds window
+        ``i = 0, 1, 2, …`` — each covering
+        ``[t + i·w·unit, t + (i+1)·w·unit)`` of the configured stream —
+        through one lazy source, so a single
+        :class:`~repro.engine.service.QueryHandle` tracks the whole
+        standing query while earlier windows' HITs are still collecting.
+
+        Parameters
+        ----------
+        windows:
+            How many consecutive windows to follow; ``None`` follows the
+            stream until no tweet lies at or beyond the next window start.
+            Windows that match no tweets are skipped (an idle stream costs
+            nothing); a standing query whose *every* window is empty fails
+            at assembly like an unmatched one-shot query.
+        """
+        if self.stream is None:
+            raise ValueError("standing queries need a configured stream")
+        stream = self.stream
+        gold_questions = tuple(tweet_to_question(t) for t in gold_tweets)
+        start = (
+            float(query.timestamp)
+            if not isinstance(query.timestamp, str)
+            else 0.0
+        )
+        horizon = stream.tweets[-1].timestamp if len(stream) else start
+
+        def specs() -> Iterator[BatchSpec]:
+            index = 0
+            while True:
+                if windows is not None and index >= windows:
+                    return
+                window_start = start + index * query.window * stream.unit_seconds
+                if windows is None and window_start > horizon:
+                    return
+                shifted = replace(query, timestamp=window_start)
+                yield from specs_from_batches(
+                    (
+                        [tweet_to_question(t) for t in batch]
+                        for batch in batched(
+                            stream.window(shifted), self.batch_size
+                        )
+                    ),
+                    query.required_accuracy,
+                    gold_questions,
+                    worker_count,
+                )
+                index += 1
+
+        return sink.add_source(specs())
 
     def assemble(self, query: Query, group: SessionGroup) -> TSAResult:
         """Fold a completed group's per-HIT results into the query report."""

@@ -65,3 +65,21 @@ class TestCommands:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_serve_runs_mixed_queries_through_one_service(self, capsys):
+        assert main(["serve", "--seed", "7", "--slots", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "2 tenants" in out
+        # Per-handle progress lines while the service is pumping...
+        assert "running" in out
+        assert "[acme  ]" in out and "[globex]" in out
+        # ...and a terminal summary once it drains.
+        assert "-- service idle --" in out
+        assert out.count("done") >= 3
+        assert "total spend $" in out
+
+    def test_serve_is_deterministic(self, capsys):
+        assert main(["serve", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", "--seed", "7"]) == 0
+        assert capsys.readouterr().out == first
