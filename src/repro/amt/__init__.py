@@ -4,7 +4,13 @@ Workers (honest, spamming, colluding), HITs, asynchronous submissions,
 the §3.1 economic model, and cancellation for early termination.
 """
 
-from repro.amt.backend import EventPump, HITHandle, MarketBackend, SubmissionEvent
+from repro.amt.backend import (
+    EventPump,
+    HITHandle,
+    MarketBackend,
+    SubmissionEvent,
+    arrival_eta,
+)
 from repro.amt.hit import HIT, Assignment, Question, validate_assignment
 from repro.amt.latency import (
     ExponentialLatency,
@@ -13,6 +19,7 @@ from repro.amt.latency import (
     LognormalLatency,
 )
 from repro.amt.market import PublishedHIT, SimulatedMarket
+from repro.amt.slow import SlowBackend, SlowHITHandle
 from repro.amt.pool import PoolConfig, WorkerPool
 from repro.amt.pricing import CostLedger, PriceSchedule
 from repro.amt.worker import (
@@ -30,6 +37,9 @@ __all__ = [
     "HITHandle",
     "MarketBackend",
     "SubmissionEvent",
+    "arrival_eta",
+    "SlowBackend",
+    "SlowHITHandle",
     "HIT",
     "Assignment",
     "Question",

@@ -19,6 +19,17 @@ Determinism: a handle's arrival times are fixed at publish time, peeking
 never charges or consumes anything, and cross-HIT ties are broken by
 publication order — the merged stream is a pure function of the market
 seeds and the publish sequence.
+
+Waiting (the asyncio pump's wake hook, DESIGN.md §8): backends whose
+submissions take real wall-clock time to arrive may additionally expose
+``next_arrival_eta()`` — side-effect-free like ``peek_time``, returning
+how many wall-clock seconds until the next submission *can* be collected
+(``0.0`` when one is pending now, ``None`` when nothing further will
+arrive or the backend cannot say).  :func:`arrival_eta` probes a handle
+leniently, and :meth:`EventPump.next_arrival_eta` folds the per-handle
+answers into one number a driver can sleep on — the simulated market
+always answers ``0.0`` (virtual time, nothing to wait for), so only
+slow/live backends ever make a driver sleep.
 """
 
 from __future__ import annotations
@@ -32,7 +43,13 @@ from repro.amt.hit import HIT, Assignment
 from repro.amt.pricing import CostLedger
 from repro.amt.worker import WorkerProfile
 
-__all__ = ["SubmissionEvent", "HITHandle", "MarketBackend", "EventPump"]
+__all__ = [
+    "SubmissionEvent",
+    "HITHandle",
+    "MarketBackend",
+    "EventPump",
+    "arrival_eta",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,6 +93,13 @@ class HITHandle(Protocol):
     treats a cancelled handle as finished immediately.  A live backend
     whose platform-side cancellation is asynchronous should still report
     ``done`` locally and discard (not deliver) any in-transit submissions.
+
+    Handles *may* additionally implement ``next_arrival_eta() -> float |
+    None`` — wall-clock seconds until the next submission can be
+    collected (``0.0`` = pending now, ``None`` = unknown or nothing
+    further coming).  It must be side-effect-free, like ``peek_time``.
+    It is deliberately not a required protocol member (existing handle
+    implementations stay valid); use :func:`arrival_eta` to probe it.
     """
 
     @property
@@ -103,11 +127,32 @@ class MarketBackend(Protocol):
     Implementations own worker recruitment, answer generation (or real
     collection), latency, and pricing; the engine only publishes HITs and
     consumes the resulting handles and ledger.
+
+    Backends may additionally implement ``next_arrival_eta() -> float |
+    None`` across all their published HITs (same contract as the handle
+    method, see :class:`HITHandle`); like there, it is optional so
+    existing backends remain valid — probe with :func:`arrival_eta`.
     """
 
     ledger: CostLedger
 
     def publish(self, hit: HIT) -> HITHandle: ...
+
+
+def arrival_eta(source: object) -> float | None:
+    """Probe a handle or backend for its next-arrival ETA, leniently.
+
+    Returns ``source.next_arrival_eta()`` clamped to ``>= 0`` when the
+    method exists, ``None`` (unknown — callers must poll, not sleep
+    unboundedly) when it does not.
+    """
+    probe = getattr(source, "next_arrival_eta", None)
+    if probe is None:
+        return None
+    eta = probe()
+    if eta is None:
+        return None
+    return max(0.0, eta)
 
 
 class EventPump:
@@ -173,6 +218,37 @@ class EventPump:
         return any(
             not handle.done for _, _, handle, _ in self._heap
         ) or any(not handle.done for handle, _, _ in self._dormant)
+
+    def next_arrival_eta(self) -> float | None:
+        """Wall-clock seconds until :meth:`next_event` could deliver.
+
+        Side-effect-free with respect to the handles (only ``peek_time``
+        and their optional ``next_arrival_eta`` are consulted — nothing
+        is collected or charged).  Returns ``0.0`` when an event is
+        poppable right now, the minimum of the dormant handles' declared
+        ETAs when every live handle is waiting on a future arrival, and
+        ``None`` when nothing further is coming *or* no waiting handle
+        can say (drivers must then poll rather than sleep unboundedly —
+        the dormant-handle re-polling in :meth:`next_event` covers them).
+        """
+        self._poll_dormant()
+        best: float | None = None
+        for _, _, handle, _ in self._heap:
+            if handle.peek_time() is not None:
+                return 0.0
+            if not handle.done:
+                # Stale entry of a live handle (advanced externally):
+                # treat it like a dormant one for ETA purposes.
+                eta = arrival_eta(handle)
+                if eta is not None and (best is None or eta < best):
+                    best = eta
+        for handle, _, _ in self._dormant:
+            if handle.done:
+                continue
+            eta = arrival_eta(handle)
+            if eta is not None and (best is None or eta < best):
+                best = eta
+        return best
 
     def next_event(self) -> SubmissionEvent | None:
         """Collect the globally earliest pending submission.

@@ -82,6 +82,16 @@ class PublishedHIT:
             return None
         return self._assignments[self._cursor].submit_time
 
+    def next_arrival_eta(self) -> float | None:
+        """Wall-clock wait before the next submission: always ``0.0``.
+
+        Everything is pre-generated at publish time and arrival times are
+        *simulated*, so a pending submission is collectable immediately —
+        an async driver never sleeps on this backend.  ``None`` once the
+        HIT is drained or cancelled (nothing further is coming).
+        """
+        return None if self.done else 0.0
+
     def next_submission(self) -> Assignment | None:
         """Collect (and pay for) the next submission, ``None`` when done."""
         if self.done:
@@ -190,6 +200,13 @@ class SimulatedMarket:
         )
         self._published[hit.hit_id] = handle
         return handle
+
+    def next_arrival_eta(self) -> float | None:
+        """``0.0`` while any published HIT still has submissions pending
+        (virtual time — collectable immediately), else ``None``."""
+        if any(not handle.done for handle in self._published.values()):
+            return 0.0
+        return None
 
     def handle(self, hit_id: str) -> PublishedHIT:
         try:

@@ -1,0 +1,146 @@
+"""A wall-clock-delaying market decorator: rehearsal for live backends.
+
+:class:`SlowBackend` wraps any :class:`~repro.amt.backend.MarketBackend`
+and holds each published HIT's submissions back until real wall-clock
+time has passed — the next submission becomes collectable only ``delay``
+seconds after the previous one was collected (or after publication).
+Until then the wrapped handle reports ``peek_time() is None`` while
+``done`` stays False, i.e. it looks exactly like a live-AMT HIT whose
+next worker has not submitted yet.
+
+That makes it the test double for everything the asyncio front door
+(``repro.engine.aio``, DESIGN.md §8) must get right about *waiting*:
+
+* the handles implement ``next_arrival_eta()`` (the optional wait hook,
+  see :func:`~repro.amt.backend.arrival_eta`), so a driver can sleep
+  exactly until the next release instead of polling;
+* verdicts, costs and arrival order are untouched — the inner backend
+  still decides *what* arrives and in *which* order; this wrapper only
+  decides *when* it may be collected.  A run on ``SlowBackend(inner)``
+  therefore produces bit-identical results to the same run on ``inner``,
+  just slower — which is what lets the mux benchmark compare concurrent
+  against sequential wall-clock without touching the outcome.
+
+``clock`` is injectable (defaults to :func:`time.monotonic`) so tests
+can drive the release schedule with a virtual clock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.amt.backend import HITHandle, MarketBackend
+from repro.amt.hit import HIT, Assignment
+from repro.amt.pricing import CostLedger
+from repro.amt.worker import WorkerProfile
+
+__all__ = ["SlowHITHandle", "SlowBackend"]
+
+
+class SlowHITHandle:
+    """Delaying proxy around one published HIT's handle.
+
+    Releases at most one submission per ``delay`` seconds of wall clock;
+    between releases the handle is *dormant* (``peek_time() is None``,
+    ``done`` False) and ``next_arrival_eta()`` reports the remaining
+    wait.  Everything else delegates to the wrapped handle.
+    """
+
+    def __init__(
+        self,
+        inner: HITHandle,
+        delay: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._inner = inner
+        self._delay = delay
+        self._clock = clock
+        self._release_at = clock() + delay
+
+    @property
+    def hit(self) -> HIT:
+        return self._inner.hit
+
+    @property
+    def outstanding(self) -> int:
+        return self._inner.outstanding
+
+    @property
+    def done(self) -> bool:
+        return self._inner.done
+
+    def _released(self) -> bool:
+        return self._clock() >= self._release_at
+
+    def peek_time(self) -> float | None:
+        if self._inner.done or not self._released():
+            return None
+        return self._inner.peek_time()
+
+    def next_submission(self) -> Assignment | None:
+        if self._inner.done or not self._released():
+            return None
+        assignment = self._inner.next_submission()
+        if assignment is not None:
+            self._release_at = self._clock() + self._delay
+        return assignment
+
+    def next_arrival_eta(self) -> float | None:
+        """Seconds until the next submission unlocks; ``None`` when done."""
+        if self._inner.done:
+            return None
+        return max(0.0, self._release_at - self._clock())
+
+    def cancel(self) -> int:
+        return self._inner.cancel()
+
+    def worker_profile(self, worker_id: str) -> WorkerProfile:
+        return self._inner.worker_profile(worker_id)
+
+
+class SlowBackend:
+    """Delay every published HIT of an inner backend by wall-clock time.
+
+    Parameters
+    ----------
+    inner:
+        The backend that actually recruits workers and prices work
+        (typically a :class:`~repro.amt.market.SimulatedMarket`).
+    delay:
+        Seconds of wall clock between consecutive collectable
+        submissions of each HIT (and before its first one).
+    clock:
+        Injectable time source for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        inner: MarketBackend,
+        delay: float = 0.01,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be ≥ 0, got {delay}")
+        self.inner = inner
+        self.delay = delay
+        self._clock = clock
+        self._handles: list[SlowHITHandle] = []
+
+    @property
+    def ledger(self) -> CostLedger:
+        return self.inner.ledger
+
+    def publish(self, hit: HIT) -> SlowHITHandle:
+        handle = SlowHITHandle(self.inner.publish(hit), self.delay, self._clock)
+        self._handles.append(handle)
+        return handle
+
+    def next_arrival_eta(self) -> float | None:
+        """Earliest release across every live published HIT."""
+        etas = [
+            eta
+            for handle in self._handles
+            if (eta := handle.next_arrival_eta()) is not None
+        ]
+        return min(etas) if etas else None

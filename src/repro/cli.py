@@ -10,14 +10,19 @@ Commands
     Print the full paper-vs-measured report (EXPERIMENTS.md content).
 ``plan --accuracy C --budget B --mu MU --rate K --window W``
     Cost/accuracy planning for a streaming query (§3.1 economics).
-``serve [--slots N] [--seed N] [--progress-every E]``
+``serve [--slots N] [--seed N] [--progress-every E] [--asyncio]``
     Drive mixed TSA + IT queries from two tenants through one long-lived
     scheduler service, printing per-handle progress lines (DESIGN.md §7).
+    With ``--asyncio`` the same workload runs through a
+    :class:`~repro.engine.aio.ServiceMux` — one async service per tenant
+    group, multiplexed on one event loop, progress streamed from
+    ``handle.updates()`` (DESIGN.md §8).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 from collections.abc import Sequence
 
 from repro.amt.pricing import PriceSchedule
@@ -102,8 +107,9 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
-def _progress_line(handle) -> str:
-    progress = handle.progress()
+def _progress_line(handle, progress=None) -> str:
+    if progress is None:
+        progress = handle.progress()
     estimate = (
         "  n/a"
         if progress.accuracy_estimate is None
@@ -117,26 +123,35 @@ def _progress_line(handle) -> str:
     )
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    """Mixed multi-tenant workload on one scheduler service (DESIGN.md §7)."""
+def _serve_workload(seed: int):
+    """Build the mixed TSA + IT demo workload the serve paths share."""
     from repro.amt.market import SimulatedMarket
     from repro.amt.pool import PoolConfig, WorkerPool
     from repro.it.images import generate_images
     from repro.system import CDAS
-    from repro.tsa.app import movie_query
     from repro.tsa.tweets import generate_tweets, tweet_to_question
 
-    pool = WorkerPool.from_config(PoolConfig(size=200), seed=args.seed)
-    cdas = CDAS.with_default_jobs(
-        SimulatedMarket(pool, seed=args.seed), seed=args.seed
-    )
-    gold = generate_tweets(["gold-movie"], per_movie=12, seed=args.seed + 1)
+    pool = WorkerPool.from_config(PoolConfig(size=200), seed=seed)
+    cdas = CDAS.with_default_jobs(SimulatedMarket(pool, seed=seed), seed=seed)
+    gold = generate_tweets(["gold-movie"], per_movie=12, seed=seed + 1)
     cdas.calibrate(
         [tweet_to_question(t) for t in gold], workers_per_hit=10, hits=1
     )
-    tweets = generate_tweets(["rio", "solaris"], per_movie=18, seed=args.seed + 2)
-    images = generate_images(per_subject=1, seed=args.seed + 3)[:3]
-    gold_images = generate_images(per_subject=1, seed=args.seed + 4)
+    tweets = generate_tweets(["rio", "solaris"], per_movie=18, seed=seed + 2)
+    images = generate_images(per_subject=1, seed=seed + 3)[:3]
+    gold_images = generate_images(per_subject=1, seed=seed + 4)
+    return cdas, tweets, gold, images, gold_images
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Mixed multi-tenant workload on one scheduler service (DESIGN.md §7)."""
+    from repro.tsa.app import movie_query
+
+    cdas, tweets, gold, images, gold_images = _serve_workload(args.seed)
+    if args.use_asyncio:
+        return asyncio.run(
+            _serve_asyncio(cdas, tweets, gold, images, gold_images, args)
+        )
 
     service = cdas.service(max_in_flight=args.slots)
     service.register_tenant("acme", priority=2.0)
@@ -173,6 +188,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"total spend ${cdas.total_cost:.2f} "
         f"(acme ${service.tenant_spend('acme'):.2f}, "
         f"globex ${service.tenant_spend('globex'):.2f})"
+    )
+    return 0
+
+
+async def _serve_asyncio(cdas, tweets, gold, images, gold_images, args) -> int:
+    """The same workload through a ServiceMux: one async service per
+    tenant group on one event loop, progress streamed from updates()."""
+    from repro.engine.aio import ServiceMux
+    from repro.tsa.app import movie_query
+
+    mux = ServiceMux()
+    acme = mux.add(
+        "acme", cdas.async_service(max_in_flight=args.slots, name="acme")
+    )
+    globex = mux.add(
+        "globex", cdas.async_service(max_in_flight=args.slots, name="globex")
+    )
+    acme.register_tenant("acme", priority=2.0)
+    globex.register_tenant("globex", priority=1.0)
+    handles = [
+        acme.submit(
+            "twitter-sentiment", movie_query("rio", 0.9), tenant="acme",
+            tweets=tweets, gold_tweets=gold, worker_count=5, batch_size=6,
+        ),
+        globex.submit(
+            "twitter-sentiment", movie_query("solaris", 0.9), tenant="globex",
+            tweets=tweets, gold_tweets=gold, worker_count=5, batch_size=6,
+        ),
+        globex.submit(
+            "image-tagging", movie_query("images", 0.9), tenant="globex",
+            images=images, gold_images=gold_images, worker_count=5,
+        ),
+    ]
+    print(
+        f"serving {len(handles)} queries from 2 tenants on one event loop "
+        f"(ServiceMux: 2 services, {args.slots} publish slots each)"
+    )
+
+    async def watch(handle) -> None:
+        updates = 0
+        async for snapshot in handle.updates():
+            updates += 1
+            if updates % args.progress_every == 0 or handle.done:
+                print(_progress_line(handle, snapshot))
+
+    async with mux:
+        watchers = [asyncio.create_task(watch(h)) for h in handles]
+        await mux.gather(*handles)
+        await asyncio.gather(*watchers)
+    print("-- mux idle --")
+    for handle in handles:
+        print(_progress_line(handle))
+    print(
+        f"total spend ${cdas.total_cost:.2f} "
+        f"(acme ${acme.tenant_spend('acme'):.2f}, "
+        f"globex ${globex.tenant_spend('globex'):.2f})"
     )
     return 0
 
@@ -226,6 +297,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=10,
         help="print per-handle progress every N submissions",
+    )
+    serve_p.add_argument(
+        "--asyncio",
+        dest="use_asyncio",
+        action="store_true",
+        help="run through a ServiceMux on one asyncio event loop "
+        "(one async service per tenant group, progress via updates())",
     )
     serve_p.set_defaults(func=_cmd_serve)
     return parser

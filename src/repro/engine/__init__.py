@@ -5,6 +5,11 @@ two-phase crowdsourcing engine that embeds the quality-sensitive answering
 model.
 """
 
+from repro.engine.aio import (
+    AsyncQueryHandle,
+    AsyncSchedulerService,
+    ServiceMux,
+)
 from repro.engine.engine import (
     CrowdsourcingEngine,
     EngineConfig,
@@ -30,6 +35,9 @@ from repro.engine.query import Query
 from repro.engine.templates import QueryTemplate, render_hit_description
 
 __all__ = [
+    "AsyncQueryHandle",
+    "AsyncSchedulerService",
+    "ServiceMux",
     "CrowdsourcingEngine",
     "EngineConfig",
     "HITRunResult",

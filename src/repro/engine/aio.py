@@ -1,0 +1,510 @@
+"""Async-native service front door: awaitable handles, sans-IO core.
+
+CDAS queries are *standing* jobs over continuous streams (Definition 1,
+§3), so the natural serving surface is an always-on multiplexed event
+loop, not a thread busy-pumping one service.  This module is that loop's
+front door (DESIGN.md §8); the split of responsibilities is strict:
+
+* :class:`~repro.engine.service.SchedulerService` stays **sans-IO** —
+  ``step()`` never blocks, never sleeps, and reports dormancy through
+  ``next_arrival_eta()`` / ``waiting`` instead of waiting itself.
+* :class:`AsyncSchedulerService` owns **all waiting** for one service: a
+  single *driver* task pumps ``step()`` cooperatively, yielding the loop
+  after every step, and when the service goes dormant (a slow/live
+  backend whose next submission has not arrived) it sleeps exactly until
+  the backend's declared arrival ETA **or** an external ``submit`` /
+  ``cancel`` sets its wake event — a real await, not a disguised spin.
+  The driver exits when the service drains and is restarted lazily by
+  the next submission.
+* :class:`AsyncQueryHandle` is the awaitable face of one query:
+  ``await handle.result(timeout=…)`` parks on an :class:`asyncio.Event`
+  the driver sets at terminal states (raising :class:`TimeoutError`
+  *without* losing the query — it keeps running and can be awaited
+  again), ``async for snapshot in handle.updates()`` streams changed
+  :class:`~repro.engine.service.QueryProgress` snapshots, and
+  ``await handle.cancel()`` is charge-final like the sync path.
+* :class:`ServiceMux` runs many async services — one per tenant group,
+  the precursor of one per process shard — concurrently on one event
+  loop.  Fairness is structural: every driver yields after each pump
+  step and asyncio's FIFO ready queue round-robins the runnable drivers,
+  so K services make even progress; :attr:`ServiceMux.step_log` records
+  the global interleaving for tests and dashboards.
+
+Determinism is preserved by construction: each wrapped service performs
+exactly the same ``step()`` sequence it would under the blocking PR-2
+API (the drivers interleave *between* steps, never inside one), so
+results gathered concurrently are bit-identical to sequential runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import AsyncIterator, Callable
+from typing import Any
+
+from repro.engine.query import Query
+from repro.engine.scheduler import MIN_ARRIVAL_SLEEP
+from repro.engine.service import (
+    TERMINAL_STATES,
+    QueryHandle,
+    QueryProgress,
+    QueryState,
+    SchedulerService,
+)
+
+__all__ = ["AsyncQueryHandle", "AsyncSchedulerService", "ServiceMux"]
+
+
+class AsyncQueryHandle:
+    """Awaitable view of one submitted query.
+
+    Returned immediately by :meth:`AsyncSchedulerService.submit`; the
+    query advances whenever the service's driver task runs.  Wraps (and
+    exposes, via :attr:`handle`) the sync
+    :class:`~repro.engine.service.QueryHandle`, whose observation surface
+    — ``state`` / ``progress()`` / ``spend`` — stays directly readable at
+    any time without awaiting.
+    """
+
+    def __init__(
+        self, service: "AsyncSchedulerService", handle: QueryHandle
+    ) -> None:
+        self._aservice = service
+        self.handle = handle
+        #: Set once the query cannot advance further (terminal, or the
+        #: driver stranded it); awaited by :meth:`result`.
+        self._terminal = asyncio.Event()
+        self._stranded: BaseException | None = None
+        self._queues: list[asyncio.Queue[QueryProgress]] = []
+        self._last_published: QueryProgress | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AsyncQueryHandle(job={self.job_name!r}, subject="
+            f"{self.query.subject!r}, tenant={self.tenant!r}, "
+            f"state={self.state.value!r})"
+        )
+
+    # -- identity / observation (sync, never awaits) -------------------------
+
+    @property
+    def job_name(self) -> str:
+        return self.handle.job_name
+
+    @property
+    def query(self) -> Query:
+        return self.handle.query
+
+    @property
+    def tenant(self) -> str:
+        return self.handle.tenant
+
+    @property
+    def state(self) -> QueryState:
+        return self.handle.state
+
+    @property
+    def done(self) -> bool:
+        return self.handle.done
+
+    @property
+    def spend(self) -> float:
+        return self.handle.spend
+
+    def progress(self) -> QueryProgress:
+        """Snapshot the query's progress right now (no await needed)."""
+        return self.handle.progress()
+
+    # -- awaitables ----------------------------------------------------------
+
+    async def result(self, timeout: float | None = None) -> Any:
+        """Await the query's terminal state; return (or raise) its result.
+
+        A real await: the caller parks on an event the driver sets — no
+        polling loop, no step-pumping in the waiter.  On ``timeout`` the
+        query is *not* cancelled or lost; it keeps running and the handle
+        can be awaited again.
+
+        Raises
+        ------
+        TimeoutError
+            Not terminal within ``timeout`` seconds.
+        QueryCancelled / AdmissionRejected / Exception
+            Exactly as the sync :meth:`QueryHandle.result`.
+        """
+        if not self.handle.done:
+            self._aservice._ensure_driver()
+            if timeout is None:
+                await self._terminal.wait()
+            else:
+                try:
+                    await asyncio.wait_for(self._terminal.wait(), timeout)
+                except asyncio.TimeoutError:
+                    raise TimeoutError(
+                        f"query {self.query.subject!r} still "
+                        f"{self.handle.state.value} after {timeout}s"
+                    ) from None
+        if not self.handle.done:
+            raise self._stranded or RuntimeError(
+                f"driver stopped with query {self.query.subject!r} "
+                f"{self.handle.state.value}"
+            )
+        # Terminal: the sync result() returns/raises without pumping.
+        return self.handle.result()
+
+    async def cancel(self) -> bool:
+        """Cancel the query (charge-final, as the sync path) and wake
+        everyone: ``result()`` waiters raise
+        :class:`~repro.engine.service.QueryCancelled`, update streams end.
+        Returns ``False`` when the query was already terminal.
+        """
+        cancelled = self.handle.cancel()
+        if cancelled:
+            self._publish()
+            self._aservice._wake_driver()
+            # Let waiters observe the cancellation before we return.
+            await asyncio.sleep(0)
+        return cancelled
+
+    async def updates(self) -> AsyncIterator[QueryProgress]:
+        """Stream progress snapshots until the query is terminal.
+
+        Yields the current snapshot immediately, then every *changed*
+        snapshot the driver observes (no duplicates); the final yield is
+        the terminal snapshot.  Multiple consumers may stream one handle.
+        """
+        if not self.handle.done:
+            self._aservice._ensure_driver()
+        queue: asyncio.Queue[QueryProgress] = asyncio.Queue()
+        self._queues.append(queue)
+        try:
+            last = self.progress()
+            yield last
+            while last.state not in TERMINAL_STATES and self._stranded is None:
+                snapshot = await queue.get()
+                if snapshot == last:
+                    continue
+                last = snapshot
+                yield snapshot
+        finally:
+            self._queues.remove(queue)
+
+    # -- driver side ---------------------------------------------------------
+
+    def _publish(self) -> None:
+        """Push a changed snapshot to streams; latch terminal states."""
+        if self._terminal.is_set():
+            # The terminal snapshot was already published (or the handle
+            # was stranded); nothing can change — skip the progress walk
+            # so a long-lived service's finished handles cost nothing on
+            # every subsequent pump step.
+            return
+        snapshot = self.handle.progress()
+        if snapshot != self._last_published:
+            self._last_published = snapshot
+            for queue in self._queues:
+                queue.put_nowait(snapshot)
+        if self.handle.done and not self._terminal.is_set():
+            self._terminal.set()
+
+    def _strand(self, error: BaseException) -> None:
+        """The driver cannot advance this query: wake its waiters with
+        ``error`` instead of leaving them parked forever."""
+        if self.handle.done or self._stranded is not None:
+            return
+        self._stranded = error
+        self._terminal.set()
+        snapshot = self.handle.progress()
+        for queue in self._queues:
+            # Wake streams so they re-check the stranded flag.
+            queue.put_nowait(snapshot)
+
+
+class AsyncSchedulerService:
+    """Drive one sans-IO :class:`SchedulerService` on the event loop.
+
+    The public submission surface mirrors the sync service (same
+    arguments, same eager validation) but returns
+    :class:`AsyncQueryHandle`\\ s.  One *driver* task pumps the service:
+
+    * after every productive ``step()`` it yields the loop
+      (``await asyncio.sleep(0)``) — the fairness primitive
+      :class:`ServiceMux` builds on;
+    * when the service reports dormancy it awaits its wake event with the
+      backend's ``next_arrival_eta()`` as timeout — asleep until the next
+      arrival unlocks or an external ``submit``/``cancel`` wakes it;
+    * when the service drains it exits; the next submission restarts it.
+
+    ``async with`` the service (or :meth:`aclose` it) to cancel a parked
+    driver on shutdown; handles stay readable afterwards.
+    """
+
+    def __init__(
+        self, service: SchedulerService, name: str | None = None
+    ) -> None:
+        self.service = service
+        self.name = name
+        self._handles: list[AsyncQueryHandle] = []
+        self._wake = asyncio.Event()
+        self._driver: asyncio.Task[None] | None = None
+        self._error: BaseException | None = None
+        #: Total ``service.step()`` calls the driver has made (productive
+        #: or not) — observability, and the spin-vs-sleep regression gate.
+        self.steps_taken = 0
+        #: Observer called after each *productive* step
+        #: (:class:`ServiceMux` wires its interleave log here).
+        self.on_step: Callable[["AsyncSchedulerService"], None] | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = "" if self.name is None else f" {self.name!r}"
+        return (
+            f"<AsyncSchedulerService{label} handles={len(self._handles)} "
+            f"steps={self.steps_taken}>"
+        )
+
+    # -- sync passthroughs ---------------------------------------------------
+
+    def register_tenant(
+        self,
+        name: str,
+        budget_cap: float | None = None,
+        priority: float = 1.0,
+    ):
+        return self.service.register_tenant(
+            name, budget_cap=budget_cap, priority=priority
+        )
+
+    def tenant_spend(self, name: str) -> float:
+        return self.service.tenant_spend(name)
+
+    @property
+    def handles(self) -> tuple[AsyncQueryHandle, ...]:
+        """Every async handle this service has issued, in submission order."""
+        return tuple(self._handles)
+
+    @property
+    def idle(self) -> bool:
+        return self.service.idle
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        job_name: str,
+        query: Query,
+        *,
+        tenant: str = "default",
+        budget: float | None = None,
+        priority: float | None = None,
+        **job_inputs: Any,
+    ) -> AsyncQueryHandle:
+        """Plan and validate now (synchronously — bad requests raise here,
+        exactly as the sync service); run as the driver pumps.  Callable
+        from inside or outside a running loop; outside, the driver starts
+        on the first awaited operation."""
+        handle = self.service.submit(
+            job_name,
+            query,
+            tenant=tenant,
+            budget=budget,
+            priority=priority,
+            **job_inputs,
+        )
+        ahandle = AsyncQueryHandle(self, handle)
+        self._handles.append(ahandle)
+        self._wake_driver()
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass  # no loop yet: result()/updates()/wait_idle() will start it
+        else:
+            self._ensure_driver()
+        return ahandle
+
+    # -- the driver ----------------------------------------------------------
+
+    def _wake_driver(self) -> None:
+        self._wake.set()
+
+    def _ensure_driver(self) -> None:
+        """Start (or restart) the driver task; requires a running loop."""
+        if self._driver is None or self._driver.done():
+            self._error = None
+            self._driver = asyncio.get_running_loop().create_task(
+                self._drive(),
+                name=f"cdas-driver-{self.name or hex(id(self.service))}",
+            )
+
+    async def _drive(self) -> None:
+        service = self.service
+        try:
+            while True:
+                stepped = service.step()
+                self.steps_taken += 1
+                self._notify()
+                if stepped:
+                    if self.on_step is not None:
+                        self.on_step(self)
+                    # Fairness: hand the loop back after every step so
+                    # drivers sharing it round-robin.
+                    await asyncio.sleep(0)
+                    continue
+                eta = service.next_arrival_eta()
+                if eta is not None:
+                    # Dormant: sleep exactly until the next arrival
+                    # unlocks, or an external submit()/cancel() wakes us.
+                    self._wake.clear()
+                    try:
+                        await asyncio.wait_for(
+                            self._wake.wait(),
+                            timeout=eta if eta > 0 else MIN_ARRIVAL_SLEEP,
+                        )
+                    except asyncio.TimeoutError:
+                        pass
+                    continue
+                if service.waiting:
+                    raise RuntimeError(
+                        "HITs in flight but nothing pending yet and no "
+                        "arrival ETA; the async driver needs backends "
+                        "whose handles declare next_arrival_eta()"
+                    )
+                # Drained: nothing left anywhere.  Queries that are still
+                # non-terminal can never advance — wake their waiters.
+                for handle in self._handles:
+                    if not handle.handle.done:
+                        handle._strand(
+                            RuntimeError(
+                                "service went idle with query "
+                                f"{handle.query.subject!r} "
+                                f"{handle.state.value}"
+                            )
+                        )
+                return
+        except Exception as exc:
+            # Deliver the failure to every waiter instead of letting it
+            # die unobserved inside the task.
+            self._error = exc
+            for handle in self._handles:
+                handle._strand(exc)
+        finally:
+            self._notify()
+
+    def _notify(self) -> None:
+        for handle in self._handles:
+            handle._publish()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def wait_idle(self) -> None:
+        """Drive until the service has nothing left to do.
+
+        Returns once every submitted query is terminal (or stranded —
+        those errors surface on their handles' ``result()``); re-raises a
+        driver failure.
+        """
+        while True:
+            self._ensure_driver()
+            await self._driver
+            if self._error is not None:
+                raise self._error
+            if all(
+                handle.handle.done or handle._stranded is not None
+                for handle in self._handles
+            ):
+                return
+
+    async def aclose(self) -> None:
+        """Cancel a still-parked driver task; handles stay readable."""
+        driver, self._driver = self._driver, None
+        if driver is not None and not driver.done():
+            driver.cancel()
+            try:
+                await driver
+            except asyncio.CancelledError:
+                pass
+
+    async def __aenter__(self) -> "AsyncSchedulerService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+
+class ServiceMux:
+    """Front door: many async services multiplexed on one event loop.
+
+    One :class:`AsyncSchedulerService` per tenant group (each over its
+    own :class:`SchedulerService`; the precursor of one per process
+    shard), all driven concurrently.  Fairness is structural — every
+    driver yields the loop after each pump step, and asyncio's FIFO
+    ready queue round-robins the runnable drivers — so K services make
+    even progress instead of the first submitted draining first;
+    :attr:`step_log` records the realised global interleaving.
+    """
+
+    def __init__(self) -> None:
+        self._services: dict[str, AsyncSchedulerService] = {}
+        #: Service name per productive pump step, in global order.
+        self.step_log: list[str] = []
+
+    def add(
+        self, name: str, service: AsyncSchedulerService | SchedulerService
+    ) -> AsyncSchedulerService:
+        """Register a service under ``name`` (wrapping a sync
+        :class:`SchedulerService` if needed); returns the async service."""
+        if name in self._services:
+            raise ValueError(f"service {name!r} already added to this mux")
+        if not isinstance(service, AsyncSchedulerService):
+            service = AsyncSchedulerService(service)
+        if service.name is None:
+            service.name = name
+        previous = service.on_step
+
+        def record(
+            svc: AsyncSchedulerService,
+            _name: str = name,
+            _previous: Callable[[AsyncSchedulerService], None] | None = previous,
+        ) -> None:
+            if _previous is not None:
+                _previous(svc)
+            self.step_log.append(_name)
+
+        service.on_step = record
+        self._services[name] = service
+        return service
+
+    def __getitem__(self, name: str) -> AsyncSchedulerService:
+        return self._services[name]
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    @property
+    def services(self) -> tuple[AsyncSchedulerService, ...]:
+        return tuple(self._services.values())
+
+    def submit(
+        self, service_name: str, job_name: str, query: Query, **kwargs: Any
+    ) -> AsyncQueryHandle:
+        """Submit through the named service (same surface as its submit)."""
+        return self._services[service_name].submit(job_name, query, **kwargs)
+
+    async def gather(self, *handles: AsyncQueryHandle) -> list[Any]:
+        """``asyncio.gather`` over the handles' results, in order."""
+        return list(await asyncio.gather(*(h.result() for h in handles)))
+
+    async def run_until_idle(self) -> None:
+        """Drive every registered service until all of them drain."""
+        await asyncio.gather(
+            *(service.wait_idle() for service in self._services.values())
+        )
+
+    async def aclose(self) -> None:
+        for service in self._services.values():
+            await service.aclose()
+
+    async def __aenter__(self) -> "ServiceMux":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()

@@ -25,6 +25,7 @@ popped events.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
@@ -44,7 +45,23 @@ __all__ = [
     "SessionGroup",
     "HITScheduler",
     "specs_from_batches",
+    "sleep_until_arrival",
+    "MIN_ARRIVAL_SLEEP",
 ]
+
+#: Floor for dormant waits whose declared ETA is zero — the unlock raced
+#: a peek; waiting a hair and retrying keeps the caller from busy-spinning.
+MIN_ARRIVAL_SLEEP = 1e-4
+
+
+def sleep_until_arrival(eta: float) -> None:
+    """Block until a dormant backend's next declared arrival unlocks.
+
+    The one blocking primitive the sync surfaces share (the async driver
+    awaits the same quantity instead); ``eta`` may be zero or negative
+    (deadline-clamped), in which case the floor applies.
+    """
+    time.sleep(eta if eta > 0 else MIN_ARRIVAL_SLEEP)
 
 
 @dataclass(frozen=True)
@@ -319,10 +336,40 @@ class HITScheduler:
             self._in_flight.pop(hit_id).seal()
         return len(finished)
 
-    def step(self) -> SubmissionEvent | None:
-        """Publish up to capacity, then process one submission event.
+    def next_arrival_eta(self) -> float | None:
+        """Wall-clock seconds until the merged stream could deliver.
 
-        Returns the processed event, or ``None`` when no work remains.
+        Delegates to :meth:`EventPump.next_arrival_eta` (side-effect-free
+        — derived from the handles' free ``peek_time`` / optional
+        ``next_arrival_eta``): ``0.0`` when an event is poppable now, a
+        positive wait when every in-flight handle is dormant but declares
+        when its next submission unlocks, ``None`` when nothing further
+        is coming or no dormant handle can say.
+        """
+        return self._pump.next_arrival_eta()
+
+    @property
+    def waiting(self) -> bool:
+        """HITs are in flight but nothing is deliverable *right now*.
+
+        Meaningful immediately after :meth:`try_step` returns ``None``:
+        distinguishes "dormant — wait for :meth:`next_arrival_eta`" from
+        "drained — no work remains".  Always False on pre-generated
+        backends like the simulator.
+        """
+        return bool(self._in_flight) and self._pump.next_arrival_eta() != 0.0
+
+    def try_step(self) -> SubmissionEvent | None:
+        """One *non-blocking* pump iteration: publish up to capacity, then
+        process at most one submission event.
+
+        Returns the processed event, or ``None`` when nothing is
+        deliverable right now — either the scheduler is drained (no work
+        remains) or every in-flight handle is dormant, waiting on a
+        future arrival (:attr:`waiting`; sleep for
+        :meth:`next_arrival_eta` and retry).  Never sleeps and never
+        raises on dormancy: this is the sans-IO core the async driver
+        (``repro.engine.aio``) pumps, owning all waiting itself.
         """
         while True:
             # Seal before filling so an externally-finished handle releases
@@ -337,15 +384,8 @@ class HITScheduler:
                 break
             if not self._seal_finished():
                 # Every in-flight handle is dormant (live, nothing pending
-                # yet).  Pre-generated backends like the simulator never get
-                # here; a polling/awaiting loop for live backends is a
-                # ROADMAP item — this synchronous pump cannot wait, so it
-                # refuses loudly.
-                raise RuntimeError(
-                    f"{len(self._in_flight)} HITs in flight but nothing "
-                    "pending yet; the synchronous scheduler needs handles "
-                    "with pre-generated or blocking submissions"
-                )
+                # yet): the caller decides how to wait.
+                return None
         self.clock = max(self.clock, event.time)
         self.events_processed += 1
         session = self._in_flight[event.hit_id]
@@ -355,6 +395,31 @@ class HITScheduler:
         if session.done:
             del self._in_flight[event.hit_id]
         return event
+
+    def step(self) -> SubmissionEvent | None:
+        """Blocking :meth:`try_step`: sleeps through dormant spells.
+
+        Identical to :meth:`try_step` on pre-generated backends (which
+        are never dormant — bit-for-bit the historical behaviour).  When
+        every in-flight handle is waiting on a future arrival, sleeps
+        until :meth:`next_arrival_eta` says the next submission unlocks,
+        then retries; raises when the backend cannot say how long to wait
+        (a polling loop would spin — use the async driver or a backend
+        with an ETA).
+        """
+        while True:
+            event = self.try_step()
+            if event is not None or not self._in_flight:
+                return event
+            eta = self.next_arrival_eta()
+            if eta is None:
+                raise RuntimeError(
+                    f"{len(self._in_flight)} HITs in flight but nothing "
+                    "pending yet and no arrival ETA; the synchronous "
+                    "scheduler needs handles with pre-generated, blocking "
+                    "or ETA-declaring submissions"
+                )
+            sleep_until_arrival(eta)
 
     def run(self) -> list[HITRunResult]:
         """Pump until every queued and sourced session completes.

@@ -29,10 +29,16 @@ last verdict lands — so this module turns submission inside out:
   ``CDAS.submit`` / ``submit_many`` wrappers bit-for-bit identical to the
   pre-service engine.
 
-The service is single-threaded and cooperative: ``step()`` performs one
-pump iteration (admission, slot grants, one submission event), so a caller
-interleaves submissions, progress reads and cancellations between steps —
-the synchronous analogue of the planned asyncio pump (DESIGN.md §6).
+The service is single-threaded, cooperative and **sans-IO**: ``step()``
+performs one non-blocking pump iteration (admission, slot grants, one
+submission event) and never sleeps, so a caller interleaves submissions,
+progress reads and cancellations between steps.  When every in-flight HIT
+is dormant (a slow/live backend whose next submission has not arrived
+yet), ``step()`` returns False while :meth:`SchedulerService.waiting` is
+True and :meth:`SchedulerService.next_arrival_eta` says how long until
+the next arrival unlocks — the blocking surfaces (``result``,
+``run_until_idle``) sleep exactly that long, and the asyncio front door
+(``repro.engine.aio``, DESIGN.md §8) awaits it instead.
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ from repro.engine.scheduler import (
     BatchSpec,
     HITScheduler,
     SessionGroup,
+    sleep_until_arrival,
     specs_from_batches,
 )
 from repro.engine.session import HITSession, SessionState
@@ -230,6 +237,14 @@ class _QueryRecord:
         self._peeked: BatchSpec | None = None
         self._peeked_group: SessionGroup | None = None
         self._final_spend: float | None = None
+        #: Per-session ``(items finalized, verdict confidences)``, cached
+        #: once the session's result is sealed (keyed by ``id(session)``;
+        #: the sessions list keeps every session alive, so ids are
+        #: stable).  Keeps :meth:`QueryHandle.progress` from re-walking
+        #: every completed window's records on every poll — a standing
+        #: query accumulates hundreds of sealed sessions, and their
+        #: results never change.
+        self._sealed_progress: dict[int, tuple[int, int, tuple[float, ...]]] = {}
 
     # -- batch source --------------------------------------------------------
 
@@ -260,6 +275,28 @@ class _QueryRecord:
         self._peeked = self._peeked_group = None
 
     # -- observations --------------------------------------------------------
+
+    def sealed_progress(
+        self, session: HITSession
+    ) -> tuple[int, int, tuple[float, ...]]:
+        """``(items answered, items finalized, verdict confidences)`` of
+        one *sealed* session, computed once and cached (a sealed
+        session's votes and result are immutable)."""
+        cached = self._sealed_progress.get(id(session))
+        if cached is None:
+            assert session.result is not None
+            confidences = tuple(
+                record.verdict.confidence
+                for record in session.result.records
+                if record.verdict.confidence is not None
+            )
+            cached = (
+                session.questions_answered,
+                len(session.result.records),
+                confidences,
+            )
+            self._sealed_progress[id(session)] = cached
+        return cached
 
     def spend(self, ledger) -> float:
         """Market dollars charged to this query's published HITs.
@@ -471,7 +508,13 @@ class QueryHandle:
         return self._record.state in TERMINAL_STATES
 
     def progress(self) -> QueryProgress:
-        """Snapshot the query's progress (cheap; safe at any state)."""
+        """Snapshot the query's progress (cheap; safe at any state).
+
+        Sealed sessions' finalized counts and verdict confidences are
+        cached on first observation (their results never change), so
+        polling a standing query with hundreds of completed windows costs
+        O(live sessions), not O(sessions × records).
+        """
         record = self._record
         ledger = self._service.engine.market.ledger
         answered = 0
@@ -480,14 +523,15 @@ class QueryHandle:
         in_flight = 0
         confidences: list[float] = []
         for session in record.sessions:
-            answered += session.questions_answered
             if session.result is not None:
                 completed += 1
-                for question_record in session.result.records:
-                    finalized += 1
-                    if question_record.verdict.confidence is not None:
-                        confidences.append(question_record.verdict.confidence)
+                sealed = record.sealed_progress(session)
+                sealed_answered, sealed_finalized, sealed_confidences = sealed
+                answered += sealed_answered
+                finalized += sealed_finalized
+                confidences.extend(sealed_confidences)
             else:
+                answered += session.questions_answered
                 if session.state is SessionState.COLLECTING:
                     in_flight += 1
                 confidences.extend(session.live_best_confidences())
@@ -518,6 +562,12 @@ class QueryHandle:
             Wall-clock seconds to keep pumping before raising
             :class:`TimeoutError`; ``None`` waits until terminal or idle.
 
+        On a slow/live backend whose next submission has not arrived yet,
+        this sleeps until the backend's declared arrival ETA instead of
+        re-entering ``step()`` in a tight loop; on pre-generated backends
+        (never dormant) it never sleeps — identical to the historical
+        behaviour.
+
         Raises
         ------
         QueryCancelled
@@ -534,8 +584,17 @@ class QueryHandle:
                     f"query {self.query.subject!r} still "
                     f"{self._record.state.value} after {timeout}s"
                 )
-            if not self._service.step():
+            if self._service.step():
+                continue
+            # Nothing deliverable right now.  Dormant in-flight work means
+            # a future arrival: sleep until it unlocks (capped by the
+            # deadline) rather than spinning.  No ETA means truly idle.
+            eta = self._service.next_arrival_eta()
+            if eta is None:
                 break
+            if deadline is not None:
+                eta = min(eta, deadline - time.monotonic())
+            sleep_until_arrival(eta)
         record = self._record
         if record.state is QueryState.DONE:
             return record.result_value
@@ -543,6 +602,12 @@ class QueryHandle:
             raise QueryCancelled(f"query {self.query.subject!r} was cancelled")
         if record.error is not None:
             raise record.error
+        if self._service.waiting:
+            raise RuntimeError(
+                "HITs in flight but nothing pending yet and no arrival "
+                "ETA; blocking result() needs a backend with "
+                "pre-generated, blocking or ETA-declaring submissions"
+            )
         raise RuntimeError(  # cannot happen after a clean pump; never mask it
             f"service went idle with query {self.query.subject!r} "
             f"{record.state.value}"
@@ -713,24 +778,66 @@ class SchedulerService:
     # -- the pump --------------------------------------------------------------
 
     def step(self) -> bool:
-        """One pump iteration; ``False`` when the service is idle.
+        """One *non-blocking* pump iteration; ``False`` when nothing is
+        deliverable right now.
 
         Admits queued queries, grants free publish slots by weighted
         priority, and processes one submission event.  Callers interleave
         ``submit`` / ``progress`` / ``cancel`` between steps.
+
+        ``False`` does not always mean *idle*: on a slow/live backend the
+        in-flight HITs may merely be dormant — check :attr:`waiting` /
+        :meth:`next_arrival_eta` to tell (the blocking surfaces sleep on
+        it, the async driver awaits it).  Never sleeps itself: this is
+        the sans-IO core.
         """
         self.scheduler.reap()
         self._admit_queued()
         granted = self._fill_slots()
-        event = self.scheduler.step()
+        event = self.scheduler.try_step()
         self._sweep_completions()
         return granted or event is not None
 
+    def next_arrival_eta(self) -> float | None:
+        """Wall-clock seconds until the scheduler could deliver again.
+
+        ``0.0`` when an event is poppable now, positive when every
+        in-flight HIT is dormant but declares its next arrival, ``None``
+        when nothing further is coming (or no dormant handle can say —
+        :attr:`waiting` distinguishes).  Side-effect-free.
+        """
+        return self.scheduler.next_arrival_eta()
+
+    @property
+    def waiting(self) -> bool:
+        """HITs in flight but nothing deliverable right now (dormant)."""
+        return self.scheduler.waiting
+
     def run_until_idle(self) -> int:
-        """Pump until no admitted query has work left; returns step count."""
+        """Pump until no admitted query has work left; returns step count.
+
+        Sleeps through dormant spells on slow/live backends (like
+        :meth:`QueryHandle.result`); never sleeps on pre-generated ones.
+        """
         steps = 0
-        while self.step():
-            steps += 1
+        while True:
+            if self.step():
+                steps += 1
+                continue
+            eta = self.next_arrival_eta()
+            if eta is None:
+                if self.waiting:
+                    # Dormant with no declared ETA: refuse loudly (the
+                    # historical scheduler behaviour) rather than return
+                    # as if drained with queries stuck RUNNING.
+                    raise RuntimeError(
+                        "HITs in flight but nothing pending yet and no "
+                        "arrival ETA; run_until_idle needs a backend with "
+                        "pre-generated, blocking or ETA-declaring "
+                        "submissions"
+                    )
+                break
+            sleep_until_arrival(eta)
         return steps
 
     @property

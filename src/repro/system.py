@@ -16,6 +16,11 @@ The primary surface is the handle-based service (DESIGN.md §7)::
         print(handle.progress())
     report = handle.result()
 
+On an event loop, :meth:`CDAS.async_service` serves the same surface
+with awaitable handles (``await handle.result()``, ``async for snapshot
+in handle.updates()``); many async services multiplex on one loop via
+:class:`~repro.engine.aio.ServiceMux` (DESIGN.md §8).
+
 Each registered job binds a :class:`~repro.engine.jobs.JobSpec` (the
 human/computer split and HIT template) to a *submitter* that enqueues the
 job's batches on any :class:`~repro.engine.scheduler.BatchSink` — a raw
@@ -40,6 +45,7 @@ from typing import Any
 
 from repro.amt.backend import MarketBackend
 from repro.amt.hit import Question
+from repro.engine.aio import AsyncSchedulerService
 from repro.engine.engine import CrowdsourcingEngine, EngineConfig
 from repro.engine.jobs import JobManager, JobSpec, ProcessingPlan
 from repro.engine.privacy import PrivacyManager
@@ -179,6 +185,35 @@ class CDAS:
             track_trajectories=track_trajectories,
             allocation=allocation,
             on_event=on_event,
+        )
+
+    def async_service(
+        self,
+        max_in_flight: int = 4,
+        track_trajectories: bool = True,
+        allocation: str = "weighted",
+        on_event: Callable[..., None] | None = None,
+        name: str | None = None,
+    ) -> AsyncSchedulerService:
+        """An async-native service over this system's engine (DESIGN.md §8).
+
+        Wraps :meth:`service` in an
+        :class:`~repro.engine.aio.AsyncSchedulerService`: same submission
+        surface, but handles are awaitable (``await handle.result()``,
+        ``async for snapshot in handle.updates()``) and one driver task
+        pumps the service cooperatively on the running event loop.
+        Several async services — typically one per tenant group —
+        multiplex on one loop through
+        :class:`~repro.engine.aio.ServiceMux`.
+        """
+        return AsyncSchedulerService(
+            self.service(
+                max_in_flight=max_in_flight,
+                track_trajectories=track_trajectories,
+                allocation=allocation,
+                on_event=on_event,
+            ),
+            name=name,
         )
 
     def submit(self, job_name: str, query: Query, **job_inputs: Any) -> Any:

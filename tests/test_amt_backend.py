@@ -286,3 +286,112 @@ class TestEventPump:
         assert isinstance(event, SubmissionEvent)
         with pytest.raises(AttributeError):
             event.time = 0.0
+
+
+class TestArrivalEta:
+    """The wait hook the async driver sleeps on (DESIGN.md §8)."""
+
+    def test_helper_is_lenient(self, market):
+        from repro.amt.backend import arrival_eta
+
+        handle = market.publish(_hit("h0"))
+        assert arrival_eta(handle) == 0.0  # pre-generated: pending now
+
+        class NoEta:
+            pass
+
+        assert arrival_eta(NoEta()) is None  # optional method absent
+
+        class NegativeEta:
+            def next_arrival_eta(self):
+                return -3.0
+
+        assert arrival_eta(NegativeEta()) == 0.0  # clamped
+
+    def test_simulated_handles_never_wait(self, market):
+        handle = market.publish(_hit("h0", assignments=2))
+        assert handle.next_arrival_eta() == 0.0
+        handle.collect_all()
+        assert handle.next_arrival_eta() is None
+        assert market.next_arrival_eta() is None  # all drained
+
+    def test_pump_eta_zero_when_poppable(self, market):
+        pump = EventPump()
+        pump.add(market.publish(_hit("h0")))
+        assert pump.next_arrival_eta() == 0.0
+
+    def test_pump_eta_none_when_drained(self, market):
+        pump = EventPump()
+        pump.add(market.publish(_hit("h0", assignments=1)))
+        for _ in pump.drain():
+            pass
+        assert pump.next_arrival_eta() is None
+
+    def test_pump_eta_from_dormant_slow_handles(self, market):
+        from repro.amt.slow import SlowBackend
+
+        now = [100.0]
+        slow = SlowBackend(market, delay=5.0, clock=lambda: now[0])
+        pump = EventPump()
+        pump.add(slow.publish(_hit("h0")))
+        now[0] += 2.0
+        pump.add(slow.publish(_hit("h1")))
+        # Nothing released yet: dormant, ETA = earliest release (h0 in 3s).
+        assert pump.next_event() is None
+        assert pump.next_arrival_eta() == pytest.approx(3.0)
+        now[0] += 3.0
+        assert pump.next_arrival_eta() == 0.0  # h0 released
+        assert pump.next_event() is not None
+
+
+class TestSlowBackend:
+    def test_dormant_until_release_then_delegates(self, market):
+        from repro.amt.slow import SlowBackend
+
+        now = [0.0]
+        slow = SlowBackend(market, delay=1.0, clock=lambda: now[0])
+        reference = SimulatedMarket(market.pool, seed=11)
+        handle = slow.publish(_hit("h0", assignments=2))
+        expected = reference.publish(_hit("h0", assignments=2))
+        # Before release: looks like a live HIT with nothing pending yet.
+        assert handle.peek_time() is None and not handle.done
+        assert handle.next_submission() is None
+        assert handle.next_arrival_eta() == pytest.approx(1.0)
+        # After release: identical content to the undelayed backend.
+        now[0] = 1.0
+        assert handle.peek_time() == expected.peek_time()
+        first = handle.next_submission()
+        assert first == expected.next_submission()
+        # Collecting re-arms the delay.
+        assert handle.peek_time() is None
+        assert handle.next_arrival_eta() == pytest.approx(1.0)
+        now[0] = 2.0
+        assert handle.next_submission() == expected.next_submission()
+        assert handle.done and handle.next_arrival_eta() is None
+
+    def test_is_a_backend_with_shared_ledger(self, market):
+        from repro.amt.slow import SlowBackend
+
+        slow = SlowBackend(market, delay=0.0)
+        assert isinstance(slow, MarketBackend)
+        assert slow.ledger is market.ledger
+        handle = slow.publish(_hit("h0", assignments=1))
+        assert isinstance(handle, HITHandle)
+        handle.next_submission()
+        assert market.ledger.cost_of("h0") > 0.0
+
+    def test_cancel_passes_through(self, market):
+        from repro.amt.slow import SlowBackend
+
+        slow = SlowBackend(market, delay=10.0)
+        handle = slow.publish(_hit("h0", assignments=3))
+        assert handle.outstanding == 3
+        assert handle.cancel() == 3
+        assert handle.done
+        assert handle.next_arrival_eta() is None
+
+    def test_negative_delay_rejected(self, market):
+        from repro.amt.slow import SlowBackend
+
+        with pytest.raises(ValueError):
+            SlowBackend(market, delay=-0.1)

@@ -83,3 +83,21 @@ class TestCommands:
         first = capsys.readouterr().out
         assert main(["serve", "--seed", "7"]) == 0
         assert capsys.readouterr().out == first
+
+    def test_serve_asyncio_runs_through_service_mux(self, capsys):
+        assert main(["serve", "--seed", "7", "--asyncio"]) == 0
+        out = capsys.readouterr().out
+        assert "2 services" in out and "event loop" in out
+        # Interleaved per-handle progress lines streamed from updates()...
+        assert "[acme  ]" in out and "[globex]" in out
+        assert "running" in out
+        # ...and a terminal summary once every service drains.
+        assert "-- mux idle --" in out
+        assert out.count("done") >= 3
+        assert "total spend $" in out
+
+    def test_serve_asyncio_is_deterministic(self, capsys):
+        assert main(["serve", "--seed", "7", "--asyncio"]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", "--seed", "7", "--asyncio"]) == 0
+        assert capsys.readouterr().out == first

@@ -1,0 +1,328 @@
+"""Tests for the async-native service front door (DESIGN.md §8).
+
+Covers awaitable result/timeout/cancel semantics, progress streaming,
+bit-identical equivalence of concurrent gathers to sequential blocking
+runs, ServiceMux fairness, and the sleep-not-spin guarantee on a
+wall-clock-delaying backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.amt.slow import SlowBackend
+from repro.engine.aio import AsyncSchedulerService, ServiceMux
+from repro.engine.service import QueryCancelled, QueryState
+from repro.it.images import generate_images
+from repro.system import CDAS
+from repro.tsa.app import movie_query
+from repro.tsa.tweets import generate_tweets
+
+#: Wall-clock delay of the SlowBackend tests (long enough to observe
+#: waiting, short enough to keep the suite fast).
+DELAY = 0.02
+
+
+def _cdas(seed: int, slow: float | None = None) -> CDAS:
+    pool = WorkerPool.from_config(PoolConfig(size=120), seed=7)
+    market = SimulatedMarket(pool, seed=seed)
+    if slow is not None:
+        market = SlowBackend(market, delay=slow)
+    return CDAS.with_default_jobs(market, seed=seed)
+
+
+def _tsa_inputs(movies=("alpha", "beta"), per_movie=12, seed=5, workers=5):
+    tweets = generate_tweets(list(movies), per_movie=per_movie, seed=seed)
+    gold = generate_tweets(["gold-movie"], per_movie=10, seed=seed + 1)
+    return {
+        "tweets": tweets,
+        "gold_tweets": gold,
+        "worker_count": workers,
+        "batch_size": 6,
+    }
+
+
+class TestAwaitResult:
+    def test_await_result_matches_blocking_run(self):
+        """One query awaited on the loop == the same query run blocking."""
+        sync_service = _cdas(41).service(max_in_flight=2)
+        sync_handle = sync_service.submit(
+            "twitter-sentiment", movie_query("alpha", 0.9), **_tsa_inputs()
+        )
+        reference = sync_handle.result()
+
+        async def run():
+            async with _cdas(41).async_service(max_in_flight=2) as service:
+                handle = service.submit(
+                    "twitter-sentiment", movie_query("alpha", 0.9),
+                    **_tsa_inputs(),
+                )
+                assert not handle.done  # awaitable, not already run
+                return await handle.result()
+
+        assert asyncio.run(run()) == reference
+
+    def test_submit_outside_loop_awaited_inside(self):
+        """submit() needs no running loop; the driver starts on first await."""
+        service = _cdas(41).async_service(max_in_flight=2)
+        handle = service.submit(
+            "twitter-sentiment", movie_query("alpha", 0.9), **_tsa_inputs()
+        )
+        assert handle.state is QueryState.QUEUED
+
+        async def run():
+            async with service:
+                return await handle.result()
+
+        result = asyncio.run(run())
+        assert handle.state is QueryState.DONE
+        assert len(result.records) == 12
+
+    def test_invalid_submission_raises_synchronously(self):
+        service = _cdas(41).async_service()
+        with pytest.raises(KeyError):
+            service.submit("no-such-job", movie_query("alpha", 0.9))
+        with pytest.raises(ValueError):
+            service.submit(
+                "twitter-sentiment", movie_query("alpha", 0.9)
+            )  # missing gold_tweets
+
+    def test_timeout_raises_without_losing_the_query(self):
+        async def run():
+            cdas = _cdas(42, slow=DELAY)
+            async with cdas.async_service(max_in_flight=2) as service:
+                handle = service.submit(
+                    "twitter-sentiment", movie_query("alpha", 0.9),
+                    **_tsa_inputs(),
+                )
+                with pytest.raises(TimeoutError):
+                    await handle.result(timeout=DELAY / 2)
+                # Not terminal, not cancelled — the query kept running...
+                assert not handle.done
+                # ...and a later await completes it normally.
+                result = await handle.result()
+                assert handle.state is QueryState.DONE
+                return result
+
+        assert len(asyncio.run(run()).records) == 12
+
+    def test_cancel_while_awaited(self):
+        async def run():
+            cdas = _cdas(43, slow=DELAY)
+            async with cdas.async_service(max_in_flight=2) as service:
+                handle = service.submit(
+                    "twitter-sentiment", movie_query("alpha", 0.9),
+                    **_tsa_inputs(),
+                )
+                waiter = asyncio.create_task(handle.result())
+                await asyncio.sleep(DELAY)  # let some HITs publish
+                assert await handle.cancel()
+                with pytest.raises(QueryCancelled):
+                    await waiter
+                assert handle.state is QueryState.CANCELLED
+                spend_at_cancel = handle.spend
+                # Cancelling again is a no-op; spend stays frozen.
+                assert not await handle.cancel()
+                return spend_at_cancel, handle.spend
+
+        frozen, after = asyncio.run(run())
+        assert frozen == after
+
+
+class TestGatherEquivalence:
+    """Two services × three tenants on one loop == sequential blocking."""
+
+    def _submissions(self):
+        it_inputs = {
+            "images": generate_images(per_subject=1, seed=9)[:3],
+            "gold_images": generate_images(per_subject=1, seed=10),
+            "worker_count": 5,
+        }
+        return [
+            # (service key, job, query, tenant, inputs)
+            ("svc-a", "twitter-sentiment", movie_query("alpha", 0.9),
+             "tenant1", _tsa_inputs()),
+            ("svc-a", "twitter-sentiment", movie_query("beta", 0.9),
+             "tenant2", _tsa_inputs()),
+            ("svc-b", "image-tagging", movie_query("images", 0.9),
+             "tenant3", it_inputs),
+        ]
+
+    def _sequential_blocking(self):
+        """The PR-2 API: per-service blocking services, pumped to idle."""
+        results = {}
+        for key, seed in (("svc-a", 50), ("svc-b", 51)):
+            service = _cdas(seed).service(max_in_flight=2)
+            handles = [
+                (i, service.submit(job, query, tenant=tenant, **inputs))
+                for i, (k, job, query, tenant, inputs) in enumerate(
+                    self._submissions()
+                )
+                if k == key
+            ]
+            service.run_until_idle()
+            for i, handle in handles:
+                results[i] = handle.result()
+        return [results[i] for i in sorted(results)]
+
+    def test_gather_bit_identical_to_sequential(self):
+        reference = self._sequential_blocking()
+
+        async def run():
+            mux = ServiceMux()
+            mux.add("svc-a", _cdas(50).async_service(max_in_flight=2))
+            mux.add("svc-b", _cdas(51).async_service(max_in_flight=2))
+            handles = [
+                mux.submit(key, job, query, tenant=tenant, **inputs)
+                for key, job, query, tenant, inputs in self._submissions()
+            ]
+            async with mux:
+                return await mux.gather(*handles)
+
+        concurrent = asyncio.run(run())
+        assert concurrent == reference
+
+    def test_gather_is_repeatable(self):
+        async def run():
+            mux = ServiceMux()
+            mux.add("svc-a", _cdas(50).async_service(max_in_flight=2))
+            mux.add("svc-b", _cdas(51).async_service(max_in_flight=2))
+            handles = [
+                mux.submit(key, job, query, tenant=tenant, **inputs)
+                for key, job, query, tenant, inputs in self._submissions()
+            ]
+            async with mux:
+                return await mux.gather(*handles)
+
+        assert asyncio.run(run()) == asyncio.run(run())
+
+
+class TestSleepNotSpin:
+    def test_driver_sleeps_through_dormant_spells(self):
+        """Bounded step() count on a slow backend: waits are awaited."""
+
+        async def run():
+            cdas = _cdas(44, slow=DELAY)
+            async with cdas.async_service(max_in_flight=2) as service:
+                handle = service.submit(
+                    "twitter-sentiment", movie_query("alpha", 0.9),
+                    **_tsa_inputs(workers=3),
+                )
+                result = await handle.result()
+                return result, service.steps_taken
+
+        result, steps = asyncio.run(run())
+        assert len(result.records) == 12
+        # 2 batches × 3 workers = 6 submission events.  A driver that
+        # spun during the ~6 × DELAY of dormancy would take thousands of
+        # steps; a sleeping one takes a few per event (grants, seals).
+        assert steps <= 8 * 6
+
+    def test_updates_stream_monotone_to_terminal(self):
+        async def run():
+            async with _cdas(45).async_service(max_in_flight=2) as service:
+                handle = service.submit(
+                    "twitter-sentiment", movie_query("alpha", 0.9),
+                    **_tsa_inputs(),
+                )
+                return [s async for s in handle.updates()]
+
+        snapshots = asyncio.run(run())
+        assert len(snapshots) > 1
+        assert snapshots[-1].state is QueryState.DONE
+        # Changed snapshots only, counters monotone.
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            assert earlier != later
+            assert earlier.items_answered <= later.items_answered
+            assert earlier.items_finalized <= later.items_finalized
+            assert earlier.spend <= later.spend
+
+    def test_updates_on_terminal_handle_yields_final_snapshot(self):
+        async def run():
+            async with _cdas(45).async_service(max_in_flight=2) as service:
+                handle = service.submit(
+                    "twitter-sentiment", movie_query("alpha", 0.9),
+                    **_tsa_inputs(),
+                )
+                await handle.result()
+                return [s async for s in handle.updates()]
+
+        snapshots = asyncio.run(run())
+        assert len(snapshots) == 1
+        assert snapshots[0].state is QueryState.DONE
+
+
+class TestServiceMux:
+    def test_duplicate_name_rejected(self):
+        mux = ServiceMux()
+        mux.add("svc", _cdas(46).async_service())
+        with pytest.raises(ValueError):
+            mux.add("svc", _cdas(47).async_service())
+
+    def test_wraps_plain_scheduler_service(self):
+        mux = ServiceMux()
+        wrapped = mux.add("svc", _cdas(46).service())
+        assert isinstance(wrapped, AsyncSchedulerService)
+        assert wrapped.name == "svc"
+        assert mux["svc"] is wrapped and len(mux) == 1
+
+    def test_fair_interleaving_on_one_loop(self):
+        """Neither service monopolises the loop: productive steps from
+        both appear throughout the shared prefix of the step log."""
+
+        async def run():
+            mux = ServiceMux()
+            a = mux.add("a", _cdas(50).async_service(max_in_flight=2))
+            b = mux.add("b", _cdas(51).async_service(max_in_flight=2))
+            h1 = a.submit(
+                "twitter-sentiment", movie_query("alpha", 0.9), **_tsa_inputs()
+            )
+            h2 = b.submit(
+                "twitter-sentiment", movie_query("beta", 0.9), **_tsa_inputs()
+            )
+            async with mux:
+                await mux.gather(h1, h2)
+            return mux.step_log
+
+        log = asyncio.run(run())
+        prefix = log[:20]
+        assert prefix.count("a") >= 8 and prefix.count("b") >= 8
+
+    def test_run_until_idle_and_driver_restart(self):
+        async def run():
+            service = _cdas(48).async_service(max_in_flight=2)
+            first = service.submit(
+                "twitter-sentiment", movie_query("alpha", 0.9), **_tsa_inputs()
+            )
+            await service.wait_idle()
+            assert first.done
+            # The driver exited on drain; a new submission restarts it.
+            second = service.submit(
+                "twitter-sentiment", movie_query("beta", 0.9), **_tsa_inputs()
+            )
+            result = await second.result()
+            await service.aclose()
+            return first.state, second.state, len(result.records)
+
+        first_state, second_state, records = asyncio.run(run())
+        assert first_state is QueryState.DONE
+        assert second_state is QueryState.DONE
+        assert records == 12
+
+    def test_mux_run_until_idle(self):
+        async def run():
+            mux = ServiceMux()
+            a = mux.add("a", _cdas(50).async_service(max_in_flight=2))
+            handle = a.submit(
+                "twitter-sentiment", movie_query("alpha", 0.9), **_tsa_inputs()
+            )
+            async with mux:
+                await mux.run_until_idle()
+                assert handle.done
+                return await handle.result()
+
+        assert len(asyncio.run(run()).records) == 12
