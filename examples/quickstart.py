@@ -17,7 +17,6 @@ from repro.core import (
     refined_worker_count,
     verify_with_all,
 )
-from repro.core.sampling import WorkerAccuracyEstimator
 
 SEED = 2012
 
@@ -44,9 +43,8 @@ def main() -> None:
     hit = HIT(hit_id="quickstart", questions=(question,), assignments=n)
     handle = market.publish(hit)
 
-    # Estimate each answering worker's accuracy (here: one gold probe per
-    # worker via their own answer — the real pipeline uses §3.3 sampling).
-    estimator = WorkerAccuracyEstimator(prior_accuracy=0.5, smoothing=1.0)
+    # Build the observation with each worker's accuracy (oracle accuracies
+    # for the demo — the real pipeline estimates them via §3.3 sampling).
     observation = []
     for assignment in handle.collect_all():
         answer = assignment.answers["tweet-1"]

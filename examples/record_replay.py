@@ -1,0 +1,66 @@
+"""Record a crowdsourcing run to a trace file, then replay it bit-for-bit.
+
+The recorder wraps any market backend and logs every interaction —
+published HITs, collected submissions, cancels — to a versioned JSONL
+trace.  The replay backend serves that recording back through the
+unchanged engine: same verdicts, same spend, and a structured
+``TraceDivergence`` the moment the engine deviates from the recording
+(DESIGN.md §9).  Run with::
+
+    PYTHONPATH=src python examples/record_replay.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.amt.trace import TraceRecorder, TraceReplayBackend, load_trace
+from repro.scenarios import build_market
+from repro.system import CDAS
+from repro.tsa.app import movie_query
+from repro.tsa.tweets import generate_tweets
+
+SEED = 7
+
+
+def run_query(backend):
+    """The engine-side script — identical for recording and replay."""
+    cdas = CDAS.with_default_jobs(backend, seed=SEED)
+    tweets = generate_tweets(["rio"], per_movie=10, seed=SEED + 1)
+    gold = generate_tweets(["gold-movie"], per_movie=8, seed=SEED + 2)
+    service = cdas.service(max_in_flight=2)
+    handle = service.submit(
+        "twitter-sentiment", movie_query("rio", 0.9),
+        tweets=tweets, gold_tweets=gold, worker_count=4, batch_size=5,
+    )
+    service.run_until_idle()
+    return handle.result()
+
+
+def main() -> None:
+    trace_path = Path(tempfile.gettempdir()) / "cdas_example_trace.jsonl"
+
+    # 1. Record: the market serves the run, the recorder logs it.
+    with TraceRecorder(build_market(SEED), trace_path) as recorder:
+        recorded = run_query(recorder)
+    trace = load_trace(trace_path)
+    print(f"recorded {trace.end['publishes']} HITs, "
+          f"{trace.end['submissions']} submissions → {trace_path}")
+    print(f"fingerprint {trace.fingerprint[:16]}…")
+
+    # 2. Replay: a fresh engine re-runs the query against the recording.
+    replay = TraceReplayBackend.load(trace_path)
+    replayed = run_query(replay)
+    replay.verify_complete()
+
+    print(f"recording accuracy {recorded.accuracy:.2f}, "
+          f"cost ${recorded.cost:.2f}")
+    print(f"replay    accuracy {replayed.accuracy:.2f}, "
+          f"cost ${replay.ledger.total_cost:.2f}")
+    assert replayed == recorded, "replay must reproduce the recording"
+    print("replay reproduced the recording bit for bit")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,14 @@ from repro.amt.market import PublishedHIT, SimulatedMarket
 from repro.amt.slow import SlowBackend, SlowHITHandle
 from repro.amt.pool import PoolConfig, WorkerPool
 from repro.amt.pricing import CostLedger, PriceSchedule
+from repro.amt.trace import (
+    Trace,
+    TraceDivergence,
+    TraceError,
+    TraceRecorder,
+    TraceReplayBackend,
+    load_trace,
+)
 from repro.amt.worker import (
     Behaviour,
     ColluderBehaviour,
@@ -54,6 +62,12 @@ __all__ = [
     "WorkerPool",
     "CostLedger",
     "PriceSchedule",
+    "Trace",
+    "TraceDivergence",
+    "TraceError",
+    "TraceRecorder",
+    "TraceReplayBackend",
+    "load_trace",
     "Behaviour",
     "ColluderBehaviour",
     "ReliableBehaviour",

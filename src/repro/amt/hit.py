@@ -12,7 +12,7 @@ ground truth like the paper does.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 __all__ = ["Question", "HIT", "Assignment"]

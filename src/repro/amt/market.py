@@ -25,7 +25,7 @@ protocol, never on this class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.amt.hit import HIT, Assignment, validate_assignment
 from repro.amt.latency import LatencyModel, LognormalLatency

@@ -17,6 +17,17 @@ Commands
     :class:`~repro.engine.aio.ServiceMux` — one async service per tenant
     group, multiplexed on one event loop, progress streamed from
     ``handle.updates()`` (DESIGN.md §8).
+``record --out TRACE [--scenario S] [--seed N] [--slow DELAY]``
+    Run a named scenario against a fresh simulated market (optionally
+    slowed to exercise wall-clock waiting) while recording every market
+    interaction to a versioned JSONL trace (DESIGN.md §9); prints the
+    trace fingerprint and the pinned outcome digest.
+``replay TRACE [--time-scale S]``
+    Replay a recorded trace through a fresh engine and verify the run
+    reproduces the recording bit for bit — exits non-zero with the
+    structured divergence when it does not.  ``--time-scale`` stretches
+    the recorded arrival timestamps (0 compresses all waiting away,
+    1 reproduces the recording's pacing).
 """
 
 from __future__ import annotations
@@ -248,6 +259,53 @@ async def _serve_asyncio(cdas, tweets, gold, images, gold_images, args) -> int:
     return 0
 
 
+def _outcome_digest(outcome) -> str:
+    """Short digest of a canonical scenario outcome (human comparison aid)."""
+    import hashlib
+
+    from repro.scenarios import canonical_json
+
+    return hashlib.sha256(canonical_json(outcome).encode("utf-8")).hexdigest()[:16]
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.scenarios import record_scenario
+
+    report = record_scenario(
+        args.scenario, args.out, seed=args.seed, delay=args.slow
+    )
+    ledger = report.outcome["ledger"]
+    print(f"recorded scenario  : {report.scenario} (seed {report.seed})")
+    print(f"trace file         : {report.trace_path}")
+    print(f"trace fingerprint  : {report.fingerprint}")
+    print(f"outcome digest     : {_outcome_digest(report.outcome)}")
+    print(
+        f"market activity    : {ledger['charged_assignments']} assignments "
+        f"charged, {ledger['cancelled_assignments']} cancelled "
+        f"(${ledger['total_cost']:.2f} spent, ${ledger['avoided_cost']:.2f} avoided)"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.amt.trace import TraceDivergence, TraceError
+    from repro.scenarios import replay_scenario
+
+    try:
+        report = replay_scenario(args.trace, time_scale=args.time_scale)
+    except TraceError as exc:
+        print(f"trace unreadable: {exc}")
+        return 2
+    except TraceDivergence as exc:
+        print(f"REPLAY DIVERGED: {exc}")
+        return 1
+    print(f"replayed scenario  : {report.scenario} (seed {report.seed})")
+    print(f"trace fingerprint  : {report.fingerprint}")
+    print(f"outcome digest     : {_outcome_digest(report.outcome)}")
+    print("replay reproduced the recording bit for bit")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -306,6 +364,44 @@ def build_parser() -> argparse.ArgumentParser:
         "(one async service per tenant group, progress via updates())",
     )
     serve_p.set_defaults(func=_cmd_serve)
+
+    from repro.scenarios import SCENARIOS
+
+    record_p = sub.add_parser(
+        "record",
+        help="record a scenario run to a replayable market trace",
+    )
+    record_p.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="mixed-service",
+        help="named workload to drive (see repro.scenarios)",
+    )
+    record_p.add_argument("--out", required=True, help="trace file to write")
+    record_p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    record_p.add_argument(
+        "--slow",
+        type=float,
+        default=None,
+        metavar="DELAY",
+        help="wrap the market in SlowBackend(DELAY) so recorded "
+        "timestamps carry real wall-clock waiting",
+    )
+    record_p.set_defaults(func=_cmd_record)
+
+    replay_p = sub.add_parser(
+        "replay",
+        help="replay a recorded trace and verify bit-for-bit reproduction",
+    )
+    replay_p.add_argument("trace", help="trace file recorded with `record`")
+    replay_p.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        help="stretch recorded arrival timestamps (0 = fully "
+        "compressed, 1 = the recording's own pacing)",
+    )
+    replay_p.set_defaults(func=_cmd_replay)
     return parser
 
 

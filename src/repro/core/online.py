@@ -15,7 +15,7 @@ cancelled.  The full trajectory is recorded so experiments like Figure 11
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.confidence import answer_log_weights
 from repro.core.domain import AnswerDomain

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.domain import AnswerDomain
 from repro.core.types import Observation, Verdict

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.domain import AnswerDomain
 from repro.core.online import run_online
 from repro.core.prediction import refined_worker_count

@@ -169,6 +169,7 @@ class CDAS:
         track_trajectories: bool = True,
         allocation: str = "weighted",
         on_event: Callable[..., None] | None = None,
+        backend: MarketBackend | None = None,
     ) -> SchedulerService:
         """A long-lived scheduler service over this system's engine.
 
@@ -176,9 +177,27 @@ class CDAS:
         :class:`~repro.engine.service.QueryHandle`\\ s; see
         :class:`~repro.engine.service.SchedulerService`.  Every job
         registered with a submitter is available on it.
+
+        ``backend`` swaps the market the service runs against — typically
+        a :class:`~repro.amt.trace.TraceReplayBackend` replaying a
+        recorded run, or a :class:`~repro.amt.slow.SlowBackend` rehearsal
+        — on a *fresh* engine (same seed, config and privacy policy as
+        this system's).  The fresh engine matters for replay: the
+        replayed run must rebuild estimator state from the recorded
+        submissions alone, exactly as the recording run built it.
+        Calibration traffic for such a service goes through
+        ``service.engine.calibrate`` (it is part of the recording).
         """
+        engine = self.engine
+        if backend is not None:
+            engine = CrowdsourcingEngine(
+                backend,
+                seed=self.engine.seed,
+                config=self.engine.config,
+                privacy=self.engine.privacy,
+            )
         return SchedulerService(
-            self.engine,
+            engine,
             self.job_manager.plan,
             self._submitters,
             max_in_flight=max_in_flight,
@@ -194,6 +213,7 @@ class CDAS:
         allocation: str = "weighted",
         on_event: Callable[..., None] | None = None,
         name: str | None = None,
+        backend: MarketBackend | None = None,
     ) -> AsyncSchedulerService:
         """An async-native service over this system's engine (DESIGN.md §8).
 
@@ -204,7 +224,11 @@ class CDAS:
         pumps the service cooperatively on the running event loop.
         Several async services — typically one per tenant group —
         multiplex on one loop through
-        :class:`~repro.engine.aio.ServiceMux`.
+        :class:`~repro.engine.aio.ServiceMux`.  ``backend`` swaps the
+        market as for :meth:`service`; a replay backend with
+        ``time_scale > 0`` serves its recorded arrival ETAs through
+        ``next_arrival_eta()``, so the driver's sleeping is exercised by
+        replay exactly as a slow/live market would.
         """
         return AsyncSchedulerService(
             self.service(
@@ -212,6 +236,7 @@ class CDAS:
                 track_trajectories=track_trajectories,
                 allocation=allocation,
                 on_event=on_event,
+                backend=backend,
             ),
             name=name,
         )

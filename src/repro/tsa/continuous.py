@@ -24,7 +24,6 @@ from dataclasses import dataclass
 from repro.amt.pool import WorkerPool
 from repro.amt.worker import behaviour_for
 from repro.core.confidence import answer_confidences
-from repro.core.domain import AnswerDomain
 from repro.core.presentation import OpinionReport, QuestionOutcome, build_report
 from repro.core.termination import TerminationStrategy
 from repro.core.types import Verdict, WorkerAnswer

@@ -7,7 +7,6 @@ import pytest
 from repro.amt.hit import HIT, Question
 from repro.amt.latency import FixedLatency
 from repro.amt.market import SimulatedMarket
-from repro.amt.pool import PoolConfig, WorkerPool
 from repro.amt.pricing import PriceSchedule
 
 

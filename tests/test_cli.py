@@ -101,3 +101,63 @@ class TestCommands:
         first = capsys.readouterr().out
         assert main(["serve", "--seed", "7", "--asyncio"]) == 0
         assert capsys.readouterr().out == first
+
+
+class TestRecordReplay:
+    """The `record` / `replay` subcommands (DESIGN.md §9)."""
+
+    def _record(self, tmp_path, capsys, *extra):
+        trace = tmp_path / "trace.jsonl"
+        args = ["record", "--out", str(trace), "--seed", "5", *extra]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        return trace, out
+
+    def test_record_then_replay_round_trips(self, tmp_path, capsys):
+        trace, record_out = self._record(tmp_path, capsys)
+        assert "trace fingerprint" in record_out
+        assert trace.exists()
+        assert main(["replay", str(trace)]) == 0
+        replay_out = capsys.readouterr().out
+        assert "bit for bit" in replay_out
+        # The fingerprint digest the replay prints matches the recording's.
+        fingerprint = [
+            line for line in record_out.splitlines() if "fingerprint" in line
+        ][0]
+        assert fingerprint in replay_out.splitlines()
+        digest = [
+            line for line in record_out.splitlines() if "outcome digest" in line
+        ][0]
+        assert digest in replay_out.splitlines()
+
+    def test_record_cancel_scenario(self, tmp_path, capsys):
+        trace, out = self._record(
+            tmp_path, capsys, "--scenario", "cancel-mid-flight"
+        )
+        assert "cancel-mid-flight" in out
+        assert "cancelled" in out
+        assert main(["replay", str(trace)]) == 0
+        assert "bit for bit" in capsys.readouterr().out
+
+    def test_replay_tampered_trace_fails(self, tmp_path, capsys):
+        trace, _ = self._record(tmp_path, capsys)
+        text = trace.read_text()
+        trace.write_text(text.replace('"positive"', '"negative"', 1))
+        assert main(["replay", str(trace)]) == 2
+        assert "trace unreadable" in capsys.readouterr().out
+
+    def test_replay_truncated_trace_fails(self, tmp_path, capsys):
+        trace, _ = self._record(tmp_path, capsys)
+        lines = trace.read_text().splitlines()
+        trace.write_text("\n".join(lines[:-1]) + "\n")
+        assert main(["replay", str(trace)]) == 2
+        assert "truncated" in capsys.readouterr().out
+
+    def test_replay_golden_traces_from_cli(self, capsys):
+        """The CI gate's CLI form: replay the checked-in goldens."""
+        from pathlib import Path
+
+        traces = Path(__file__).parent / "data" / "traces"
+        for name in ("mixed_service.jsonl", "cancel_mid_flight.jsonl"):
+            assert main(["replay", str(traces / name)]) == 0
+            assert "bit for bit" in capsys.readouterr().out

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.domain import AnswerDomain
 from repro.core.presentation import (
     OpinionReport,
     QuestionOutcome,

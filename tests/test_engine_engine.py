@@ -6,7 +6,6 @@ import pytest
 
 from repro.amt.hit import Question
 from repro.amt.market import SimulatedMarket
-from repro.amt.pool import PoolConfig, WorkerPool
 from repro.engine.engine import CrowdsourcingEngine, EngineConfig
 from repro.engine.privacy import PrivacyManager
 

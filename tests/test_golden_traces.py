@@ -1,0 +1,95 @@
+"""The golden-trace determinism gate.
+
+Two recorded market runs are checked in under ``tests/data/traces/``;
+replaying each through the *current* engine must reproduce the recording
+run's query results and ledger spend bit for bit, and the interaction
+fingerprint must match the hex digests pinned below (which equal the
+``end`` records inside the files — pinning them here too means neither
+the code nor the trace file can drift alone).
+
+CI runs this module on every supported Python version (the
+``trace-replay`` job): any fingerprint or outcome drift — a changed
+verdict, a re-ordered submission, a different charge — fails the gate.
+Regenerate the traces deliberately with::
+
+    python -m repro record --scenario mixed-service --seed 2012 \
+        --out tests/data/traces/mixed_service.jsonl
+    python -m repro record --scenario cancel-mid-flight --seed 2012 \
+        --out tests/data/traces/cancel_mid_flight.jsonl
+
+and update the pinned fingerprints in the same commit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.amt.trace import load_trace
+from repro.scenarios import canonical_json, replay_scenario
+
+TRACES = Path(__file__).parent / "data" / "traces"
+
+#: file name → (scenario, recorded interaction-stream fingerprint).
+GOLDEN = {
+    "mixed_service.jsonl": (
+        "mixed-service",
+        "ac845781aa2224bae9f89ec91492a80607c8540bfbae47ca39a57291a50b6977",
+    ),
+    "cancel_mid_flight.jsonl": (
+        "cancel-mid-flight",
+        "d173ef7ec9d7d5f8c0bffeb2af858dd7b7c3f26e5f3af3e8e2afaaaad2b37d8e",
+    ),
+}
+
+
+@pytest.mark.parametrize("filename", sorted(GOLDEN))
+def test_golden_trace_file_is_intact(filename):
+    """The checked-in file loads, self-validates, and matches its pin."""
+    scenario, pinned_fingerprint = GOLDEN[filename]
+    trace = load_trace(TRACES / filename)
+    assert trace.meta["scenario"] == scenario
+    assert trace.fingerprint == pinned_fingerprint
+    assert trace.expect is not None, "golden traces must pin their outcome"
+
+
+@pytest.mark.parametrize("filename", sorted(GOLDEN))
+def test_golden_trace_replays_bit_for_bit(filename):
+    """The determinism gate: replay reproduces results and spend exactly.
+
+    ``replay_scenario`` itself raises :class:`TraceDivergence` on any
+    deviation (extra publish, reordered submission, missing cancel) and
+    on any outcome drift; the assertions below re-state the acceptance
+    criterion explicitly.
+    """
+    scenario, pinned_fingerprint = GOLDEN[filename]
+    report = replay_scenario(TRACES / filename)
+    assert report.scenario == scenario
+    assert report.fingerprint == pinned_fingerprint
+    trace = load_trace(TRACES / filename)
+    # Bit-for-bit: the replay outcome serialises identically to the
+    # outcome pinned by the recording run (verdicts, confidences,
+    # progress counters, per-tenant and ledger spend).
+    assert canonical_json(report.outcome) == canonical_json(trace.expect)
+
+
+def test_golden_cancel_trace_exercises_forfeiture():
+    """The cancel-mid-flight golden really forfeits assignments."""
+    report = replay_scenario(TRACES / "cancel_mid_flight.jsonl")
+    ledger = report.outcome["ledger"]
+    assert ledger["cancelled_assignments"] > 0
+    assert ledger["avoided_cost"] > 0
+    doomed = report.outcome["handles"][0]
+    assert doomed["state"] == "cancelled"
+    assert doomed["spend"] > 0  # charge-final: collected work stays paid
+
+
+def test_golden_mixed_trace_covers_both_jobs():
+    """The mixed golden spans TSA + IT queries and two tenants."""
+    report = replay_scenario(TRACES / "mixed_service.jsonl")
+    jobs = {h["job"] for h in report.outcome["handles"]}
+    tenants = {h["tenant"] for h in report.outcome["handles"]}
+    assert jobs == {"twitter-sentiment", "image-tagging"}
+    assert tenants == {"acme", "globex"}
+    assert all(h["state"] == "done" for h in report.outcome["handles"])

@@ -6,8 +6,6 @@ import pytest
 
 from repro.amt.hit import HIT, Question
 from repro.amt.market import SimulatedMarket
-from repro.amt.pool import PoolConfig, WorkerPool
-from repro.core.domain import AnswerDomain
 from repro.core.online import OnlineAggregator
 from repro.core.types import WorkerAnswer
 from repro.engine.engine import CrowdsourcingEngine

@@ -10,7 +10,6 @@ from repro.tsa.app import TSAJob, build_tsa_spec, movie_query
 from repro.tsa.lexicon import SENTIMENTS
 from repro.tsa.stream import TweetStream
 from repro.tsa.tweets import (
-    Tweet,
     TweetGeneratorConfig,
     generate_tweets,
     tweet_to_question,
