@@ -1,0 +1,121 @@
+"""Bench: plan-gated admission vs. reactive admit-then-kill.
+
+N queries whose §3.1 projection can never fit their tenant's budget cap
+are thrown at the service two ways:
+
+* **preadmission** (the PR-5 lifecycle): each query is planned and
+  ``submit(plan=...)`` refuses it with :class:`PlanInfeasible` — in
+  planner time only, with **zero** scheduler steps and **zero** market
+  spend.  The wall-clock pytest-benchmark reports is the cost of N
+  plan-and-refuse round trips: projection is O(candidate filtering), no
+  simulation runs at all.
+* **reactive baseline** (the PR-2..4 behaviour, still available with
+  plan-less ``submit``): the first query is admitted — nothing has been
+  spent yet, so the cap objects to nothing — and burns real simulated
+  HIT spend until the cap trips mid-flight; only then are the remaining
+  submissions refused.  ``extra_info`` records the wasted spend.
+
+The assertions pin the acceptance criterion: refused-at-plan-time means
+no events, no published HITs, no dollars; reactive means real dollars
+burned on a query that could never finish.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.engine.planner import PlanInfeasible
+from repro.engine.service import AdmissionRejected
+from repro.system import CDAS
+from repro.tsa.app import movie_query
+from repro.tsa.tweets import generate_tweets, tweet_to_question
+
+INFEASIBLE_QUERIES = 25
+TENANT_CAP = 0.05  # each query projects ~$0.63 — none can ever finish
+TWEETS_PER_QUERY = 30
+BATCH_SIZE = 5  # → 6 HITs per query
+WORKERS_PER_HIT = 7
+
+
+def _service(bench_seed: int):
+    pool = WorkerPool.from_config(PoolConfig(size=200), seed=bench_seed)
+    cdas = CDAS.with_default_jobs(
+        SimulatedMarket(pool, seed=bench_seed), seed=bench_seed
+    )
+    gold = generate_tweets(["gold-movie"], per_movie=8, seed=bench_seed + 1)
+    cdas.calibrate(
+        [tweet_to_question(t) for t in gold], workers_per_hit=6, hits=1
+    )
+    tweets = generate_tweets(["doomed"], per_movie=TWEETS_PER_QUERY, seed=bench_seed + 2)
+    service = cdas.service(max_in_flight=2, track_trajectories=False)
+    service.register_tenant("acme", budget_cap=TENANT_CAP)
+    inputs = dict(
+        tweets=tweets,
+        gold_tweets=gold,
+        worker_count=WORKERS_PER_HIT,
+        batch_size=BATCH_SIZE,
+    )
+    return cdas, service, inputs
+
+
+def _refuse_all_at_plan_time(bench_seed: int):
+    """The measured path: N plan → refuse round trips, no simulation."""
+    cdas, service, inputs = _service(bench_seed)
+    refused = 0
+    for i in range(INFEASIBLE_QUERIES):
+        plan = service.plan(
+            "twitter-sentiment", movie_query("doomed", 0.9), tenant="acme",
+            **inputs,
+        )
+        try:
+            service.submit(plan=plan)
+        except PlanInfeasible as exc:
+            assert exc.counter_offer is not None
+            refused += 1
+    return cdas, service, refused
+
+
+def _reactive_baseline(bench_seed: int):
+    """Plan-less submissions: the first is admitted and burns real spend
+    until the cap trips; later ones are refused only reactively."""
+    cdas, service, inputs = _service(bench_seed)
+    admitted, refused = 0, 0
+    for i in range(INFEASIBLE_QUERIES):
+        try:
+            service.submit(
+                "twitter-sentiment", movie_query("doomed", 0.9),
+                tenant="acme", **inputs,
+            )
+            admitted += 1
+        except AdmissionRejected:
+            refused += 1
+        service.run_until_idle()
+    return cdas, service, admitted, refused
+
+
+def test_bench_preadmission_refuses_for_free(benchmark, bench_seed):
+    cdas, service, refused = benchmark.pedantic(
+        _refuse_all_at_plan_time, args=(bench_seed,), rounds=1, iterations=1
+    )
+    # Every infeasible query was refused at plan time...
+    assert refused == INFEASIBLE_QUERIES
+    # ...with zero scheduler steps, zero published query HITs and zero
+    # tenant spend (the only market activity is calibration).
+    assert service.scheduler.events_processed == 0
+    assert service.tenant_spend("acme") == 0.0
+    assert cdas.market.published_hits == 1  # the calibration HIT
+    assert len(service.handles) == 0
+
+    # The reactive baseline admits-then-kills: real dollars burned on a
+    # query that could never finish inside the cap.
+    r_cdas, r_service, admitted, r_refused = _reactive_baseline(bench_seed)
+    assert admitted >= 1
+    assert admitted + r_refused == INFEASIBLE_QUERIES
+    wasted = r_service.tenant_spend("acme")
+    assert wasted >= TENANT_CAP  # at least the cap was burned mid-flight
+    benchmark.extra_info["queries"] = INFEASIBLE_QUERIES
+    benchmark.extra_info["preadmission_spend"] = 0.0
+    benchmark.extra_info["reactive_wasted_spend"] = round(wasted, 4)
+    benchmark.extra_info["reactive_admitted"] = admitted

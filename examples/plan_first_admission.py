@@ -1,0 +1,72 @@
+"""Plan-first query lifecycle: EXPLAIN, reserve, execute, settle.
+
+Demonstrates DESIGN.md §10: the §3.1 cost projection as an admission
+gate.  One query is planned, reserved and run to completion; a second —
+whose projection can never fit the tenant's remaining budget — is
+refused *before any HIT exists*, with a counter-offer saying what the
+remaining budget can buy instead.
+
+Run with:  PYTHONPATH=src python examples/plan_first_admission.py
+"""
+
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.engine.planner import PlanInfeasible
+from repro.system import CDAS
+from repro.tsa.app import movie_query
+from repro.tsa.tweets import generate_tweets, tweet_to_question
+
+SEED = 2012
+TENANT_CAP = 0.40
+
+pool = WorkerPool.from_config(PoolConfig(size=120), seed=SEED)
+cdas = CDAS.with_default_jobs(SimulatedMarket(pool, seed=SEED), seed=SEED)
+gold = generate_tweets(["gold-movie"], per_movie=8, seed=SEED + 1)
+cdas.calibrate([tweet_to_question(t) for t in gold], workers_per_hit=6, hits=1)
+tweets = generate_tweets(["rio", "solaris"], per_movie=12, seed=SEED + 2)
+
+service = cdas.service(max_in_flight=2)
+service.register_tenant("acme", budget_cap=TENANT_CAP)
+print(f"tenant 'acme' capped at ${TENANT_CAP:.2f}\n")
+
+# -- plan → inspect → submit(plan) -------------------------------------------
+
+plan = service.plan(
+    "twitter-sentiment", movie_query("rio", 0.9), tenant="acme",
+    tweets=tweets, gold_tweets=gold, worker_count=4, batch_size=6,
+)
+print(plan.describe())
+decision = service.preadmit(plan)
+print(f"  admission preview  : {'ADMIT' if decision.admitted else 'REJECT'}\n")
+
+handle = service.submit(plan=plan)  # reserves $0.12 of the cap
+print(
+    f"reserved ${service.tenant_reserved('acme'):.2f} "
+    f"(committed ${service.tenant_committed('acme'):.2f} of ${TENANT_CAP:.2f})\n"
+)
+
+# -- an infeasible plan is refused before any spend --------------------------
+
+expensive = service.plan(
+    "twitter-sentiment", movie_query("solaris", 0.9), tenant="acme",
+    tweets=tweets, gold_tweets=gold, worker_count=7, batch_size=2,
+)
+print(expensive.describe())
+try:
+    service.submit(plan=expensive)
+except PlanInfeasible as exc:
+    print(f"  REFUSED: {exc.decision.reason}")
+    print(f"  {exc.counter_offer.describe()}")
+assert service.tenant_spend("acme") == 0.0  # the refusal cost nothing
+
+# -- the admitted query runs under its reservation, then settles -------------
+
+result = handle.result()
+print(
+    f"\n'{handle.query.subject}' done: {len(result.records)} verdicts, "
+    f"spent ${handle.spend:.2f} (projected ${plan.projected_cost:.2f})"
+)
+print(
+    f"settled: committed ${service.tenant_committed('acme'):.2f}, "
+    f"outstanding reservations ${service.tenant_reserved('acme'):.2f}"
+)

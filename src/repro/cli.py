@@ -10,13 +10,20 @@ Commands
     Print the full paper-vs-measured report (EXPERIMENTS.md content).
 ``plan --accuracy C --budget B --mu MU --rate K --window W``
     Cost/accuracy planning for a streaming query (§3.1 economics).
-``serve [--slots N] [--seed N] [--progress-every E] [--asyncio]``
+``serve [--slots N] [--seed N] [--progress-every E] [--asyncio] [--pre-admit]``
     Drive mixed TSA + IT queries from two tenants through one long-lived
     scheduler service, printing per-handle progress lines (DESIGN.md §7).
     With ``--asyncio`` the same workload runs through a
     :class:`~repro.engine.aio.ServiceMux` — one async service per tenant
     group, multiplexed on one event loop, progress streamed from
-    ``handle.updates()`` (DESIGN.md §8).
+    ``handle.updates()`` (DESIGN.md §8).  With ``--pre-admit`` each query
+    takes the plan-first lifecycle: projected into a ``QueryPlan``,
+    reserved at admission, then ``submit(plan=...)`` (DESIGN.md §10).
+``explain [--seed N] [--tenant-budget CAP]``
+    Print the demo queries' EXPLAIN-style plans (workers per item,
+    expected accuracy, projected HITs and spend) plus the admission
+    preview against the tenants' remaining budget — REJECT decisions
+    carry the counter-offer.  Pure: nothing is submitted or published.
 ``record --out TRACE [--scenario S] [--seed N] [--slow DELAY]``
     Run a named scenario against a fresh simulated market (optionally
     slowed to exercise wall-clock waiting) while recording every market
@@ -154,10 +161,36 @@ def _serve_workload(seed: int):
     return cdas, tweets, gold, images, gold_images
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    """Mixed multi-tenant workload on one scheduler service (DESIGN.md §7)."""
+def _serve_requests(tweets, gold, images, gold_images):
+    """The demo submissions the serve/explain paths share:
+    ``(tenant, job, query, inputs)``."""
     from repro.tsa.app import movie_query
 
+    tsa_inputs = dict(
+        tweets=tweets, gold_tweets=gold, worker_count=5, batch_size=6
+    )
+    return [
+        ("acme", "twitter-sentiment", movie_query("rio", 0.9), tsa_inputs),
+        ("globex", "twitter-sentiment", movie_query("solaris", 0.9), tsa_inputs),
+        (
+            "globex",
+            "image-tagging",
+            movie_query("images", 0.9),
+            dict(images=images, gold_images=gold_images, worker_count=5),
+        ),
+    ]
+
+
+def _plan_line(plan) -> str:
+    return (
+        f"  plan [{plan.tenant:<6}] {plan.query.subject:<8} "
+        f"{plan.projected_hits} HITs  ${plan.projected_cost:.2f} projected  "
+        f"reserves ${plan.upfront_reservation:.2f}"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Mixed multi-tenant workload on one scheduler service (DESIGN.md §7)."""
     cdas, tweets, gold, images, gold_images = _serve_workload(args.seed)
     if args.use_asyncio:
         return asyncio.run(
@@ -167,23 +200,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = cdas.service(max_in_flight=args.slots)
     service.register_tenant("acme", priority=2.0)
     service.register_tenant("globex", priority=1.0)
-    handles = [
-        service.submit(
-            "twitter-sentiment", movie_query("rio", 0.9), tenant="acme",
-            tweets=tweets, gold_tweets=gold, worker_count=5, batch_size=6,
-        ),
-        service.submit(
-            "twitter-sentiment", movie_query("solaris", 0.9), tenant="globex",
-            tweets=tweets, gold_tweets=gold, worker_count=5, batch_size=6,
-        ),
-        service.submit(
-            "image-tagging", movie_query("images", 0.9), tenant="globex",
-            images=images, gold_images=gold_images, worker_count=5,
-        ),
-    ]
+    requests = _serve_requests(tweets, gold, images, gold_images)
+    if args.pre_admit:
+        # Plan-first lifecycle: project, reserve, then execute (§10).
+        plans = [
+            service.plan(job, query, tenant=tenant, **inputs)
+            for tenant, job, query, inputs in requests
+        ]
+        for plan in plans:
+            print(_plan_line(plan))
+        handles = [service.submit(plan=plan) for plan in plans]
+    else:
+        handles = [
+            service.submit(job, query, tenant=tenant, **inputs)
+            for tenant, job, query, inputs in requests
+        ]
+    admission = (
+        "plan-first reservations" if args.pre_admit else "weighted-priority admission"
+    )
     print(
         f"serving {len(handles)} queries from 2 tenants "
-        f"({args.slots} publish slots, weighted-priority admission)"
+        f"({args.slots} publish slots, {admission})"
     )
     events = 0
     while service.step():
@@ -207,7 +244,6 @@ async def _serve_asyncio(cdas, tweets, gold, images, gold_images, args) -> int:
     """The same workload through a ServiceMux: one async service per
     tenant group on one event loop, progress streamed from updates()."""
     from repro.engine.aio import ServiceMux
-    from repro.tsa.app import movie_query
 
     mux = ServiceMux()
     acme = mux.add(
@@ -218,20 +254,15 @@ async def _serve_asyncio(cdas, tweets, gold, images, gold_images, args) -> int:
     )
     acme.register_tenant("acme", priority=2.0)
     globex.register_tenant("globex", priority=1.0)
-    handles = [
-        acme.submit(
-            "twitter-sentiment", movie_query("rio", 0.9), tenant="acme",
-            tweets=tweets, gold_tweets=gold, worker_count=5, batch_size=6,
-        ),
-        globex.submit(
-            "twitter-sentiment", movie_query("solaris", 0.9), tenant="globex",
-            tweets=tweets, gold_tweets=gold, worker_count=5, batch_size=6,
-        ),
-        globex.submit(
-            "image-tagging", movie_query("images", 0.9), tenant="globex",
-            images=images, gold_images=gold_images, worker_count=5,
-        ),
-    ]
+    requests = _serve_requests(tweets, gold, images, gold_images)
+    handles = []
+    for tenant, job, query, inputs in requests:
+        if args.pre_admit:
+            plan = mux.plan(tenant, job, query, tenant=tenant, **inputs)
+            print(_plan_line(plan))
+            handles.append(mux.submit(tenant, plan=plan))
+        else:
+            handles.append(mux.submit(tenant, job, query, tenant=tenant, **inputs))
     print(
         f"serving {len(handles)} queries from 2 tenants on one event loop "
         f"(ServiceMux: 2 services, {args.slots} publish slots each)"
@@ -256,6 +287,52 @@ async def _serve_asyncio(cdas, tweets, gold, images, gold_images, args) -> int:
         f"(acme ${acme.tenant_spend('acme'):.2f}, "
         f"globex ${globex.tenant_spend('globex'):.2f})"
     )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """EXPLAIN the demo queries: plan tables + admission previews (§10).
+
+    Plans each of the mixed TSA/IT demo queries against the service —
+    workers per item, expected accuracy, projected spend vs. the tenants'
+    remaining budget — and prints the admission decision (with the
+    counter-offer on rejections).  Nothing is submitted or published:
+    planning is pure.
+    """
+    cdas, tweets, gold, images, gold_images = _serve_workload(args.seed)
+    service = cdas.service(max_in_flight=args.slots)
+    service.register_tenant(
+        "acme", priority=2.0, budget_cap=args.tenant_budget
+    )
+    service.register_tenant(
+        "globex", priority=1.0, budget_cap=args.tenant_budget
+    )
+    published_before = cdas.market.published_hits
+    for tenant, job, query, inputs in _serve_requests(
+        tweets, gold, images, gold_images
+    ):
+        plan = service.plan(job, query, tenant=tenant, **inputs)
+        print(plan.describe())
+        decision = service.preadmit(plan)
+        if decision.admitted:
+            limit = (
+                "uncapped budget"
+                if decision.limit is None
+                else f"remaining ${decision.limit:.4f}"
+            )
+            print(
+                f"  admission          : ADMIT "
+                f"(${decision.upfront:.4f} within {limit})"
+            )
+        else:
+            print(f"  admission          : REJECT ({decision.reason})")
+            print(f"  {decision.counter_offer.describe()}")
+        print()
+    if cdas.market.published_hits != published_before:
+        raise RuntimeError(
+            "explain published HITs — a projector touched the market"
+        )
+    print("planning is pure: nothing was submitted, reserved or published")
     return 0
 
 
@@ -363,7 +440,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="run through a ServiceMux on one asyncio event loop "
         "(one async service per tenant group, progress via updates())",
     )
+    serve_p.add_argument(
+        "--pre-admit",
+        dest="pre_admit",
+        action="store_true",
+        help="plan-first lifecycle: project each query into a QueryPlan, "
+        "reserve its cost at admission, then submit(plan=...)",
+    )
     serve_p.set_defaults(func=_cmd_serve)
+
+    explain_p = sub.add_parser(
+        "explain",
+        help="print EXPLAIN-style cost plans + admission previews for "
+        "the demo queries (nothing is submitted)",
+    )
+    explain_p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    explain_p.add_argument(
+        "--slots", type=_positive_int, default=4, help="max_in_flight publish slots"
+    )
+    explain_p.add_argument(
+        "--tenant-budget",
+        type=float,
+        default=None,
+        metavar="CAP",
+        help="budget cap applied to both demo tenants (uncapped when "
+        "omitted); small caps demonstrate REJECT + counter-offer",
+    )
+    explain_p.set_defaults(func=_cmd_explain)
 
     from repro.scenarios import SCENARIOS
 

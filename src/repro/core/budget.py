@@ -19,6 +19,7 @@ forward map evaluated at the affordable ``n`` (rounded down to odd).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.amt.pricing import PriceSchedule
@@ -32,6 +33,7 @@ __all__ = [
     "BudgetPlan",
     "max_workers_within_budget",
     "max_accuracy_for_budget",
+    "max_affordable_windows",
     "plan_query",
 ]
 
@@ -93,6 +95,30 @@ def max_accuracy_for_budget(
             f"budget {budget} affords no worker for {items_per_unit}×{window} items"
         )
     return expected_majority_accuracy(n, mean_accuracy)
+
+
+def max_affordable_windows(
+    budget: float, window_costs: Sequence[float]
+) -> int:
+    """How many *leading* windows of a projected plan a budget covers.
+
+    The "shrink the window" arm of the cost/accuracy trade-off: a
+    standing query whose full projection exceeds the remaining budget may
+    still afford a prefix of its windows at the requested accuracy.
+    Costs are consumed in order (windows run in order; skipping ahead is
+    not an option the engine offers).  A tiny tolerance absorbs float
+    dust so "exactly affordable" counts as affordable.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    spent = 0.0
+    affordable = 0
+    for cost in window_costs:
+        spent += cost
+        if spent > budget + 1e-9:
+            break
+        affordable += 1
+    return affordable
 
 
 @dataclass(frozen=True, slots=True)

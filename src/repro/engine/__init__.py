@@ -18,6 +18,14 @@ from repro.engine.engine import (
 )
 from repro.engine.executor import ProgramExecutor, batched
 from repro.engine.jobs import JobManager, JobSpec, ProcessingPlan
+from repro.engine.planner import (
+    CounterOffer,
+    PlanDecision,
+    PlanInfeasible,
+    Projection,
+    QueryPlan,
+    WindowProjection,
+)
 from repro.engine.scheduler import BatchSink, BatchSpec, HITScheduler, SessionGroup
 from repro.engine.service import (
     AdmissionController,
@@ -61,6 +69,12 @@ __all__ = [
     "JobManager",
     "JobSpec",
     "ProcessingPlan",
+    "CounterOffer",
+    "PlanDecision",
+    "PlanInfeasible",
+    "Projection",
+    "QueryPlan",
+    "WindowProjection",
     "MASK",
     "PrivacyManager",
     "Query",

@@ -42,6 +42,7 @@ import asyncio
 from collections.abc import AsyncIterator, Callable
 from typing import Any
 
+from repro.engine.planner import QueryPlan
 from repro.engine.query import Query
 from repro.engine.scheduler import MIN_ARRIVAL_SLEEP
 from repro.engine.service import (
@@ -110,6 +111,16 @@ class AsyncQueryHandle:
     @property
     def spend(self) -> float:
         return self.handle.spend
+
+    @property
+    def plan(self) -> QueryPlan | None:
+        """The query's EXPLAIN-style plan (see :attr:`QueryHandle.plan`)."""
+        return self.handle.plan
+
+    @property
+    def reserved(self) -> float:
+        """Budget still pinned beyond incurred spend (0 once terminal)."""
+        return self.handle.reserved
 
     def progress(self) -> QueryProgress:
         """Snapshot the query's progress right now (no await needed)."""
@@ -277,6 +288,38 @@ class AsyncSchedulerService:
     def tenant_spend(self, name: str) -> float:
         return self.service.tenant_spend(name)
 
+    def tenant_reserved(self, name: str) -> float:
+        return self.service.tenant_reserved(name)
+
+    def tenant_committed(self, name: str) -> float:
+        return self.service.tenant_committed(name)
+
+    def plan(
+        self,
+        job_name: str,
+        query: Query,
+        *,
+        tenant: str = "default",
+        budget: float | None = None,
+        priority: float | None = None,
+        **job_inputs: Any,
+    ) -> QueryPlan:
+        """Project a query into a :class:`QueryPlan` (synchronous and
+        pure — see :meth:`SchedulerService.plan`)."""
+        return self.service.plan(
+            job_name,
+            query,
+            tenant=tenant,
+            budget=budget,
+            priority=priority,
+            **job_inputs,
+        )
+
+    def preadmit(self, plan: QueryPlan):
+        """Preview admission of ``plan`` (see
+        :meth:`SchedulerService.preadmit`); side-effect-free."""
+        return self.service.preadmit(plan)
+
     @property
     def handles(self) -> tuple[AsyncQueryHandle, ...]:
         """Every async handle this service has issued, in submission order."""
@@ -290,24 +333,29 @@ class AsyncSchedulerService:
 
     def submit(
         self,
-        job_name: str,
-        query: Query,
+        job_name: str | None = None,
+        query: Query | None = None,
         *,
-        tenant: str = "default",
+        plan: QueryPlan | None = None,
+        tenant: str | None = None,
         budget: float | None = None,
         priority: float | None = None,
+        reserve: bool | None = None,
         **job_inputs: Any,
     ) -> AsyncQueryHandle:
         """Plan and validate now (synchronously — bad requests raise here,
-        exactly as the sync service); run as the driver pumps.  Callable
-        from inside or outside a running loop; outside, the driver starts
-        on the first awaited operation."""
+        exactly as the sync service, including :class:`PlanInfeasible` on
+        a refused ``plan=``); run as the driver pumps.  Callable from
+        inside or outside a running loop; outside, the driver starts on
+        the first awaited operation."""
         handle = self.service.submit(
             job_name,
             query,
+            plan=plan,
             tenant=tenant,
             budget=budget,
             priority=priority,
+            reserve=reserve,
             **job_inputs,
         )
         ahandle = AsyncQueryHandle(self, handle)
@@ -484,10 +532,22 @@ class ServiceMux:
         return tuple(self._services.values())
 
     def submit(
-        self, service_name: str, job_name: str, query: Query, **kwargs: Any
+        self,
+        service_name: str,
+        job_name: str | None = None,
+        query: Query | None = None,
+        **kwargs: Any,
     ) -> AsyncQueryHandle:
-        """Submit through the named service (same surface as its submit)."""
+        """Submit through the named service (same surface as its submit,
+        including ``plan=`` / ``reserve=``)."""
         return self._services[service_name].submit(job_name, query, **kwargs)
+
+    def plan(
+        self, service_name: str, job_name: str, query: Query, **kwargs: Any
+    ) -> QueryPlan:
+        """Project a query through the named service (pure; see
+        :meth:`SchedulerService.plan`)."""
+        return self._services[service_name].plan(job_name, query, **kwargs)
 
     async def gather(self, *handles: AsyncQueryHandle) -> list[Any]:
         """``asyncio.gather`` over the handles' results, in order."""

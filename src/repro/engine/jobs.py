@@ -96,9 +96,21 @@ class JobManager:
         """Bind ``query`` to the named job type, validating the domain.
 
         The query's answer domain must be non-trivial and consistent with a
-        crowd task (the spec's template poses one closed question per item).
+        crowd task (the spec's template poses one closed question per item):
+        an empty or single-answer domain leaves workers nothing to decide,
+        so it is rejected here — at the front door — even for query-like
+        objects that bypassed :class:`~repro.engine.query.Query`'s own
+        constructor checks.
         """
-        return ProcessingPlan(spec=self.spec(job_name), query=query)
+        spec = self.spec(job_name)
+        domain = tuple(getattr(query, "domain", ()) or ())
+        if len(set(domain)) < 2:
+            raise ValueError(
+                f"query for job {job_name!r} has a trivial answer domain "
+                f"{domain!r}: a crowd task needs at least two distinct "
+                "answers to choose from"
+            )
+        return ProcessingPlan(spec=spec, query=query)
 
     @property
     def registered_jobs(self) -> tuple[str, ...]:

@@ -1,0 +1,379 @@
+"""EXPLAIN-style query plans: the §3.1 cost model as a service artifact.
+
+The paper prices a streaming query up front — ``(m_c+m_s)·w·K·g(C)``
+(§3.1) with ``g`` the prediction function — but until this module that
+projection lived only in :mod:`repro.core.budget`, outside the serving
+stack: admission metered spend *reactively*, so a query that could never
+finish inside its tenant's budget was admitted, burned real HIT spend,
+and died mid-flight.  This module turns the projection into a first-class
+plan artifact that gates execution:
+
+* :class:`QueryPlan` — an immutable, EXPLAIN-style plan binding a
+  :class:`~repro.engine.jobs.ProcessingPlan` (the jobs layer's
+  human/computer split) to the §3.1 projection: workers per item
+  (``g(C)`` at the engine's current ``μ``, or the forced count), expected
+  accuracy from Theorem 1's binomial tail, projected HIT count and
+  projected spend — per window for standing queries.  Produced by
+  ``SchedulerService.plan(...)`` without touching the scheduler or the
+  market; accepted by ``submit(plan=...)``.
+* :class:`PlanDecision` — the admission preview for one plan against one
+  tenant's *remaining* (committed-adjusted) budget: admit, or reject
+  with a :class:`CounterOffer`.
+* :class:`CounterOffer` — what the remaining budget *can* buy, computed
+  through :func:`repro.core.budget.max_accuracy_for_budget`: the best
+  achievable expected accuracy (and affordable worker count), plus how
+  many leading windows of the plan are affordable at the requested
+  accuracy.
+* :class:`PlanInfeasible` — the structured rejection raised by
+  ``submit(plan=...)``; carries the plan and the decision (and hence the
+  counter-offer) so callers can renegotiate instead of parsing strings.
+
+Cost accounting note.  This codebase (like the deployed CDAS) batches
+``B`` items per HIT and AMT charges per collected *assignment*, so a
+query of ``K·w`` items costs ``(m_c+m_s)·n·⌈K·w/B⌉`` — the paper's
+``(m_c+m_s)·n·K·w`` with the batch factor divided out.  The projection
+therefore counts HITs, and reuses the :mod:`repro.core.budget` inverse
+maps with ``items_per_unit = projected HITs, window = 1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.budget import (
+    max_accuracy_for_budget,
+    max_affordable_windows,
+    max_workers_within_budget,
+)
+from repro.core.prediction import (
+    PredictionInfeasibleError,
+    expected_majority_accuracy,
+)
+from repro.engine.jobs import ProcessingPlan
+from repro.engine.query import Query
+
+if TYPE_CHECKING:
+    from repro.engine.engine import CrowdsourcingEngine
+
+__all__ = [
+    "Projection",
+    "WindowProjection",
+    "QueryPlan",
+    "CounterOffer",
+    "PlanDecision",
+    "PlanInfeasible",
+    "JobProjector",
+    "build_query_plan",
+    "make_counter_offer",
+    "ceil_div",
+    "window_cost",
+]
+
+#: Tolerance for reservation/limit comparisons: projected costs are float
+#: products, and "exactly the remaining budget" must admit.
+COST_EPSILON = 1e-9
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """``⌈numerator/denominator⌉`` for positive ints (HITs per batch)."""
+    return -(-numerator // denominator)
+
+
+def window_cost(schedule, workers: int, hits: int) -> float:
+    """``(m_c+m_s)·workers·hits`` — the single pricing site shared by
+    plan-time projections and grant-time window reservations, so the two
+    can never drift."""
+    return schedule.hit_cost(workers) * hits
+
+
+@dataclass(frozen=True, slots=True)
+class Projection:
+    """What a job projector reports: per-window ``(items, hits)`` counts.
+
+    ``standing`` marks multi-window (Definition 1 standing) queries whose
+    admission reserves window by window instead of the whole stream up
+    front.
+    """
+
+    windows: tuple[tuple[int, int], ...]
+    standing: bool = False
+
+
+#: A projector mirrors a job submitter's input validation but only *counts*:
+#: ``(engine, processing plan, job inputs) → Projection``.  It must touch
+#: neither the market nor the scheduler (planning is free and repeatable).
+JobProjector = Callable[
+    ["CrowdsourcingEngine", ProcessingPlan, dict[str, Any]], Projection
+]
+
+
+@dataclass(frozen=True, slots=True)
+class WindowProjection:
+    """The §3.1 projection of one window of a plan.
+
+    Attributes
+    ----------
+    index:
+        Window ordinal (0 for one-shot queries).
+    items:
+        Real items (tweets, tag questions) the window will ask about.
+    hits:
+        HITs the window will publish (``⌈items/B⌉`` at the job's batch
+        size).
+    workers_per_item:
+        ``g(C)`` at plan time (or the forced ``worker_count``).
+    projected_cost:
+        ``(m_c+m_s)·workers·hits`` — what the window will spend without
+        early termination (termination only lowers it).
+    """
+
+    index: int
+    items: int
+    hits: int
+    workers_per_item: int
+    projected_cost: float
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Immutable EXPLAIN-style plan: jobs-layer binding + §3.1 projection.
+
+    Produced by ``SchedulerService.plan``; accepted by
+    ``submit(plan=...)``, which reserves :attr:`upfront_reservation`
+    against the tenant's budget before anything is published.  Treat the
+    whole artifact (including :attr:`job_inputs`) as read-only — the
+    service re-runs the job's submitter from it verbatim.
+    """
+
+    plan: ProcessingPlan
+    tenant: str
+    budget: float | None
+    priority: float | None
+    job_inputs: dict[str, Any] = field(repr=False)
+    windows: tuple[WindowProjection, ...]
+    workers_per_item: int
+    mean_accuracy: float
+    expected_accuracy: float
+    standing: bool = False
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def job_name(self) -> str:
+        return self.plan.job_name
+
+    @property
+    def query(self) -> Query:
+        return self.plan.query
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def items(self) -> int:
+        """Total real items across every projected window."""
+        return sum(w.items for w in self.windows)
+
+    @property
+    def projected_hits(self) -> int:
+        return sum(w.hits for w in self.windows)
+
+    @property
+    def projected_cost(self) -> float:
+        """Full-plan spend projection (every window, no early termination)."""
+        return sum(w.projected_cost for w in self.windows)
+
+    @property
+    def window_costs(self) -> tuple[float, ...]:
+        return tuple(w.projected_cost for w in self.windows)
+
+    @property
+    def upfront_reservation(self) -> float:
+        """What admission reserves at submit time.
+
+        One-shot queries reserve the whole projection; standing queries
+        reserve their first window and re-reserve per window as the
+        stream advances (the window grant is refused cleanly when the
+        budget runs dry mid-stream).
+        """
+        if self.standing and self.windows:
+            return self.windows[0].projected_cost
+        return self.projected_cost
+
+    def describe(self) -> str:
+        """The EXPLAIN table (CLI ``explain`` prints this verbatim)."""
+        query = self.query
+        lines = [
+            f"plan: {self.job_name} subject={query.subject!r} "
+            f"tenant={self.tenant!r}",
+            f"  required accuracy  : {query.required_accuracy:.4f}",
+            f"  mean worker μ      : {self.mean_accuracy:.4f}",
+            f"  workers per item   : {self.workers_per_item}",
+            f"  expected accuracy  : {self.expected_accuracy:.4f}",
+            f"  items              : {self.items}  "
+            f"({len(self.windows)} window{'s' if len(self.windows) != 1 else ''})",
+            f"  projected HITs     : {self.projected_hits}",
+            f"  projected spend    : ${self.projected_cost:.4f}",
+            f"  per-query budget   : "
+            + ("uncapped" if self.budget is None else f"${self.budget:.4f}"),
+            f"  reserves up front  : ${self.upfront_reservation:.4f}  "
+            + ("(first window)" if self.standing else "(full plan)"),
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class CounterOffer:
+    """What the remaining budget can buy instead (attached to rejections).
+
+    Attributes
+    ----------
+    budget:
+        The binding limit the offer was computed against (the smaller of
+        the tenant's remaining budget and the per-query budget).
+    workers_per_item:
+        Largest odd worker count the limit affords for the plan's HIT
+        count (0 when it affords none at all).
+    achievable_accuracy:
+        Theorem-1 expected accuracy at that count, via
+        :func:`repro.core.budget.max_accuracy_for_budget`; ``None`` when
+        no worker is affordable (or ``μ ≤ ½``, where more budget would
+        not help either).
+    affordable_windows:
+        How many leading windows of the plan the limit covers at the
+        *requested* accuracy — the "shrink the window" side of the
+        trade-off for standing queries.
+    """
+
+    budget: float
+    workers_per_item: int
+    achievable_accuracy: float | None
+    affordable_windows: int
+
+    def describe(self) -> str:
+        if self.workers_per_item < 1 or self.achievable_accuracy is None:
+            accuracy = "no worker affordable"
+        else:
+            accuracy = (
+                f"{self.workers_per_item} workers/item → expected accuracy "
+                f"{self.achievable_accuracy:.4f}"
+            )
+        return (
+            f"counter-offer under ${self.budget:.4f}: {accuracy}; "
+            f"{self.affordable_windows} window(s) affordable at the "
+            "requested accuracy"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PlanDecision:
+    """Admission preview of one plan against one tenant, right now.
+
+    ``tenant_remaining`` is the cap minus the tenant's *committed* total
+    (actual spend plus outstanding reservations), ``None`` when the
+    tenant is uncapped; ``limit`` is the binding constraint (the smaller
+    of tenant remaining and the per-query budget), ``None`` when neither
+    applies.  Side-effect-free: nothing is reserved until
+    ``submit(plan=...)``.
+    """
+
+    admitted: bool
+    upfront: float
+    tenant_remaining: float | None
+    limit: float | None
+    reason: str | None = None
+    counter_offer: CounterOffer | None = None
+
+
+class PlanInfeasible(RuntimeError):
+    """``submit(plan=...)`` refused: the projection exceeds the budget.
+
+    Carries the rejected :class:`QueryPlan` and the :class:`PlanDecision`
+    (whose :attr:`~PlanDecision.counter_offer` says what the remaining
+    budget *can* buy), so callers renegotiate — lower the accuracy,
+    shrink the window — instead of parsing the message.  Raised before
+    anything touches the market: a refused query incurs zero spend.
+    """
+
+    def __init__(self, message: str, plan: QueryPlan, decision: PlanDecision):
+        super().__init__(message)
+        self.plan = plan
+        self.decision = decision
+
+    @property
+    def counter_offer(self) -> CounterOffer | None:
+        return self.decision.counter_offer
+
+
+def build_query_plan(
+    engine: "CrowdsourcingEngine",
+    plan: ProcessingPlan,
+    projection: Projection,
+    tenant: str,
+    budget: float | None,
+    priority: float | None,
+    job_inputs: dict[str, Any],
+) -> QueryPlan:
+    """Assemble the :class:`QueryPlan` from a projector's counts.
+
+    Workers per item come from the forced ``worker_count`` input when
+    present, else ``g(C)`` at the engine's *current* ``μ`` (which may
+    raise :class:`~repro.core.prediction.PredictionInfeasibleError` on an
+    uncalibrated engine — planning is honest about what it cannot
+    project).  Pure: touches neither the market nor the scheduler.
+    """
+    schedule = engine.market.ledger.schedule
+    mean_accuracy = engine.mean_accuracy()
+    forced = job_inputs.get("worker_count")
+    if forced is not None:
+        workers = int(forced)
+        if workers < 1:
+            raise ValueError(f"worker_count must be ≥ 1, got {forced}")
+    else:
+        workers = engine.predict_workers(plan.query.required_accuracy)
+    windows = tuple(
+        WindowProjection(
+            index=i,
+            items=items,
+            hits=hits,
+            workers_per_item=workers,
+            projected_cost=window_cost(schedule, workers, hits),
+        )
+        for i, (items, hits) in enumerate(projection.windows)
+    )
+    return QueryPlan(
+        plan=plan,
+        tenant=tenant,
+        budget=budget,
+        priority=priority,
+        job_inputs=job_inputs,
+        windows=windows,
+        workers_per_item=workers,
+        mean_accuracy=mean_accuracy,
+        expected_accuracy=expected_majority_accuracy(workers, mean_accuracy),
+        standing=projection.standing,
+    )
+
+
+def make_counter_offer(limit: float, plan: QueryPlan, schedule) -> CounterOffer:
+    """The renegotiation attached to a rejection: best accuracy/window
+    the binding ``limit`` can buy for this plan's work.
+
+    Reuses the §3.1 inverse maps with ``items_per_unit = projected HITs,
+    window = 1`` (cost here is per collected assignment, ``hits`` per
+    worker — see the module docstring's batching note).
+    """
+    hits = max(1, plan.projected_hits)
+    try:
+        achievable = max_accuracy_for_budget(
+            limit, schedule, plan.mean_accuracy, hits, 1
+        )
+    except PredictionInfeasibleError:
+        achievable = None
+    return CounterOffer(
+        budget=limit,
+        workers_per_item=max_workers_within_budget(limit, schedule, hits, 1),
+        achievable_accuracy=achievable,
+        affordable_windows=max_affordable_windows(limit, plan.window_costs),
+    )

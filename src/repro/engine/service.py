@@ -28,6 +28,16 @@ last verdict lands — so this module turns submission inside out:
   the scheduler's historical round-robin, which is what keeps the blocking
   ``CDAS.submit`` / ``submit_many`` wrappers bit-for-bit identical to the
   pre-service engine.
+* The **plan-first lifecycle** (DESIGN.md §10) sits in front of all of
+  it: :meth:`SchedulerService.plan` projects a request into an immutable
+  EXPLAIN-style :class:`~repro.engine.planner.QueryPlan` (the §3.1 cost
+  model, per window for standing queries) without touching anything;
+  ``submit(plan=...)`` *reserves* the projection against the tenant's
+  remaining budget — refusing infeasible plans with a structured
+  :class:`~repro.engine.planner.PlanInfeasible` counter-offer before any
+  market spend — and the reservation settles to actual spend on
+  completion or cancel.  Plan-less ``submit`` never reserves, keeping
+  the reactive path bit-for-bit intact.
 
 The service is single-threaded, cooperative and **sans-IO**: ``step()``
 performs one non-blocking pump iteration (admission, slot grants, one
@@ -53,6 +63,15 @@ from typing import TYPE_CHECKING, Any
 from repro.amt.backend import SubmissionEvent
 from repro.amt.hit import Question
 from repro.engine.jobs import ProcessingPlan
+from repro.engine.planner import (
+    COST_EPSILON,
+    JobProjector,
+    PlanDecision,
+    PlanInfeasible,
+    QueryPlan,
+    build_query_plan,
+    make_counter_offer,
+)
 from repro.engine.query import Query
 from repro.engine.scheduler import (
     BatchSpec,
@@ -76,6 +95,10 @@ __all__ = [
     "QueryIntake",
     "AdmissionController",
     "SchedulerService",
+    # Re-exported from repro.engine.planner for the service's callers.
+    "QueryPlan",
+    "PlanDecision",
+    "PlanInfeasible",
 ]
 
 #: A submitter enqueues a plan's batches on a sink and returns a finalizer
@@ -173,21 +196,83 @@ class QueryProgress:
     budget_exhausted: bool
 
 
+class _PlainSource:
+    """One lazy run of batch specs, optionally carrying a reservation.
+
+    ``reserve_cost`` is the projected spend of this source's batches
+    (set by window-aware submitters) — a float, or a zero-argument
+    callable evaluated only if a reservation is actually needed, so
+    plan-less (``reserve=False``) queries never pay for pricing they
+    ignore.  A plan-reserved query must reserve it against its tenant's
+    budget before the source's first batch is granted a publish slot.
+    """
+
+    __slots__ = ("specs", "group", "reserve_cost", "reserved")
+
+    def __init__(
+        self,
+        specs: Iterator[BatchSpec],
+        group: SessionGroup,
+        reserve_cost: float | Callable[[], float] | None = None,
+    ) -> None:
+        self.specs = specs
+        self.group = group
+        self.reserve_cost = reserve_cost
+        self.reserved = False
+
+
+class _WindowStream:
+    """A lazy stream of ``(projected cost, specs)`` windows.
+
+    Standing queries register one of these: each pulled window becomes a
+    :class:`_PlainSource` carrying its projected cost, which is where
+    per-window re-reservation hooks in.
+    """
+
+    __slots__ = ("windows", "group")
+
+    def __init__(
+        self,
+        windows: Iterator[tuple[float | Callable[[], float], Iterable[BatchSpec]]],
+        group: SessionGroup,
+    ) -> None:
+        self.windows = windows
+        self.group = group
+
+
 class QueryIntake:
     """The :class:`~repro.engine.scheduler.BatchSink` submitters fill.
 
     Job submitters call ``add_batches`` / ``add_source`` exactly as they
     would on a raw scheduler; here the lazy spec sources are only
     *recorded*, and the service materialises and publishes them one at a
-    time as the admission controller grants slots.
+    time as the admission controller grants slots.  Window-aware
+    submitters (standing queries) use :meth:`add_window_source` so each
+    window's projected cost can be re-reserved before it publishes.
     """
 
     def __init__(self) -> None:
-        self.sources: deque[tuple[Iterator[BatchSpec], SessionGroup]] = deque()
+        self.sources: deque[_PlainSource | _WindowStream] = deque()
 
     def add_source(self, specs: Iterable[BatchSpec]) -> SessionGroup:
         group = SessionGroup()
-        self.sources.append((iter(specs), group))
+        self.sources.append(_PlainSource(iter(specs), group))
+        return group
+
+    def add_window_source(
+        self,
+        windows: Iterable[tuple[float | Callable[[], float], Iterable[BatchSpec]]],
+    ) -> SessionGroup:
+        """Register a lazy stream of costed windows under one group.
+
+        Each window's cost may be a float or a zero-argument callable
+        (priced only if a reservation is actually needed).  Submitters
+        detect this method by duck typing: a raw scheduler sink does not
+        offer it, so the same submitter degrades to :meth:`add_source`
+        (no admission layer there to reserve against).
+        """
+        group = SessionGroup()
+        self.sources.append(_WindowStream(iter(windows), group))
         return group
 
     def add_batches(
@@ -215,8 +300,10 @@ class _QueryRecord:
         tenant: TenantPolicy,
         priority: float,
         budget: float | None,
-        sources: deque[tuple[Iterator[BatchSpec], SessionGroup]],
+        sources: deque[_PlainSource | _WindowStream],
         finalize: Callable[[], Any],
+        query_plan: QueryPlan | None = None,
+        reserve: bool = False,
     ) -> None:
         self.seq = seq
         self.job_name = job_name
@@ -225,8 +312,21 @@ class _QueryRecord:
         self.priority = priority
         self.budget = budget
         self.sources = sources
-        self.groups = [group for _, group in sources]
+        self.groups = [entry.group for entry in sources]
         self.finalize = finalize
+        self.query_plan = query_plan
+        #: Deferred auto-plan for plan-less submissions (resolved, once,
+        #: on the first ``QueryHandle.plan`` read; pure observability).
+        self.plan_thunk: Callable[[], QueryPlan] | None = None
+        #: Whether this query participates in reservation accounting
+        #: (plan-path submissions).  Plan-less queries stay reactive.
+        self.reserve = reserve
+        #: Outstanding reservation (cumulative over granted windows);
+        #: settled to actual spend when the record turns terminal.
+        self.reserved = 0.0
+        #: The plan-time estimate of the first window, replaced by the
+        #: grant-time figure when its costed source is actually reserved.
+        self.upfront_reservation = 0.0
         self.state = QueryState.QUEUED
         self.sessions: list[HITSession] = []  # grant order
         self.result_value: Any = None
@@ -236,6 +336,7 @@ class _QueryRecord:
         self.pass_value = 0.0
         self._peeked: BatchSpec | None = None
         self._peeked_group: SessionGroup | None = None
+        self._peeked_source: _PlainSource | None = None
         self._final_spend: float | None = None
         #: Per-session ``(items finalized, verdict confidences)``, cached
         #: once the session's result is sealed (keyed by ``id(session)``;
@@ -253,26 +354,83 @@ class _QueryRecord:
 
         Sources registered by one submitter drain sequentially; distinct
         *queries* interleave via the admission controller, which is where
-        fairness belongs.
+        fairness belongs.  Window streams expand lazily: pulling the
+        next window pushes a costed :class:`_PlainSource` in front of
+        the stream, so its batches drain before the following window is
+        even materialised.
         """
         while self._peeked is None and self.sources:
-            specs, group = self.sources[0]
-            spec = next(specs, None)
+            entry = self.sources[0]
+            if isinstance(entry, _WindowStream):
+                window = next(entry.windows, None)
+                if window is None:
+                    self.sources.popleft()
+                    continue
+                cost, specs = window
+                self.sources.appendleft(
+                    _PlainSource(iter(specs), entry.group, reserve_cost=cost)
+                )
+                continue
+            spec = next(entry.specs, None)
             if spec is None:
                 self.sources.popleft()
                 continue
-            self._peeked, self._peeked_group = spec, group
+            self._peeked = spec
+            self._peeked_group = entry.group
+            self._peeked_source = entry
         return self._peeked
 
     def take_batch(self) -> tuple[BatchSpec, SessionGroup]:
         spec, group = self._peeked, self._peeked_group
         assert spec is not None and group is not None
-        self._peeked = self._peeked_group = None
+        self._peeked = self._peeked_group = self._peeked_source = None
         return spec, group
 
     def drop_remaining_batches(self) -> None:
         self.sources.clear()
-        self._peeked = self._peeked_group = None
+        self._peeked = self._peeked_group = self._peeked_source = None
+
+    # -- reservations --------------------------------------------------------
+
+    def pending_reservation(self) -> float | None:
+        """The peeked source's not-yet-reserved projected cost, if any.
+
+        ``None`` for plan-less queries (reservation accounting off), for
+        un-costed sources, and once the source's cost is reserved.
+        Lazy costs are priced here — the first time a reservation is
+        actually contemplated — and memoised on the source.
+        """
+        if not self.reserve:
+            return None
+        source = self._peeked_source
+        if source is None or source.reserve_cost is None or source.reserved:
+            return None
+        if callable(source.reserve_cost):
+            source.reserve_cost = float(source.reserve_cost())
+        return source.reserve_cost
+
+    def take_reservation(self, amount: float) -> None:
+        """Reserve ``amount`` for the peeked source (replacing the
+        plan-time upfront estimate the first time a grant-time figure
+        arrives)."""
+        assert self._peeked_source is not None
+        self.reserved -= self.upfront_reservation
+        self.upfront_reservation = 0.0
+        self.reserved += amount
+        self._peeked_source.reserved = True
+
+    def committed(self, ledger) -> float:
+        """What this query pins of its tenant's budget right now.
+
+        Active queries commit the larger of their outstanding
+        reservation and their actual spend; terminal queries settle to
+        actual spend alone — over-projection is refunded the moment the
+        query completes or is cancelled.
+        """
+        spend = self.spend(ledger)
+        if self.state in TERMINAL_STATES:
+            return spend
+        return max(self.reserved, spend)
 
     # -- observations --------------------------------------------------------
 
@@ -383,20 +541,38 @@ class AdmissionController:
 
     # -- admission -----------------------------------------------------------
 
-    def check_submit(self, policy: TenantPolicy, tenant_spend: float) -> None:
-        """Refuse a new submission once the tenant's cap is spent."""
-        if policy.budget_cap is not None and tenant_spend >= policy.budget_cap:
+    def check_submit(self, policy: TenantPolicy, tenant_committed: float) -> None:
+        """Refuse a new submission once the tenant's cap is committed.
+
+        ``tenant_committed`` is actual spend plus outstanding
+        reservations — without reservations (plan-less workloads) it
+        degenerates to spend, the historical behaviour.
+        """
+        if policy.budget_cap is not None and tenant_committed >= policy.budget_cap:
             raise AdmissionRejected(
-                f"tenant {policy.name!r} has spent ${tenant_spend:.4f} of its "
-                f"${policy.budget_cap:.4f} budget cap; submission refused"
+                f"tenant {policy.name!r} has committed ${tenant_committed:.4f} "
+                f"of its ${policy.budget_cap:.4f} budget cap; submission refused"
             )
 
     def register(self, record: _QueryRecord) -> None:
         self.tenant(record.tenant.name)
         self._records[record.tenant.name].append(record)
 
-    def tenant_headroom(self, policy: TenantPolicy, tenant_spend: float) -> bool:
-        return policy.budget_cap is None or tenant_spend < policy.budget_cap
+    def tenant_headroom(self, policy: TenantPolicy, tenant_committed: float) -> bool:
+        return policy.budget_cap is None or tenant_committed < policy.budget_cap
+
+    def tenant_committed(self, name: str, ledger) -> float:
+        """Actual spend plus outstanding reservations across the tenant's
+        queries (settled queries contribute spend only)."""
+        return sum(r.committed(ledger) for r in self._records.get(name, ()))
+
+    def tenant_reserved(self, name: str, ledger) -> float:
+        """Outstanding reservation headroom the tenant's active plans
+        pin beyond their incurred spend."""
+        return sum(
+            max(0.0, r.committed(ledger) - r.spend(ledger))
+            for r in self._records.get(name, ())
+        )
 
     # -- slot allocation -----------------------------------------------------
 
@@ -405,6 +581,10 @@ class AdmissionController:
 
         A query whose own budget is spent has its remaining batches dropped
         here (it completes with what it ran, flagged ``budget_exhausted``).
+        Plan-reserved queries additionally re-reserve each costed window
+        before its first batch can be granted; a window that no longer
+        fits the tenant's (or the query's) remaining budget is refused
+        cleanly — the query completes with the windows already run.
         """
         if record.state not in (QueryState.ADMITTED, QueryState.RUNNING):
             return False
@@ -419,7 +599,38 @@ class AdmissionController:
         ):
             record.budget_exhausted = True
             record.drop_remaining_batches()
-        return record.peek_batch() is not None
+        if record.peek_batch() is None:
+            return False
+        pending = record.pending_reservation()
+        if pending is not None:
+            if not self._window_reservation_fits(record, ledger, pending):
+                record.budget_exhausted = True
+                record.drop_remaining_batches()
+                return False
+            record.take_reservation(pending)
+        return True
+
+    def _window_reservation_fits(
+        self, record: _QueryRecord, ledger, amount: float
+    ) -> bool:
+        """Would reserving ``amount`` for the peeked window keep the
+        record inside its own budget and its tenant's cap?"""
+        reserved_after = record.reserved - record.upfront_reservation + amount
+        if (
+            record.budget is not None
+            and reserved_after > record.budget + COST_EPSILON
+        ):
+            return False
+        policy = self._tenants[record.tenant.name]
+        if policy.budget_cap is None:
+            return True
+        others = sum(
+            r.committed(ledger)
+            for r in self._records[record.tenant.name]
+            if r is not record
+        )
+        committed_after = others + max(reserved_after, record.spend(ledger))
+        return committed_after <= policy.budget_cap + COST_EPSILON
 
     def next_grant(self, ledger) -> _QueryRecord | None:
         """Pick the next query to receive a publish slot, or ``None``.
@@ -435,12 +646,29 @@ class AdmissionController:
             grantable = [r for r in records if self._grantable(r, ledger)]
             if not grantable:
                 continue
-            tenant_spend = sum(r.spend(ledger) for r in records)
-            if not self.tenant_headroom(policy, tenant_spend):
+            tenant_committed = sum(r.committed(ledger) for r in records)
+            if not self.tenant_headroom(policy, tenant_committed):
+                # Tenant at its cap.  A plan-reserved query whose spend
+                # has not yet consumed its reservation is pre-approved —
+                # its projected work is exactly what filled the cap — so
+                # it keeps drawing slots; everything else stops short.
+                # Deliberately conservative for mixed workloads: a
+                # plan-less query sharing the tenant is truncated while
+                # the reservation peaks even if settlement later refunds
+                # part of it — reserved headroom is *promised*, and the
+                # drop must be eager for the service to ever drain.
+                covered = [
+                    r
+                    for r in grantable
+                    if r.committed(ledger) > r.spend(ledger) + COST_EPSILON
+                ]
                 for record in grantable:
-                    record.budget_exhausted = True
-                    record.drop_remaining_batches()
-                continue
+                    if record not in covered:
+                        record.budget_exhausted = True
+                        record.drop_remaining_batches()
+                if not covered:
+                    continue
+                grantable = covered
             candidates[name] = grantable
         if not candidates:
             return None
@@ -495,6 +723,32 @@ class QueryHandle:
     @property
     def tenant(self) -> str:
         return self._record.tenant.name
+
+    @property
+    def plan(self) -> QueryPlan | None:
+        """The EXPLAIN-style plan this query ran under.
+
+        Set for plan-path submissions; plan-less submissions project one
+        lazily (and purely) on first read.  ``None`` when projection is
+        impossible — e.g. no projector registered, or an uncalibrated
+        engine with no forced worker count.
+        """
+        record = self._record
+        if record.query_plan is None and record.plan_thunk is not None:
+            thunk, record.plan_thunk = record.plan_thunk, None
+            try:
+                record.query_plan = thunk()
+            except Exception:
+                record.query_plan = None
+        return record.query_plan
+
+    @property
+    def reserved(self) -> float:
+        """Budget this query still pins *beyond* its incurred spend
+        (0 once terminal — the reservation settles to actual spend)."""
+        record = self._record
+        ledger = self._service.engine.market.ledger
+        return max(0.0, record.committed(ledger) - record.spend(ledger))
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -661,10 +915,12 @@ class SchedulerService:
         track_trajectories: bool = False,
         allocation: str = "weighted",
         on_event: Callable[[SubmissionEvent, HITSession], None] | None = None,
+        projectors: Mapping[str, JobProjector] | None = None,
     ) -> None:
         self.engine = engine
         self._planner = planner
         self._submitters = dict(submitters)
+        self._projectors = dict(projectors) if projectors is not None else {}
         self.max_in_flight = max_in_flight
         self.scheduler = HITScheduler(
             engine,
@@ -694,9 +950,19 @@ class SchedulerService:
         ledger = self.engine.market.ledger
         return sum(r.spend(ledger) for r in self.admission.records_of(name))
 
-    # -- submission ------------------------------------------------------------
+    def tenant_reserved(self, name: str) -> float:
+        """Outstanding reservations the tenant's active plans pin beyond
+        incurred spend (0 for purely plan-less workloads)."""
+        return self.admission.tenant_reserved(name, self.engine.market.ledger)
 
-    def submit(
+    def tenant_committed(self, name: str) -> float:
+        """Spend plus outstanding reservations — what admission compares
+        against the tenant's cap."""
+        return self.admission.tenant_committed(name, self.engine.market.ledger)
+
+    # -- planning --------------------------------------------------------------
+
+    def plan(
         self,
         job_name: str,
         query: Query,
@@ -705,18 +971,133 @@ class SchedulerService:
         budget: float | None = None,
         priority: float | None = None,
         **job_inputs: Any,
+    ) -> QueryPlan:
+        """Project a query into an EXPLAIN-style :class:`QueryPlan`.
+
+        Pure: validates the request (same eager errors as :meth:`submit`),
+        runs the job's cost projector, and prices the work at the
+        engine's current ``μ`` — without touching the scheduler, the
+        market, or the admission ledger.  Inspect the plan (``describe``,
+        :meth:`preadmit`), then execute it with ``submit(plan=...)``.
+
+        Raises
+        ------
+        KeyError
+            Unknown job name.
+        ValueError
+            No submitter/projector registered, or invalid job inputs /
+            budget / priority.
+        PredictionInfeasibleError
+            ``worker_count`` was not forced and the engine's ``μ``
+            cannot support the required accuracy (e.g. uncalibrated).
+        """
+        processing = self._planner(job_name, query)
+        self._validate_request(job_name, budget, priority)
+        projector = self._projectors.get(job_name)
+        if projector is None:
+            raise ValueError(
+                f"job {job_name!r} has no cost projector; register one "
+                "to use plan-first submission"
+            )
+        projection = projector(self.engine, processing, dict(job_inputs))
+        return build_query_plan(
+            self.engine,
+            processing,
+            projection,
+            tenant=tenant,
+            budget=budget,
+            priority=priority,
+            job_inputs=dict(job_inputs),
+        )
+
+    def preadmit(self, plan: QueryPlan) -> PlanDecision:
+        """Preview admission of ``plan`` without reserving anything.
+
+        Compares the plan's upfront reservation (full projection for
+        one-shot queries, first window for standing ones) against the
+        binding limit — the smaller of the tenant's remaining
+        (committed-adjusted) budget and the plan's own per-query budget.
+        A rejection carries the counter-offer; ``submit(plan=...)``
+        raises :class:`PlanInfeasible` built from this same decision.
+        """
+        policy = self.admission.tenant(plan.tenant)
+        ledger = self.engine.market.ledger
+        remaining: float | None = None
+        if policy.budget_cap is not None:
+            committed = self.admission.tenant_committed(plan.tenant, ledger)
+            remaining = max(0.0, policy.budget_cap - committed)
+        limits = [v for v in (remaining, plan.budget) if v is not None]
+        limit = min(limits) if limits else None
+        upfront = plan.upfront_reservation
+        if limit is None or upfront <= limit + COST_EPSILON:
+            return PlanDecision(
+                admitted=True,
+                upfront=upfront,
+                tenant_remaining=remaining,
+                limit=limit,
+            )
+        constraint = (
+            "per-query budget"
+            if plan.budget is not None and limit == plan.budget
+            else f"tenant {plan.tenant!r} remaining budget"
+        )
+        return PlanDecision(
+            admitted=False,
+            upfront=upfront,
+            tenant_remaining=remaining,
+            limit=limit,
+            reason=(
+                f"projected ${upfront:.4f} exceeds the {constraint} "
+                f"${limit:.4f}"
+            ),
+            counter_offer=make_counter_offer(
+                limit, plan, ledger.schedule
+            ),
+        )
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        job_name: str | None = None,
+        query: Query | None = None,
+        *,
+        plan: QueryPlan | None = None,
+        tenant: str | None = None,
+        budget: float | None = None,
+        priority: float | None = None,
+        reserve: bool | None = None,
+        **job_inputs: Any,
     ) -> QueryHandle:
         """Plan and validate a query now; run it as the service is pumped.
 
-        The job manager plans eagerly and the job's submitter validates its
-        inputs eagerly (bad requests raise *here*, before any HIT exists),
-        but no batch is materialised or published until the admission
-        controller grants slots during :meth:`step`.
+        Two entry shapes:
+
+        * ``submit(job_name, query, **inputs)`` — the historical plan-less
+          call.  The job manager plans eagerly and the job's submitter
+          validates its inputs eagerly (bad requests raise *here*, before
+          any HIT exists); admission stays reactive (no reservation), and
+          a :class:`QueryPlan` is attached to the handle best-effort for
+          observability.  Bit-for-bit the pre-planner behaviour.
+        * ``submit(plan=query_plan)`` — the plan-first call.  Admission is
+          reservation-based: the plan's upfront projection (full cost for
+          one-shot queries, first window for standing ones) is reserved
+          against the tenant's remaining budget *before* anything is
+          published; an unaffordable plan raises :class:`PlanInfeasible`
+          carrying a counter-offer and incurs **zero** market spend.  The
+          reservation settles to actual spend on completion or cancel.
+
+        ``reserve=True`` on the plan-less shape auto-plans and then takes
+        the plan-first path (what ``serve --pre-admit`` does).
 
         Parameters
         ----------
         job_name / query / job_inputs:
             As for the blocking facade (``gold_tweets=…``, ``images=…``).
+            Mutually exclusive with ``plan``.
+        plan:
+            A :class:`QueryPlan` from :meth:`plan`; carries its own
+            tenant / budget / priority / job inputs.
         tenant:
             Admission-control tenant (auto-registered, uncapped, priority 1
             if never declared).
@@ -727,6 +1108,10 @@ class SchedulerService:
         priority:
             Per-query stride weight within the tenant; defaults to the
             tenant's own priority.
+        reserve:
+            Force reservation-based admission on (``True``) or off
+            (``False``); defaults to on for the plan shape, off for the
+            plan-less shape.
 
         Raises
         ------
@@ -736,9 +1121,93 @@ class SchedulerService:
             The job has no scheduler-aware submitter, or its inputs are
             invalid.
         AdmissionRejected
-            The tenant's budget cap is already spent.
+            The tenant's budget cap is already committed.
+        PlanInfeasible
+            Reservation-based admission refused the plan's projection
+            (carries the counter-offer; nothing was published).
         """
-        plan = self._planner(job_name, query)
+        if plan is None and reserve:
+            if job_name is None or query is None:
+                raise ValueError(
+                    "submit(reserve=True) needs a job_name and query to "
+                    "auto-plan, or an explicit plan=..."
+                )
+            return self._submit_plan(
+                self.plan(
+                    job_name,
+                    query,
+                    tenant="default" if tenant is None else tenant,
+                    budget=budget,
+                    priority=priority,
+                    **job_inputs,
+                ),
+                reserve=True,
+            )
+        if plan is not None:
+            if (
+                job_name is not None
+                or query is not None
+                or job_inputs
+                or tenant is not None
+                or budget is not None
+                or priority is not None
+            ):
+                raise ValueError(
+                    "submit(plan=...) binds job, query, inputs, tenant, "
+                    "budget and priority inside the plan; pass nothing else "
+                    "(re-plan to change any of them)"
+                )
+            return self._submit_plan(plan, reserve=reserve is not False)
+        if job_name is None or query is None:
+            raise ValueError("submit() needs a job_name and query, or plan=...")
+        tenant = "default" if tenant is None else tenant
+        processing = self._planner(job_name, query)
+        self._validate_request(job_name, budget, priority)
+        policy = self.admission.tenant(tenant)
+        self.admission.check_submit(policy, self.tenant_committed(tenant))
+        intake = QueryIntake()
+        finalize = self._submitters[job_name](
+            self.engine, intake, processing, dict(job_inputs)
+        )
+        record = _QueryRecord(
+            seq=len(self._records),
+            job_name=job_name,
+            plan=processing,
+            tenant=policy,
+            priority=policy.priority if priority is None else priority,
+            budget=budget,
+            sources=intake.sources,
+            finalize=finalize,
+            query_plan=None,
+            reserve=False,
+        )
+        # Lazy auto-plan for observability (resolved on first
+        # ``handle.plan`` read): keeps the legacy submit path free of a
+        # second candidate-resolution pass, and a projection failure
+        # (no projector, uncalibrated μ) reads as ``None`` rather than
+        # breaking the plan-less surface.  Planning is pure, so deferring
+        # it changes nothing but *when* μ is sampled.  The closure pins
+        # the job inputs for the record's lifetime — no heavier than the
+        # sessions/results the record retains anyway.
+        record.plan_thunk = lambda: self.plan(
+            job_name,
+            query,
+            tenant=tenant,
+            budget=budget,
+            priority=priority,
+            **job_inputs,
+        )
+        self._records.append(record)
+        self.admission.register(record)
+        handle = QueryHandle(self, record)
+        self._handles.append(handle)
+        return handle
+
+    def _validate_request(
+        self, job_name: str, budget: float | None, priority: float | None
+    ) -> None:
+        """The submission checks shared by plan(), plan-less submit()
+        and the plan path — one site, so the rules cannot drift."""
         if job_name not in self._submitters:
             raise ValueError(
                 f"job {job_name!r} has no scheduler-aware submitter; "
@@ -748,22 +1217,48 @@ class SchedulerService:
             raise ValueError(f"budget must be ≥ 0, got {budget}")
         if priority is not None and priority <= 0:
             raise ValueError(f"priority must be positive, got {priority}")
-        policy = self.admission.tenant(tenant)
-        self.admission.check_submit(policy, self.tenant_spend(tenant))
+
+    def _submit_plan(self, qplan: QueryPlan, reserve: bool) -> QueryHandle:
+        """Execute a :class:`QueryPlan`: reserve, then hand to the pump."""
+        job_name = qplan.job_name
+        self._validate_request(job_name, qplan.budget, qplan.priority)
+        policy = self.admission.tenant(qplan.tenant)
+        decision: PlanDecision | None = None
+        if reserve:
+            decision = self.preadmit(qplan)
+            if not decision.admitted:
+                message = (
+                    f"query {qplan.query.subject!r} refused at admission: "
+                    f"{decision.reason}"
+                )
+                if decision.counter_offer is not None:
+                    message += f"; {decision.counter_offer.describe()}"
+                raise PlanInfeasible(message, qplan, decision)
+        else:
+            self.admission.check_submit(
+                policy, self.tenant_committed(qplan.tenant)
+            )
         intake = QueryIntake()
         finalize = self._submitters[job_name](
-            self.engine, intake, plan, dict(job_inputs)
+            self.engine, intake, qplan.plan, dict(qplan.job_inputs)
         )
         record = _QueryRecord(
             seq=len(self._records),
             job_name=job_name,
-            plan=plan,
+            plan=qplan.plan,
             tenant=policy,
-            priority=policy.priority if priority is None else priority,
-            budget=budget,
+            priority=(
+                policy.priority if qplan.priority is None else qplan.priority
+            ),
+            budget=qplan.budget,
             sources=intake.sources,
             finalize=finalize,
+            query_plan=qplan,
+            reserve=reserve,
         )
+        if decision is not None:
+            record.reserved = decision.upfront
+            record.upfront_reservation = decision.upfront
         self._records.append(record)
         self.admission.register(record)
         handle = QueryHandle(self, record)
@@ -852,14 +1347,17 @@ class SchedulerService:
 
         A queued query whose tenant cap filled up *after* submission fails
         here with :class:`AdmissionRejected` (stored, raised by
-        ``result()``) rather than starving silently.
+        ``result()``) rather than starving silently.  Plan-reserved
+        queries admit unconditionally: their budget claim was taken at
+        submit time and already counts toward the cap every other
+        admission checks.
         """
         for record in self._records:
             if record.state is not QueryState.QUEUED:
                 continue
             policy = record.tenant
-            if self.admission.tenant_headroom(
-                policy, self.tenant_spend(policy.name)
+            if record.reserve or self.admission.tenant_headroom(
+                policy, self.tenant_committed(policy.name)
             ):
                 record.state = QueryState.ADMITTED
             else:

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.engine.engine import CrowdsourcingEngine, HITRunResult, QuestionRecord
 from repro.engine.jobs import JobSpec
+from repro.engine.planner import Projection, ceil_div
 from repro.engine.scheduler import BatchSink, HITScheduler, SessionGroup
 from repro.engine.templates import QueryTemplate
 from repro.it.images import SyntheticImage, image_tag_questions
@@ -163,6 +164,18 @@ class ITJob:
             gold_pool=gold_pool,
             worker_count=worker_count,
         )
+
+    def project(self, images: Sequence[SyntheticImage]) -> Projection:
+        """Count the tagging work (tag questions, HITs) without running it.
+
+        Mirrors :meth:`submit`'s validation but touches neither the
+        market nor a scheduler — the planner's view of the job.
+        """
+        if not images:
+            raise ValueError("no images to tag")
+        items = sum(len(image.candidate_tags) for image in images)
+        hits = ceil_div(len(images), self.images_per_hit)
+        return Projection(windows=((items, hits),))
 
     def assemble(
         self, images: Sequence[SyntheticImage], group: SessionGroup

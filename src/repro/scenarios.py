@@ -31,6 +31,12 @@ Scenarios
     steps while its HITs are still collecting, exercising the
     charge-final cancel path (withdrawn batches, forfeited assignments)
     through the backend.
+``preadmission``
+    The plan-first lifecycle (DESIGN.md §10): one query is planned,
+    reserved and run to completion; a second, whose §3.1 projection
+    exceeds the tenant's remaining budget, is refused at admission with
+    a counter-offer — touching the market not at all, which is exactly
+    what makes the trace replayable: a refused query leaves no record.
 """
 
 from __future__ import annotations
@@ -281,10 +287,91 @@ def _run_cancel_mid_flight(backend: MarketBackend, seed: int) -> dict[str, Any]:
     }
 
 
+def _run_preadmission(backend: MarketBackend, seed: int) -> dict[str, Any]:
+    """Plan-gated admission: reserve-and-run one query, refuse another.
+
+    The refused query's projection exceeds the tenant's remaining
+    (committed-adjusted) budget, so ``submit(plan=...)`` raises
+    :class:`~repro.engine.planner.PlanInfeasible` with a counter-offer
+    and performs **zero** market interactions — the outcome pins the
+    refusal's numbers and that nothing was spent or scheduled for it.
+    """
+    from repro.engine.planner import PlanInfeasible
+    from repro.system import CDAS
+    from repro.tsa.app import movie_query
+    from repro.tsa.tweets import generate_tweets, tweet_to_question
+
+    cdas = CDAS.with_default_jobs(backend, seed=seed)
+    gold = generate_tweets(["gold-movie"], per_movie=8, seed=seed + 1)
+    cdas.calibrate(
+        [tweet_to_question(t) for t in gold], workers_per_hit=6, hits=1
+    )
+    tweets = generate_tweets(["rio", "solaris"], per_movie=12, seed=seed + 2)
+
+    service = cdas.service(max_in_flight=2)
+    service.register_tenant("acme", budget_cap=0.40)
+    admitted_plan = service.plan(
+        "twitter-sentiment", movie_query("rio", 0.9), tenant="acme",
+        tweets=tweets, gold_tweets=gold, worker_count=4, batch_size=6,
+    )
+    admitted = service.submit(plan=admitted_plan)
+
+    refused_plan = service.plan(
+        "twitter-sentiment", movie_query("solaris", 0.9), tenant="acme",
+        tweets=tweets, gold_tweets=gold, worker_count=7, batch_size=2,
+    )
+    events_before = service.scheduler.events_processed
+    spend_before = backend.ledger.total_cost
+    refusal: dict[str, Any] | None = None
+    try:
+        service.submit(plan=refused_plan)
+    except PlanInfeasible as exc:
+        offer = exc.counter_offer
+        refusal = {
+            "subject": refused_plan.query.subject,
+            "projected_cost": _round6(refused_plan.projected_cost),
+            "projected_hits": refused_plan.projected_hits,
+            "tenant_remaining": _round6(exc.decision.tenant_remaining),
+            "counter_offer": {
+                "budget": _round6(offer.budget),
+                "workers_per_item": offer.workers_per_item,
+                "achievable_accuracy": (
+                    None
+                    if offer.achievable_accuracy is None
+                    else _round6(offer.achievable_accuracy)
+                ),
+                "affordable_windows": offer.affordable_windows,
+            },
+            "events_during_refusal": (
+                service.scheduler.events_processed - events_before
+            ),
+            "spend_during_refusal": _round6(
+                backend.ledger.total_cost - spend_before
+            ),
+        }
+    service.run_until_idle()
+    return {
+        "scenario": "preadmission",
+        "seed": seed,
+        "plan": {
+            "workers_per_item": admitted_plan.workers_per_item,
+            "projected_hits": admitted_plan.projected_hits,
+            "projected_cost": _round6(admitted_plan.projected_cost),
+            "expected_accuracy": _round6(admitted_plan.expected_accuracy),
+            "mean_accuracy": _round6(admitted_plan.mean_accuracy),
+        },
+        "handles": [_handle_summary(admitted)],
+        "refusal": refusal,
+        "tenants": {"acme": _round6(service.tenant_spend("acme"))},
+        "ledger": _ledger_summary(backend.ledger),
+    }
+
+
 #: name → workload; each drives a full run against any backend.
 SCENARIOS: dict[str, Callable[[MarketBackend, int], dict[str, Any]]] = {
     "mixed-service": _run_mixed_service,
     "cancel-mid-flight": _run_cancel_mid_flight,
+    "preadmission": _run_preadmission,
 }
 
 

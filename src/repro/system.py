@@ -48,6 +48,7 @@ from repro.amt.hit import Question
 from repro.engine.aio import AsyncSchedulerService
 from repro.engine.engine import CrowdsourcingEngine, EngineConfig
 from repro.engine.jobs import JobManager, JobSpec, ProcessingPlan
+from repro.engine.planner import JobProjector, Projection
 from repro.engine.privacy import PrivacyManager
 from repro.engine.query import Query
 from repro.engine.scheduler import BatchSink, HITScheduler
@@ -93,6 +94,7 @@ class CDAS:
         self.job_manager = JobManager()
         self._runners: dict[str, JobRunner] = {}
         self._submitters: dict[str, JobSubmitter] = {}
+        self._projectors: dict[str, JobProjector] = {}
         #: Jobs whose runner was passed explicitly (not derived from the
         #: submitter) — submit() must keep honouring it over the service.
         self._explicit_runners: set[str] = set()
@@ -104,6 +106,7 @@ class CDAS:
         spec: JobSpec,
         runner: JobRunner | None = None,
         submitter: JobSubmitter | None = None,
+        projector: JobProjector | None = None,
     ) -> None:
         """Bind a job type to its execution logic.
 
@@ -113,6 +116,12 @@ class CDAS:
         surfaces accept identical inputs.  Pass an explicit ``runner`` only
         for jobs that cannot express their work as scheduler batches —
         such jobs support :meth:`submit` but not the service.
+
+        ``projector`` (optional) is the job's cost-projection half:
+        ``(engine, plan, inputs) → Projection`` counting the job's items
+        and HITs without touching the market.  Jobs with a projector gain
+        the plan-first surface (``service.plan`` / ``submit(plan=…)`` /
+        EXPLAIN); jobs without one still submit plan-lessly.
         """
         if runner is None:
             if submitter is None:
@@ -126,6 +135,13 @@ class CDAS:
         self._runners[spec.name] = runner
         if submitter is not None:
             self._submitters[spec.name] = submitter
+        if projector is not None:
+            if submitter is None:
+                raise ValueError(
+                    f"job {spec.name!r} has a projector but no submitter; "
+                    "plans can only gate service submissions"
+                )
+            self._projectors[spec.name] = projector
 
     @property
     def jobs(self) -> tuple[str, ...]:
@@ -146,8 +162,12 @@ class CDAS:
         from repro.it.app import build_it_spec
         from repro.tsa.app import build_tsa_spec
 
-        system.register_job(build_tsa_spec(), submitter=_tsa_submitter)
-        system.register_job(build_it_spec(), submitter=_it_submitter)
+        system.register_job(
+            build_tsa_spec(), submitter=_tsa_submitter, projector=_tsa_projector
+        )
+        system.register_job(
+            build_it_spec(), submitter=_it_submitter, projector=_it_projector
+        )
         return system
 
     # -- operations ------------------------------------------------------------
@@ -204,6 +224,7 @@ class CDAS:
             track_trajectories=track_trajectories,
             allocation=allocation,
             on_event=on_event,
+            projectors=self._projectors,
         )
 
     def async_service(
@@ -369,6 +390,46 @@ def _tsa_submitter(
             worker_count=inputs.get("worker_count"),
         )
     return lambda: job.assemble(plan.query, group)
+
+
+def _tsa_projector(
+    engine: CrowdsourcingEngine,
+    plan: ProcessingPlan,
+    inputs: dict[str, Any],
+) -> Projection:
+    """Cost projector for the twitter-sentiment job.
+
+    Accepts the same inputs as :func:`_tsa_submitter` and applies the
+    same validation, but only *counts* the work: items and HITs per
+    window.  Touches neither the market nor a scheduler.
+    """
+    from repro.tsa.app import TSAJob
+
+    if "gold_tweets" not in inputs:
+        raise ValueError("twitter-sentiment requires gold_tweets")
+    job = TSAJob(
+        engine,
+        stream=inputs.get("stream"),
+        batch_size=inputs.get("batch_size", 20),
+    )
+    if "windows" in inputs:
+        return job.project_standing(plan.query, windows=inputs["windows"])
+    return job.project(plan.query, tweets=inputs.get("tweets"))
+
+
+def _it_projector(
+    engine: CrowdsourcingEngine,
+    plan: ProcessingPlan,
+    inputs: dict[str, Any],
+) -> Projection:
+    """Cost projector for the image-tagging job (counterpart of
+    :func:`_it_submitter`; counts tag questions and HITs only)."""
+    from repro.it.app import ITJob
+
+    if "images" not in inputs:
+        raise ValueError("image-tagging requires images")
+    job = ITJob(engine, images_per_hit=inputs.get("images_per_hit", 5))
+    return job.project(inputs["images"])
 
 
 def _it_submitter(

@@ -9,7 +9,7 @@ the per-tweet verdicts into the §4.3 opinion report.
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, replace
 
 from repro.core.presentation import OpinionReport
@@ -23,6 +23,7 @@ from repro.engine.scheduler import (
     specs_from_batches,
 )
 from repro.engine.jobs import JobSpec
+from repro.engine.planner import Projection, ceil_div, window_cost
 from repro.engine.query import Query
 from repro.engine.templates import QueryTemplate
 from repro.tsa.stream import TweetStream
@@ -248,38 +249,122 @@ class TSAJob:
         """
         if self.stream is None:
             raise ValueError("standing queries need a configured stream")
-        stream = self.stream
         gold_questions = tuple(tweet_to_question(t) for t in gold_tweets)
+
+        def window_specs(candidates: Sequence[Tweet]) -> Iterator[BatchSpec]:
+            return specs_from_batches(
+                (
+                    [tweet_to_question(t) for t in batch]
+                    for batch in batched(candidates, self.batch_size)
+                ),
+                query.required_accuracy,
+                gold_questions,
+                worker_count,
+            )
+
+        if hasattr(sink, "add_window_source"):
+            # Service intake: hand each window over with its projected
+            # cost so plan-reserved standing queries re-reserve per
+            # window (and are refused cleanly when the budget runs dry
+            # mid-stream).  The cost is a thunk: plan-less standing
+            # queries never evaluate it, and reserved ones price it at
+            # reservation time — the engine's μ then, like the publishes
+            # that follow.
+            schedule = self.engine.market.ledger.schedule
+
+            def cost_of(hits: int) -> Callable[[], float]:
+                def price() -> float:
+                    workers = (
+                        worker_count
+                        if worker_count is not None
+                        else self.engine.predict_workers(query.required_accuracy)
+                    )
+                    return window_cost(schedule, workers, hits)
+
+                return price
+
+            def costed_windows() -> Iterator[
+                tuple[Callable[[], float], Iterator[BatchSpec]]
+            ]:
+                for candidates in self._standing_windows(query, windows):
+                    if not candidates:
+                        continue
+                    hits = ceil_div(len(candidates), self.batch_size)
+                    yield cost_of(hits), window_specs(candidates)
+
+            return sink.add_window_source(costed_windows())
+
+        def specs() -> Iterator[BatchSpec]:
+            for candidates in self._standing_windows(query, windows):
+                yield from window_specs(candidates)
+
+        return sink.add_source(specs())
+
+    def _standing_windows(
+        self, query: Query, windows: int | None
+    ) -> Iterator[list[Tweet]]:
+        """Materialise each standing window's candidate list (possibly
+        empty), window ``i`` covering ``[t + i·w·unit, t + (i+1)·w·unit)``
+        of the configured stream — shared by submission and projection so
+        the two can never disagree on what a window contains."""
+        stream = self.stream
+        assert stream is not None
         start = (
             float(query.timestamp)
             if not isinstance(query.timestamp, str)
             else 0.0
         )
         horizon = stream.tweets[-1].timestamp if len(stream) else start
+        index = 0
+        while True:
+            if windows is not None and index >= windows:
+                return
+            window_start = start + index * query.window * stream.unit_seconds
+            if windows is None and window_start > horizon:
+                return
+            shifted = replace(query, timestamp=window_start)
+            yield list(stream.window(shifted))
+            index += 1
 
-        def specs() -> Iterator[BatchSpec]:
-            index = 0
-            while True:
-                if windows is not None and index >= windows:
-                    return
-                window_start = start + index * query.window * stream.unit_seconds
-                if windows is None and window_start > horizon:
-                    return
-                shifted = replace(query, timestamp=window_start)
-                yield from specs_from_batches(
-                    (
-                        [tweet_to_question(t) for t in batch]
-                        for batch in batched(
-                            stream.window(shifted), self.batch_size
-                        )
-                    ),
-                    query.required_accuracy,
-                    gold_questions,
-                    worker_count,
-                )
-                index += 1
+    # -- cost projection -----------------------------------------------------
 
-        return sink.add_source(specs())
+    def project(
+        self, query: Query, tweets: Sequence[Tweet] | None = None
+    ) -> Projection:
+        """Count a one-shot query's work (items, HITs) without running it.
+
+        Mirrors :meth:`submit`'s candidate resolution and validation but
+        touches neither the market nor a scheduler — the planner's view
+        of the query.
+        """
+        if tweets is None:
+            if self.stream is None:
+                raise ValueError("no stream configured and no tweets passed")
+            candidates = list(self.stream.window(query))
+        else:
+            candidates = list(self.executor.filter_stream(tweets, query))
+        if not candidates:
+            raise ValueError(
+                f"query {query.subject!r} matched no tweets in its window"
+            )
+        hits = ceil_div(len(candidates), self.batch_size)
+        return Projection(windows=((len(candidates), hits),))
+
+    def project_standing(
+        self, query: Query, windows: int | None = None
+    ) -> Projection:
+        """Per-window ``(items, hits)`` counts of a standing query
+        (empty windows skipped, exactly as submission skips them)."""
+        if self.stream is None:
+            raise ValueError("standing queries need a configured stream")
+        counts = []
+        for candidates in self._standing_windows(query, windows):
+            if not candidates:
+                continue
+            counts.append(
+                (len(candidates), ceil_div(len(candidates), self.batch_size))
+            )
+        return Projection(windows=tuple(counts), standing=True)
 
     def assemble(self, query: Query, group: SessionGroup) -> TSAResult:
         """Fold a completed group's per-HIT results into the query report."""

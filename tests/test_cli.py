@@ -103,6 +103,57 @@ class TestCommands:
         assert capsys.readouterr().out == first
 
 
+class TestExplainAndPreAdmit:
+    """The plan-first lifecycle on the CLI (DESIGN.md §10)."""
+
+    def test_explain_prints_plan_tables(self, capsys):
+        assert main(["explain", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "workers per item" in out
+        assert "projected spend" in out
+        assert "expected accuracy" in out
+        # Uncapped tenants: every demo query admits.
+        assert out.count("ADMIT") == 3
+        assert "REJECT" not in out
+        assert "planning is pure" in out
+
+    def test_explain_rejects_with_counter_offer_under_a_small_cap(self, capsys):
+        assert main(["explain", "--seed", "7", "--tenant-budget", "0.1"]) == 0
+        out = capsys.readouterr().out
+        # The two 3-HIT TSA queries (~$0.225) exceed the $0.10 cap; the
+        # 1-HIT IT query (~$0.075) fits.
+        assert out.count("REJECT") == 2
+        assert out.count("ADMIT") == 1
+        assert out.count("counter-offer") == 2
+        assert "workers/item" in out
+
+    def test_explain_is_deterministic(self, capsys):
+        args = ["explain", "--seed", "7", "--tenant-budget", "0.1"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_serve_pre_admit_plans_then_matches_plain_serve(self, capsys):
+        assert main(["serve", "--seed", "7"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["serve", "--seed", "7", "--pre-admit"]) == 0
+        pre = capsys.readouterr().out
+        assert "plan [" in pre and "reserves $" in pre
+        assert "plan-first reservations" in pre
+        # Reservation-gated execution is bit-identical to the reactive
+        # path on uncapped tenants: same progress, results and spend.
+        plan_lines = len(pre.splitlines()) - len(plain.splitlines())
+        assert pre.splitlines()[plan_lines:][1:] == plain.splitlines()[1:]
+
+    def test_serve_pre_admit_asyncio(self, capsys):
+        assert main(["serve", "--seed", "7", "--asyncio", "--pre-admit"]) == 0
+        out = capsys.readouterr().out
+        assert "plan [" in out
+        assert "-- mux idle --" in out
+        assert out.count("done") >= 3
+
+
 class TestRecordReplay:
     """The `record` / `replay` subcommands (DESIGN.md §9)."""
 
@@ -158,6 +209,18 @@ class TestRecordReplay:
         from pathlib import Path
 
         traces = Path(__file__).parent / "data" / "traces"
-        for name in ("mixed_service.jsonl", "cancel_mid_flight.jsonl"):
+        for name in (
+            "mixed_service.jsonl",
+            "cancel_mid_flight.jsonl",
+            "preadmission.jsonl",
+        ):
             assert main(["replay", str(traces / name)]) == 0
             assert "bit for bit" in capsys.readouterr().out
+
+    def test_record_preadmission_scenario(self, tmp_path, capsys):
+        trace, out = self._record(
+            tmp_path, capsys, "--scenario", "preadmission"
+        )
+        assert "preadmission" in out
+        assert main(["replay", str(trace)]) == 0
+        assert "bit for bit" in capsys.readouterr().out

@@ -102,3 +102,25 @@ class TestJobManager:
         jm = JobManager()
         jm.register(build_tsa_spec())
         assert "twitter-sentiment" in jm.registered_jobs
+
+    def test_plan_rejects_trivial_domains(self):
+        """plan() enforces the non-trivial-domain contract its docstring
+        promises, even for query-like objects that bypassed Query's own
+        constructor validation."""
+        from types import SimpleNamespace
+
+        jm = JobManager()
+        jm.register(self._spec())
+        for domain in ((), ("only",), ("dup", "dup")):
+            stub = SimpleNamespace(subject="stub", domain=domain)
+            with pytest.raises(ValueError, match="trivial answer domain"):
+                jm.plan("job-a", stub)
+        # None / missing domain is trivial too, not an AttributeError.
+        with pytest.raises(ValueError, match="trivial answer domain"):
+            jm.plan("job-a", SimpleNamespace(subject="stub", domain=None))
+
+    def test_plan_accepts_real_queries(self):
+        jm = JobManager()
+        jm.register(self._spec())
+        query = Query(keywords=("x",), required_accuracy=0.9, domain=("a", "b"))
+        assert jm.plan("job-a", query).query is query

@@ -1,6 +1,6 @@
 """The golden-trace determinism gate.
 
-Two recorded market runs are checked in under ``tests/data/traces/``;
+Three recorded market runs are checked in under ``tests/data/traces/``;
 replaying each through the *current* engine must reproduce the recording
 run's query results and ledger spend bit for bit, and the interaction
 fingerprint must match the hex digests pinned below (which equal the
@@ -16,6 +16,8 @@ Regenerate the traces deliberately with::
         --out tests/data/traces/mixed_service.jsonl
     python -m repro record --scenario cancel-mid-flight --seed 2012 \
         --out tests/data/traces/cancel_mid_flight.jsonl
+    python -m repro record --scenario preadmission --seed 2012 \
+        --out tests/data/traces/preadmission.jsonl
 
 and update the pinned fingerprints in the same commit.
 """
@@ -40,6 +42,10 @@ GOLDEN = {
     "cancel_mid_flight.jsonl": (
         "cancel-mid-flight",
         "d173ef7ec9d7d5f8c0bffeb2af858dd7b7c3f26e5f3af3e8e2afaaaad2b37d8e",
+    ),
+    "preadmission.jsonl": (
+        "preadmission",
+        "62202bf1c5bb598622eae5358062d41030dfab64ad9438c05dc182beed1d9f4b",
     ),
 }
 
@@ -83,6 +89,25 @@ def test_golden_cancel_trace_exercises_forfeiture():
     doomed = report.outcome["handles"][0]
     assert doomed["state"] == "cancelled"
     assert doomed["spend"] > 0  # charge-final: collected work stays paid
+
+
+def test_golden_preadmission_trace_gates_at_plan_time():
+    """The preadmission golden proves plan-gated runs replay bit for bit:
+    the refused query spent nothing, scheduled nothing, left no market
+    record — and the refusal's counter-offer numbers are pinned."""
+    report = replay_scenario(TRACES / "preadmission.jsonl")
+    refusal = report.outcome["refusal"]
+    assert refusal is not None, "the infeasible query must have been refused"
+    assert refusal["spend_during_refusal"] == 0.0
+    assert refusal["events_during_refusal"] == 0
+    assert refusal["projected_cost"] > refusal["tenant_remaining"]
+    offer = refusal["counter_offer"]
+    assert 0 < offer["workers_per_item"]
+    assert offer["achievable_accuracy"] is not None
+    # The admitted query ran to completion under its reservation.
+    (handle,) = report.outcome["handles"]
+    assert handle["state"] == "done"
+    assert handle["spend"] <= 0.40  # inside the tenant cap
 
 
 def test_golden_mixed_trace_covers_both_jobs():

@@ -1,0 +1,611 @@
+"""Tests for the plan-first query lifecycle (DESIGN.md §10).
+
+Covers the EXPLAIN-style :class:`QueryPlan` artifact, planning purity,
+reservation-based admission (``submit(plan=...)``), the structured
+:class:`PlanInfeasible` counter-offer, reservation settlement on
+completion/cancel, standing-query window re-reservation, and the async
+surface's passthroughs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.amt.market import SimulatedMarket
+from repro.core.budget import max_affordable_windows
+from repro.core.prediction import PredictionInfeasibleError
+from repro.engine.planner import PlanInfeasible, Projection, QueryPlan
+from repro.engine.service import AdmissionRejected, QueryState
+from repro.system import CDAS
+from repro.tsa.app import movie_query
+from repro.tsa.stream import TweetStream
+from repro.tsa.tweets import generate_tweets, tweet_to_question
+
+PER_ASSIGNMENT = 0.015  # default PriceSchedule: m_c 0.01 + m_s 0.005
+
+
+def _cdas(small_pool, seed=41) -> CDAS:
+    return CDAS.with_default_jobs(SimulatedMarket(small_pool, seed=seed), seed=seed)
+
+
+def _calibrated(small_pool, seed=41) -> CDAS:
+    cdas = _cdas(small_pool, seed=seed)
+    gold = generate_tweets(["gold-movie"], per_movie=8, seed=seed + 7)
+    cdas.calibrate(
+        [tweet_to_question(t) for t in gold], workers_per_hit=6, hits=1
+    )
+    return cdas
+
+
+def _tsa_inputs(movies=("alpha", "beta"), per_movie=18, seed=5, workers=5):
+    tweets = generate_tweets(list(movies), per_movie=per_movie, seed=seed)
+    gold = generate_tweets(["gold-movie"], per_movie=10, seed=seed + 1)
+    return {"tweets": tweets, "gold_tweets": gold, "worker_count": workers}
+
+
+def _standing_stream(per_window=8, window_count=3, unit_seconds=60.0):
+    tweets = generate_tweets(
+        ["kungfu"], per_movie=per_window * window_count, seed=11
+    )
+    spaced = []
+    for i, tweet in enumerate(tweets):
+        window_index, slot = divmod(i, per_window)
+        spaced.append(
+            dataclasses.replace(
+                tweet, timestamp=window_index * unit_seconds + slot
+            )
+        )
+    return TweetStream.from_corpus(spaced, unit_seconds=unit_seconds)
+
+
+class TestQueryPlanArtifact:
+    def test_projection_with_forced_workers(self, small_pool):
+        service = _cdas(small_pool).service()
+        plan = service.plan(
+            "twitter-sentiment", movie_query("alpha", 0.9),
+            tenant="acme", batch_size=6, **_tsa_inputs()
+        )
+        assert isinstance(plan, QueryPlan)
+        assert plan.job_name == "twitter-sentiment"
+        assert plan.tenant == "acme"
+        assert plan.items == 18
+        assert plan.projected_hits == 3  # 18 tweets / batch 6
+        assert plan.workers_per_item == 5
+        assert plan.projected_cost == pytest.approx(3 * 5 * PER_ASSIGNMENT)
+        assert not plan.standing
+        assert plan.upfront_reservation == pytest.approx(plan.projected_cost)
+        assert len(plan.windows) == 1
+        assert plan.windows[0].items == 18
+
+    def test_predicted_workers_follow_g_of_c(self, small_pool):
+        cdas = _calibrated(small_pool)
+        service = cdas.service()
+        inputs = _tsa_inputs()
+        inputs.pop("worker_count")
+        plan = service.plan(
+            "twitter-sentiment", movie_query("alpha", 0.9),
+            batch_size=6, **inputs
+        )
+        assert plan.workers_per_item == cdas.engine.predict_workers(0.9)
+        assert plan.workers_per_item % 2 == 1
+        assert plan.expected_accuracy >= 0.9
+        assert plan.mean_accuracy == pytest.approx(cdas.engine.mean_accuracy())
+
+    def test_uncalibrated_prediction_is_an_honest_error(self, small_pool):
+        service = _cdas(small_pool).service()
+        inputs = _tsa_inputs()
+        inputs.pop("worker_count")
+        with pytest.raises(PredictionInfeasibleError):
+            service.plan(
+                "twitter-sentiment", movie_query("alpha", 0.9),
+                batch_size=6, **inputs
+            )
+
+    def test_planning_is_pure(self, small_pool):
+        service = _cdas(small_pool).service()
+        before_counter = service.engine.hit_counter
+        for _ in range(3):
+            service.plan(
+                "twitter-sentiment", movie_query("alpha", 0.9),
+                batch_size=6, **_tsa_inputs()
+            )
+        assert service.engine.market.published_hits == 0
+        assert service.engine.market.ledger.total_cost == 0.0
+        assert service.engine.hit_counter == before_counter
+        assert service.scheduler.events_processed == 0
+        assert service.handles == ()
+
+    def test_it_projection_counts_tag_questions(self, small_pool):
+        from repro.it.images import generate_images
+
+        service = _cdas(small_pool).service()
+        images = generate_images(per_subject=1, seed=3)[:3]
+        plan = service.plan(
+            "image-tagging", movie_query("img", 0.9),
+            images=images, worker_count=5,
+        )
+        assert plan.items == sum(len(i.candidate_tags) for i in images)
+        assert plan.projected_hits == 1  # 3 images / 5 per HIT
+        assert plan.projected_cost == pytest.approx(5 * PER_ASSIGNMENT)
+
+    def test_standing_plan_projects_per_window(self, small_pool):
+        cdas = _cdas(small_pool)
+        service = cdas.service()
+        gold = generate_tweets(["gold-movie"], per_movie=10, seed=12)
+        plan = service.plan(
+            "twitter-sentiment", movie_query("kungfu", 0.9, window=1),
+            stream=_standing_stream(), windows=3, gold_tweets=gold,
+            worker_count=5, batch_size=4,
+        )
+        assert plan.standing
+        assert len(plan.windows) == 3
+        assert all(w.items == 8 and w.hits == 2 for w in plan.windows)
+        per_window = 2 * 5 * PER_ASSIGNMENT
+        assert plan.upfront_reservation == pytest.approx(per_window)
+        assert plan.projected_cost == pytest.approx(3 * per_window)
+
+    def test_describe_is_the_explain_table(self, small_pool):
+        service = _cdas(small_pool).service()
+        plan = service.plan(
+            "twitter-sentiment", movie_query("alpha", 0.9),
+            batch_size=6, **_tsa_inputs()
+        )
+        text = plan.describe()
+        for needle in (
+            "workers per item", "expected accuracy", "projected HITs",
+            "projected spend", "reserves up front",
+        ):
+            assert needle in text
+
+    def test_plan_validates_like_submit(self, small_pool):
+        service = _cdas(small_pool).service()
+        with pytest.raises(KeyError):
+            service.plan("ghost", movie_query("alpha", 0.9))
+        with pytest.raises(ValueError, match="gold_tweets"):
+            service.plan("twitter-sentiment", movie_query("alpha", 0.9))
+        with pytest.raises(ValueError, match="matched no tweets"):
+            service.plan(
+                "twitter-sentiment", movie_query("nomatch", 0.9), **_tsa_inputs()
+            )
+        with pytest.raises(ValueError, match="budget"):
+            service.plan(
+                "twitter-sentiment", movie_query("alpha", 0.9),
+                budget=-1.0, **_tsa_inputs()
+            )
+        with pytest.raises(ValueError, match="priority"):
+            service.plan(
+                "twitter-sentiment", movie_query("alpha", 0.9),
+                priority=0.0, **_tsa_inputs()
+            )
+        assert service.engine.market.published_hits == 0
+
+    def test_jobs_without_projector_cannot_plan(self, small_pool):
+        from repro.engine.jobs import JobSpec
+        from repro.engine.templates import QueryTemplate
+        from repro.engine.query import Query
+
+        cdas = _cdas(small_pool)
+        spec = JobSpec(
+            name="no-projector",
+            template=QueryTemplate(
+                job_name="no-projector", instructions="i",
+                item_label="Item", prompt="p",
+            ),
+            computer_tasks=("t",),
+            human_tasks=("h",),
+        )
+        cdas.register_job(
+            spec,
+            submitter=lambda engine, sink, plan, inputs: (
+                sink.add_batches(iter(()), required_accuracy=0.9),
+                lambda: "ok",
+            )[1],
+        )
+        query = Query(keywords=("x",), required_accuracy=0.9, domain=("a", "b"))
+        with pytest.raises(ValueError, match="projector"):
+            cdas.service().plan("no-projector", query)
+        # ...but plan-less submission still works (and tolerates the
+        # missing projector in its best-effort auto-plan).
+        handle = cdas.service().submit("no-projector", query)
+        assert handle.plan is None
+
+    def test_projector_requires_submitter(self, small_pool):
+        from repro.engine.jobs import JobSpec
+        from repro.engine.templates import QueryTemplate
+
+        cdas = _cdas(small_pool)
+        spec = JobSpec(
+            name="lonely-projector",
+            template=QueryTemplate(
+                job_name="lonely-projector", instructions="i",
+                item_label="Item", prompt="p",
+            ),
+            computer_tasks=("t",),
+            human_tasks=("h",),
+        )
+        with pytest.raises(ValueError, match="projector but no submitter"):
+            cdas.register_job(
+                spec,
+                runner=lambda e, p, i: None,
+                projector=lambda e, p, i: Projection(windows=((1, 1),)),
+            )
+
+
+class TestPlanSubmission:
+    def test_plan_path_matches_plan_less_bit_for_bit(self, small_pool):
+        inputs = _tsa_inputs()
+        query = movie_query("alpha", 0.9)
+
+        plain_service = _cdas(small_pool).service(max_in_flight=2)
+        plain = plain_service.submit(
+            "twitter-sentiment", query, batch_size=6, **inputs
+        )
+        plain_result = plain.result()
+
+        planned_service = _cdas(small_pool).service(max_in_flight=2)
+        plan = planned_service.plan(
+            "twitter-sentiment", query, batch_size=6, **inputs
+        )
+        planned = planned_service.submit(plan=plan)
+        planned_result = planned.result()
+
+        assert plain_result.report == planned_result.report
+        assert [h.hit_id for h in plain_result.hit_results] == [
+            h.hit_id for h in planned_result.hit_results
+        ]
+        assert [h.cost for h in plain_result.hit_results] == [
+            h.cost for h in planned_result.hit_results
+        ]
+
+    def test_plan_less_submit_attaches_plan_best_effort(self, small_pool):
+        service = _cdas(small_pool).service()
+        handle = service.submit(
+            "twitter-sentiment", movie_query("alpha", 0.9),
+            batch_size=6, **_tsa_inputs()
+        )
+        assert handle.plan is not None
+        assert handle.plan.projected_hits == 3
+        # ...but reservation accounting stays off (legacy reactive path).
+        assert handle.reserved == 0.0
+        assert service.tenant_reserved("default") == 0.0
+
+    def test_submit_reserve_true_auto_plans(self, small_pool):
+        service = _cdas(small_pool).service()
+        handle = service.submit(
+            "twitter-sentiment", movie_query("alpha", 0.9),
+            reserve=True, batch_size=6, **_tsa_inputs()
+        )
+        assert handle.plan is not None
+        assert handle.reserved == pytest.approx(handle.plan.projected_cost)
+        assert service.tenant_reserved("default") == pytest.approx(
+            handle.plan.projected_cost
+        )
+
+    def test_plan_shape_rejects_extra_arguments(self, small_pool):
+        service = _cdas(small_pool).service()
+        plan = service.plan(
+            "twitter-sentiment", movie_query("alpha", 0.9),
+            batch_size=6, **_tsa_inputs()
+        )
+        with pytest.raises(ValueError, match="pass nothing else"):
+            service.submit("twitter-sentiment", plan=plan)
+        # Overrides of plan-bound fields are rejected, never silently
+        # dropped (re-plan to change tenant/budget/priority).
+        for override in (
+            {"tenant": "other"},
+            {"budget": 0.5},
+            {"priority": 2.0},
+        ):
+            with pytest.raises(ValueError, match="pass nothing else"):
+                service.submit(plan=plan, **override)
+        with pytest.raises(ValueError, match="job_name and query"):
+            service.submit()
+
+    def test_plan_carries_tenant_budget_priority(self, small_pool):
+        service = _cdas(small_pool).service()
+        plan = service.plan(
+            "twitter-sentiment", movie_query("alpha", 0.9),
+            tenant="acme", budget=5.0, priority=2.5,
+            batch_size=6, **_tsa_inputs()
+        )
+        handle = service.submit(plan=plan)
+        assert handle.tenant == "acme"
+        assert handle._record.budget == 5.0
+        assert handle._record.priority == 2.5
+
+
+class TestPlanInfeasible:
+    def test_tenant_cap_refusal_incurs_zero_spend(self, small_pool):
+        cdas = _calibrated(small_pool)
+        service = cdas.service(max_in_flight=2)
+        service.register_tenant("acme", budget_cap=0.10)
+        plan = service.plan(
+            "twitter-sentiment", movie_query("alpha", 0.9), tenant="acme",
+            batch_size=6, **_tsa_inputs()
+        )
+        assert plan.projected_cost > 0.10
+        published_before = cdas.market.published_hits
+        with pytest.raises(PlanInfeasible) as excinfo:
+            service.submit(plan=plan)
+        # Zero market interaction, zero scheduler work, no handle issued.
+        assert cdas.market.published_hits == published_before
+        assert service.tenant_spend("acme") == 0.0
+        assert service.tenant_reserved("acme") == 0.0
+        assert service.scheduler.events_processed == 0
+        assert service.handles == ()
+        # The structured rejection carries the plan and the counter-offer.
+        exc = excinfo.value
+        assert exc.plan is plan
+        assert not exc.decision.admitted
+        assert exc.decision.tenant_remaining == pytest.approx(0.10)
+        offer = exc.counter_offer
+        assert offer is not None
+        assert offer.budget == pytest.approx(0.10)
+        assert 0 < offer.workers_per_item < plan.workers_per_item
+        assert offer.workers_per_item % 2 == 1
+        assert offer.achievable_accuracy is not None
+        assert offer.achievable_accuracy < plan.expected_accuracy
+        assert offer.affordable_windows == 0
+        assert "counter-offer" in offer.describe()
+
+    def test_per_query_budget_refusal(self, small_pool):
+        cdas = _calibrated(small_pool)
+        service = cdas.service()
+        plan = service.plan(
+            "twitter-sentiment", movie_query("alpha", 0.9),
+            budget=0.05, batch_size=6, **_tsa_inputs()
+        )
+        with pytest.raises(PlanInfeasible, match="per-query budget"):
+            service.submit(plan=plan)
+
+    def test_uncapped_tenant_always_admits(self, small_pool):
+        service = _cdas(small_pool).service()
+        plan = service.plan(
+            "twitter-sentiment", movie_query("alpha", 0.9),
+            batch_size=6, **_tsa_inputs()
+        )
+        decision = service.preadmit(plan)
+        assert decision.admitted
+        assert decision.tenant_remaining is None
+        assert decision.limit is None
+        handle = service.submit(plan=plan)
+        assert handle.result().report.subject == "alpha"
+
+    def test_plan_infeasible_is_not_admission_rejected(self, small_pool):
+        """PlanInfeasible is its own negotiation signal; reactive
+        AdmissionRejected keeps meaning 'cap already committed'."""
+        assert not issubclass(PlanInfeasible, AdmissionRejected)
+
+
+class TestReservationAccounting:
+    def test_cancel_before_publish_releases_full_reservation(self, small_pool):
+        cdas = _calibrated(small_pool)
+        service = cdas.service()
+        service.register_tenant("acme", budget_cap=0.30)
+        inputs = _tsa_inputs()
+        first = service.submit(
+            plan=service.plan(
+                "twitter-sentiment", movie_query("alpha", 0.9),
+                tenant="acme", batch_size=6, **inputs
+            )
+        )
+        reserved = service.tenant_reserved("acme")
+        assert reserved == pytest.approx(3 * 5 * PER_ASSIGNMENT)
+        # A second identical plan no longer fits the cap...
+        second_plan = service.plan(
+            "twitter-sentiment", movie_query("beta", 0.9),
+            tenant="acme", batch_size=6, **inputs
+        )
+        with pytest.raises(PlanInfeasible):
+            service.submit(plan=second_plan)
+        # ...until the first is cancelled before anything was published:
+        # the full reservation is released and the slot reopens.
+        assert first.cancel()
+        assert first.spend == 0.0
+        assert service.tenant_reserved("acme") == 0.0
+        assert service.tenant_committed("acme") == 0.0
+        second = service.submit(plan=second_plan)
+        assert second.result().report.subject == "beta"
+
+    def test_mid_flight_cancel_settles_to_incurred_spend(self, small_pool):
+        cdas = _calibrated(small_pool)
+        service = cdas.service(max_in_flight=1)
+        service.register_tenant("acme", budget_cap=1.0)
+        handle = service.submit(
+            plan=service.plan(
+                "twitter-sentiment", movie_query("alpha", 0.9),
+                tenant="acme", batch_size=6,
+                **_tsa_inputs(movies=("alpha",), per_movie=30)
+            )
+        )
+        reserved = service.tenant_reserved("acme")
+        assert reserved > 0
+        while handle.progress().spend == 0.0:
+            assert service.step()
+        handle.cancel()
+        service.run_until_idle()
+        spend = handle.spend
+        assert 0 < spend < reserved
+        # Settlement: the reservation collapses to the incurred spend.
+        assert handle.reserved == 0.0
+        assert service.tenant_reserved("acme") == 0.0
+        assert service.tenant_committed("acme") == pytest.approx(spend)
+
+    def test_completion_refunds_over_projection(self, small_pool):
+        cdas = _calibrated(small_pool)
+        service = cdas.service()
+        service.register_tenant("acme", budget_cap=0.30)
+        handle = service.submit(
+            plan=service.plan(
+                "twitter-sentiment", movie_query("alpha", 0.9),
+                tenant="acme", batch_size=6, **_tsa_inputs()
+            )
+        )
+        projected = handle.plan.projected_cost
+        handle.result()
+        # Committed settles to actual spend; any over-projection is
+        # refunded to the tenant's headroom the moment the query is DONE.
+        assert service.tenant_committed("acme") == pytest.approx(handle.spend)
+        assert handle.spend <= projected + 1e-9
+        assert service.tenant_reserved("acme") == 0.0
+
+    def test_concurrent_plans_cannot_jointly_over_reserve(self, small_pool):
+        cdas = _calibrated(small_pool)
+        service = cdas.service(max_in_flight=2)
+        service.register_tenant("acme", budget_cap=0.40)
+        inputs = _tsa_inputs()
+        cost = 3 * 5 * PER_ASSIGNMENT  # 0.225 per query
+        first = service.submit(
+            plan=service.plan(
+                "twitter-sentiment", movie_query("alpha", 0.9),
+                tenant="acme", batch_size=6, **inputs
+            )
+        )
+        # Nothing spent yet — a reactive check would admit the second
+        # query too; the reservation refuses the joint over-commitment.
+        assert service.tenant_spend("acme") == 0.0
+        assert service.tenant_committed("acme") == pytest.approx(cost)
+        with pytest.raises(PlanInfeasible) as excinfo:
+            service.submit(
+                plan=service.plan(
+                    "twitter-sentiment", movie_query("beta", 0.9),
+                    tenant="acme", batch_size=6, **inputs
+                )
+            )
+        assert excinfo.value.decision.tenant_remaining == pytest.approx(
+            0.40 - cost
+        )
+        assert first.result().report.subject == "alpha"
+
+    def test_standing_window_rereservation_runs_dry_cleanly(self, small_pool):
+        cdas = _calibrated(small_pool)
+        service = cdas.service(max_in_flight=2)
+        # Each window: 8 tweets / batch 4 = 2 HITs × 5 workers = $0.15.
+        # The cap covers one window, not two.
+        service.register_tenant("acme", budget_cap=0.20)
+        gold = generate_tweets(["gold-movie"], per_movie=10, seed=12)
+        plan = service.plan(
+            "twitter-sentiment", movie_query("kungfu", 0.9, window=1),
+            tenant="acme", stream=_standing_stream(), windows=3,
+            gold_tweets=gold, worker_count=5, batch_size=4,
+        )
+        assert plan.upfront_reservation == pytest.approx(0.15)
+        assert plan.projected_cost == pytest.approx(0.45)
+        handle = service.submit(plan=plan)  # first window fits: admitted
+        result = handle.result()
+        # Window 2's re-reservation was refused cleanly: the query
+        # completed with window 1's results only, flagged as exhausted.
+        assert handle.state is QueryState.DONE
+        assert handle.progress().budget_exhausted
+        assert len(result.records) == 8
+        assert handle.progress().hits_completed == 2
+        assert handle.spend <= 0.20 + 1e-9
+        assert service.tenant_committed("acme") == pytest.approx(handle.spend)
+
+    def test_standing_query_inside_budget_runs_every_window(self, small_pool):
+        cdas = _calibrated(small_pool)
+        service = cdas.service(max_in_flight=2)
+        service.register_tenant("acme", budget_cap=1.0)
+        gold = generate_tweets(["gold-movie"], per_movie=10, seed=12)
+        handle = service.submit(
+            plan=service.plan(
+                "twitter-sentiment", movie_query("kungfu", 0.9, window=1),
+                tenant="acme", stream=_standing_stream(), windows=3,
+                gold_tweets=gold, worker_count=5, batch_size=4,
+            )
+        )
+        result = handle.result()
+        assert len(result.records) == 24
+        assert not handle.progress().budget_exhausted
+        # All three windows were reserved cumulatively, then settled.
+        assert service.tenant_committed("acme") == pytest.approx(handle.spend)
+
+    def test_reserved_query_can_fill_the_cap_exactly(self, small_pool):
+        """A plan reserving exactly the tenant's remaining cap is
+        admitted and runs to completion (its own reservation must not
+        read as 'cap already committed')."""
+        cdas = _calibrated(small_pool)
+        service = cdas.service()
+        cost = 3 * 5 * PER_ASSIGNMENT
+        service.register_tenant("acme", budget_cap=cost)
+        handle = service.submit(
+            plan=service.plan(
+                "twitter-sentiment", movie_query("alpha", 0.9),
+                tenant="acme", batch_size=6, **_tsa_inputs()
+            )
+        )
+        result = handle.result()
+        assert handle.state is QueryState.DONE
+        assert len(result.records) == 18
+
+
+class TestAsyncPlanSurface:
+    def test_async_plan_and_submit_plan(self, small_pool):
+        import asyncio
+
+        async def run():
+            service = _cdas(small_pool).async_service()
+            plan = service.plan(
+                "twitter-sentiment", movie_query("alpha", 0.9),
+                batch_size=6, **_tsa_inputs()
+            )
+            assert service.preadmit(plan).admitted
+            handle = service.submit(plan=plan)
+            result = await handle.result()
+            assert handle.plan is plan  # async handle mirrors .plan
+            assert handle.reserved == 0.0  # settled on completion
+            return result
+
+        result = asyncio.run(run())
+        assert result.report.subject == "alpha"
+
+    def test_async_submit_raises_plan_infeasible_synchronously(self, small_pool):
+        import asyncio
+
+        async def run():
+            cdas = _calibrated(small_pool)
+            service = cdas.async_service()
+            service.register_tenant("acme", budget_cap=0.05)
+            plan = service.plan(
+                "twitter-sentiment", movie_query("alpha", 0.9),
+                tenant="acme", batch_size=6, **_tsa_inputs()
+            )
+            with pytest.raises(PlanInfeasible):
+                service.submit(plan=plan)
+            assert service.tenant_spend("acme") == 0.0
+
+        asyncio.run(run())
+
+    def test_mux_plan_passthrough(self, small_pool):
+        import asyncio
+
+        from repro.engine.aio import ServiceMux
+
+        async def run():
+            cdas = _cdas(small_pool)
+            async with ServiceMux() as mux:
+                mux.add("svc", cdas.async_service(name="svc"))
+                plan = mux.plan(
+                    "svc", "twitter-sentiment", movie_query("alpha", 0.9),
+                    batch_size=6, **_tsa_inputs()
+                )
+                handle = mux.submit("svc", plan=plan)
+                result = await handle.result()
+            return result
+
+        result = asyncio.run(run())
+        assert len(result.records) == 18
+
+
+class TestBudgetHelpers:
+    def test_max_affordable_windows(self):
+        costs = (0.15, 0.15, 0.15)
+        assert max_affordable_windows(0.0, costs) == 0
+        assert max_affordable_windows(0.15, costs) == 1
+        assert max_affordable_windows(0.31, costs) == 2
+        assert max_affordable_windows(0.45, costs) == 3
+        assert max_affordable_windows(9.0, ()) == 0
+        with pytest.raises(ValueError):
+            max_affordable_windows(-0.1, costs)
