@@ -1,0 +1,155 @@
+"""Bench: vectorised ``publish_many`` vs. the scalar reference publish.
+
+The PR-gating measurement for the simulation hot paths: a 500-HIT
+workload at ``bench_scheduler.py`` scale (20 questions per HIT — 8 batch
+questions plus 12 gold — 9 workers each, the 400-worker pool) must run
+≥ 10× as many simulated HITs/sec through ``SimulatedMarket.publish_many``
+as through ``publish_reference``, while producing bit-identical handles.
+
+Measurement protocol (noise on shared CI runners is the enemy):
+
+* vectorised and scalar rounds *interleave*, so drift (thermal, noisy
+  neighbours) hits both sides alike;
+* each round runs on a fresh market (the scalar path's caches must not
+  warm across rounds any differently from a cold run), with one warm-up
+  batch on the vectorised side so numpy/ufunc setup is not billed;
+* the collector is disabled around each timed region — dict-heavy
+  assembly otherwise donates arbitrary GC pauses to whichever side the
+  collector fires in;
+* the reported ratio is best-of-rounds over best-of-rounds: the minimum
+  is the least-noise estimate of each side's true cost.
+
+Identity is proven separately from timing: the same workload is
+published once through each path and the full handle contents (workers,
+answers, keywords, submit times) are fingerprinted with SHA-256.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import json
+import time
+
+from repro.amt.hit import HIT, Question
+from repro.amt.latency import LognormalLatency
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+
+HITS = 500
+QUESTIONS_PER_HIT = 20  # 8 batch + 12 gold, the bench_scheduler composition
+WORKERS_PER_HIT = 9
+OPTIONS = ("pos", "neu", "neg")
+MARKET_SEED = 77
+ROUNDS = 8
+MIN_SPEEDUP = 10.0
+
+
+def _hits(tag: str, count: int) -> list[HIT]:
+    hits = []
+    for i in range(count):
+        questions = tuple(
+            Question(
+                question_id=f"{tag}-q{i}-{j}",
+                options=OPTIONS,
+                truth=OPTIONS[j % 3],
+                is_gold=(j >= 8),
+            )
+            for j in range(QUESTIONS_PER_HIT)
+        )
+        hits.append(
+            HIT(hit_id=f"{tag}-{i:05d}", questions=questions, assignments=WORKERS_PER_HIT)
+        )
+    return hits
+
+
+def _market(pool: WorkerPool) -> SimulatedMarket:
+    return SimulatedMarket(pool=pool, latency=LognormalLatency(), seed=MARKET_SEED)
+
+
+def _handle_fingerprint(handles) -> str:
+    digest = hashlib.sha256()
+    for handle in handles:
+        digest.update(handle.hit.hit_id.encode())
+        for worker in handle.workers:
+            digest.update(worker.worker_id.encode())
+        for a in handle._assignments:
+            digest.update(
+                json.dumps(
+                    [
+                        a.worker_id,
+                        sorted(a.answers.items()),
+                        sorted((k, list(v)) for k, v in a.keywords.items()),
+                        a.submit_time.hex(),
+                    ]
+                ).encode()
+            )
+    return digest.hexdigest()
+
+
+def _measure(bench_seed: int) -> dict:
+    pool = WorkerPool.from_config(PoolConfig(size=400), seed=bench_seed)
+    vec_times: list[float] = []
+    scalar_times: list[float] = []
+    for rnd in range(ROUNDS):
+        vec_market = _market(pool)
+        vec_market.publish_many(_hits(f"warm{rnd}", 40))  # warm-up, untimed
+        workload = _hits(f"vec{rnd}", HITS)
+        gc.collect()
+        gc.disable()
+        start = time.perf_counter()
+        vec_market.publish_many(workload)
+        vec_times.append(time.perf_counter() - start)
+        gc.enable()
+        assert vec_market.fallback_batches == 0, "vectorised path fell back"
+
+        scalar_market = _market(pool)
+        workload = _hits(f"sca{rnd}", HITS)
+        gc.collect()
+        gc.disable()
+        start = time.perf_counter()
+        for hit in workload:
+            scalar_market.publish_reference(hit)
+        scalar_times.append(time.perf_counter() - start)
+        gc.enable()
+
+    # Bit-identity on the exact benchmark workload (same tag both sides).
+    shared = _hits("fp", HITS)
+    vec_handles = _market(pool).publish_many(shared)
+    scalar_handles = [_market(pool).publish_reference(h) for h in _hits("fp", HITS)]
+    vec_fp = _handle_fingerprint(vec_handles)
+    scalar_fp = _handle_fingerprint(scalar_handles)
+
+    best_vec = min(vec_times)
+    best_scalar = min(scalar_times)
+    return {
+        "vec_times_s": vec_times,
+        "scalar_times_s": scalar_times,
+        "best_vec_s": best_vec,
+        "best_scalar_s": best_scalar,
+        "vec_hits_per_s": HITS / best_vec,
+        "scalar_hits_per_s": HITS / best_scalar,
+        "speedup": best_scalar / best_vec,
+        "vec_fingerprint": vec_fp,
+        "scalar_fingerprint": scalar_fp,
+    }
+
+
+def test_bench_vectorised_publish_speedup(benchmark, bench_seed):
+    result = benchmark.pedantic(_measure, args=(bench_seed,), rounds=1, iterations=1)
+    assert result["vec_fingerprint"] == result["scalar_fingerprint"], (
+        "vectorised publish diverged from the scalar reference"
+    )
+    benchmark.extra_info["hits"] = HITS
+    benchmark.extra_info["questions_per_hit"] = QUESTIONS_PER_HIT
+    benchmark.extra_info["workers_per_hit"] = WORKERS_PER_HIT
+    benchmark.extra_info["vec_hits_per_s"] = round(result["vec_hits_per_s"], 1)
+    benchmark.extra_info["scalar_hits_per_s"] = round(result["scalar_hits_per_s"], 1)
+    benchmark.extra_info["speedup"] = round(result["speedup"], 2)
+    benchmark.extra_info["fingerprint"] = result["vec_fingerprint"][:16]
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"vectorised publish only {result['speedup']:.2f}x the scalar "
+        f"reference (gate: {MIN_SPEEDUP}x); "
+        f"vec best {result['best_vec_s'] * 1e3:.1f} ms, "
+        f"scalar best {result['best_scalar_s'] * 1e3:.1f} ms"
+    )

@@ -35,7 +35,9 @@ slow/live backends ever make a driver sleep.
 from __future__ import annotations
 
 import heapq
-from collections.abc import Iterator
+import math
+import time
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
@@ -168,17 +170,27 @@ class EventPump:
     ``O(log h)`` in the number of in-flight handles.  Heap entries are
     per-handle *heads*, refreshed after each pop; entries of cancelled or
     drained handles are dropped lazily when they surface.
+
+    Dormant handles sit in a second heap keyed by the wall-clock time
+    their declared ``next_arrival_eta`` elapses, so a pop touches only
+    the dormant handles that are actually due instead of re-polling all
+    of them — with thousands of in-flight HITs each pop stays amortized
+    ``O(log n)``.  Handles that cannot declare an ETA keep wake time
+    ``-inf`` (probed every sweep, as before), and whenever the event
+    heap runs dry or an ETA is requested the whole dormant set is probed
+    regardless of wake times, so backends on a different clock (tests
+    inject fake ones) are still picked up promptly.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
         self._order = 0
+        self._clock = clock
         # (global arrival time of the handle's head, publication order,
         #  handle, published_at)
         self._heap: list[tuple[float, int, HITHandle, float]] = []
         # Live handles with nothing pending *yet* (a live backend before its
-        # first worker submits); re-polled on every pop so late-arriving
-        # heads are picked up rather than dropped.
-        self._dormant: list[tuple[HITHandle, float, int]] = []
+        # first worker submits), keyed by earliest wall-clock re-poll time.
+        self._dormant: list[tuple[float, int, HITHandle, float]] = []
         self._sequence = 0
 
     def add(self, handle: HITHandle, published_at: float = 0.0) -> None:
@@ -192,24 +204,66 @@ class EventPump:
         if head is not None:
             heapq.heappush(self._heap, (published_at + head, order, handle, published_at))
         elif not handle.done:
-            self._dormant.append((handle, published_at, order))
+            self._park(handle, published_at, order)
 
-    def _poll_dormant(self) -> None:
-        """Move dormant handles that now have a pending head onto the heap."""
+    def _park(self, handle: HITHandle, published_at: float, order: int) -> None:
+        """Queue a dormant handle until its declared ETA elapses."""
+        eta = self._quiet_arrival_eta(handle)
+        wake = self._clock() + eta if eta is not None else -math.inf
+        heapq.heappush(self._dormant, (wake, order, handle, published_at))
+
+    @staticmethod
+    def _quiet_arrival_eta(handle: HITHandle) -> float | None:
+        """ETA probe for internal bookkeeping: unknown on error.
+
+        A replay backend's probe may *raise* to diagnose a stalled
+        replay, but mid-pop that diagnosis is premature — the event
+        being delivered may be the very one whose processing unstalls
+        it.  Park such handles as unknown-ETA; a genuine stall still
+        surfaces through the driver-facing :meth:`next_arrival_eta`,
+        which probes directly.
+        """
+        try:
+            return arrival_eta(handle)
+        except Exception:
+            return None
+
+    def _poll_dormant(self, force: bool = False) -> None:
+        """Move dormant handles that now have a pending head onto the heap.
+
+        Probes only the handles whose wake time has passed; ``force``
+        probes every dormant handle (used when the event heap is empty
+        and by :meth:`next_arrival_eta`, where staleness would translate
+        into a wrong wait instead of a merely deferred promotion).
+        """
         if not self._dormant:
             return
-        still_dormant = []
-        for handle, published_at, order in self._dormant:
+        now = self._clock()
+        if force:
+            due = self._dormant
+            self._dormant = []
+        else:
+            if self._dormant[0][0] > now:
+                return
+            due = []
+            while self._dormant and self._dormant[0][0] <= now:
+                due.append(heapq.heappop(self._dormant))
+        reparked: list[tuple[float, int, HITHandle, float]] = []
+        for wake, order, handle, published_at in due:
             if handle.done:
                 continue
             head = handle.peek_time()
-            if head is None:
-                still_dormant.append((handle, published_at, order))
-            else:
+            if head is not None:
                 heapq.heappush(
                     self._heap, (published_at + head, order, handle, published_at)
                 )
-        self._dormant = still_dormant
+                continue
+            eta = self._quiet_arrival_eta(handle)
+            reparked.append(
+                (now + eta if eta is not None else -math.inf, order, handle, published_at)
+            )
+        for entry in reparked:
+            heapq.heappush(self._dormant, entry)
 
     @property
     def pending(self) -> bool:
@@ -217,7 +271,7 @@ class EventPump:
         (or is live but dormant — nothing pending *yet*)."""
         return any(
             not handle.done for _, _, handle, _ in self._heap
-        ) or any(not handle.done for handle, _, _ in self._dormant)
+        ) or any(not handle.done for _, _, handle, _ in self._dormant)
 
     def next_arrival_eta(self) -> float | None:
         """Wall-clock seconds until :meth:`next_event` could deliver.
@@ -231,7 +285,14 @@ class EventPump:
         can say (drivers must then poll rather than sleep unboundedly —
         the dormant-handle re-polling in :meth:`next_event` covers them).
         """
-        self._poll_dormant()
+        self._poll_dormant(force=True)
+        if self._heap:
+            # Fast path: the earliest entry's head is still valid — an
+            # event is poppable right now, no need to peek the rest.
+            head_time, _, head_handle, head_published = self._heap[0]
+            head = head_handle.peek_time()
+            if head is not None and head_published + head == head_time:
+                return 0.0
         best: float | None = None
         for _, _, handle, _ in self._heap:
             if handle.peek_time() is not None:
@@ -242,7 +303,7 @@ class EventPump:
                 eta = arrival_eta(handle)
                 if eta is not None and (best is None or eta < best):
                     best = eta
-        for handle, _, _ in self._dormant:
+        for _, _, handle, _ in self._dormant:
             if handle.done:
                 continue
             eta = arrival_eta(handle)
@@ -258,18 +319,18 @@ class EventPump:
         yet — check :attr:`pending` to distinguish; a synchronous caller
         would poll or sleep, the planned asyncio pump awaits).
         """
-        self._poll_dormant()
+        self._poll_dormant(force=not self._heap)
         while self._heap:
-            time, order, handle, published_at = heapq.heappop(self._heap)
+            arrival, order, handle, published_at = heapq.heappop(self._heap)
             head = handle.peek_time()
             if head is None:
                 # Cancelled or drained since queued — or live with nothing
                 # pending anymore (its head was pulled externally): park
                 # live handles for re-polling instead of evicting them.
                 if not handle.done:
-                    self._dormant.append((handle, published_at, order))
+                    self._park(handle, published_at, order)
                 continue
-            if published_at + head != time:
+            if published_at + head != arrival:
                 # The handle was advanced outside the pump (e.g. a direct
                 # ``next_submission`` call); re-queue its current head.
                 self._push(handle, published_at, order)
@@ -280,7 +341,7 @@ class EventPump:
             event = SubmissionEvent(
                 hit_id=handle.hit.hit_id,
                 assignment=assignment,
-                time=time,
+                time=arrival,
                 sequence=self._sequence,
             )
             self._sequence += 1

@@ -562,7 +562,10 @@ def load_trace(path: str | Path) -> Trace:
     submission_counter = 0
 
     with path.open("r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
+        # One buffered read + in-memory line sweep instead of per-line
+        # file iteration: long recordings (thousands of submissions) load
+        # in a single I/O batch, and the hot loop walks a plain list.
+        for lineno, line in enumerate(handle.read().splitlines(), start=1):
             if not line.strip():
                 continue
             if end is not None:

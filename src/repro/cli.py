@@ -383,6 +383,42 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import io
+    import pstats
+
+    from repro.scenarios import build_market, run_scenario
+
+    market = build_market(args.seed)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    outcome = run_scenario(args.scenario, market, args.seed)
+    profiler.disable()
+
+    print(f"profiled scenario  : {args.scenario} (seed {args.seed})")
+    print(f"outcome digest     : {_outcome_digest(outcome)}")
+    phases = getattr(market, "phase_seconds", None)
+    if phases is not None:
+        total = sum(phases.values())
+        print("vectorised publish phases (cumulative):")
+        for name, seconds in phases.items():
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            print(f"  {name:<9} {seconds * 1e3:9.2f} ms  {share:5.1f}%")
+        print(
+            f"lanes              : {market.batch_lanes} vectorised, "
+            f"{market.replay_lanes} replayed, "
+            f"{market.fallback_batches} batch fallbacks"
+        )
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    print(f"cProfile top {args.top} by {args.sort}:")
+    print(stream.getvalue())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -505,6 +541,31 @@ def build_parser() -> argparse.ArgumentParser:
         "compressed, 1 = the recording's own pacing)",
     )
     replay_p.set_defaults(func=_cmd_replay)
+
+    profile_p = sub.add_parser(
+        "profile",
+        help="run a scenario under cProfile; print top-N hot spots plus "
+        "the market's per-phase counters (DESIGN.md §11)",
+    )
+    profile_p.add_argument(
+        "scenario",
+        choices=sorted(SCENARIOS),
+        help="named workload to profile (see repro.scenarios)",
+    )
+    profile_p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    profile_p.add_argument(
+        "--top",
+        type=_positive_int,
+        default=15,
+        help="how many pstats rows to print",
+    )
+    profile_p.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "ncalls"),
+        default="cumulative",
+        help="pstats sort key",
+    )
+    profile_p.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -18,6 +18,7 @@ very noise Theorem 5's ``m`` estimate exists to control.
 
 from __future__ import annotations
 
+import functools
 import math
 
 from repro.core.domain import AnswerDomain
@@ -33,6 +34,7 @@ __all__ = [
 ]
 
 
+@functools.lru_cache(maxsize=None)
 def worker_confidence(accuracy: float, m: int) -> float:
     """Definition 2: ``c_j = ln((m-1)·a_j / (1-a_j))``.
 
@@ -42,6 +44,11 @@ def worker_confidence(accuracy: float, m: int) -> float:
     A worker at the "uniform guesser" accuracy ``1/m`` gets confidence 0 —
     their vote carries no weight, matching the intuition that a random
     guesser contributes no evidence.
+
+    Cached on ``(accuracy, m)``: gold-sample estimates take few distinct
+    values (vote-count ratios), and the hot verification/termination paths
+    re-derive the same worker's weight thousands of times.  The function
+    is pure, so cache hits are bit-identical to fresh evaluations.
     """
     if m < 2:
         raise ValueError(f"domain size must be ≥ 2, got {m}")

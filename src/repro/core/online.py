@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.confidence import answer_log_weights
+from repro.core.confidence import answer_log_weights, worker_confidence
 from repro.core.domain import AnswerDomain
 from repro.core.termination import TerminationSnapshot, TerminationStrategy
 from repro.core.types import Observation, Verdict, WorkerAnswer
@@ -93,6 +93,12 @@ class OnlineAggregator:
         self._strategy = strategy
         self._answers: list[WorkerAnswer] = []
         self._trajectory: list[TrajectoryPoint] = []
+        # Running Σ c_j per label (Equation 4's numerator sums), updated in
+        # place on each arrival instead of rebuilt from the whole vote list.
+        # Keys stay in domain-label order — the order answer_log_weights
+        # would produce — so the logsumexp fold order (and hence every
+        # float) is unchanged.
+        self._log_weights: dict[str, float] = {label: 0.0 for label in domain.labels}
 
     # -- state -------------------------------------------------------------
 
@@ -118,7 +124,7 @@ class OnlineAggregator:
         if not self._answers:
             raise ValueError("no answers received yet")
         return TerminationSnapshot(
-            log_weights=answer_log_weights(self._answers, self._domain),
+            log_weights=dict(self._log_weights),
             domain=self._domain,
             remaining_workers=self.remaining_workers,
             mean_accuracy=self._mean_accuracy,
@@ -145,7 +151,15 @@ class OnlineAggregator:
             )
         if answer.answer not in self._domain.labels:
             self._domain = self._domain.with_label(answer.answer)
-        self._answers.append(answer)
+            self._answers.append(answer)
+            # Domain growth re-estimates the effective m, which re-weights
+            # every earlier vote — rebuild the sums under the new domain.
+            self._log_weights = answer_log_weights(self._answers, self._domain)
+        else:
+            self._answers.append(answer)
+            self._log_weights[answer.answer] += worker_confidence(
+                answer.accuracy, self._domain.m
+            )
         confidences = self.confidences()
         best = max(self._domain.labels, key=lambda lab: confidences[lab])
         point = TrajectoryPoint(

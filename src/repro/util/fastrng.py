@@ -1,0 +1,377 @@
+"""Bit-exact, vectorised replication of NumPy's seeding + PCG64 hot path.
+
+The simulated market derives thousands of tiny private substreams per run
+(`~repro.util.rng.substream`): every one costs a SHA-256, a full
+``SeedSequence`` entropy mix and a ``Generator``/``PCG64`` construction —
+about 25µs each, which dominates publish time.  This module re-implements
+the exact arithmetic of that pipeline over NumPy *arrays of seeds*, so a
+batch of substreams is initialised in a handful of vectorised operations:
+
+* :func:`pcg64_init` — ``SeedSequence(seed)`` entropy pooling +
+  ``generate_state`` + PCG64 state initialisation for a whole vector of
+  seeds at once, yielding the 128-bit ``(state, inc)`` pairs as 32-bit
+  limbs.
+* :func:`next_words` — the PCG64 128-bit LCG step + XSL-RR output across
+  all lanes, producing the same ``uint64`` word stream ``random_raw``
+  would.
+* :func:`doubles_from_words` / :func:`lemire32` — the exact
+  ``Generator.random()`` double conversion and the exact buffered 32-bit
+  Lemire bounded-integer step ``Generator.integers(n)`` uses for ranges
+  that fit in 32 bits.
+* :func:`pcg64_state_dict` — package one lane's ``(state, inc)`` as the
+  ``bit_generator.state`` dict, so a *shared* ``Generator`` can be
+  re-pointed at any substream in ~2µs (no construction) for draws that
+  are not worth vectorising (ziggurat-based latency sampling,
+  ``choice``-based pool acceptance).
+
+Everything here is an *optimisation detail*: the produced draws are
+bit-for-bit those of ``np.random.default_rng(seed)``, which
+``tests/test_fastrng.py`` pins against NumPy itself across seeds, ranges
+and interleavings.  Nothing outside ``repro.amt.market`` should need to
+import this.
+
+Scope: seeds must be non-negative and < 2**64 (``derive_seed`` yields
+< 2**63, so every market substream qualifies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pcg64_init",
+    "next_words",
+    "doubles_from_words",
+    "lemire32",
+    "lemire32_threshold",
+    "standard_normal_common",
+    "seeds_from_digests",
+    "pcg64_state_dict",
+    "state_ints",
+    "pack_states",
+    "state_dict_at",
+]
+
+_U64 = np.uint64
+_MASK32 = _U64(0xFFFFFFFF)
+_XSHIFT = _U64(16)
+_SHIFT32 = _U64(32)
+
+# SeedSequence hash constants (Melissa O'Neill's randutils initseq, as
+# compiled into numpy.random.bit_generator).
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_MULT_L = _U64(0xCA01F9DD)
+_MIX_MULT_R = _U64(0x4973F715)
+
+# hash_const evolution is value-independent, so the XOR/MUL constants of
+# every hashmix call are precomputable: call k XORs with _HASH_A[k] and
+# multiplies by _HASH_A[k + 1].  Entropy pooling performs 16 calls
+# (4 seeding + 12 inter-pool mixing); generate_state performs 8 (one per
+# 32-bit output word of the 4 uint64 state words PCG64 consumes).
+_HASH_A = [_INIT_A]
+for _ in range(16):
+    _HASH_A.append((_HASH_A[-1] * _MULT_A) & 0xFFFFFFFF)
+_HASH_B = [_INIT_B]
+for _ in range(8):
+    _HASH_B.append((_HASH_B[-1] * _MULT_B) & 0xFFFFFFFF)
+
+# PCG64's default 128-bit LCG multiplier, split into 32-bit limbs
+# (little-endian: limb 0 is least significant).
+_PCG_MULT = (2549297995355413924 << 64) + 4865540595714422341
+_PCG_MULT_LIMBS = [_U64((_PCG_MULT >> (32 * i)) & 0xFFFFFFFF) for i in range(4)]
+
+#: 2**-53, the exact constant ``Generator.random()`` scales by.
+_TO_DOUBLE = 1.0 / 9007199254740992.0
+
+
+def _hashmix(value: np.ndarray, k: int, table: list[int]) -> np.ndarray:
+    """One randutils hashmix call (call index ``k``) over 32-bit lanes."""
+    v = value ^ _U64(table[k])
+    v &= _MASK32
+    v *= _U64(table[k + 1])
+    v &= _MASK32
+    r = v >> _XSHIFT
+    r ^= v
+    return r
+
+
+def _mix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """randutils pool mixing: ``(x·L − y·R) mod 2**32``, xor-shifted.
+
+    The subtraction wraps mod 2**64 first, which is congruent mod 2**32 —
+    exactly the C semantics the compiled SeedSequence uses.
+    """
+    r = x * _MIX_MULT_L
+    r -= y * _MIX_MULT_R
+    r &= _MASK32
+    t = r >> _XSHIFT
+    t ^= r
+    return t
+
+
+def _mul_add_128(
+    state: list[np.ndarray], mult: list[np.uint64], addend: list[np.ndarray]
+) -> list[np.ndarray]:
+    """``state·mult + addend mod 2**128`` on 4×32-bit-limb vectors.
+
+    Each partial product of two 32-bit limbs fits a uint64, and each of
+    columns 0–2 accumulates at most a handful of masked parts plus
+    carries — far below 2**64 — so plain uint64 accumulation followed by
+    one carry sweep is exact.  Column 3 is kept mod 2**32 only (its
+    carry-out falls off the 128-bit value), so full products are added
+    there *unmasked*: uint64 wraparound preserves the low 32 bits, the
+    only ones the final mask keeps.  Inputs are never mutated; the
+    accumulators are fresh arrays updated in place to keep the number of
+    temporaries — the real cost at these widths — down.
+    """
+    s0, s1, s2, s3 = state
+    m0, m1, m2, m3 = mult
+    p00 = s0 * m0
+    p01 = s0 * m1
+    p02 = s0 * m2
+    p10 = s1 * m0
+    p11 = s1 * m1
+    p20 = s2 * m0
+    c3 = s0 * m3
+    c3 += s1 * m2
+    c3 += s2 * m1
+    c3 += s3 * m0
+    c3 += addend[3]
+    c3 += p02 >> _SHIFT32
+    c3 += p11 >> _SHIFT32
+    c3 += p20 >> _SHIFT32
+    c2 = p02 & _MASK32
+    c2 += addend[2]
+    c2 += p01 >> _SHIFT32
+    c2 += p10 >> _SHIFT32
+    c2 += p11 & _MASK32
+    c2 += p20 & _MASK32
+    c1 = p01 & _MASK32
+    c1 += addend[1]
+    c1 += p00 >> _SHIFT32
+    c1 += p10 & _MASK32
+    c0 = p00 & _MASK32
+    c0 += addend[0]
+    c1 += c0 >> _SHIFT32
+    c0 &= _MASK32
+    c2 += c1 >> _SHIFT32
+    c1 &= _MASK32
+    c3 += c2 >> _SHIFT32
+    c2 &= _MASK32
+    c3 &= _MASK32
+    return [c0, c1, c2, c3]
+
+
+def pcg64_init(seeds) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Initialise PCG64 for every seed; returns ``(state, inc)`` limb vectors.
+
+    Replays ``SeedSequence(seed)`` entropy pooling, ``generate_state(4,
+    uint64)`` and the PCG64 constructor exactly; the returned lists hold
+    four uint64 arrays each — the 128-bit values' 32-bit limbs, least
+    significant first.
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    e0 = seeds & _MASK32
+    e1 = seeds >> _U64(32)
+    zero = np.zeros_like(seeds)
+
+    # Entropy seeding: word i of the (zero-padded) entropy, hashmixed.
+    # A 1-word entropy [s] hashes identically to padding word 0 — the
+    # hash_const schedule does not depend on values — so one uniform
+    # treatment covers every seed < 2**64.
+    pool = [
+        _hashmix(e0, 0, _HASH_A),
+        _hashmix(e1, 1, _HASH_A),
+        _hashmix(zero, 2, _HASH_A),
+        _hashmix(zero, 3, _HASH_A),
+    ]
+    # Inter-pool mixing, in SeedSequence's exact (src, dst) order.
+    k = 4
+    for src in range(4):
+        for dst in range(4):
+            if src == dst:
+                continue
+            pool[dst] = _mix(pool[dst], _hashmix(pool[src], k, _HASH_A))
+            k += 1
+
+    # generate_state(4, uint64): eight 32-bit words, low word first.
+    words32 = [_hashmix(pool[i % 4], i, _HASH_B) for i in range(8)]
+    v = []
+    for i in range(4):
+        w = words32[2 * i + 1] << _SHIFT32
+        w |= words32[2 * i]
+        v.append(w)
+
+    # PCG64 constructor: initstate = v0‖v1, initseq = v2‖v3 (big word
+    # first); inc = initseq·2 + 1; state = (0·M + inc + initstate)·M + inc.
+    initstate = [v[1] & _MASK32, v[1] >> _U64(32), v[0] & _MASK32, v[0] >> _U64(32)]
+    seq = [v[3] & _MASK32, v[3] >> _U64(32), v[2] & _MASK32, v[2] >> _U64(32)]
+    inc = []
+    carry_in = _U64(1)  # the |1 of inc = (initseq << 1) | 1
+    for limb in seq:
+        shifted = ((limb << _U64(1)) & _MASK32) | carry_in
+        carry_in = limb >> _U64(31)
+        inc.append(shifted)
+
+    # state = inc + initstate (mod 2**128) ...
+    state = []
+    carry = np.zeros_like(seeds)
+    for a, b in zip(inc, initstate):
+        total = a + b + carry
+        state.append(total & _MASK32)
+        carry = total >> _U64(32)
+    # ... then one LCG step: state = state·MULT + inc.
+    state = _mul_add_128(state, _PCG_MULT_LIMBS, inc)
+    return state, inc
+
+
+def next_words(
+    state: list[np.ndarray], inc: list[np.ndarray], count: int
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Advance every lane ``count`` steps; returns ``(state, words)``.
+
+    ``words`` has shape ``(lanes, count)`` and equals what ``count``
+    consecutive ``random_raw()`` calls on each lane would produce: PCG64
+    steps the LCG *first*, then applies the XSL-RR output function.
+    """
+    out = []
+    for _ in range(count):
+        state = _mul_add_128(state, _PCG_MULT_LIMBS, inc)
+        s0, s1, s2, s3 = state
+        # XSL-RR: hi‖lo xor-folded is ((s3^s1) << 32) | (s2^s0).
+        x = s3 ^ s1
+        x <<= _SHIFT32
+        x |= s2 ^ s0
+        rot = s3 >> _U64(26)
+        word = x << ((_U64(64) - rot) & _U64(63))
+        word |= x >> rot
+        out.append(word)
+    return state, np.stack(out, axis=1) if out else np.empty((len(state[0]), 0), _U64)
+
+
+def doubles_from_words(words: np.ndarray) -> np.ndarray:
+    """``Generator.random()`` for every word: ``(w >> 11)·2**-53`` exactly."""
+    return (words >> _U64(11)).astype(np.float64) * _TO_DOUBLE
+
+
+def lemire32_threshold(n: int) -> int:
+    """Rejection threshold of the buffered 32-bit Lemire step for range ``n``.
+
+    A 32-bit half-word ``u`` is rejected iff ``(u·n) mod 2**32`` falls
+    below this (≈ ``n / 2**32`` probability — a few in a billion for the
+    option counts HITs use).
+    """
+    if n <= 1:
+        return 0
+    return ((1 << 32) - n) % n
+
+
+def lemire32(halves: np.ndarray, n) -> tuple[np.ndarray, np.ndarray]:
+    """The exact ``Generator.integers(n)`` value for 32-bit halves.
+
+    ``n`` may be a scalar or a per-element array (each < 2**32).  Returns
+    ``(values, rejected)``: where ``rejected`` is True the scalar path
+    would have drawn another half-word — callers fall back to scalar
+    replay for those lanes instead of replicating the (astronomically
+    rare) rejection loop.
+    """
+    n64 = np.asarray(n, dtype=np.uint64)
+    m = halves.astype(np.uint64) * n64
+    values = m >> _U64(32)
+    threshold = ((_U64(1 << 32) - n64) % np.maximum(n64, _U64(1))).astype(np.uint64)
+    rejected = (m & _MASK32) < threshold
+    return values, rejected
+
+
+def standard_normal_common(words: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The ziggurat common path of ``Generator.standard_normal`` per word.
+
+    NumPy's ziggurat consumes one 64-bit word per draw on its common path
+    (~98.6 % of draws): 8 bits pick a layer, 1 bit the sign, 52 bits the
+    abscissa; when the abscissa lands under the layer's acceptance bound
+    (``KI_DOUBLE``), the value is exactly ``±rabs·WI_DOUBLE[idx]``.
+    Returns ``(values, common)``; where ``common`` is False the scalar
+    path would enter the tail/wedge rejection loop (variable word
+    consumption) — callers replay those lanes via a state transplant.
+    """
+    from repro.util._ziggurat import KI_DOUBLE, WI_DOUBLE
+
+    idx = (words & _U64(0xFF)).astype(np.intp)
+    rabs = (words >> _U64(9)) & _U64((1 << 52) - 1)
+    common = rabs < KI_DOUBLE[idx]
+    values = rabs.astype(np.float64) * WI_DOUBLE[idx]
+    return np.where((words >> _U64(8)) & _U64(1), -values, values), common
+
+
+def seeds_from_digests(blob: bytes) -> np.ndarray:
+    """``derive_seed``'s int extraction for concatenated SHA-256 digests.
+
+    Each 32-byte digest yields ``int.from_bytes(digest[:8], "big") % 2**63``
+    — the top 8 bytes big-endian with the sign bit cleared (the seed space
+    is a power of two, so the modulo is a mask).
+    """
+    return np.frombuffer(blob, dtype=">u8")[::4] & _U64(0x7FFFFFFFFFFFFFFF)
+
+
+def state_ints(
+    state: list[np.ndarray], inc: list[np.ndarray], lane: int
+) -> tuple[int, int]:
+    """One lane's 128-bit ``(state, inc)`` as Python ints."""
+    s = (
+        int(state[0][lane])
+        | (int(state[1][lane]) << 32)
+        | (int(state[2][lane]) << 64)
+        | (int(state[3][lane]) << 96)
+    )
+    i = (
+        int(inc[0][lane])
+        | (int(inc[1][lane]) << 32)
+        | (int(inc[2][lane]) << 64)
+        | (int(inc[3][lane]) << 96)
+    )
+    return s, i
+
+
+def pack_states(state: list[np.ndarray], inc: list[np.ndarray]) -> bytes:
+    """Pack every lane's ``(state, inc)`` into 32 little-endian bytes each.
+
+    One ``tobytes`` for the whole batch beats per-lane limb-to-int
+    arithmetic; unpack a lane with :func:`state_dict_at`.
+    """
+    buf = np.empty((len(state[0]), 8), dtype="<u4")
+    for i in range(4):
+        buf[:, i] = state[i]
+        buf[:, 4 + i] = inc[i]
+    return buf.tobytes()
+
+
+def state_dict_at(blob: bytes, lane: int) -> dict:
+    """The transplant dict (see :func:`pcg64_state_dict`) for one packed lane."""
+    off = lane * 32
+    return {
+        "bit_generator": "PCG64",
+        "state": {
+            "state": int.from_bytes(blob[off : off + 16], "little"),
+            "inc": int.from_bytes(blob[off + 16 : off + 32], "little"),
+        },
+        "has_uint32": 0,
+        "uinteger": 0,
+    }
+
+
+def pcg64_state_dict(state: int, inc: int) -> dict:
+    """The ``bit_generator.state`` dict re-pointing a PCG64 at a substream.
+
+    Setting this on a shared ``PCG64`` instance reproduces
+    ``np.random.default_rng(seed)`` exactly (empty 32-bit buffer included)
+    without paying generator construction.
+    """
+    return {
+        "bit_generator": "PCG64",
+        "state": {"state": state, "inc": inc},
+        "has_uint32": 0,
+        "uinteger": 0,
+    }

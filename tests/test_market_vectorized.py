@@ -1,0 +1,294 @@
+"""The vectorised-simulation contract: fast paths change *nothing* but time.
+
+Three layers of evidence, from micro to macro:
+
+* property tests (hypothesis) — ``publish_many`` equals sequential
+  ``publish_reference`` bit for bit (worker sets, answers, keywords,
+  submit times, assignment order) across random seeds, pool behaviour
+  mixes, latency models, difficulties and reason keywords, with the
+  vectorised path actually taken (``fallback_batches == 0``);
+* the scheduler's batched ``_fill`` — draining sources through
+  ``publish_many`` yields the same results as a market that only offers
+  scalar ``publish``;
+* re-recording every golden scenario reproduces the pinned
+  interaction-stream fingerprints — the engine-wide end-to-end pin that
+  the memoized confidence math and incremental aggregation also sit
+  behind.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amt.hit import HIT, Question
+from repro.amt.latency import ExponentialLatency, FixedLatency, LognormalLatency
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import WorkerPool
+from repro.amt.worker import WorkerProfile
+from repro.core.confidence import answer_confidences, worker_confidence
+from repro.core.domain import AnswerDomain
+from repro.core.online import OnlineAggregator
+from repro.core.types import WorkerAnswer
+from repro.engine.engine import CrowdsourcingEngine
+from repro.engine.scheduler import HITScheduler
+from repro.util.rng import substream
+
+OPTIONS = ("pos", "neu", "neg")
+
+LATENCIES = (LognormalLatency, ExponentialLatency, lambda: FixedLatency(30.0))
+
+
+def _pool(seed: int, spam_frac: float, collude_frac: float, size: int = 40) -> WorkerPool:
+    rng = substream(seed, "pool")
+    profiles = []
+    for i in range(size):
+        r = rng.random()
+        if r < collude_frac:
+            behaviour, clique = "colluder", int(rng.integers(3))
+        elif r < collude_frac + spam_frac:
+            behaviour, clique = "spammer", 0
+        else:
+            behaviour, clique = "reliable", 0
+        profiles.append(
+            WorkerProfile(
+                worker_id=f"w{i:05d}",
+                true_accuracy=float(0.55 + 0.4 * rng.random()),
+                behaviour=behaviour,
+                clique=clique,
+                approval_rate=float(0.9 + 0.1 * rng.random()),
+                skills=(("sentiment", float(rng.random() * 0.1 - 0.05)),),
+            )
+        )
+    return WorkerPool(profiles)
+
+
+def _hits(
+    count: int,
+    questions: int,
+    with_reasons: bool,
+    with_difficulty: bool,
+) -> list[HIT]:
+    hits = []
+    for h in range(count):
+        qs = tuple(
+            Question(
+                question_id=f"hit{h:03d}-q{q}",
+                options=OPTIONS,
+                truth=OPTIONS[q % 3],
+                difficulty=(q % 5 - 2) * 0.2 if with_difficulty else 0.0,
+                is_gold=(q % 4 == 3),
+                topic="sentiment",
+                reason_keywords=("because", "since") if with_reasons and q == 0 else (),
+            )
+            for q in range(questions)
+        )
+        hits.append(HIT(hit_id=f"hit-{h:05d}", questions=qs, assignments=7))
+    return hits
+
+
+def _handle_facts(handle):
+    return (
+        handle.hit.hit_id,
+        tuple(w.worker_id for w in handle.workers),
+        tuple(
+            (a.worker_id, tuple(sorted(a.answers.items())),
+             tuple(sorted(a.keywords.items())), a.submit_time)
+            for a in handle._assignments
+        ),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    spam_frac=st.floats(min_value=0.0, max_value=0.35),
+    collude_frac=st.floats(min_value=0.0, max_value=0.3),
+    latency_idx=st.integers(min_value=0, max_value=len(LATENCIES) - 1),
+    with_reasons=st.booleans(),
+    with_difficulty=st.booleans(),
+    n_questions=st.integers(min_value=2, max_value=8),
+    n_hits=st.integers(min_value=2, max_value=6),
+)
+def test_publish_many_matches_reference_bitwise(
+    seed, spam_frac, collude_frac, latency_idx, with_reasons, with_difficulty,
+    n_questions, n_hits,
+):
+    pool = _pool(seed, spam_frac, collude_frac)
+    hits = _hits(n_hits, n_questions, with_reasons, with_difficulty)
+    latency = LATENCIES[latency_idx]
+    reference = SimulatedMarket(pool, seed=seed, latency=latency())
+    vectorised = SimulatedMarket(pool, seed=seed, latency=latency())
+    expected = [reference.publish_reference(h) for h in hits]
+    actual = vectorised.publish_many(hits)
+    assert vectorised.fallback_batches == 0, "clean batch must not fall back"
+    for ref, vec in zip(expected, actual):
+        assert _handle_facts(ref) == _handle_facts(vec)
+
+
+def test_publish_many_duplicate_id_falls_back_like_reference():
+    pool = _pool(3, 0.1, 0.1)
+    hits = _hits(3, 4, False, False)
+    market = SimulatedMarket(pool, seed=3)
+    market.publish_many(hits)
+    clash = SimulatedMarket(pool, seed=3)
+    with pytest.raises(ValueError, match="already published"):
+        clash.publish_many(hits + [hits[0]])
+
+
+class _SerialOnlyMarket:
+    """Protocol shim hiding ``publish_many`` — forces the scalar path."""
+
+    def __init__(self, inner: SimulatedMarket) -> None:
+        self._inner = inner
+        self.ledger = inner.ledger
+
+    def publish(self, hit):
+        return self._inner.publish(hit)
+
+    def __getattr__(self, name):
+        if name == "publish_many":
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+
+def _scheduled_results(market, seed: int, in_flight: int):
+    engine = CrowdsourcingEngine(market, seed=seed)
+    scheduler = HITScheduler(engine, max_in_flight=in_flight)
+    gold = [
+        Question(question_id=f"gold{i}", options=OPTIONS, truth=OPTIONS[i % 3])
+        for i in range(6)
+    ]
+    for b in range(8):
+        scheduler.submit(
+            [
+                Question(
+                    question_id=f"b{b}:q{i}", options=OPTIONS, truth=OPTIONS[i % 3]
+                )
+                for i in range(5)
+            ],
+            0.9,
+            gold_pool=gold,
+            worker_count=7,
+        )
+    return scheduler.run()
+
+
+@pytest.mark.parametrize("in_flight", [1, 4, 8])
+def test_scheduler_batched_fill_matches_serial_publish(in_flight):
+    seed = 2012
+    pool = _pool(seed, 0.15, 0.15, size=60)
+    batched = _scheduled_results(SimulatedMarket(pool, seed=seed), seed, in_flight)
+    serial = _scheduled_results(
+        _SerialOnlyMarket(SimulatedMarket(pool, seed=seed)), seed, in_flight
+    )
+    assert len(batched) == len(serial)
+    for fast, slow in zip(batched, serial):
+        assert fast.hit_id == slow.hit_id
+        assert fast.assignments_collected == slow.assignments_collected
+        assert fast.cost == slow.cost
+        assert [
+            (r.question.question_id, r.verdict.answer, r.verdict.confidence)
+            for r in fast.records
+        ] == [
+            (r.question.question_id, r.verdict.answer, r.verdict.confidence)
+            for r in slow.records
+        ]
+
+
+# -- memoized confidence math -------------------------------------------------
+
+
+def _observation(count: int) -> list[WorkerAnswer]:
+    return [
+        WorkerAnswer(
+            worker_id=f"w{i}",
+            answer=OPTIONS[i % 3],
+            accuracy=0.55 + (i % 7) * 0.05,
+            keywords=(),
+            timestamp=float(i),
+        )
+        for i in range(count)
+    ]
+
+
+def test_worker_confidence_cache_hits_are_bit_identical():
+    worker_confidence.cache_clear()
+    domain = AnswerDomain.closed(OPTIONS)
+    observation = _observation(30)
+    cold = answer_confidences(observation, domain)
+    baseline = worker_confidence.cache_info()
+    warm = answer_confidences(observation, domain)
+    assert worker_confidence.cache_info().hits > baseline.hits
+    assert list(warm) == list(cold)
+    for label in cold:
+        assert math.isclose(warm[label], cold[label], rel_tol=0.0, abs_tol=0.0)
+    # The cached value equals Definition 2 evaluated from scratch.
+    cached = worker_confidence(0.7, 3)
+    assert cached == math.log(2) + math.log(0.7) - math.log(0.3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    answers=st.lists(
+        st.sampled_from(OPTIONS + ("novel-a", "novel-b")),
+        min_size=1,
+        max_size=12,
+    ),
+    accuracies=st.lists(
+        st.floats(min_value=0.05, max_value=0.95), min_size=12, max_size=12
+    ),
+    closed=st.booleans(),
+)
+def test_incremental_aggregator_matches_rebuilt_weights(answers, accuracies, closed):
+    """The running per-label sums equal a from-scratch Equation 4 rebuild
+    after every arrival, including open-domain growth (which re-estimates
+    the effective m and forces a rebuild)."""
+    if closed:
+        answers = [a if a in OPTIONS else OPTIONS[0] for a in answers]
+        domain = AnswerDomain.closed(OPTIONS)
+    else:
+        domain = AnswerDomain.open_ended([answers[0]])
+    aggregator = OnlineAggregator(domain, hired_workers=len(answers), mean_accuracy=0.7)
+    seen: list[WorkerAnswer] = []
+    for i, answer in enumerate(answers):
+        wa = WorkerAnswer(
+            worker_id=f"w{i}",
+            answer=answer,
+            accuracy=accuracies[i],
+            keywords=(),
+            timestamp=float(i),
+        )
+        point = aggregator.submit(wa)
+        seen.append(wa)
+        expected = answer_confidences(seen, aggregator.domain)
+        assert list(point.confidences) == list(expected)
+        for label, value in expected.items():
+            assert point.confidences[label] == value
+
+
+# -- golden re-pins ------------------------------------------------------------
+
+
+def test_rerecorded_golden_scenarios_keep_pinned_fingerprints(tmp_path):
+    """Recording the golden scenarios *today* — through the memoized
+    confidence math, the incremental aggregators, the wake-heap pump and
+    the batch-capable scheduler — must reproduce the pinned fingerprints.
+    These pins must NOT change in a perf PR; a mismatch means an
+    optimisation altered engine-visible behaviour."""
+    from repro.scenarios import record_scenario
+    from tests.test_golden_traces import GOLDEN, TRACES
+
+    from repro.amt.trace import load_trace
+
+    for filename, (scenario, pinned) in sorted(GOLDEN.items()):
+        meta = load_trace(TRACES / filename).meta
+        report = record_scenario(
+            scenario, tmp_path / filename, seed=meta.get("seed", 0)
+        )
+        assert report.fingerprint == pinned, (
+            f"{scenario}: re-recorded fingerprint drifted from the pin"
+        )
