@@ -335,6 +335,20 @@ class SimulatedMarket:
         self.batch_lanes = 0
         self.replay_lanes = 0
 
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # ``_profile_info`` is keyed by ``id(profile)``; after unpickling
+        # the pool's profiles get fresh ids, and a recycled id could
+        # silently alias a different worker.  Drop the cache — it refills
+        # lazily and affects performance only, never draws.
+        state = self.__dict__.copy()
+        state["_profile_info"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     # -- publishing ----------------------------------------------------------
 
     def publish(self, hit: HIT) -> PublishedHIT:

@@ -10,7 +10,8 @@ Commands
     Print the full paper-vs-measured report (EXPERIMENTS.md content).
 ``plan --accuracy C --budget B --mu MU --rate K --window W``
     Cost/accuracy planning for a streaming query (§3.1 economics).
-``serve [--slots N] [--seed N] [--progress-every E] [--asyncio] [--pre-admit]``
+``serve [--slots N] [--seed N] [--progress-every E] [--asyncio] [--pre-admit]
+[--journal PATH]``
     Drive mixed TSA + IT queries from two tenants through one long-lived
     scheduler service, printing per-handle progress lines (DESIGN.md §7).
     With ``--asyncio`` the same workload runs through a
@@ -19,6 +20,13 @@ Commands
     ``handle.updates()`` (DESIGN.md §8).  With ``--pre-admit`` each query
     takes the plan-first lifecycle: projected into a ``QueryPlan``,
     reserved at admission, then ``submit(plan=...)`` (DESIGN.md §10).
+    With ``--journal PATH`` every action and progress mark is written to
+    a crash-recoverable write-ahead journal (DESIGN.md §12).
+``recover JOURNAL``
+    Rebuild the ``serve`` demo service from its journal: re-execute the
+    journaled run (from the newest snapshot when one exists), verify it
+    record by record, resume whatever was interrupted, and print the
+    recovered outcomes plus the replay counters (DESIGN.md §12).
 ``explain [--seed N] [--tenant-budget CAP]``
     Print the demo queries' EXPLAIN-style plans (workers per item,
     expected accuracy, projected HITs and spend) plus the admission
@@ -193,11 +201,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Mixed multi-tenant workload on one scheduler service (DESIGN.md §7)."""
     cdas, tweets, gold, images, gold_images = _serve_workload(args.seed)
     if args.use_asyncio:
+        if args.journal is not None:
+            print("--journal drives one durable service; drop --asyncio "
+                  "(the mux runs two services, which would need two journals)")
+            return 2
         return asyncio.run(
             _serve_asyncio(cdas, tweets, gold, images, gold_images, args)
         )
 
-    service = cdas.service(max_in_flight=args.slots)
+    service = cdas.service(max_in_flight=args.slots, journal=args.journal)
     service.register_tenant("acme", priority=2.0)
     service.register_tenant("globex", priority=1.0)
     requests = _serve_requests(tweets, gold, images, gold_images)
@@ -226,17 +238,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     while service.step():
         events += 1
         if events % args.progress_every == 0:
-            print(f"-- after {events} submissions --")
+            # Flushed eagerly: `serve` is watched through pipes (tee, CI
+            # logs, a crashed run's last output) where block buffering
+            # would hold the lines that matter most.
+            print(f"-- after {events} submissions --", flush=True)
             for handle in handles:
-                print(_progress_line(handle))
+                print(_progress_line(handle), flush=True)
     print("-- service idle --")
     for handle in handles:
-        print(_progress_line(handle))
+        print(_progress_line(handle), flush=True)
     print(
         f"total spend ${cdas.total_cost:.2f} "
         f"(acme ${service.tenant_spend('acme'):.2f}, "
         f"globex ${service.tenant_spend('globex'):.2f})"
     )
+    if args.journal is not None:
+        from repro.durability import outcome_digest
+
+        service.flush_journal()
+        print(
+            f"journal {args.journal}: {service.journal_offset} records, "
+            f"outcome digest {outcome_digest(service)}"
+        )
+        service.close()
     return 0
 
 
@@ -273,7 +297,7 @@ async def _serve_asyncio(cdas, tweets, gold, images, gold_images, args) -> int:
         async for snapshot in handle.updates():
             updates += 1
             if updates % args.progress_every == 0 or handle.done:
-                print(_progress_line(handle, snapshot))
+                print(_progress_line(handle, snapshot), flush=True)
 
     async with mux:
         watchers = [asyncio.create_task(watch(h)) for h in handles]
@@ -287,6 +311,47 @@ async def _serve_asyncio(cdas, tweets, gold, images, gold_images, args) -> int:
         f"(acme ${acme.tenant_spend('acme'):.2f}, "
         f"globex ${globex.tenant_spend('globex'):.2f})"
     )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Rebuild the `serve` demo service from its journal (DESIGN.md §12).
+
+    The journal header pins the seed and service shape; the workload
+    factory here must match the one that wrote the journal (`serve`'s).
+    Recovery re-executes the run — from the newest valid snapshot when
+    one exists — verifying every regenerated record against the journal,
+    then resumes and finishes whatever the crash interrupted.
+    """
+    from repro.durability import RecoveryError, open_store, outcome_digest
+    from repro.durability.journal import check_header
+
+    store = open_store(args.journal)
+    records = store.read_records()
+    if not records:
+        print(f"journal {args.journal} is empty; nothing to recover")
+        return 2
+    header = check_header(records[0])
+    seed = header.get("seed")
+    if seed is None:
+        seed = args.seed
+    cdas, *_ = _serve_workload(seed)
+    try:
+        service = cdas.recover(store, use_snapshot=not args.no_snapshot)
+    except RecoveryError as exc:
+        print(f"RECOVERY FAILED: {exc}")
+        return 1
+    print(
+        f"recovered {len(service.handles)} queries from "
+        f"{service.journal_offset} journal records "
+        f"(re-executed {service.replayed_records} records / "
+        f"{service.replayed_events} market events)"
+    )
+    service.run_until_idle()
+    for handle in service.handles:
+        print(_progress_line(handle), flush=True)
+    print(f"outcome digest     : {outcome_digest(service)}")
+    service.close()
     return 0
 
 
@@ -483,7 +548,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="plan-first lifecycle: project each query into a QueryPlan, "
         "reserve its cost at admission, then submit(plan=...)",
     )
+    serve_p.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write-ahead journal for the service (``.sqlite``/``.db`` "
+        "suffixes select the sqlite store); a crashed run resumes with "
+        "`python -m repro recover PATH`",
+    )
     serve_p.set_defaults(func=_cmd_serve)
+
+    recover_p = sub.add_parser(
+        "recover",
+        help="rebuild the serve demo service from its journal and "
+        "finish the interrupted run",
+    )
+    recover_p.add_argument("journal", help="journal written by `serve --journal`")
+    recover_p.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="workload seed fallback for headers without one "
+        "(normally pinned by the journal header)",
+    )
+    recover_p.add_argument(
+        "--no-snapshot",
+        action="store_true",
+        help="ignore snapshots and re-execute the whole journal",
+    )
+    recover_p.set_defaults(func=_cmd_recover)
 
     explain_p = sub.add_parser(
         "explain",

@@ -1,0 +1,525 @@
+"""The journaling wrapper around :class:`SchedulerService`.
+
+:class:`DurableSchedulerService` mirrors the service surface (submit /
+plan / cancel / step / run_until_idle / handles) while writing every
+external action and every lifecycle progress mark to a
+:class:`~repro.durability.journal.JournalStore`:
+
+* **Actions** (tenant registration, submissions, cancels) are journaled
+  with the current service *tick* and committed before the call returns.
+  Cancels are written ahead of being applied (they have immediate market
+  side effects); submissions are validated first (an eagerly-refused
+  submission has no state to recover) and journaled before any pump step
+  can publish their work.
+* **Progress marks** (slot grants, submission events, window pulls,
+  reservations, completions) are emitted by observer hooks inside the
+  engine layer and group-committed; they exist so recovery can *verify*
+  its deterministic re-execution record-by-record.
+
+The same class runs recovery's replay: constructed with the journal tail
+as ``expected`` records, every would-be append is instead compared
+against the tail (:class:`~repro.durability.recovery.RecoveryDivergence`
+on mismatch) and the wrapper switches back to append mode the moment the
+tail is exhausted — so a recovered service keeps journaling into the
+same store and can itself crash and recover again.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.durability import codec
+from repro.durability.journal import (
+    JournalError,
+    JournalStore,
+    make_header,
+)
+from repro.engine.scheduler import sleep_until_arrival
+from repro.engine.service import (
+    TERMINAL_STATES,
+    QueryCancelled,
+    QueryHandle,
+    QueryProgress,
+    QueryState,
+    SchedulerService,
+    TenantPolicy,
+)
+
+if TYPE_CHECKING:
+    from repro.engine.planner import PlanDecision, QueryPlan
+    from repro.engine.query import Query
+
+
+def _spend_of(record: Any, ledger: Any) -> float:
+    """The journaled (rounded) spend figure for a completion record."""
+    return round(record.spend(ledger), 6)
+
+
+class _JournalObserver:
+    """Engine-layer hooks funnelled into the durable wrapper's journal."""
+
+    __slots__ = ("_durable",)
+
+    def __init__(self, durable: "DurableSchedulerService") -> None:
+        self._durable = durable
+
+    def on_grant(self, record: Any, session: Any, group_index: int) -> None:
+        d = self._durable
+        d._grant_groups.setdefault(record.seq, []).append(group_index)
+        d._observed({"k": "grant", "t": d.ticks, "q": record.seq, "g": group_index})
+
+    def on_event(self, event: Any, session: Any) -> None:
+        d = self._durable
+        d._observed(
+            {
+                "k": "ev",
+                "t": d.ticks,
+                "h": event.hit_id,
+                "n": event.sequence,
+                "w": getattr(event.assignment, "worker_id", None),
+            }
+        )
+
+    def on_window(self, record: Any, index: int) -> None:
+        d = self._durable
+        d._observed({"k": "window", "t": d.ticks, "q": record.seq, "i": index})
+
+    def on_reserve(self, record: Any, amount: float) -> None:
+        d = self._durable
+        d._observed(
+            {"k": "reserve", "t": d.ticks, "q": record.seq, "a": round(amount, 6)}
+        )
+
+    def on_complete(self, record: Any) -> None:
+        d = self._durable
+        ledger = d.service.engine.market.ledger
+        d._observed(
+            {
+                "k": "done",
+                "t": d.ticks,
+                "q": record.seq,
+                "s": record.state.value,
+                "spend": _spend_of(record, ledger),
+            }
+        )
+
+
+class DurableQueryHandle:
+    """A :class:`QueryHandle` whose pump and cancel go through the journal."""
+
+    def __init__(
+        self, durable: "DurableSchedulerService", inner: QueryHandle
+    ) -> None:
+        self._durable = durable
+        self._inner = inner
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Durable{self._inner!r}"
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        return self._inner._record.seq
+
+    @property
+    def job_name(self) -> str:
+        return self._inner.job_name
+
+    @property
+    def query(self) -> "Query":
+        return self._inner.query
+
+    @property
+    def tenant(self) -> str:
+        return self._inner.tenant
+
+    @property
+    def plan(self) -> "QueryPlan | None":
+        return self._inner.plan
+
+    @property
+    def reserved(self) -> float:
+        return self._inner.reserved
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def state(self) -> QueryState:
+        return self._inner.state
+
+    @property
+    def done(self) -> bool:
+        return self._inner.done
+
+    def progress(self) -> QueryProgress:
+        return self._inner.progress()
+
+    @property
+    def spend(self) -> float:
+        return self._inner.spend
+
+    def result(self, timeout: float | None = None) -> Any:
+        """As :meth:`QueryHandle.result`, pumping the *durable* service so
+        every step is tick-counted and journaled."""
+        durable = self._durable
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.done:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"query {self.query.subject!r} still "
+                    f"{self.state.value} after {timeout}s"
+                )
+            if durable.step():
+                continue
+            eta = durable.next_arrival_eta()
+            if eta is None:
+                break
+            if deadline is not None:
+                eta = min(eta, deadline - time.monotonic())
+            sleep_until_arrival(eta)
+        record = self._inner._record
+        if record.state is QueryState.DONE:
+            return record.result_value
+        if record.state is QueryState.CANCELLED:
+            raise QueryCancelled(f"query {self.query.subject!r} was cancelled")
+        if record.error is not None:
+            raise record.error
+        raise RuntimeError(
+            f"service went idle with query {self.query.subject!r} "
+            f"{record.state.value}"
+        )
+
+    def cancel(self) -> bool:
+        """Charge-final cancel, written ahead to the journal: the cancel
+        record is committed *before* the market backend is told, so an
+        acknowledged cancel survives any crash and recovery can never
+        re-admit or re-charge the query."""
+        return self._durable._cancel(self._inner._record)
+
+
+class DurableSchedulerService:
+    """A :class:`SchedulerService` with a write-ahead journal attached.
+
+    Build one through :meth:`repro.system.CDAS.service` (``journal=``) or
+    :func:`repro.durability.recovery.recover`; the constructor itself
+    expects a *fresh* journal (recovery owns non-empty ones).
+
+    Parameters
+    ----------
+    service:
+        The freshly-built inner service to wrap.  Must not have been
+        stepped or submitted to yet.
+    store:
+        The journal store (see :func:`repro.durability.journal.open_store`).
+    meta:
+        Free-form JSON-able dict stamped into the journal header —
+        recovery tooling uses it to find the right workload factory.
+    snapshot_every:
+        Auto-compaction: once at least this many records were appended
+        since the last snapshot, the next *quiescent* step (no HITs in
+        flight or pending) writes a snapshot.  ``None`` disables.
+    """
+
+    def __init__(
+        self,
+        service: SchedulerService,
+        store: JournalStore,
+        *,
+        meta: dict[str, Any] | None = None,
+        snapshot_every: int | None = None,
+        _recovering: bool = False,
+    ) -> None:
+        self.service = service
+        self.store = store
+        self.ticks = 0
+        #: Journal records currently in the store (header included).
+        self.journal_offset = 0
+        #: Progress marks verified during replay, by kind ``ev``.
+        self.replayed_events = 0
+        #: Total journal records verified during replay.
+        self.replayed_records = 0
+        self.snapshot_every = snapshot_every
+        self._expected: list[dict[str, Any]] = []
+        self._cursor = 0
+        self._grant_groups: dict[int, list[int]] = {}
+        self._marks_since_snapshot = 0
+        self._handles: list[DurableQueryHandle] = []
+        self._observer = _JournalObserver(self)
+        service.observer = self._observer
+        for record in service._records:  # pragma: no cover - defensive
+            record.observer = self._observer
+        service.scheduler.add_event_observer(self._observer.on_event)
+        if not _recovering:
+            existing = store.read_records()
+            if existing:
+                raise JournalError(
+                    f"journal {store.path} already holds {len(existing)} "
+                    "records; use repro.durability.recover() to resume it"
+                )
+            self.header = make_header(
+                seed=getattr(service.engine, "seed", None),
+                service={
+                    "max_in_flight": service.max_in_flight,
+                    "allocation": service.admission.allocation,
+                    "track_trajectories": service.scheduler._track,
+                    "snapshot_every": snapshot_every,
+                },
+                meta=meta,
+            )
+            self._append(self.header)
+
+    # -- journal plumbing ----------------------------------------------------
+
+    @property
+    def replaying(self) -> bool:
+        """Still verifying the journal tail (recovery in progress)."""
+        return self._cursor < len(self._expected)
+
+    def _append(self, record: dict[str, Any]) -> None:
+        self.store.append(record)
+        self.journal_offset += 1
+        self._marks_since_snapshot += 1
+
+    def _observed(self, record: dict[str, Any]) -> None:
+        """Funnel for every emitted record: verify during replay, append
+        otherwise."""
+        if self._cursor < len(self._expected):
+            expected = self._expected[self._cursor]
+            if expected != record:
+                from repro.durability.recovery import RecoveryDivergence
+
+                raise RecoveryDivergence(
+                    f"recovery diverged at journal record "
+                    f"{self.journal_offset + self._cursor}: expected "
+                    f"{expected!r}, re-execution produced {record!r}"
+                )
+            self._cursor += 1
+            self.replayed_records += 1
+            if record["k"] == "ev":
+                self.replayed_events += 1
+            return
+        self._append(record)
+
+    def flush_journal(self) -> None:
+        """Durability barrier: fsync everything appended so far.  The
+        async driver calls this whenever it goes dormant or drains, which
+        keeps the barrier off the per-event hot loop."""
+        self.store.commit()
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "DurableSchedulerService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- delegated surface ---------------------------------------------------
+
+    @property
+    def engine(self) -> Any:
+        return self.service.engine
+
+    @property
+    def scheduler(self) -> Any:
+        return self.service.scheduler
+
+    @property
+    def admission(self) -> Any:
+        return self.service.admission
+
+    @property
+    def max_in_flight(self) -> int:
+        return self.service.max_in_flight
+
+    @property
+    def handles(self) -> tuple[DurableQueryHandle, ...]:
+        return tuple(self._handles)
+
+    def plan(self, *args: Any, **kwargs: Any) -> "QueryPlan":
+        return self.service.plan(*args, **kwargs)
+
+    def preadmit(self, plan: "QueryPlan") -> "PlanDecision":
+        return self.service.preadmit(plan)
+
+    def tenant_spend(self, name: str) -> float:
+        return self.service.tenant_spend(name)
+
+    def tenant_reserved(self, name: str) -> float:
+        return self.service.tenant_reserved(name)
+
+    def tenant_committed(self, name: str) -> float:
+        return self.service.tenant_committed(name)
+
+    def next_arrival_eta(self) -> float | None:
+        return self.service.next_arrival_eta()
+
+    @property
+    def waiting(self) -> bool:
+        return self.service.waiting
+
+    @property
+    def idle(self) -> bool:
+        return self.service.idle
+
+    # -- actions -------------------------------------------------------------
+
+    def register_tenant(
+        self,
+        name: str,
+        budget_cap: float | None = None,
+        priority: float = 1.0,
+    ) -> TenantPolicy:
+        self._observed(
+            {
+                "k": "tenant",
+                "t": self.ticks,
+                "name": name,
+                "cap": budget_cap,
+                "priority": priority,
+            }
+        )
+        return self.service.register_tenant(
+            name, budget_cap=budget_cap, priority=priority
+        )
+
+    def submit(
+        self,
+        job_name: str | None = None,
+        query: "Query | None" = None,
+        *,
+        plan: "QueryPlan | None" = None,
+        tenant: str | None = None,
+        budget: float | None = None,
+        priority: float | None = None,
+        reserve: bool | None = None,
+        **job_inputs: Any,
+    ) -> DurableQueryHandle:
+        """As :meth:`SchedulerService.submit`, plus a committed ``submit``
+        record.  The inner submit runs first — an eagerly-refused
+        submission (bad inputs, tenant over cap, infeasible plan) raises
+        here with **nothing** journaled, mirroring its zero market
+        footprint.  Plan-shape submissions are journaled by their plan's
+        bound fields; planning is pure, so recovery re-plans identically.
+        """
+        if plan is not None:
+            mode = "plain" if reserve is False else "reserve"
+            desc_job = plan.job_name
+            desc_query = plan.query
+            desc_tenant: str | None = plan.tenant
+            desc_budget = plan.budget
+            desc_priority = plan.priority
+            desc_inputs = dict(plan.job_inputs)
+            handle = self.service.submit(plan=plan, reserve=reserve)
+        else:
+            mode = "reserve" if reserve else "plain"
+            desc_job = job_name
+            desc_query = query
+            desc_tenant = tenant
+            desc_budget = budget
+            desc_priority = priority
+            desc_inputs = dict(job_inputs)
+            handle = self.service.submit(
+                job_name,
+                query,
+                tenant=tenant,
+                budget=budget,
+                priority=priority,
+                reserve=reserve,
+                **job_inputs,
+            )
+        self._observed(
+            {
+                "k": "submit",
+                "t": self.ticks,
+                "q": handle._record.seq,
+                "job": desc_job,
+                "mode": mode,
+                "tenant": desc_tenant,
+                "budget": desc_budget,
+                "priority": desc_priority,
+                "query": codec.encode(desc_query),
+                "inputs": codec.encode(desc_inputs),
+            }
+        )
+        wrapped = DurableQueryHandle(self, handle)
+        self._handles.append(wrapped)
+        return wrapped
+
+    def _cancel(self, record: Any) -> bool:
+        if record.state in TERMINAL_STATES:
+            return False
+        # Write-ahead: the cancel must be durable before the backend
+        # forfeits anything, or a crash in between would recover the
+        # query as live and re-charge work the caller was told is dead.
+        self._observed({"k": "cancel", "t": self.ticks, "q": record.seq})
+        return self.service._cancel(record)
+
+    # -- the pump ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """One tick: pump the inner service once (journaling its progress
+        marks), then maybe auto-snapshot at a quiescent point."""
+        self.ticks += 1
+        stepped = self.service.step()
+        if (
+            self.snapshot_every is not None
+            and not self.replaying
+            and self._marks_since_snapshot >= self.snapshot_every
+        ):
+            # Sessions that just finished stay "in flight" until the next
+            # step's reap; reaping here (idempotent, no journal footprint)
+            # exposes the quiescent boundary between standing windows.
+            self.service.scheduler.reap()
+            if self.quiescent:
+                self.snapshot()
+        return stepped
+
+    def run_until_idle(self) -> int:
+        """As :meth:`SchedulerService.run_until_idle`, through the
+        journaled pump; commits the journal tail before returning."""
+        steps = 0
+        while True:
+            if self.step():
+                steps += 1
+                continue
+            eta = self.next_arrival_eta()
+            if eta is None:
+                if self.waiting:
+                    raise RuntimeError(
+                        "HITs in flight but nothing pending yet and no "
+                        "arrival ETA; run_until_idle needs a backend with "
+                        "pre-generated, blocking or ETA-declaring "
+                        "submissions"
+                    )
+                break
+            sleep_until_arrival(eta)
+        self.flush_journal()
+        return steps
+
+    # -- snapshots -----------------------------------------------------------
+
+    @property
+    def quiescent(self) -> bool:
+        """No HITs in flight or pending — the only points a snapshot may
+        be taken (all session state is sealed; every unpublished batch is
+        regenerable from its journaled submission)."""
+        scheduler = self.service.scheduler
+        return scheduler.in_flight == 0 and scheduler.pending_count == 0
+
+    def snapshot(self, path: Any = None) -> dict[str, Any]:
+        """Write a snapshot of the full service state and journal a
+        pointer to it; returns the journal record."""
+        from repro.durability.snapshot import write_snapshot
+
+        if self.replaying:
+            raise JournalError("cannot snapshot while replaying a journal tail")
+        self.service.scheduler.reap()
+        record = write_snapshot(self, path)
+        self._append(record)
+        self.store.commit()
+        self._marks_since_snapshot = 0
+        return record

@@ -1,0 +1,305 @@
+"""Snapshot compaction: serialize service state at a journal offset.
+
+A snapshot pins the *whole* recovered world — engine (market RNG state,
+ledger, estimator tallies), scheduler, admission controller and every
+query record — as a pickle taken at a **quiescent** point (no HITs in
+flight or pending, so every session is sealed).  Recovery then loads the
+snapshot and replays only the journal tail after its offset: O(delta),
+not O(history).
+
+Closures and generators cannot pickle, so the parts of a query record
+that hold them (batch-spec ``sources``, the ``finalize`` assembler, the
+lazy ``plan_thunk``) are stripped before pickling and *regenerated* at
+load time by re-invoking the job's submitter with the journaled
+submission inputs — determinism guarantees the regenerated stream is
+bit-identical, so it is fast-forwarded past the specs that were already
+granted and re-linked to the pickled sessions.  Terminal records keep
+their pickled results and regenerate nothing.
+
+Snapshot files are trusted local state (pickle): recovery only loads a
+snapshot whose journal pointer record carries a matching SHA-256 of the
+file bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from collections import deque
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.durability import codec
+from repro.engine.service import (
+    TERMINAL_STATES,
+    QueryHandle,
+    QueryIntake,
+    _PlainSource,
+)
+
+if TYPE_CHECKING:
+    from repro.durability.service import DurableSchedulerService
+
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot could not be taken, validated or installed."""
+
+
+def default_snapshot_path(store_path: Path, offset: int) -> Path:
+    """Where auto-snapshots live: next to the journal, offset-stamped."""
+    return store_path.parent / f"{store_path.name}.snap-{offset}"
+
+
+def _capture_pickle(service: Any) -> bytes:
+    """Pickle the service's durable state with the unpicklable (and
+    regenerable) parts stripped — restoring the live objects afterwards,
+    so an in-flight service can keep running after a snapshot."""
+    saved_records = []
+    for rec in service._records:
+        saved_records.append(
+            (
+                rec,
+                rec.sources,
+                rec.finalize,
+                rec.plan_thunk,
+                rec._peeked,
+                rec._peeked_group,
+                rec._peeked_source,
+                rec._sealed_progress,
+                rec.observer,
+            )
+        )
+        rec.sources = deque()
+        rec.finalize = None
+        rec.plan_thunk = None
+        rec._peeked = rec._peeked_group = rec._peeked_source = None
+        # Keyed by id(session); ids are not stable across a pickle
+        # round-trip, so the cache must not survive one.
+        rec._sealed_progress = {}
+        rec.observer = None
+    saved_observer = service.observer
+    saved_on_event = service.scheduler._on_event
+    service.observer = None
+    service.scheduler._on_event = None
+    try:
+        return pickle.dumps(
+            {
+                "engine": service.engine,
+                "scheduler": service.scheduler,
+                "admission": service.admission,
+                "records": service._records,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    finally:
+        service.observer = saved_observer
+        service.scheduler._on_event = saved_on_event
+        for entry in saved_records:
+            rec = entry[0]
+            (
+                rec.sources,
+                rec.finalize,
+                rec.plan_thunk,
+                rec._peeked,
+                rec._peeked_group,
+                rec._peeked_source,
+                rec._sealed_progress,
+                rec.observer,
+            ) = entry[1:]
+
+
+def write_snapshot(
+    durable: "DurableSchedulerService", path: str | Path | None = None
+) -> dict[str, Any]:
+    """Serialize ``durable``'s state; returns the journal pointer record."""
+    if not durable.quiescent:
+        raise SnapshotError(
+            "snapshots require quiescence (no HITs in flight or pending); "
+            "pump the service to a window boundary or idle point first"
+        )
+    service = durable.service
+    offset = durable.journal_offset
+    store_path = Path(durable.store.path)
+    target = Path(path) if path is not None else default_snapshot_path(
+        store_path, offset
+    )
+    extras: dict[int, dict[str, Any]] = {}
+    for rec in service._records:
+        if rec.state in TERMINAL_STATES:
+            continue
+        source = rec._peeked_source
+        if source is None and rec.sources:
+            front = rec.sources[0]
+            source = front if isinstance(front, _PlainSource) else None
+        extras[rec.seq] = {
+            "was_peeked": rec._peeked is not None,
+            "reserved_flag": bool(source.reserved) if source is not None else False,
+            "group_indices": list(durable._grant_groups.get(rec.seq, [])),
+            "windows_pulled": rec.windows_pulled,
+        }
+    payload = {
+        "version": SNAPSHOT_VERSION,
+        "tick": durable.ticks,
+        "events": service.scheduler.events_processed,
+        "offset": offset,
+        "extras": extras,
+        "state": _capture_pickle(service),
+    }
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_bytes(data)
+    stored_path = (
+        target.name if target.parent == store_path.parent else str(target)
+    )
+    return {
+        "k": "snapshot",
+        "t": durable.ticks,
+        "version": SNAPSHOT_VERSION,
+        "path": stored_path,
+        "offset": offset,
+        "events": service.scheduler.events_processed,
+        "digest": hashlib.sha256(data).hexdigest(),
+    }
+
+
+def resolve_snapshot(
+    records: list[dict[str, Any]], journal_path: Path
+) -> tuple[dict[str, Any], int] | None:
+    """The newest loadable snapshot: ``(payload, record index)``.
+
+    Scans pointer records newest-first; a pointer whose file is missing
+    or whose bytes no longer hash to the journaled digest (e.g. a crash
+    mid-snapshot-write left a stale or torn file) is skipped — recovery
+    falls back to an older snapshot or a full replay.
+    """
+    for index in range(len(records) - 1, -1, -1):
+        record = records[index]
+        if record.get("k") != "snapshot":
+            continue
+        if record.get("version") != SNAPSHOT_VERSION:
+            continue
+        target = Path(record["path"])
+        if not target.is_absolute():
+            target = journal_path.parent / target
+        if not target.exists():
+            continue
+        data = target.read_bytes()
+        if hashlib.sha256(data).hexdigest() != record["digest"]:
+            continue
+        try:
+            payload = pickle.loads(data)
+        except Exception:
+            continue
+        if payload.get("version") != SNAPSHOT_VERSION:
+            continue
+        if payload.get("offset") != record["offset"]:
+            continue
+        return payload, index
+    return None
+
+
+def install_snapshot(
+    durable: "DurableSchedulerService",
+    payload: dict[str, Any],
+    submits_by_seq: dict[int, dict[str, Any]],
+) -> None:
+    """Transplant a snapshot into ``durable``'s freshly-built service and
+    regenerate the stripped batch sources of every active record."""
+    service = durable.service
+    state = pickle.loads(payload["state"])
+    service.engine = state["engine"]
+    service.scheduler = state["scheduler"]
+    service.admission = state["admission"]
+    service._records = state["records"]
+    service.observer = durable._observer
+    service.scheduler._on_event = None
+    service.scheduler.add_event_observer(durable._observer.on_event)
+
+    extras = payload["extras"]
+    for rec in service._records:
+        if rec.state in TERMINAL_STATES:
+            rec.observer = durable._observer
+            continue
+        info = extras.get(rec.seq)
+        submit_rec = submits_by_seq.get(rec.seq)
+        if info is None or submit_rec is None:
+            raise SnapshotError(
+                f"snapshot lacks regeneration info for active query "
+                f"seq={rec.seq}"
+            )
+        submitter = service._submitters.get(rec.job_name)
+        if submitter is None:
+            raise SnapshotError(
+                f"recovered system has no submitter for job {rec.job_name!r}"
+            )
+        inputs = codec.decode(submit_rec["inputs"])
+        intake = QueryIntake()
+        # Observer stays off while regenerating: window pulls during the
+        # fast-forward were journaled before the snapshot and must not
+        # re-emit.
+        rec.observer = None
+        rec.finalize = submitter(service.engine, intake, rec.plan, dict(inputs))
+        rec.sources = intake.sources
+        rec.groups = [entry.group for entry in intake.sources]
+        rec.windows_pulled = 0
+        group_indices = info["group_indices"]
+        if len(group_indices) != len(rec.sessions):
+            raise SnapshotError(
+                f"query seq={rec.seq}: snapshot records "
+                f"{len(group_indices)} grants but {len(rec.sessions)} "
+                "pickled sessions"
+            )
+        for session, gi in zip(rec.sessions, group_indices):
+            rec.groups[gi].sessions.append(session)
+        # Fast-forward past the specs whose grants already happened —
+        # the regenerated stream reproduces them bit-for-bit, and their
+        # sessions were just re-linked above.
+        for taken in range(len(group_indices)):
+            if rec.peek_batch() is None:
+                raise SnapshotError(
+                    f"query seq={rec.seq}: regenerated source ran dry at "
+                    f"spec {taken} of {len(group_indices)}"
+                )
+            rec.take_batch()
+        if info["was_peeked"]:
+            if rec.peek_batch() is None:
+                raise SnapshotError(
+                    f"query seq={rec.seq}: regenerated source has no spec "
+                    "to re-peek"
+                )
+            if info["reserved_flag"] and rec._peeked_source is not None:
+                rec._peeked_source.reserved = True
+        elif info["reserved_flag"] and rec.sources:
+            front = rec.sources[0]
+            if isinstance(front, _PlainSource):
+                front.reserved = True
+        if rec.windows_pulled != info["windows_pulled"]:
+            raise SnapshotError(
+                f"query seq={rec.seq}: fast-forward materialised "
+                f"{rec.windows_pulled} windows, snapshot expected "
+                f"{info['windows_pulled']}"
+            )
+        rec.observer = durable._observer
+
+    durable._grant_groups = {
+        seq: list(info["group_indices"]) for seq, info in extras.items()
+    }
+    service._handles = [QueryHandle(service, rec) for rec in service._records]
+    from repro.durability.service import DurableQueryHandle
+
+    durable._handles = [
+        DurableQueryHandle(durable, inner) for inner in service._handles
+    ]
+    durable.ticks = payload["tick"]
+
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "default_snapshot_path",
+    "install_snapshot",
+    "resolve_snapshot",
+    "write_snapshot",
+]

@@ -385,6 +385,10 @@ class AsyncSchedulerService:
 
     async def _drive(self) -> None:
         service = self.service
+        # Durable services batch journal fsyncs; barrier them at the
+        # loop's natural pauses (dormancy, drain) so the per-event hot
+        # path never waits on the disk.
+        flush_journal = getattr(service, "flush_journal", None)
         try:
             while True:
                 stepped = service.step()
@@ -401,6 +405,8 @@ class AsyncSchedulerService:
                 if eta is not None:
                     # Dormant: sleep exactly until the next arrival
                     # unlocks, or an external submit()/cancel() wakes us.
+                    if flush_journal is not None:
+                        flush_journal()
                     self._wake.clear()
                     try:
                         await asyncio.wait_for(
@@ -418,6 +424,8 @@ class AsyncSchedulerService:
                     )
                 # Drained: nothing left anywhere.  Queries that are still
                 # non-terminal can never advance — wake their waiters.
+                if flush_journal is not None:
+                    flush_journal()
                 for handle in self._handles:
                     if not handle.handle.done:
                         handle._strand(

@@ -238,6 +238,28 @@ class HITScheduler:
             )
         )
 
+    def add_event_observer(
+        self, observer: Callable[[SubmissionEvent, HITSession], None]
+    ) -> None:
+        """Chain another ``(event, session)`` observer after any existing
+        one.  Observation order is registration order; observers must not
+        mutate scheduler state (same contract as ``on_event``)."""
+        previous = self._on_event
+        if previous is None:
+            self._on_event = observer
+            return
+
+        def chained(
+            event: SubmissionEvent,
+            session: HITSession,
+            _prev: Callable[[SubmissionEvent, HITSession], None] = previous,
+            _next: Callable[[SubmissionEvent, HITSession], None] = observer,
+        ) -> None:
+            _prev(event, session)
+            _next(event, session)
+
+        self._on_event = chained
+
     # -- the pump ------------------------------------------------------------
 
     @property

@@ -329,6 +329,14 @@ class _QueryRecord:
         self.upfront_reservation = 0.0
         self.state = QueryState.QUEUED
         self.sessions: list[HITSession] = []  # grant order
+        #: Windows materialised from window streams so far (standing
+        #: queries); indexes the observer's ``on_window`` notifications.
+        self.windows_pulled = 0
+        #: The owning service's lifecycle observer (see
+        #: :attr:`SchedulerService.observer`), mirrored here so batch
+        #: materialisation and reservation events can be reported from
+        #: the record itself.
+        self.observer: Any = None
         self.result_value: Any = None
         self.error: BaseException | None = None
         self.budget_exhausted = False
@@ -370,6 +378,10 @@ class _QueryRecord:
                 self.sources.appendleft(
                     _PlainSource(iter(specs), entry.group, reserve_cost=cost)
                 )
+                index = self.windows_pulled
+                self.windows_pulled += 1
+                if self.observer is not None:
+                    self.observer.on_window(self, index)
                 continue
             spec = next(entry.specs, None)
             if spec is None:
@@ -418,6 +430,8 @@ class _QueryRecord:
         self.upfront_reservation = 0.0
         self.reserved += amount
         self._peeked_source.reserved = True
+        if self.observer is not None:
+            self.observer.on_reserve(self, amount)
 
     def committed(self, ledger) -> float:
         """What this query pins of its tenant's budget right now.
@@ -931,6 +945,14 @@ class SchedulerService:
         self.admission = AdmissionController(allocation=allocation)
         self._records: list[_QueryRecord] = []
         self._handles: list[QueryHandle] = []
+        #: Optional lifecycle observer (duck-typed; see the durability
+        #: layer's ``_JournalObserver``).  Called ``on_grant(record,
+        #: session, group_index)`` when a batch takes a publish slot,
+        #: ``on_complete(record)`` when a query turns DONE / FAILED,
+        #: ``on_window(record, index)`` when a standing query
+        #: materialises a window and ``on_reserve(record, amount)`` when
+        #: a window reservation is taken.  ``None`` costs nothing.
+        self.observer: Any = None
 
     # -- tenants ---------------------------------------------------------------
 
@@ -1181,6 +1203,7 @@ class SchedulerService:
             query_plan=None,
             reserve=False,
         )
+        record.observer = self.observer
         # Lazy auto-plan for observability (resolved on first
         # ``handle.plan`` read): keeps the legacy submit path free of a
         # second candidate-resolution pass, and a projection failure
@@ -1256,6 +1279,7 @@ class SchedulerService:
             query_plan=qplan,
             reserve=reserve,
         )
+        record.observer = self.observer
         if decision is not None:
             record.reserved = decision.upfront
             record.upfront_reservation = decision.upfront
@@ -1367,6 +1391,8 @@ class SchedulerService:
                 )
                 record.state = QueryState.FAILED
                 record.drop_remaining_batches()
+                if self.observer is not None:
+                    self.observer.on_complete(record)
 
     def _fill_slots(self) -> bool:
         """Grant free publish slots to admitted queries; True if any."""
@@ -1390,6 +1416,8 @@ class SchedulerService:
             )
             group.sessions.append(session)
             record.sessions.append(session)
+            if self.observer is not None:
+                self.observer.on_grant(record, session, record.groups.index(group))
             if record.state is QueryState.ADMITTED:
                 record.state = QueryState.RUNNING
             free -= 1
@@ -1409,6 +1437,8 @@ class SchedulerService:
                     f"{record.plan.query.subject!r} was published"
                 )
                 record.state = QueryState.FAILED
+                if self.observer is not None:
+                    self.observer.on_complete(record)
                 continue
             try:
                 record.result_value = record.finalize()
@@ -1416,6 +1446,8 @@ class SchedulerService:
             except Exception as exc:  # surfaced via handle.result()
                 record.error = exc
                 record.state = QueryState.FAILED
+            if self.observer is not None:
+                self.observer.on_complete(record)
 
     # -- cancellation ----------------------------------------------------------
 

@@ -190,6 +190,9 @@ class CDAS:
         allocation: str = "weighted",
         on_event: Callable[..., None] | None = None,
         backend: MarketBackend | None = None,
+        journal: Any = None,
+        journal_meta: dict[str, Any] | None = None,
+        snapshot_every: int | None = None,
     ) -> SchedulerService:
         """A long-lived scheduler service over this system's engine.
 
@@ -207,6 +210,16 @@ class CDAS:
         submissions alone, exactly as the recording run built it.
         Calibration traffic for such a service goes through
         ``service.engine.calibrate`` (it is part of the recording).
+
+        ``journal`` attaches a write-ahead journal (DESIGN.md §12) and
+        returns a
+        :class:`~repro.durability.service.DurableSchedulerService`
+        instead: a path (``.jsonl`` file store, ``.sqlite`` store) or an
+        open :class:`~repro.durability.journal.JournalStore`.  The
+        journal must be fresh — resume an existing one with
+        :meth:`recover`.  ``journal_meta`` stamps free-form JSON into the
+        header (recovery tooling reads it to pick a workload factory);
+        ``snapshot_every`` enables quiescent-point snapshot compaction.
         """
         engine = self.engine
         if backend is not None:
@@ -216,7 +229,7 @@ class CDAS:
                 config=self.engine.config,
                 privacy=self.engine.privacy,
             )
-        return SchedulerService(
+        service = SchedulerService(
             engine,
             self.job_manager.plan,
             self._submitters,
@@ -225,6 +238,37 @@ class CDAS:
             allocation=allocation,
             on_event=on_event,
             projectors=self._projectors,
+        )
+        if journal is None:
+            return service
+        from repro.durability import DurableSchedulerService, open_store
+
+        return DurableSchedulerService(
+            service,
+            open_store(journal),
+            meta=journal_meta,
+            snapshot_every=snapshot_every,
+        )
+
+    def recover(
+        self,
+        journal: Any,
+        *,
+        backend: MarketBackend | None = None,
+        use_snapshot: bool = True,
+    ) -> SchedulerService:
+        """Resume the service a journal describes (DESIGN.md §12).
+
+        This system must be built the same way as the one that wrote the
+        journal (seed, config, calibration, job registrations) — recovery
+        verifies its deterministic re-execution record-by-record and
+        raises :class:`~repro.durability.RecoveryDivergence` on drift.
+        See :func:`repro.durability.recover`.
+        """
+        from repro.durability import recover as _recover
+
+        return _recover(
+            journal, self, backend=backend, use_snapshot=use_snapshot
         )
 
     def async_service(
@@ -235,6 +279,9 @@ class CDAS:
         on_event: Callable[..., None] | None = None,
         name: str | None = None,
         backend: MarketBackend | None = None,
+        journal: Any = None,
+        journal_meta: dict[str, Any] | None = None,
+        snapshot_every: int | None = None,
     ) -> AsyncSchedulerService:
         """An async-native service over this system's engine (DESIGN.md §8).
 
@@ -249,7 +296,10 @@ class CDAS:
         market as for :meth:`service`; a replay backend with
         ``time_scale > 0`` serves its recorded arrival ETAs through
         ``next_arrival_eta()``, so the driver's sleeping is exercised by
-        replay exactly as a slow/live market would.
+        replay exactly as a slow/live market would.  ``journal`` attaches
+        a write-ahead journal exactly as for :meth:`service`; the driver
+        keeps the fsync barrier off its hot loop by flushing whenever it
+        goes dormant or drains (DESIGN.md §12).
         """
         return AsyncSchedulerService(
             self.service(
@@ -258,6 +308,9 @@ class CDAS:
                 allocation=allocation,
                 on_event=on_event,
                 backend=backend,
+                journal=journal,
+                journal_meta=journal_meta,
+                snapshot_every=snapshot_every,
             ),
             name=name,
         )

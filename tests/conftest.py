@@ -21,6 +21,13 @@ def small_pool() -> WorkerPool:
 
 
 @pytest.fixture()
+def journal_path(tmp_path):
+    """A journal path inside pytest's tmp dir, so journal/snapshot files
+    (which `.gitignore` also excludes) never touch the worktree."""
+    return tmp_path / "svc.journal.jsonl"
+
+
+@pytest.fixture()
 def tsa_domain() -> AnswerDomain:
     return AnswerDomain.closed(("positive", "neutral", "negative"))
 

@@ -224,3 +224,46 @@ class TestRecordReplay:
         assert "preadmission" in out
         assert main(["replay", str(trace)]) == 0
         assert "bit for bit" in capsys.readouterr().out
+
+
+class TestServeJournal:
+    """`serve --journal` + `recover`: the CLI face of DESIGN.md §12."""
+
+    def _digest_line(self, out: str) -> str:
+        return [line for line in out.splitlines() if "digest" in line][-1]
+
+    def test_serve_journal_then_recover_matches(self, tmp_path, capsys):
+        journal = tmp_path / "serve.journal.jsonl"
+        assert main(["serve", "--journal", str(journal), "--slots", "2"]) == 0
+        serve_out = capsys.readouterr().out
+        assert journal.exists()
+        serve_digest = self._digest_line(serve_out).split()[-1]
+        assert main(["recover", str(journal)]) == 0
+        recover_out = capsys.readouterr().out
+        assert "recovered 3 queries" in recover_out
+        assert self._digest_line(recover_out).endswith(serve_digest)
+
+    def test_recover_after_torn_crash(self, tmp_path, capsys):
+        journal = tmp_path / "serve.journal.jsonl"
+        assert main(["serve", "--journal", str(journal), "--slots", "2"]) == 0
+        serve_digest = self._digest_line(capsys.readouterr().out).split()[-1]
+        # Crash simulation: drop the journal tail, leave a torn write.
+        lines = journal.read_bytes().split(b"\n")
+        journal.write_bytes(b"\n".join(lines[:30]) + b"\n" + b'{"k":"ev","t')
+        assert main(["recover", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert self._digest_line(out).endswith(serve_digest)
+        assert "re-executed" in out
+
+    def test_recover_empty_journal_fails(self, tmp_path, capsys):
+        journal = tmp_path / "empty.journal.jsonl"
+        journal.write_bytes(b"")
+        assert main(["recover", str(journal)]) == 2
+        assert "nothing to recover" in capsys.readouterr().out
+
+    def test_journal_with_asyncio_rejected(self, tmp_path, capsys):
+        journal = tmp_path / "serve.journal.jsonl"
+        code = main(["serve", "--journal", str(journal), "--asyncio"])
+        assert code == 2
+        assert "drop --asyncio" in capsys.readouterr().out
+        assert not journal.exists()

@@ -1,0 +1,276 @@
+"""Tests for the write-ahead journal layer (DESIGN.md §12).
+
+Covers the record codec (type-tagged JSON for submission descriptors),
+both journal stores (JSONL file + sqlite behind one protocol), the
+fsync group-commit policy, torn-tail tolerance, and header versioning.
+Recovery semantics live in ``test_durability_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.durability import codec
+from repro.durability.journal import (
+    ACTION_KINDS,
+    DURABLE_KINDS,
+    FileJournalStore,
+    JournalError,
+    SqliteJournalStore,
+    check_header,
+    iter_actions,
+    make_header,
+    open_store,
+)
+from repro.engine.query import Query
+from repro.it.images import generate_images
+from repro.tsa.stream import TweetStream
+from repro.tsa.tweets import generate_tweets
+
+
+class TestCodec:
+    def test_scalars_and_containers_round_trip(self):
+        value = {
+            "a": [1, 2.5, "x", None, True],
+            "b": ("t", ("nested", 3)),
+            "c": {"d": [("p", 1)]},
+        }
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_tuples_come_back_as_tuples_lists_as_lists(self):
+        out = codec.decode(codec.encode({"t": (1, 2), "l": [1, 2]}))
+        assert out["t"] == (1, 2) and isinstance(out["t"], tuple)
+        assert out["l"] == [1, 2] and isinstance(out["l"], list)
+
+    def test_query_round_trips_exactly(self):
+        query = Query(
+            keywords=("rio", "movie"), required_accuracy=0.9,
+            domain=("pos", "neg"), timestamp=12.5, window=2, subject="rio",
+        )
+        assert codec.decode(codec.encode(query)) == query
+
+    def test_registered_dataclasses_round_trip(self):
+        tweets = generate_tweets(["rio"], per_movie=4, seed=3)
+        stream = TweetStream(tweets=tuple(tweets), unit_seconds=60.0)
+        images = generate_images(per_subject=1, seed=4)[:2]
+        value = {"stream": stream, "tweets": tweets, "images": images}
+        out = codec.decode(codec.encode(value))
+        assert out["stream"] == stream
+        assert out["tweets"] == tweets
+        assert out["images"] == images
+
+    def test_encoded_form_is_json_serialisable(self):
+        tweets = generate_tweets(["rio"], per_movie=2, seed=3)
+        encoded = codec.encode({"gold_tweets": tweets, "batch_size": 4})
+        assert codec.decode(json.loads(json.dumps(encoded))) == {
+            "gold_tweets": tweets, "batch_size": 4,
+        }
+
+    def test_unregistered_dataclass_rejected(self):
+        @dataclasses.dataclass
+        class Local:
+            x: int
+
+        with pytest.raises(codec.CodecError, match="not journal-codec registered"):
+            codec.encode(Local(x=1))
+
+    def test_decode_never_imports_unknown_types(self):
+        with pytest.raises(codec.CodecError, match="unregistered type"):
+            codec.decode({"__dc__": "os.system", "f": {}})
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(codec.CodecError, match="str keys"):
+            codec.encode({1: "x"})
+
+    def test_tag_collision_rejected(self):
+        with pytest.raises(codec.CodecError, match="collides"):
+            codec.encode({"__tuple__": [1]})
+
+    def test_register_requires_dataclass(self):
+        with pytest.raises(codec.CodecError, match="not a dataclass"):
+            codec.register(int)
+
+    def test_columnar_sequences_round_trip(self):
+        # Long homogeneous dataclass sequences go columnar (one type tag +
+        # field list for the whole batch); list/tuple-ness is preserved.
+        tweets = generate_tweets(["rio"], per_movie=8, seed=3)
+        encoded = codec.encode({"as_list": tweets, "as_tuple": tuple(tweets)})
+        assert encoded["as_list"]["__dcs__"] == "repro.tsa.tweets.Tweet"
+        assert "rows" in encoded["as_list"]
+        out = codec.decode(json.loads(json.dumps(encoded)))
+        assert out["as_list"] == tweets and isinstance(out["as_list"], list)
+        assert out["as_tuple"] == tuple(tweets)
+        assert isinstance(out["as_tuple"], tuple)
+
+    def test_mixed_sequences_stay_elementwise(self):
+        tweets = generate_tweets(["rio"], per_movie=4, seed=3)
+        mixed = list(tweets) + [42]
+        encoded = codec.encode(mixed)
+        assert isinstance(encoded, list)  # no columnar tag for mixed types
+        assert codec.decode(encoded) == mixed
+
+    def test_columnar_decode_rejects_unregistered(self):
+        with pytest.raises(codec.CodecError, match="unregistered type"):
+            codec.decode({"__dcs__": "os.system", "fields": [], "rows": []})
+
+    def test_columnar_tag_collision_rejected(self):
+        with pytest.raises(codec.CodecError, match="collides"):
+            codec.encode({"__dcs__": [1]})
+
+
+class TestHeader:
+    def test_make_and_check(self):
+        header = make_header(seed=7, service={"max_in_flight": 2}, meta={"x": 1})
+        assert check_header(header) is header
+        assert header["seed"] == 7
+        assert header["service"] == {"max_in_flight": 2}
+        assert header["meta"] == {"x": 1}
+
+    def test_non_header_rejected(self):
+        with pytest.raises(JournalError, match="does not open with a header"):
+            check_header({"k": "ev", "t": 1})
+
+    def test_wrong_format_rejected(self):
+        header = make_header(seed=None, service={})
+        header["format"] = "other-journal"
+        with pytest.raises(JournalError, match="not a cdas-journal"):
+            check_header(header)
+
+    def test_future_version_rejected(self):
+        header = make_header(seed=None, service={})
+        header["version"] = 99
+        with pytest.raises(JournalError, match="version 99"):
+            check_header(header)
+
+
+def _marks(n, kind="ev"):
+    return [{"k": kind, "t": i, "n": i} for i in range(n)]
+
+
+class TestFileStore:
+    def test_append_read_round_trip(self, journal_path):
+        with FileJournalStore(journal_path) as store:
+            records = [make_header(seed=1, service={})] + _marks(5)
+            for record in records:
+                store.append(record)
+        assert FileJournalStore(journal_path).read_records() == records
+
+    def test_missing_file_reads_empty(self, journal_path):
+        assert FileJournalStore(journal_path).read_records() == []
+
+    def test_durable_kinds_commit_immediately(self, journal_path):
+        store = FileJournalStore(journal_path, fsync_every=100)
+        store.append({"k": "submit", "t": 0, "q": 0})
+        assert store.syncs == 1  # no batching for actions
+        store.append({"k": "ev", "t": 1})
+        assert store.syncs == 1  # marks ride the batch
+        store.close()
+
+    def test_group_commit_batches_marks(self, journal_path):
+        store = FileJournalStore(journal_path, fsync_every=4)
+        for mark in _marks(8):
+            store.append(mark)
+        assert store.syncs == 2  # 8 marks / batch of 4
+        store.append(_marks(1)[0])
+        assert store.syncs == 2  # ninth mark still buffered
+        store.commit()
+        assert store.syncs == 3
+        store.commit()
+        assert store.syncs == 3  # barrier with nothing pending is free
+        store.close()
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b'{"k":"ev","t":', b"not json at all", b'{"k":"ev","t":9}'],
+        ids=["torn-mid-record", "garbage", "unterminated-but-parsable"],
+    )
+    def test_torn_tail_dropped_on_read(self, journal_path, garbage):
+        records = [make_header(seed=1, service={})] + _marks(3)
+        with FileJournalStore(journal_path) as store:
+            for record in records:
+                store.append(record)
+        with open(journal_path, "ab") as fh:
+            fh.write(garbage)  # crash mid-write: no trailing newline
+        assert FileJournalStore(journal_path).read_records() == records
+
+    def test_append_after_torn_tail_continues_clean_prefix(self, journal_path):
+        records = [make_header(seed=1, service={})] + _marks(3)
+        with FileJournalStore(journal_path) as store:
+            for record in records:
+                store.append(record)
+        with open(journal_path, "ab") as fh:
+            fh.write(b'{"k":"ev","torn')
+        store = FileJournalStore(journal_path)
+        store.append({"k": "done", "t": 9, "q": 0})
+        store.close()
+        assert FileJournalStore(journal_path).read_records() == records + [
+            {"k": "done", "t": 9, "q": 0}
+        ]
+
+    def test_fsync_every_must_be_positive(self, journal_path):
+        with pytest.raises(ValueError, match="fsync_every"):
+            FileJournalStore(journal_path, fsync_every=0)
+
+
+class TestSqliteStore:
+    def test_append_read_round_trip(self, tmp_path):
+        path = tmp_path / "svc.journal.sqlite"
+        records = [make_header(seed=1, service={})] + _marks(5)
+        with SqliteJournalStore(path) as store:
+            for record in records:
+                store.append(record)
+        with SqliteJournalStore(path) as store:
+            assert store.read_records() == records
+
+    def test_uncommitted_batch_never_happened(self, tmp_path):
+        path = tmp_path / "svc.journal.sqlite"
+        store = SqliteJournalStore(path, fsync_every=100)
+        store.append({"k": "submit", "t": 0, "q": 0})  # committed (durable kind)
+        for mark in _marks(3):
+            store.append(mark)  # buffered in the open transaction
+        # A crash == the connection dying without commit.
+        store._con.rollback()
+        store._con.close()
+        with SqliteJournalStore(path) as fresh:
+            assert fresh.read_records() == [{"k": "submit", "t": 0, "q": 0}]
+
+    def test_group_commit_counts(self, tmp_path):
+        store = SqliteJournalStore(tmp_path / "j.sqlite", fsync_every=4)
+        for mark in _marks(8):
+            store.append(mark)
+        assert store.syncs == 2
+        store.close()
+
+
+class TestOpenStore:
+    def test_routes_by_suffix(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "a.jsonl"), FileJournalStore)
+        assert isinstance(open_store(tmp_path / "a.journal"), FileJournalStore)
+        for suffix in (".sqlite", ".sqlite3", ".db"):
+            assert isinstance(
+                open_store(tmp_path / f"a{suffix}"), SqliteJournalStore
+            )
+
+    def test_passes_stores_through(self, journal_path):
+        store = FileJournalStore(journal_path)
+        assert open_store(store) is store
+
+    def test_fsync_every_propagates(self, journal_path):
+        assert open_store(journal_path, fsync_every=3).fsync_every == 3
+
+
+class TestTaxonomy:
+    def test_actions_are_durable(self):
+        assert ACTION_KINDS < DURABLE_KINDS
+
+    def test_iter_actions_filters(self):
+        records = [
+            {"k": "header"}, {"k": "tenant"}, {"k": "ev"},
+            {"k": "submit"}, {"k": "grant"}, {"k": "cancel"},
+        ]
+        assert [r["k"] for r in iter_actions(records)] == [
+            "tenant", "submit", "cancel",
+        ]
