@@ -1,0 +1,138 @@
+"""The HTTP gateway: CDAS as a network service (DESIGN.md §13).
+
+This demo stands the crowd-query service up on a real TCP socket and
+then talks to itself over HTTP with nothing but :mod:`urllib` — the
+full client lifecycle any external program would drive:
+
+* ``POST /v1/explain`` — the plan-first preview: projected HITs, cost,
+  and the admission decision, side-effect-free;
+* ``POST /v1/queries`` — plan-gated submit (an unaffordable plan would
+  answer 402 with a counter-offer instead of spending anything);
+* ``GET /v1/queries/{id}/events`` — the SSE progress stream, read to
+  its ``end`` frame;
+* ``GET /v1/queries/{id}`` — the final snapshot plus the canonical
+  result summary;
+* ``GET /v1/metrics`` — scheduler steps, ledger totals, per-state
+  query counts.
+
+Server and client share one asyncio loop here (the urllib calls run in
+a thread executor), but the same server serves `curl` from another
+terminal just as well — see README's quick-start.
+
+    PYTHONPATH=src python examples/http_gateway.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.request
+
+from repro.amt.market import SimulatedMarket
+from repro.amt.pool import PoolConfig, WorkerPool
+from repro.gateway import GatewayServer
+from repro.system import CDAS
+from repro.tsa.tweets import generate_tweets
+
+SEED = 2012
+TOKEN = "acme-token"
+
+
+def build_app(seed: int):
+    pool = WorkerPool.from_config(PoolConfig(size=150), seed=seed)
+    cdas = CDAS.with_default_jobs(SimulatedMarket(pool, seed=seed), seed=seed)
+    tweets = generate_tweets(["rio"], per_movie=18, seed=seed + 1)
+    gold = generate_tweets(["gold-movie"], per_movie=10, seed=seed + 2)
+    app = cdas.gateway(
+        {TOKEN: "acme"},
+        name="svc",
+        presets={
+            "rio-tweets": {
+                "tweets": tweets,
+                "gold_tweets": gold,
+                "worker_count": 5,
+                "batch_size": 6,
+            }
+        },
+    )
+    app.mux["svc"].register_tenant("acme", priority=2.0)
+    return app
+
+
+def call(url: str, method: str = "GET", body: dict | None = None):
+    """One blocking HTTP exchange (runs on the loop's executor)."""
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(url, data=data, method=method)
+    request.add_header("Authorization", f"Bearer {TOKEN}")
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.loads(response.read())
+
+
+def stream(url: str) -> str:
+    request = urllib.request.Request(url)
+    request.add_header("Authorization", f"Bearer {TOKEN}")
+    with urllib.request.urlopen(request, timeout=300) as response:
+        return response.read().decode("utf-8")
+
+
+async def main() -> None:
+    app = build_app(SEED)
+    async with GatewayServer(app, "127.0.0.1", 0) as server:
+        print(f"gateway listening on {server.url}\n")
+        loop = asyncio.get_running_loop()
+        base = server.url
+
+        def bg(fn, *args):
+            return loop.run_in_executor(None, fn, *args)
+
+        body = {
+            "job": "twitter-sentiment",
+            "query": {
+                "keywords": ["rio"],
+                "required_accuracy": 0.9,
+                "domain": ["positive", "neutral", "negative"],
+                "window": 24,
+                "subject": "rio",
+            },
+            "inputs": {"$preset": "rio-tweets"},
+        }
+
+        explained = await bg(call, f"{base}/v1/explain", "POST", body)
+        plan = explained["plan"]
+        print(
+            f"explain: {plan['projected_hits']} HITs projected, "
+            f"${plan['projected_cost']:.2f}, admitted="
+            f"{explained['decision']['admitted']}"
+        )
+
+        submitted = await bg(call, f"{base}/v1/queries", "POST", body)
+        query_id = submitted["id"]
+        print(f"submitted: {query_id} (state {submitted['progress']['state']})")
+
+        sse = await bg(stream, f"{base}/v1/queries/{query_id}/events")
+        frames = [block for block in sse.split("\n\n") if block.strip()]
+        print(f"SSE: {len(frames)} frames, last event block:")
+        print("  " + frames[-1].replace("\n", "\n  "))
+
+        final = await bg(call, f"{base}/v1/queries/{query_id}")
+        progress = final["progress"]
+        print(
+            f"\nfinal: {progress['state']}, {progress['items_answered']} "
+            f"items answered, spend ${progress['spend']:.2f}"
+        )
+        for label, share, _reasons in final["result"]["report"]["rows"]:
+            print(f"  {label:<9} {share:6.1%}")
+
+        metrics = await bg(call, f"{base}/v1/metrics")
+        svc = metrics["services"]["svc"]
+        print(
+            f"\nmetrics: {svc['steps_taken']} driver steps, "
+            f"ledger ${svc['ledger']['total_cost']:.2f}, "
+            f"queries {svc['queries']}"
+        )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

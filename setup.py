@@ -1,10 +1,13 @@
 """Legacy shim for environments without the ``wheel`` package.
 
 All metadata lives in pyproject.toml (PEP 621); setuptools reads it from
-there.  In a normal environment ``pip install -e .`` is all you need.  In
-this offline image ``wheel`` is absent, which breaks *both* pip editable
-paths (PEP 660 and ``--no-use-pep517`` — modern pip requires wheel for
-each), so the working editable story here is the classic
+there.  ``[build-system] requires`` names ``wheel`` explicitly, so in a
+normal (networked) environment ``pip install -e .`` just works: pip's
+isolated build fetches wheel and the PEP 660 editable path goes through
+— CI installs the package this way on every run.  In an *offline* image
+without the wheel module, both pip editable paths still break (modern
+pip builds a wheel for each), so the fallback editable story is the
+classic
 
     python setup.py develop
 

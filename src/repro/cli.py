@@ -133,6 +133,20 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _http_addr(value: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (``:8080`` → 127.0.0.1:8080; port 0 = ephemeral)."""
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {value!r}")
+    try:
+        port_num = int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad port in {value!r}") from None
+    if not 0 <= port_num <= 65535:
+        raise argparse.ArgumentTypeError(f"port out of range in {value!r}")
+    return host or "127.0.0.1", port_num
+
+
 def _progress_line(handle, progress=None) -> str:
     if progress is None:
         progress = handle.progress()
@@ -200,6 +214,16 @@ def _plan_line(plan) -> str:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Mixed multi-tenant workload on one scheduler service (DESIGN.md §7)."""
     cdas, tweets, gold, images, gold_images = _serve_workload(args.seed)
+    if args.http is not None:
+        if args.use_asyncio:
+            print("--http already runs on asyncio; drop --asyncio")
+            return 2
+        try:
+            return asyncio.run(
+                _serve_http(cdas, tweets, gold, images, gold_images, args)
+            )
+        except KeyboardInterrupt:
+            return 0
     if args.use_asyncio:
         if args.journal is not None:
             print("--journal drives one durable service; drop --asyncio "
@@ -311,6 +335,79 @@ async def _serve_asyncio(cdas, tweets, gold, images, gold_images, args) -> int:
         f"(acme ${acme.tenant_spend('acme'):.2f}, "
         f"globex ${globex.tenant_spend('globex'):.2f})"
     )
+    return 0
+
+
+#: Demo bearer tokens the HTTP gateway accepts (token → tenant).
+GATEWAY_TOKENS = {"acme-token": "acme", "globex-token": "globex"}
+
+
+def _journal_has_records(path) -> bool:
+    """Does a serve journal already hold data worth recovering?"""
+    import os
+
+    return os.path.exists(str(path)) and os.path.getsize(str(path)) > 0
+
+
+async def _serve_http(cdas, tweets, gold, images, gold_images, args) -> int:
+    """Stand the demo workload up behind the HTTP gateway (DESIGN.md §13).
+
+    One journaled-or-not scheduler service named ``svc``, bearer tokens
+    for the two demo tenants, and the demo corpora registered as named
+    input presets so `curl`-sized request bodies can submit real jobs.
+    With ``--journal``, an existing non-empty journal is *recovered*
+    instead of truncated: every query id the previous process
+    acknowledged resolves again, which is how a killed gateway restarts.
+    """
+    from repro.gateway import GatewayServer
+
+    host, port = args.http
+    presets = {
+        "demo-tsa": dict(
+            tweets=tweets, gold_tweets=gold, worker_count=5, batch_size=6
+        ),
+        "demo-it": dict(
+            images=images, gold_images=gold_images, worker_count=5
+        ),
+    }
+    resume = args.journal is not None and _journal_has_records(args.journal)
+    app = cdas.gateway(
+        GATEWAY_TOKENS,
+        name="svc",
+        presets=presets,
+        max_in_flight=args.slots,
+        journal=args.journal,
+        journal_meta={"seed": args.seed},
+        resume=resume,
+    )
+    service = app.mux["svc"]
+    if resume:
+        print(
+            f"recovered {len(service.handles)} queries from journal "
+            f"{args.journal}",
+            flush=True,
+        )
+    else:
+        # Tenant registrations are journaled, so the resume path gets
+        # them back from the replay rather than re-registering.
+        service.register_tenant(
+            "acme", priority=2.0, budget_cap=args.tenant_budget
+        )
+        service.register_tenant(
+            "globex", priority=1.0, budget_cap=args.tenant_budget
+        )
+    async with GatewayServer(app, host=host, port=port) as server:
+        # The smoke tests parse this line for the bound (ephemeral) port.
+        print(f"gateway listening on {server.url}", flush=True)
+        print(
+            "tenants: acme (acme-token), globex (globex-token); "
+            "presets: demo-tsa, demo-it",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
     return 0
 
 
@@ -555,6 +652,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="write-ahead journal for the service (``.sqlite``/``.db`` "
         "suffixes select the sqlite store); a crashed run resumes with "
         "`python -m repro recover PATH`",
+    )
+    serve_p.add_argument(
+        "--http",
+        type=_http_addr,
+        default=None,
+        metavar="HOST:PORT",
+        help="serve the workload behind the HTTP gateway instead of "
+        "driving it to completion (':8080' binds 127.0.0.1:8080, port 0 "
+        "picks an ephemeral one); composes with --journal, and a "
+        "non-empty journal is recovered so acknowledged query ids "
+        "survive a crash",
+    )
+    serve_p.add_argument(
+        "--tenant-budget",
+        type=float,
+        default=None,
+        metavar="CAP",
+        help="budget cap applied to both demo tenants on the --http "
+        "gateway (uncapped when omitted); small caps demonstrate the "
+        "402 counter-offer",
     )
     serve_p.set_defaults(func=_cmd_serve)
 

@@ -308,6 +308,25 @@ class DurableSchedulerService:
         keeps the barrier off the per-event hot loop."""
         self.store.commit()
 
+    def journal_stats(self) -> dict[str, Any]:
+        """Journal observability counters, as plain JSON-able data.
+
+        The gateway's ``/v1/metrics`` endpoint serves this verbatim;
+        anything else watching a durable service (dashboards, the
+        recovery CLI) reads the same figures instead of poking store
+        internals."""
+        return {
+            "path": str(self.store.path),
+            "records": self.journal_offset,
+            "appended": self.store.appended,
+            "syncs": self.store.syncs,
+            "write_seconds": round(self.store.write_seconds, 6),
+            "replayed_records": self.replayed_records,
+            "replayed_events": self.replayed_events,
+            "ticks": self.ticks,
+            "replaying": self.replaying,
+        }
+
     def close(self) -> None:
         self.store.close()
 

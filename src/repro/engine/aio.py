@@ -53,7 +53,22 @@ from repro.engine.service import (
     SchedulerService,
 )
 
-__all__ = ["AsyncQueryHandle", "AsyncSchedulerService", "ServiceMux"]
+__all__ = [
+    "AsyncQueryHandle",
+    "AsyncSchedulerService",
+    "ServiceMux",
+    "DEFAULT_UPDATE_QUEUE",
+]
+
+#: Default bound on each update subscriber's pending-snapshot queue.
+#: Progress snapshots are cumulative (every counter is monotone and each
+#: snapshot supersedes the previous one), so a slow consumer loses
+#: nothing when older pending snapshots are evicted — it simply observes
+#: a later state next.  The bound is what makes ``updates()`` fan-out
+#: safe to expose to the network: an abandoned SSE subscriber costs at
+#: most this many snapshots, never unbounded memory, and never stalls
+#: the driver (publication stays non-blocking).
+DEFAULT_UPDATE_QUEUE = 256
 
 
 class AsyncQueryHandle:
@@ -126,6 +141,15 @@ class AsyncQueryHandle:
         """Snapshot the query's progress right now (no await needed)."""
         return self.handle.progress()
 
+    @property
+    def stranded(self) -> BaseException | None:
+        """The error that stopped this query's driver mid-flight, if any.
+
+        Consumers streaming a handle (``updates()``, the gateway's SSE
+        loop) check it to stop waiting on a query that can never reach a
+        terminal state."""
+        return self._stranded
+
     # -- awaitables ----------------------------------------------------------
 
     async def result(self, timeout: float | None = None) -> Any:
@@ -177,17 +201,51 @@ class AsyncQueryHandle:
             await asyncio.sleep(0)
         return cancelled
 
-    async def updates(self) -> AsyncIterator[QueryProgress]:
+    def subscribe(
+        self, max_pending: int = DEFAULT_UPDATE_QUEUE
+    ) -> "asyncio.Queue[QueryProgress]":
+        """Open a bounded per-consumer queue of changed progress snapshots.
+
+        The fan-out primitive :meth:`updates` and the gateway's SSE
+        endpoint share.  The queue is bounded at ``max_pending``: when a
+        consumer falls behind, the *oldest* pending snapshot is evicted
+        to make room (snapshots are cumulative, so skipping intermediates
+        is pure coalescing — the terminal snapshot can never be lost
+        because nothing is published after it).  Publication never
+        blocks, so a slow or abandoned consumer cannot stall the driver.
+
+        Always pair with :meth:`unsubscribe` (``updates()`` does this in
+        a ``finally``); an unsubscribed queue costs nothing.
+        """
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be ≥ 1, got {max_pending}")
+        if not self.handle.done:
+            self._aservice._ensure_driver()
+        queue: asyncio.Queue[QueryProgress] = asyncio.Queue(maxsize=max_pending)
+        self._queues.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: "asyncio.Queue[QueryProgress]") -> None:
+        """Drop a queue opened by :meth:`subscribe` (idempotent)."""
+        try:
+            self._queues.remove(queue)
+        except ValueError:
+            pass
+
+    async def updates(
+        self, max_pending: int = DEFAULT_UPDATE_QUEUE
+    ) -> AsyncIterator[QueryProgress]:
         """Stream progress snapshots until the query is terminal.
 
         Yields the current snapshot immediately, then every *changed*
         snapshot the driver observes (no duplicates); the final yield is
         the terminal snapshot.  Multiple consumers may stream one handle.
+        A consumer that processes snapshots slower than the driver
+        publishes them observes a coalesced stream: at most
+        ``max_pending`` snapshots are held back for it, older pending
+        ones are evicted first, and the terminal snapshot always arrives.
         """
-        if not self.handle.done:
-            self._aservice._ensure_driver()
-        queue: asyncio.Queue[QueryProgress] = asyncio.Queue()
-        self._queues.append(queue)
+        queue = self.subscribe(max_pending=max_pending)
         try:
             last = self.progress()
             yield last
@@ -198,9 +256,25 @@ class AsyncQueryHandle:
                 last = snapshot
                 yield snapshot
         finally:
-            self._queues.remove(queue)
+            self.unsubscribe(queue)
 
     # -- driver side ---------------------------------------------------------
+
+    @staticmethod
+    def _offer(queue: "asyncio.Queue[QueryProgress]", snapshot: QueryProgress) -> None:
+        """Non-blocking bounded put: evict the oldest pending snapshot
+        when the consumer is full behind.  Snapshots are cumulative, so
+        eviction coalesces — the consumer just observes a later state —
+        and the driver never waits on anyone's queue."""
+        while True:
+            try:
+                queue.put_nowait(snapshot)
+                return
+            except asyncio.QueueFull:
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover - racing consumer
+                    pass
 
     def _publish(self) -> None:
         """Push a changed snapshot to streams; latch terminal states."""
@@ -214,7 +288,7 @@ class AsyncQueryHandle:
         if snapshot != self._last_published:
             self._last_published = snapshot
             for queue in self._queues:
-                queue.put_nowait(snapshot)
+                self._offer(queue, snapshot)
         if self.handle.done and not self._terminal.is_set():
             self._terminal.set()
 
@@ -228,7 +302,7 @@ class AsyncQueryHandle:
         snapshot = self.handle.progress()
         for queue in self._queues:
             # Wake streams so they re-check the stranded flag.
-            queue.put_nowait(snapshot)
+            self._offer(queue, snapshot)
 
 
 class AsyncSchedulerService:
@@ -265,6 +339,10 @@ class AsyncSchedulerService:
         #: Observer called after each *productive* step
         #: (:class:`ServiceMux` wires its interleave log here).
         self.on_step: Callable[["AsyncSchedulerService"], None] | None = None
+        #: Observer called once each time the driver drains (every
+        #: submitted query terminal or stranded, nothing in flight) —
+        #: the gateway counts these for its metrics endpoint.
+        self.on_drain: Callable[["AsyncSchedulerService"], None] | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = "" if self.name is None else f" {self.name!r}"
@@ -369,6 +447,24 @@ class AsyncSchedulerService:
             self._ensure_driver()
         return ahandle
 
+    def adopt(self, handle: QueryHandle) -> AsyncQueryHandle:
+        """Wrap an *existing* sync handle of the wrapped service.
+
+        The recovery seam: a journal-recovered service arrives with its
+        handles already rebuilt on the sync surface, and the gateway
+        needs awaitable views of them so recovered query ids stay
+        resolvable (and streamable) after a restart.  Idempotent per
+        underlying handle; duck-typed so the durability layer's
+        :class:`~repro.durability.service.DurableQueryHandle` adopts the
+        same way.
+        """
+        for existing in self._handles:
+            if existing.handle is handle:
+                return existing
+        ahandle = AsyncQueryHandle(self, handle)
+        self._handles.append(ahandle)
+        return ahandle
+
     # -- the driver ----------------------------------------------------------
 
     def _wake_driver(self) -> None:
@@ -435,6 +531,8 @@ class AsyncSchedulerService:
                                 f"{handle.state.value}"
                             )
                         )
+                if self.on_drain is not None:
+                    self.on_drain(self)
                 return
         except Exception as exc:
             # Deliver the failure to every waiter instead of letting it

@@ -201,6 +201,39 @@ class QueryPlan:
             return self.windows[0].projected_cost
         return self.projected_cost
 
+    def to_dict(self) -> dict[str, Any]:
+        """The plan as plain JSON-able data (the gateway's ``plan``
+        payload; :meth:`describe` renders the same fields as the CLI
+        table).  Job inputs are deliberately omitted — they carry rich
+        submission objects and round-trip through the durability codec,
+        not through this observability projection."""
+        return {
+            "job": self.job_name,
+            "subject": self.query.subject,
+            "tenant": self.tenant,
+            "budget": self.budget,
+            "priority": self.priority,
+            "required_accuracy": round(self.query.required_accuracy, 6),
+            "mean_accuracy": round(self.mean_accuracy, 6),
+            "workers_per_item": self.workers_per_item,
+            "expected_accuracy": round(self.expected_accuracy, 6),
+            "items": self.items,
+            "projected_hits": self.projected_hits,
+            "projected_cost": round(self.projected_cost, 6),
+            "upfront_reservation": round(self.upfront_reservation, 6),
+            "standing": self.standing,
+            "windows": [
+                {
+                    "index": w.index,
+                    "items": w.items,
+                    "hits": w.hits,
+                    "workers_per_item": w.workers_per_item,
+                    "projected_cost": round(w.projected_cost, 6),
+                }
+                for w in self.windows
+            ],
+        }
+
     def describe(self) -> str:
         """The EXPLAIN table (CLI ``explain`` prints this verbatim)."""
         query = self.query
@@ -251,6 +284,20 @@ class CounterOffer:
     achievable_accuracy: float | None
     affordable_windows: int
 
+    def to_dict(self) -> dict[str, Any]:
+        """The offer as plain JSON-able data (attached to the gateway's
+        402 responses; :meth:`describe` renders the same numbers)."""
+        return {
+            "budget": round(self.budget, 6),
+            "workers_per_item": self.workers_per_item,
+            "achievable_accuracy": (
+                None
+                if self.achievable_accuracy is None
+                else round(self.achievable_accuracy, 6)
+            ),
+            "affordable_windows": self.affordable_windows,
+        }
+
     def describe(self) -> str:
         if self.workers_per_item < 1 or self.achievable_accuracy is None:
             accuracy = "no worker affordable"
@@ -284,6 +331,26 @@ class PlanDecision:
     limit: float | None
     reason: str | None = None
     counter_offer: CounterOffer | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """The decision as plain JSON-able data (the gateway's
+        ``decision`` payload on explain responses and 402 refusals)."""
+        return {
+            "admitted": self.admitted,
+            "upfront": round(self.upfront, 6),
+            "tenant_remaining": (
+                None
+                if self.tenant_remaining is None
+                else round(self.tenant_remaining, 6)
+            ),
+            "limit": None if self.limit is None else round(self.limit, 6),
+            "reason": self.reason,
+            "counter_offer": (
+                None
+                if self.counter_offer is None
+                else self.counter_offer.to_dict()
+            ),
+        }
 
 
 class PlanInfeasible(RuntimeError):

@@ -195,6 +195,32 @@ class QueryProgress:
     spend: float
     budget_exhausted: bool
 
+    def to_dict(self) -> dict[str, Any]:
+        """The snapshot as plain JSON-able data.
+
+        The one projection shared by every serialising surface — the
+        scenario outcome summaries (whose digests golden traces pin),
+        the CLI progress tables, and the HTTP gateway codec — so the
+        field set and float presentation cannot drift between them.
+        Floats are rounded to 6 places: cosmetic (every consumer
+        compares values produced by identical arithmetic), it only
+        keeps the JSON compact and stable.
+        """
+        return {
+            "state": self.state.value,
+            "items_answered": self.items_answered,
+            "items_finalized": self.items_finalized,
+            "hits_completed": self.hits_completed,
+            "hits_in_flight": self.hits_in_flight,
+            "accuracy_estimate": (
+                None
+                if self.accuracy_estimate is None
+                else round(self.accuracy_estimate, 6)
+            ),
+            "spend": round(self.spend, 6),
+            "budget_exhausted": self.budget_exhausted,
+        }
+
 
 class _PlainSource:
     """One lazy run of batch specs, optionally carrying a reservation.
@@ -725,6 +751,13 @@ class QueryHandle:
         )
 
     # -- identity ------------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """Submission ordinal within the service (stable across recovery
+        — the durability layer journals it, and the gateway derives its
+        public query ids from it)."""
+        return self._record.seq
 
     @property
     def job_name(self) -> str:

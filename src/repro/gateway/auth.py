@@ -1,0 +1,74 @@
+"""Bearer-token tenant authentication for the HTTP gateway.
+
+The gateway's security model is deliberately small: a static map of
+bearer tokens to tenant names, checked on every request that touches a
+query.  The *token* is transport identity; the *tenant* it resolves to
+is what the engine's :class:`~repro.engine.service.AdmissionController`
+already understands — budget caps, priorities and spend accounting all
+key on it, so authentication plugs into the existing admission layer
+instead of growing a parallel one.  ``healthz`` and ``metrics`` stay
+unauthenticated (they expose no tenant data and the socket smoke tests
+probe them before tokens exist).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+__all__ = ["AuthError", "TokenAuth"]
+
+
+class AuthError(RuntimeError):
+    """The request carries no usable bearer token (gateway → 401)."""
+
+
+class TokenAuth:
+    """Static ``bearer token → tenant`` resolver.
+
+    Parameters
+    ----------
+    tokens:
+        ``{token: tenant}``.  Several tokens may map to one tenant
+        (key rotation); the empty map refuses everything.
+    """
+
+    def __init__(self, tokens: Mapping[str, str]) -> None:
+        for token, tenant in tokens.items():
+            if not token or not tenant:
+                raise ValueError(
+                    f"tokens and tenants must be non-empty, got "
+                    f"{token!r} -> {tenant!r}"
+                )
+        self._tokens = dict(tokens)
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Every tenant some token resolves to (sorted, deduplicated)."""
+        return tuple(sorted(set(self._tokens.values())))
+
+    def authenticate(self, headers: Iterable[tuple[bytes, bytes]]) -> str:
+        """Resolve the request's ``Authorization: Bearer <token>`` header
+        to a tenant name.
+
+        Raises
+        ------
+        AuthError
+            Header missing, malformed, or the token is unknown.
+        """
+        authorization = None
+        for name, value in headers:
+            if name.lower() == b"authorization":
+                authorization = value
+                break
+        if authorization is None:
+            raise AuthError("missing Authorization header")
+        try:
+            scheme, _, token = authorization.decode("latin-1").partition(" ")
+        except Exception as exc:  # pragma: no cover - latin-1 total
+            raise AuthError("unreadable Authorization header") from exc
+        if scheme.lower() != "bearer" or not token.strip():
+            raise AuthError("expected 'Authorization: Bearer <token>'")
+        tenant = self._tokens.get(token.strip())
+        if tenant is None:
+            raise AuthError("unknown bearer token")
+        return tenant

@@ -1,0 +1,214 @@
+"""Endpoint semantics: what each gateway route means against the engine.
+
+Free functions over the :class:`~repro.gateway.app.GatewayApp` — kept
+out of the ASGI plumbing so the request/response contract reads in one
+place.  Every function returns plain JSON-able data (the app serialises
+canonically); failures raise :class:`~repro.gateway.app.HttpError` or
+let engine exceptions (``PlanInfeasible``, ``AdmissionRejected``,
+eager validation errors) propagate for the app's status mapping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.service import TERMINAL_STATES
+
+from repro.gateway.codec import (
+    BadRequest,
+    handle_payload,
+    parse_inputs,
+    parse_query,
+)
+
+if TYPE_CHECKING:
+    from repro.gateway.app import GatewayApp
+
+__all__ = ["healthz", "metrics", "explain", "submit", "poll", "cancel"]
+
+
+def healthz(app: "GatewayApp") -> dict[str, Any]:
+    """Liveness: the mux's services and their driver state."""
+    return {
+        "status": "ok",
+        "services": {
+            (service.name or "svc"): {
+                "queries": len(service.handles),
+                "idle": service.idle,
+            }
+            for service in app.mux.services
+        },
+    }
+
+
+def metrics(app: "GatewayApp") -> dict[str, Any]:
+    """Scheduler / ledger / journal counters, per service, plus the
+    gateway's own request counters.  Read-only and cheap."""
+    from repro.scenarios import ledger_summary
+
+    services: dict[str, Any] = {}
+    for service in app.mux.services:
+        name = service.name or "svc"
+        states: dict[str, int] = {}
+        for handle in service.handles:
+            key = handle.state.value
+            states[key] = states.get(key, 0) + 1
+        inner = service.service  # the (possibly durable) sync service
+        journal_stats = getattr(inner, "journal_stats", None)
+        services[name] = {
+            "steps_taken": service.steps_taken,
+            "drains": app.drains.get(name, 0),
+            "queries": states,
+            "ledger": ledger_summary(inner.engine.market.ledger),
+            "journal": None if journal_stats is None else journal_stats(),
+        }
+    return {"gateway": dict(app.counters), "services": services}
+
+
+def _parse_submission(
+    app: "GatewayApp", tenant: str, body: dict[str, Any]
+) -> tuple[Any, str, Any, dict[str, Any], dict[str, Any]]:
+    """Shared request parsing for ``explain`` and ``submit``:
+    ``(service, job, query, inputs, options)``."""
+    unknown = set(body) - {
+        "service", "job", "query", "inputs", "budget", "priority", "mode",
+    }
+    if unknown:
+        raise BadRequest(f"unknown field(s): {sorted(unknown)}")
+    job = body.get("job")
+    if not isinstance(job, str) or not job:
+        raise BadRequest("'job' must be a job name string")
+    query = parse_query(body.get("query"))
+    inputs = parse_inputs(body.get("inputs"), app.presets)
+    budget = body.get("budget")
+    if budget is not None:
+        budget = float(budget)
+    priority = body.get("priority")
+    if priority is not None:
+        priority = float(priority)
+    mode = body.get("mode", "reserve")
+    if mode not in ("reserve", "plain"):
+        raise BadRequest(f"mode must be 'reserve' or 'plain', got {mode!r}")
+    service = app.service_for(tenant, body.get("service"))
+    options = {"budget": budget, "priority": priority, "mode": mode}
+    return service, job, query, inputs, options
+
+
+def explain(app: "GatewayApp", tenant: str, body: dict[str, Any]) -> dict[str, Any]:
+    """``POST /v1/explain`` — the plan-first preview, side-effect-free.
+
+    Projects the request into a :class:`QueryPlan` and previews
+    admission for the *authenticated* tenant.  Rejections answer 200
+    here (the preview succeeded); only ``POST /v1/queries`` turns the
+    same decision into a 402.  The ``decision.counter_offer`` numbers
+    are exactly what `cdas-repro explain` prints.
+    """
+    service, job, query, inputs, options = _parse_submission(app, tenant, body)
+    plan = service.plan(
+        job,
+        query,
+        tenant=tenant,
+        budget=options["budget"],
+        priority=options["priority"],
+        **inputs,
+    )
+    decision = service.preadmit(plan)
+    return {
+        "service": service.name or "svc",
+        "plan": plan.to_dict(),
+        "decision": decision.to_dict(),
+    }
+
+
+async def submit(
+    app: "GatewayApp", tenant: str, body: dict[str, Any], idempotency_key: str | None
+) -> tuple[int, dict[str, Any]]:
+    """``POST /v1/queries`` — plan-gated submit; returns (status, payload).
+
+    Admission is plan-first by default (``mode: "reserve"``): the
+    request is projected, reserved against the tenant's remaining
+    budget, and an unaffordable plan raises
+    :class:`~repro.engine.planner.PlanInfeasible` — the app answers 402
+    with the counter-offer and **zero** market spend.  ``mode:
+    "plain"`` keeps the historical reactive path.
+
+    A repeated ``Idempotency-Key`` from the same tenant returns the
+    original query (200, not 201) without submitting anything — safe
+    retries for clients that lost the first response.
+
+    On a durable service the submit record is journaled by the inner
+    service and the journal is *flushed before the 201 leaves*, so an
+    acknowledged submission survives a crash and ``recover()`` resolves
+    the same id.
+    """
+    key = None
+    if idempotency_key is not None:
+        key = (tenant, idempotency_key)
+        existing = app.idempotency.get(key)
+        if existing is not None:
+            app.counters["idempotent_replays"] += 1
+            _, handle = app.resolve(tenant, existing)
+            return 200, handle_payload(existing, handle)
+    service, job, query, inputs, options = _parse_submission(app, tenant, body)
+    handle = service.submit(
+        job,
+        query,
+        tenant=tenant,
+        budget=options["budget"],
+        priority=options["priority"],
+        reserve=options["mode"] == "reserve",
+        **inputs,
+    )
+    flush = getattr(service.service, "flush_journal", None)
+    if flush is not None:
+        # Durable gateway: the submit record must hit disk before the
+        # client is told 201 — an acknowledged id must survive kill -9.
+        flush()
+    app.counters["submits"] += 1
+    query_id = app.query_id(service, handle)
+    if key is not None:
+        app.idempotency[key] = query_id
+    payload = handle_payload(query_id, handle)
+    plan = handle.plan
+    if plan is not None:
+        payload["plan"] = plan.to_dict()
+    # Let the freshly-started driver schedule before the response goes
+    # out; keeps submit-then-poll clients from observing a never-pumped
+    # service on single-request event loops.
+    await asyncio.sleep(0)
+    return 201, payload
+
+
+def poll(app: "GatewayApp", tenant: str, query_id: str) -> dict[str, Any]:
+    """``GET /v1/queries/{id}`` — one progress snapshot (plus the
+    canonical result summary once DONE)."""
+    _, handle = app.resolve(tenant, query_id)
+    return handle_payload(query_id, handle)
+
+
+async def cancel(app: "GatewayApp", tenant: str, query_id: str) -> dict[str, Any]:
+    """``DELETE /v1/queries/{id}`` — charge-final cancel.
+
+    Unpublished batches are dropped, in-flight HITs forfeited through
+    the backend; nothing further is ever charged.  The response freezes
+    the moment of cancellation: the final progress snapshot plus the
+    ledger totals, which later polls must agree with (the frozen-ledger
+    contract the gateway tests assert).  Cancelling an already-terminal
+    query answers ``cancelled: false`` with the same frozen view —
+    idempotent deletes.
+    """
+    service, handle = app.resolve(tenant, query_id)
+    cancelled = await handle.cancel()
+    flush = getattr(service.service, "flush_journal", None)
+    if flush is not None:
+        # The cancel record is written ahead of the market forfeit; make
+        # it durable before acknowledging, mirroring submit's barrier.
+        flush()
+    from repro.scenarios import ledger_summary
+
+    payload = handle_payload(query_id, handle)
+    payload["cancelled"] = cancelled
+    payload["ledger"] = ledger_summary(service.service.engine.market.ledger)
+    assert handle.state in TERMINAL_STATES
+    return payload

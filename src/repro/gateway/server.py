@@ -1,0 +1,203 @@
+"""A small asyncio HTTP/1.1 server for the ASGI gateway (stdlib only).
+
+``asyncio.start_server`` + hand-rolled request parsing — enough HTTP to
+serve the gateway's JSON and SSE endpoints to real sockets (`curl`,
+``urllib``) without any framework dependency, and *only* that much:
+
+* one request per connection (``Connection: close`` on every response)
+  — the gateway's clients poll and stream, they don't pipeline;
+* request bodies are read by ``Content-Length`` (no chunked uploads —
+  every request body the API accepts is a small JSON object);
+* responses stream as the app sends them and the connection closes when
+  the app finishes, which is exactly the framing SSE wants (the stream
+  ends when the server says so);
+* client disconnects surface to the app as ASGI ``http.disconnect``, by
+  watching the socket for EOF once the request is consumed — how an
+  abandoned SSE subscriber is reaped.
+
+The driver tasks and the connection handlers share one event loop, so
+the whole serving story — engine pump, journal flushes, HTTP — is one
+cooperatively-scheduled process, exactly like the in-process tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+__all__ = ["GatewayServer"]
+
+_MAX_REQUEST_HEAD = 64 * 1024
+
+
+class _Disconnected(Exception):
+    """The client went away mid-response (swallowed by the handler)."""
+
+
+class GatewayServer:
+    """Serve one ASGI app on a TCP socket.
+
+    Usage::
+
+        server = GatewayServer(app, "127.0.0.1", 8080)
+        await server.start()          # binds; server.port is now real
+        await server.serve_forever()  # or: await server.aclose()
+
+    ``port=0`` binds an ephemeral port (the tests' and the CLI's way to
+    avoid collisions); read the bound one back from :attr:`port`.
+    """
+
+    def __init__(self, app: Any, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "GatewayServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.aclose()
+
+    # -- one connection ------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            scope, body = await self._read_request(reader)
+        except Exception:
+            writer.close()
+            return
+        delivered = False
+        started = False
+
+        async def receive() -> dict[str, Any]:
+            nonlocal delivered
+            if not delivered:
+                delivered = True
+                return {"type": "http.request", "body": body, "more_body": False}
+            # After the request, the only thing the socket can tell us
+            # is that the client went away: EOF (or any error) on a
+            # connection we never read further from.  A stray extra
+            # byte would be an attempted pipeline — we close per
+            # response, so treat it as a disconnect too.
+            try:
+                await reader.read(1)
+            except Exception:
+                pass
+            return {"type": "http.disconnect"}
+
+        async def send(message: dict[str, Any]) -> None:
+            nonlocal started
+            try:
+                if message["type"] == "http.response.start":
+                    started = True
+                    head = [f"HTTP/1.1 {message['status']} {_reason(message['status'])}"]
+                    for name, value in message.get("headers", []):
+                        head.append(
+                            f"{name.decode('latin-1')}: {value.decode('latin-1')}"
+                        )
+                    head.append("connection: close")
+                    writer.write(
+                        ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                    )
+                elif message["type"] == "http.response.body":
+                    writer.write(message.get("body", b""))
+                    await writer.drain()
+            except (ConnectionError, RuntimeError) as exc:
+                raise _Disconnected() from exc
+
+        try:
+            await self.app(scope, receive, send)
+        except _Disconnected:
+            pass
+        except Exception:  # pragma: no cover - app-level 500 handles most
+            if not started:
+                try:
+                    writer.write(
+                        b"HTTP/1.1 500 Internal Server Error\r\n"
+                        b"content-length: 0\r\nconnection: close\r\n\r\n"
+                    )
+                except Exception:
+                    pass
+        finally:
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+            except (OSError, RuntimeError):
+                pass
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[dict[str, Any], bytes]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        if len(head) > _MAX_REQUEST_HEAD:
+            raise ValueError("request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = lines[0].split(" ", 2)
+        path, _, query_string = target.partition("?")
+        headers: list[tuple[bytes, bytes]] = []
+        content_length = 0
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            name = name.strip().lower()
+            value = value.strip()
+            headers.append((name.encode("latin-1"), value.encode("latin-1")))
+            if name == "content-length":
+                content_length = int(value)
+        body = await reader.readexactly(content_length) if content_length else b""
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": target.encode("latin-1"),
+            "query_string": query_string.encode("latin-1"),
+            "headers": headers,
+            "scheme": "http",
+            "server": (self.host, self.port),
+        }
+        return scope, body
+
+
+def _reason(status: int) -> str:
+    return {
+        200: "OK",
+        201: "Created",
+        400: "Bad Request",
+        401: "Unauthorized",
+        402: "Payment Required",
+        403: "Forbidden",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        413: "Payload Too Large",
+        500: "Internal Server Error",
+    }.get(status, "Unknown")

@@ -1,0 +1,164 @@
+"""In-process ASGI client: the gateway's test surface, no socket needed.
+
+:class:`InProcessClient` drives a :class:`~repro.gateway.app.GatewayApp`
+by calling the ASGI callable directly with stub ``receive``/``send``
+channels — the whole exchange runs on the test's own event loop, fully
+deterministic (no real I/O, no timers beyond the engine's own), which
+is what lets the gateway suite fingerprint-compare HTTP outcomes against
+direct in-process ``ServiceMux`` runs bit for bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+__all__ = ["InProcessClient", "Response", "parse_sse"]
+
+
+class Response:
+    """One buffered HTTP exchange's outcome."""
+
+    def __init__(
+        self, status: int, headers: list[tuple[bytes, bytes]], body: bytes
+    ) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def header(self, name: str) -> str | None:
+        wanted = name.lower().encode("latin-1")
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value.decode("latin-1")
+        return None
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Response(status={self.status}, body={self.body[:120]!r})"
+
+
+def parse_sse(body: bytes) -> list[tuple[str | None, Any]]:
+    """Split an SSE byte stream into ``(event, data)`` frames.
+
+    Comments (heartbeats) come back as ``(None, None)``; data lines are
+    JSON-decoded.
+    """
+    frames: list[tuple[str | None, Any]] = []
+    for block in body.decode("utf-8").split("\n\n"):
+        if not block.strip():
+            continue
+        event: str | None = None
+        data: Any = None
+        comment = False
+        for line in block.split("\n"):
+            if line.startswith(":"):
+                comment = True
+            elif line.startswith("event:"):
+                event = line[len("event:"):].strip()
+            elif line.startswith("data:"):
+                data = json.loads(line[len("data:"):].strip())
+        if event is None and comment:
+            frames.append((None, None))
+        else:
+            frames.append((event, data))
+    return frames
+
+
+class InProcessClient:
+    """Call the ASGI app directly; buffer the whole response.
+
+    ``token`` (if given) is sent as ``Authorization: Bearer <token>`` on
+    every request unless overridden per call.
+    """
+
+    def __init__(self, app: Any, token: str | None = None) -> None:
+        self.app = app
+        self.token = token
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        json_body: Any | None = None,
+        headers: dict[str, str] | None = None,
+        token: str | None = None,
+        disconnect_after: int | None = None,
+    ) -> Response:
+        """One exchange.  ``disconnect_after=N`` delivers an ASGI
+        ``http.disconnect`` after the app has sent N body chunks —
+        how the tests model an SSE consumer walking away mid-stream."""
+        body = b"" if json_body is None else json.dumps(json_body).encode("utf-8")
+        raw_headers: list[tuple[bytes, bytes]] = []
+        bearer = token if token is not None else self.token
+        if bearer is not None:
+            raw_headers.append(
+                (b"authorization", f"Bearer {bearer}".encode("latin-1"))
+            )
+        for name, value in (headers or {}).items():
+            raw_headers.append(
+                (name.lower().encode("latin-1"), value.encode("latin-1"))
+            )
+        if body:
+            raw_headers.append(
+                (b"content-length", str(len(body)).encode("latin-1"))
+            )
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": path.encode("latin-1"),
+            "query_string": b"",
+            "headers": raw_headers,
+            "scheme": "http",
+            "server": ("testclient", 0),
+        }
+
+        request_sent = False
+        chunks_seen = 0
+        disconnected = asyncio.Event()
+        status: list[int] = []
+        headers_out: list[tuple[bytes, bytes]] = []
+        chunks: list[bytes] = []
+
+        async def receive() -> dict[str, Any]:
+            nonlocal request_sent
+            if not request_sent:
+                request_sent = True
+                return {"type": "http.request", "body": body, "more_body": False}
+            await disconnected.wait()
+            return {"type": "http.disconnect"}
+
+        async def send(message: dict[str, Any]) -> None:
+            nonlocal chunks_seen
+            if message["type"] == "http.response.start":
+                status.append(message["status"])
+                headers_out.extend(message.get("headers", []))
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+                chunks_seen += 1
+                if (
+                    disconnect_after is not None
+                    and chunks_seen >= disconnect_after
+                ):
+                    disconnected.set()
+
+        await self.app(scope, receive, send)
+        assert status, "app finished without sending a response start"
+        return Response(status[0], headers_out, b"".join(chunks))
+
+    # -- conveniences ---------------------------------------------------------
+
+    async def get(self, path: str, **kwargs: Any) -> Response:
+        return await self.request("GET", path, **kwargs)
+
+    async def post(self, path: str, json_body: Any, **kwargs: Any) -> Response:
+        return await self.request("POST", path, json_body=json_body, **kwargs)
+
+    async def delete(self, path: str, **kwargs: Any) -> Response:
+        return await self.request("DELETE", path, **kwargs)

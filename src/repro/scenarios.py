@@ -62,8 +62,11 @@ __all__ = [
     "SCENARIOS",
     "ScenarioReport",
     "build_market",
+    "handle_summary",
+    "ledger_summary",
     "record_scenario",
     "replay_scenario",
+    "result_summary",
     "run_scenario",
 ]
 
@@ -153,25 +156,30 @@ def _result_summary(result: Any) -> dict[str, Any]:
     return summary
 
 
+#: The projection of :meth:`QueryProgress.to_dict` a canonical outcome pins.
+#: Golden traces hash the *key set* (``canonical_json`` sorts keys), so the
+#: outcome deliberately keeps the original subset even as ``to_dict`` grows
+#: transient fields (``hits_in_flight``, ``budget_exhausted``).
+_PROGRESS_OUTCOME_KEYS = (
+    "state",
+    "items_answered",
+    "items_finalized",
+    "hits_completed",
+    "accuracy_estimate",
+    "spend",
+)
+
+
 def _handle_summary(handle) -> dict[str, Any]:
     """Canonicalise one query handle's terminal observation."""
-    progress = handle.progress()
+    progress = handle.progress().to_dict()
     summary: dict[str, Any] = {
         "job": handle.job_name,
         "subject": handle.query.subject,
         "tenant": handle.tenant,
-        "state": progress.state.value,
-        "items_answered": progress.items_answered,
-        "items_finalized": progress.items_finalized,
-        "hits_completed": progress.hits_completed,
-        "accuracy_estimate": (
-            None
-            if progress.accuracy_estimate is None
-            else _round6(progress.accuracy_estimate)
-        ),
-        "spend": _round6(progress.spend),
     }
-    if progress.state.value == "done":
+    summary.update({key: progress[key] for key in _PROGRESS_OUTCOME_KEYS})
+    if summary["state"] == "done":
         summary["result"] = _result_summary(handle.result())
     return summary
 
@@ -183,6 +191,14 @@ def _ledger_summary(ledger) -> dict[str, Any]:
         "total_cost": _round6(ledger.total_cost),
         "avoided_cost": _round6(ledger.avoided_cost),
     }
+
+
+# Public aliases: the gateway's JSON codec serves the *same* canonical shapes
+# the determinism gate pins, so HTTP results fingerprint-compare against
+# in-process runs byte for byte.
+result_summary = _result_summary
+handle_summary = _handle_summary
+ledger_summary = _ledger_summary
 
 
 # -- the scenarios ------------------------------------------------------------

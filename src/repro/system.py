@@ -40,8 +40,8 @@ round-robin).
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
-from typing import Any
+from collections.abc import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any
 
 from repro.amt.backend import MarketBackend
 from repro.amt.hit import Question
@@ -53,6 +53,9 @@ from repro.engine.privacy import PrivacyManager
 from repro.engine.query import Query
 from repro.engine.scheduler import BatchSink, HITScheduler
 from repro.engine.service import SchedulerService
+
+if TYPE_CHECKING:
+    from repro.gateway import GatewayApp
 
 __all__ = ["JobRunner", "JobSubmitter", "CDAS", "runner_from_submitter"]
 
@@ -313,6 +316,71 @@ class CDAS:
                 snapshot_every=snapshot_every,
             ),
             name=name,
+        )
+
+    def gateway(
+        self,
+        tokens: Mapping[str, str],
+        *,
+        name: str = "svc",
+        presets: Mapping[str, Mapping[str, Any]] | None = None,
+        routes: Mapping[str, str] | None = None,
+        max_in_flight: int = 4,
+        track_trajectories: bool = True,
+        allocation: str = "weighted",
+        journal: Any = None,
+        journal_meta: dict[str, Any] | None = None,
+        snapshot_every: int | None = None,
+        resume: bool = False,
+        heartbeat: float | None = None,
+    ) -> "GatewayApp":
+        """An HTTP/ASGI gateway over one service of this system (§13).
+
+        Builds the async serving stack — one
+        :class:`~repro.engine.aio.AsyncSchedulerService` named ``name``
+        over :meth:`service` (journaled when ``journal`` is given) —
+        and fronts it with a :class:`~repro.gateway.GatewayApp`:
+        bearer-token tenant auth (``tokens`` maps token → tenant),
+        named job-input ``presets`` reachable from request bodies, and
+        the full ``/v1`` endpoint surface.  Serve it in-process (call
+        the ASGI app directly) or on a socket via
+        :class:`~repro.gateway.GatewayServer`.
+
+        ``resume=True`` recovers the service from the (non-empty)
+        ``journal`` instead of starting fresh: the recovered handles
+        are adopted into the async layer, so every query id the crashed
+        gateway acknowledged resolves again — same ids, no re-charge.
+
+        Multi-service deployments (one service per tenant group) build
+        their own :class:`~repro.engine.aio.ServiceMux` and construct
+        :class:`~repro.gateway.GatewayApp` directly; this helper covers
+        the common single-service shape the CLI serves.
+        """
+        from repro.gateway import GatewayApp, TokenAuth
+
+        if resume:
+            if journal is None:
+                raise ValueError("resume=True needs a journal to recover from")
+            inner = self.recover(journal)
+        else:
+            inner = self.service(
+                max_in_flight=max_in_flight,
+                track_trajectories=track_trajectories,
+                allocation=allocation,
+                journal=journal,
+                journal_meta=journal_meta,
+                snapshot_every=snapshot_every,
+            )
+        aservice = AsyncSchedulerService(inner, name=name)
+        if resume:
+            for handle in inner.handles:
+                aservice.adopt(handle)
+        return GatewayApp(
+            aservice,
+            auth=TokenAuth(tokens),
+            routes=routes,
+            presets=presets,
+            heartbeat=heartbeat,
         )
 
     def submit(self, job_name: str, query: Query, **job_inputs: Any) -> Any:

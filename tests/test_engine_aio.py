@@ -326,3 +326,126 @@ class TestServiceMux:
                 return await handle.result()
 
         assert len(asyncio.run(run()).records) == 12
+
+
+class TestUpdateFanout:
+    """Bounded-queue fan-out: slow, abandoned and tiny-buffer consumers
+    never grow memory without bound and never stall the driver — the
+    contract the gateway's SSE endpoint leans on (DESIGN.md §13)."""
+
+    def test_abandoned_subscriber_queue_stays_bounded(self):
+        """Subscribe, never consume: the driver finishes anyway and the
+        unread queue holds at most ``max_pending`` snapshots, the last
+        of them terminal."""
+
+        async def run():
+            async with _cdas(60).async_service(max_in_flight=2) as service:
+                handle = service.submit(
+                    "twitter-sentiment", movie_query("alpha", 0.9),
+                    **_tsa_inputs(),
+                )
+                queue = handle.subscribe(max_pending=2)
+                result = await handle.result()
+                pending = []
+                while not queue.empty():
+                    pending.append(queue.get_nowait())
+                handle.unsubscribe(queue)
+                return result, pending
+
+        result, pending = asyncio.run(run())
+        assert len(result.records) == 12
+        assert 1 <= len(pending) <= 2
+        # Eviction drops the *oldest*: the terminal snapshot survives.
+        assert pending[-1].state is QueryState.DONE
+
+    def test_slow_consumer_stream_coalesces_but_reaches_terminal(self):
+        """A consumer that yields to the driver between reads with a
+        one-slot buffer observes a coalesced but monotone stream whose
+        final snapshot is terminal."""
+
+        async def run():
+            async with _cdas(60).async_service(max_in_flight=2) as service:
+                handle = service.submit(
+                    "twitter-sentiment", movie_query("alpha", 0.9),
+                    **_tsa_inputs(),
+                )
+                snapshots = []
+                async for snapshot in handle.updates(max_pending=1):
+                    snapshots.append(snapshot)
+                    # Let the driver publish several times per read.
+                    for _ in range(20):
+                        await asyncio.sleep(0)
+                return snapshots
+
+        snapshots = asyncio.run(run())
+        assert snapshots[-1].state is QueryState.DONE
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            assert earlier.items_answered <= later.items_answered
+            assert earlier.spend <= later.spend
+
+    def test_multiple_consumers_one_slow_one_fast(self):
+        """The slow consumer's full queue never blocks publication to
+        the fast one; both streams end on the same terminal snapshot."""
+
+        async def run():
+            async with _cdas(61).async_service(max_in_flight=2) as service:
+                handle = service.submit(
+                    "twitter-sentiment", movie_query("alpha", 0.9),
+                    **_tsa_inputs(),
+                )
+
+                async def fast():
+                    return [s async for s in handle.updates()]
+
+                async def slow():
+                    collected = []
+                    async for snapshot in handle.updates(max_pending=1):
+                        collected.append(snapshot)
+                        for _ in range(50):
+                            await asyncio.sleep(0)
+                    return collected
+
+                return await asyncio.gather(fast(), slow())
+
+        fast_stream, slow_stream = asyncio.run(run())
+        assert fast_stream[-1].state is QueryState.DONE
+        assert slow_stream[-1].state is QueryState.DONE
+        assert fast_stream[-1] == slow_stream[-1]
+        # Coalescing means the slow stream saw at most as much.
+        assert len(slow_stream) <= len(fast_stream)
+
+    def test_mid_stream_unsubscribe_does_not_stall_the_driver(self):
+        """Walking away after one snapshot (the SSE disconnect path)
+        leaves the query running to completion."""
+
+        async def run():
+            async with _cdas(62).async_service(max_in_flight=2) as service:
+                handle = service.submit(
+                    "twitter-sentiment", movie_query("alpha", 0.9),
+                    **_tsa_inputs(),
+                )
+                queue = handle.subscribe(max_pending=1)
+                await queue.get()
+                handle.unsubscribe(queue)
+                handle.unsubscribe(queue)  # idempotent
+                result = await handle.result()
+                return result, len(handle._queues)
+
+        result, open_queues = asyncio.run(run())
+        assert len(result.records) == 12
+        assert open_queues == 0
+
+    def test_subscribe_rejects_non_positive_bounds(self):
+        async def run():
+            async with _cdas(63).async_service(max_in_flight=2) as service:
+                handle = service.submit(
+                    "twitter-sentiment", movie_query("alpha", 0.9),
+                    **_tsa_inputs(),
+                )
+                with pytest.raises(ValueError):
+                    handle.subscribe(max_pending=0)
+                with pytest.raises(ValueError):
+                    _ = [s async for s in handle.updates(max_pending=-1)]
+                await handle.result()
+
+        asyncio.run(run())

@@ -1,0 +1,296 @@
+"""Real-socket smoke tests: `repro serve --http` end to end.
+
+These spawn the CLI in a subprocess, talk to it with :mod:`urllib` over
+a real TCP socket, and assert two things the in-process suite cannot:
+
+* the network path changes nothing — a mixed TSA + IT multi-tenant run
+  driven over HTTP is bit-identical (canonical JSON) to the same
+  submissions on an in-process async service;
+* the durability composition holds — ``kill -9`` the serving process,
+  restart it on the same journal, and every acknowledged query id
+  resolves again with the same spend (no double-charge).
+
+Determinism discipline: over a socket the driver's steps interleave
+with requests at the kernel's whim, so each query is driven to its
+terminal state (by reading its SSE stream to the ``end`` frame) before
+the next is submitted — every submission lands on a drained service,
+which pins the step sequence.  The cancelled query is excluded from the
+fingerprint (how much work a cancel catches mid-flight is timing), and
+asserted on its frozen-view contract instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+SEED = 2012
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+
+
+def _query(movie: str) -> dict:
+    """The demo ``movie_query(movie, 0.9)`` as a request body fragment."""
+    return {
+        "keywords": [movie],
+        "required_accuracy": 0.9,
+        "domain": ["positive", "neutral", "negative"],
+        "window": 24,
+        "subject": movie,
+    }
+
+
+#: The CLI demo submissions, as HTTP bodies: (token, body) — the same
+#: mixed TSA + IT workload `repro serve` drives, via the demo presets.
+SUBMISSIONS = [
+    ("acme-token", {
+        "job": "twitter-sentiment",
+        "query": _query("rio"),
+        "inputs": {"$preset": "demo-tsa"},
+    }),
+    ("globex-token", {
+        "job": "twitter-sentiment",
+        "query": _query("solaris"),
+        "inputs": {"$preset": "demo-tsa"},
+    }),
+    ("globex-token", {
+        "job": "image-tagging",
+        "query": _query("images"),
+        "inputs": {"$preset": "demo-it"},
+    }),
+]
+
+
+class _Server:
+    """One `repro serve --http` subprocess bound to an ephemeral port."""
+
+    def __init__(self, journal: str | None = None) -> None:
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--http", "127.0.0.1:0", "--seed", str(SEED),
+        ]
+        if journal is not None:
+            argv += ["--journal", journal]
+        env = dict(os.environ, PYTHONUNBUFFERED="1")
+        env["PYTHONPATH"] = _SRC + os.pathsep * bool(env.get("PYTHONPATH")) + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            argv, env=env, cwd=_REPO_ROOT, text=True,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        self.url = None
+        self.banner: list[str] = []
+        deadline = time.monotonic() + 180
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    "server exited before binding:\n" + "".join(self.banner)
+                )
+            self.banner.append(line)
+            match = re.search(r"gateway listening on (http://\S+)", line)
+            if match:
+                self.url = match.group(1)
+                return
+        raise RuntimeError("server never printed its listening line")
+
+    def request(self, path, method="GET", body=None, token="acme-token",
+                timeout=120):
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path, data=data, method=method
+        )
+        request.add_header("Authorization", f"Bearer {token}")
+        if data is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def stream_to_end(self, path, token="acme-token", timeout=300) -> str:
+        """Read an SSE stream until the server closes it."""
+        request = urllib.request.Request(self.url + path)
+        request.add_header("Authorization", f"Bearer {token}")
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+
+    def run_to_terminal(self, query_id: str, token: str) -> dict:
+        """Drive one query terminal (SSE to `end`), return its final poll."""
+        sse = self.stream_to_end(f"/v1/queries/{query_id}/events", token=token)
+        assert "event: end" in sse, sse[:400]
+        status, payload = self.request(f"/v1/queries/{query_id}", token=token)
+        assert status == 200
+        assert payload["progress"]["state"] in ("done", "failed", "cancelled")
+        return payload
+
+    def kill9(self) -> None:
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait()
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+
+
+@pytest.fixture()
+def server_factory():
+    servers: list[_Server] = []
+
+    def start(journal: str | None = None) -> _Server:
+        server = _Server(journal=journal)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.stop()
+
+
+def _in_process_outcomes() -> list[dict]:
+    """The same submissions on a plain in-process async service."""
+    from repro.cli import _serve_workload
+    from repro.scenarios import result_summary
+    from repro.tsa.app import movie_query
+
+    cdas, tweets, gold, images, gold_images = _serve_workload(SEED)
+    inputs_by_preset = {
+        "demo-tsa": dict(
+            tweets=tweets, gold_tweets=gold, worker_count=5, batch_size=6
+        ),
+        "demo-it": dict(
+            images=images, gold_images=gold_images, worker_count=5
+        ),
+    }
+
+    async def run():
+        async with cdas.async_service(max_in_flight=4, name="svc") as service:
+            service.register_tenant("acme", priority=2.0)
+            service.register_tenant("globex", priority=1.0)
+            outcomes = []
+            for token, body in SUBMISSIONS:
+                handle = service.submit(
+                    body["job"],
+                    movie_query(body["query"]["subject"], 0.9),
+                    tenant=token.removesuffix("-token"),
+                    budget=None,
+                    priority=None,
+                    reserve=True,
+                    **inputs_by_preset[body["inputs"]["$preset"]],
+                )
+                result = await handle.result()
+                outcomes.append(
+                    {
+                        "progress": handle.progress().to_dict(),
+                        "result": result_summary(result),
+                    }
+                )
+            return outcomes
+
+    return asyncio.run(run())
+
+
+class TestHttpEndToEnd:
+    def test_mixed_tenant_run_matches_in_process_service(self, server_factory):
+        from repro.scenarios import canonical_json
+
+        server = server_factory()
+        status, health = server.request("/v1/healthz")
+        assert status == 200 and health["status"] == "ok"
+
+        outcomes = []
+        for token, body in SUBMISSIONS:
+            status, payload = server.request(
+                "/v1/queries", "POST", body, token=token
+            )
+            assert status == 201, payload
+            final = server.run_to_terminal(payload["id"], token)
+            assert final["progress"]["state"] == "done"
+            outcomes.append(
+                {"progress": final["progress"], "result": final["result"]}
+            )
+
+        # The cancel contract (excluded from the fingerprint: how much
+        # a mid-flight cancel catches is timing over a real socket).
+        token, body = SUBMISSIONS[0]
+        status, payload = server.request(
+            "/v1/queries", "POST", body, token=token
+        )
+        assert status == 201
+        cancel_id = payload["id"]
+        status, cancelled = server.request(
+            f"/v1/queries/{cancel_id}", "DELETE", token=token
+        )
+        assert status == 200
+        assert cancelled["progress"]["state"] == "cancelled"
+        time.sleep(0.2)  # room for (incorrect) further charging
+        _, first = server.request(f"/v1/queries/{cancel_id}", token=token)
+        _, second = server.request(f"/v1/queries/{cancel_id}", token=token)
+        assert first == second, "cancelled view is not frozen"
+        assert first["progress"] == cancelled["progress"]
+
+        # The network front door changes nothing: byte-identical
+        # canonical outcomes versus the in-process service.
+        assert canonical_json(outcomes) == canonical_json(
+            _in_process_outcomes()
+        )
+
+
+class TestCrashRecovery:
+    def test_kill9_recover_resolves_same_ids_without_double_charge(
+        self, server_factory, tmp_path
+    ):
+        journal = str(tmp_path / "gateway.journal.jsonl")
+        server = server_factory(journal=journal)
+
+        token, body = SUBMISSIONS[0]
+        status, payload = server.request(
+            "/v1/queries", "POST", body, token=token
+        )
+        assert status == 201
+        query_id = payload["id"]
+        final = server.run_to_terminal(query_id, token)
+        assert final["progress"]["state"] == "done"
+        spend = final["progress"]["spend"]
+        status, metrics = server.request("/v1/metrics")
+        total_cost = metrics["services"]["svc"]["ledger"]["total_cost"]
+
+        server.kill9()
+
+        revived = server_factory(journal=journal)
+        assert any("recovered 1 queries" in line for line in revived.banner), (
+            revived.banner
+        )
+        status, repolled = revived.request(
+            f"/v1/queries/{query_id}", token=token
+        )
+        assert status == 200
+        assert repolled["progress"]["state"] == "done"
+        assert repolled["progress"]["spend"] == spend
+        assert repolled["result"] == final["result"]
+        status, metrics = revived.request("/v1/metrics")
+        ledger = metrics["services"]["svc"]["ledger"]
+        # Recovery re-derives the run instead of re-buying it: the
+        # ledger totals match the pre-crash service exactly.
+        assert ledger["total_cost"] == total_cost
+
+        # The revived gateway is live: the next submission gets the
+        # next sequence number, not a recycled id.
+        status, payload = revived.request(
+            "/v1/queries", "POST", SUBMISSIONS[1][1], token="globex-token"
+        )
+        assert status == 201
+        assert payload["id"] != query_id
+        final = revived.run_to_terminal(payload["id"], "globex-token")
+        assert final["progress"]["state"] == "done"
