@@ -84,7 +84,7 @@ def _best_of(fn, rounds: int = 3) -> float:
     return best
 
 
-def test_bench_journal_overhead(benchmark, bench_seed, tmp_path):
+def test_bench_journal_overhead(benchmark, bench_seed, tmp_path, bench_gate):
     """The 15% gate: journaling must be a rounding error next to the
     simulated market work it records.
 
@@ -119,9 +119,10 @@ def test_bench_journal_overhead(benchmark, bench_seed, tmp_path):
     benchmark.extra_info["journal_records"] = service.journal_offset
     benchmark.extra_info["journal_syncs"] = stores[-1].syncs
     assert service.journal_offset > 100  # the journal really was written
-    assert share < 0.15, (
+    bench_gate(
+        share < 0.15,
         f"journal writes consumed {100 * share:.1f}% of the run "
-        f"(gate: <15%) across {service.journal_offset} records"
+        f"(gate: <15%) across {service.journal_offset} records",
     )
 
 
@@ -155,7 +156,7 @@ def test_bench_group_commit_sweep(benchmark, bench_seed, tmp_path, fsync_every):
     assert records == reference.read_bytes()
 
 
-def test_bench_recovery_time_10k_events(benchmark, bench_seed, tmp_path):
+def test_bench_recovery_time_10k_events(benchmark, bench_seed, tmp_path, bench_gate):
     """Snapshot recovery is O(delta): at ~10k journaled market events the
     snapshot path replays a near-empty tail while full re-execution pays
     for the whole history — both bit-identical to the crashed run."""
@@ -205,7 +206,8 @@ def test_bench_recovery_time_10k_events(benchmark, bench_seed, tmp_path):
     benchmark.extra_info["journal_records"] = service.journal_offset
     benchmark.extra_info["snapshot_recover_s"] = round(snap_s, 4)
     benchmark.extra_info["full_replay_s"] = round(full_s, 4)
-    assert snap_s < full_s / 2, (
+    bench_gate(
+        snap_s < full_s / 2,
         f"snapshot recovery ({snap_s:.3f}s) should beat full replay "
-        f"({full_s:.3f}s) by a wide margin at {events} events"
+        f"({full_s:.3f}s) by a wide margin at {events} events",
     )

@@ -1,0 +1,79 @@
+"""Render every ``BENCH_*.json`` as one markdown table for CI.
+
+Stdlib-only.  Each CI job that runs benchmarks publishes pytest-benchmark
+JSON files named ``BENCH_<suite>.json``; the workflow pipes this script's
+output into ``$GITHUB_STEP_SUMMARY`` so the run page shows one combined
+table — suite, benchmark, wall time, and the headline ``extra_info``
+numbers each bench pinned — instead of N artifact downloads.
+
+Usage::
+
+    python benchmarks/ci_summary.py BENCH_*.json >> "$GITHUB_STEP_SUMMARY"
+
+Missing files are skipped with a note (matrix legs publish different
+subsets), so a single glob works from every job.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: extra_info keys are bench-specific; show at most this many per row.
+MAX_EXTRAS = 6
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _rows(path: Path) -> list[tuple[str, str, str, str]]:
+    data = json.loads(path.read_text())
+    suite = path.stem.removeprefix("BENCH_")
+    rows = []
+    for bench in data.get("benchmarks", []):
+        extras = bench.get("extra_info") or {}
+        shown = list(extras.items())[:MAX_EXTRAS]
+        detail = ", ".join(f"{key}={_fmt(val)}" for key, val in shown)
+        if len(extras) > MAX_EXTRAS:
+            detail += f", … (+{len(extras) - MAX_EXTRAS})"
+        rows.append(
+            (
+                suite,
+                bench.get("name", "?"),
+                f"{bench['stats']['mean']:.3f}",
+                detail or "—",
+            )
+        )
+    return rows
+
+
+def main(argv: list[str]) -> int:
+    paths = [Path(arg) for arg in argv] or sorted(Path(".").glob("BENCH_*.json"))
+    rows: list[tuple[str, str, str, str]] = []
+    skipped: list[str] = []
+    for path in paths:
+        if not path.is_file():
+            skipped.append(path.name)
+            continue
+        rows.extend(_rows(path))
+    print("### Benchmarks")
+    print()
+    if rows:
+        print("| suite | benchmark | mean (s) | headline numbers |")
+        print("|---|---|---:|---|")
+        for suite, name, mean, detail in rows:
+            print(f"| {suite} | {name} | {mean} | {detail} |")
+    else:
+        print("_No benchmark JSON found._")
+    if skipped:
+        print()
+        print(f"_Not published by this job: {', '.join(sorted(skipped))}_")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

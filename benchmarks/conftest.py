@@ -12,6 +12,9 @@ wall-time is what we report, not micro-timing stability.
 
 from __future__ import annotations
 
+import os
+import warnings
+
 import pytest
 
 #: Seed shared by all benches (same as experiments' default).
@@ -21,3 +24,36 @@ BENCH_SEED = 2012
 @pytest.fixture(scope="session")
 def bench_seed() -> int:
     return BENCH_SEED
+
+
+def _strict() -> bool:
+    return os.environ.get("CDAS_BENCH_STRICT", "1").lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_gate():
+    """Gate wall-clock ratio claims behind ``CDAS_BENCH_STRICT``.
+
+    Timing ratios (concurrency speedups, overhead shares) are honest on
+    an idle machine but flaky on oversubscribed CI runners.  Call
+    ``bench_gate(condition, message)`` instead of ``assert`` for any
+    claim that compares *wall* clocks: with ``CDAS_BENCH_STRICT=0`` a
+    failed gate downgrades to a warning so the run still publishes its
+    numbers; by default (or ``=1``) it fails exactly like ``assert``.
+    Deterministic claims (simulated clocks, outcome fingerprints) must
+    keep using plain ``assert`` — they are never noise.
+    """
+
+    def gate(condition: bool, message: str = "benchmark wall-clock gate") -> None:
+        if condition:
+            return
+        if _strict():
+            raise AssertionError(message)
+        warnings.warn(
+            f"CDAS_BENCH_STRICT=0: ignoring failed gate: {message}",
+            stacklevel=2,
+        )
+
+    return gate

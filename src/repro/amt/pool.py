@@ -15,6 +15,7 @@ up 5 % and colluders 0 % unless an experiment injects them.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -172,6 +173,64 @@ class WorkerPool:
 
     def __len__(self) -> int:
         return len(self.profiles)
+
+    # -- sharding ----------------------------------------------------------
+
+    def partition(self, weights: "Mapping[str, float]") -> dict[str, "WorkerPool"]:
+        """Split the pool into disjoint per-shard sub-pools by weight.
+
+        The scale-out seam (DESIGN.md §14): each service process owns a
+        contiguous, non-overlapping slice of the population, sized by
+        largest-remainder apportionment over ``weights`` (iteration
+        order of ``weights`` breaks remainder ties, so a ``{name:
+        weight}`` dict built from an ordered shard list partitions
+        deterministically).  Every shard is guaranteed at least one
+        worker; worker ids never overlap across shards, so per-shard
+        ledgers and accuracy estimates can be aggregated without
+        double-counting.
+
+        Pure and deterministic: ``from_config(cfg, seed).partition(w)``
+        is a function of ``(cfg, seed, w)`` only — the property that
+        lets a shard's run be reproduced bit-for-bit by rebuilding just
+        that shard's slice in a single process.
+        """
+        if not weights:
+            raise ValueError("partition needs at least one shard weight")
+        names = list(weights)
+        if len(names) > len(self.profiles):
+            raise ValueError(
+                f"cannot split {len(self.profiles)} workers into "
+                f"{len(names)} shards (every shard needs at least one)"
+            )
+        total = 0.0
+        for name, weight in weights.items():
+            if weight <= 0:
+                raise ValueError(
+                    f"shard {name!r} weight must be positive, got {weight}"
+                )
+            total += float(weight)
+        size = len(self.profiles)
+        quotas = [size * float(weights[name]) / total for name in names]
+        counts = [int(q) for q in quotas]
+        # Largest remainder, then a floor of one worker per shard.
+        remainders = sorted(
+            range(len(names)),
+            key=lambda i: (-(quotas[i] - counts[i]), i),
+        )
+        short = size - sum(counts)
+        for i in remainders[:short]:
+            counts[i] += 1
+        for i, count in enumerate(counts):
+            if count == 0:
+                donor = max(range(len(names)), key=lambda j: counts[j])
+                counts[donor] -= 1
+                counts[i] = 1
+        shards: dict[str, WorkerPool] = {}
+        start = 0
+        for name, count in zip(names, counts):
+            shards[name] = WorkerPool(profiles=self.profiles[start:start + count])
+            start += count
+        return shards
 
     def profile(self, worker_id: str) -> WorkerProfile:
         try:

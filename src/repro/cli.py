@@ -213,6 +213,19 @@ def _plan_line(plan) -> str:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Mixed multi-tenant workload on one scheduler service (DESIGN.md §7)."""
+    if args.processes > 1:
+        # The multi-process path spawns shard workers that each build
+        # their own CDAS (repro.cluster.workloads); nothing to build here.
+        if args.http is None:
+            print("--processes N needs --http (shards serve the gateway)")
+            return 2
+        if args.use_asyncio:
+            print("--http already runs on asyncio; drop --asyncio")
+            return 2
+        try:
+            return asyncio.run(_serve_http_cluster(args))
+        except KeyboardInterrupt:
+            return 0
     cdas, tweets, gold, images, gold_images = _serve_workload(args.seed)
     if args.http is not None:
         if args.use_asyncio:
@@ -408,6 +421,79 @@ async def _serve_http(cdas, tweets, gold, images, gold_images, args) -> int:
             await server.serve_forever()
         except asyncio.CancelledError:
             pass
+    return 0
+
+
+async def _serve_http_cluster(args: argparse.Namespace) -> int:
+    """Multi-process serving: N shard workers behind one gateway.
+
+    ``cdas-repro serve --http HOST:PORT --processes N`` spawns one
+    worker process per shard (each building the same demo workload over
+    its slice of the worker pool — DESIGN.md §14), routes tenants to
+    shards by weighted rendezvous hashing, and serves the *same* HTTP
+    surface as the single-process path.  With ``--journal BASE`` each
+    shard writes ``BASE.<shard>``; a killed worker is respawned on its
+    own journal and acknowledged query ids survive.
+    """
+    from repro.cluster import ShardRouter
+    from repro.gateway import GatewayServer
+    from repro.gateway.app import GatewayApp
+    from repro.gateway.auth import TokenAuth
+    from repro.it.images import generate_images
+    from repro.tsa.tweets import generate_tweets
+
+    host, port = args.http
+    seed = args.seed
+    # The same demo corpora _serve_workload builds, minus the CDAS (each
+    # shard worker builds and calibrates its own).
+    gold = generate_tweets(["gold-movie"], per_movie=12, seed=seed + 1)
+    tweets = generate_tweets(["rio", "solaris"], per_movie=18, seed=seed + 2)
+    images = generate_images(per_subject=1, seed=seed + 3)[:3]
+    gold_images = generate_images(per_subject=1, seed=seed + 4)
+    presets = {
+        "demo-tsa": dict(
+            tweets=tweets, gold_tweets=gold, worker_count=5, batch_size=6
+        ),
+        "demo-it": dict(
+            images=images, gold_images=gold_images, worker_count=5
+        ),
+    }
+    router = ShardRouter(
+        args.processes,
+        workload="demo",
+        seed=seed,
+        journal=args.journal,
+        max_in_flight=args.slots,
+    )
+    async with router:
+        app = GatewayApp(router, TokenAuth(GATEWAY_TOKENS), presets=presets)
+        if router.recovered_queries:
+            print(
+                f"recovered {router.recovered_queries} queries from "
+                f"journals {args.journal}.*",
+                flush=True,
+            )
+        # Worker-side registration is idempotent, so registering after a
+        # journal recovery is safe (unlike the single-process resume).
+        await router.register_tenant(
+            "acme", priority=2.0, budget_cap=args.tenant_budget
+        )
+        await router.register_tenant(
+            "globex", priority=1.0, budget_cap=args.tenant_budget
+        )
+        async with GatewayServer(app, host=host, port=port) as server:
+            # The smoke tests parse this line for the bound port.
+            print(f"gateway listening on {server.url}", flush=True)
+            print(
+                f"shards: {', '.join(router.shard_order)}; "
+                "tenants: acme (acme-token), globex (globex-token); "
+                "presets: demo-tsa, demo-it",
+                flush=True,
+            )
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
     return 0
 
 
@@ -663,6 +749,16 @@ def build_parser() -> argparse.ArgumentParser:
         "picks an ephemeral one); composes with --journal, and a "
         "non-empty journal is recovered so acknowledged query ids "
         "survive a crash",
+    )
+    serve_p.add_argument(
+        "--processes",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="with --http: shard the workload across N worker processes "
+        "behind a tenant-routing front door (each shard owns a disjoint "
+        "slice of the worker pool; --journal BASE becomes per-shard "
+        "BASE.<shard> journals with automatic respawn-and-recover)",
     )
     serve_p.add_argument(
         "--tenant-budget",

@@ -1,0 +1,44 @@
+"""Horizontal scale-out: sharded worker pools, multi-process serving.
+
+The layering (DESIGN.md §14), bottom-up:
+
+* :mod:`repro.cluster.shards` — pure placement math: weighted
+  rendezvous hashing for tenant → shard homes, per-shard seeds;
+* :mod:`repro.cluster.rpc` — length-prefixed JSON frames over one
+  socket per worker, riding the durability codec for rich values;
+* :mod:`repro.cluster.workloads` — the closed registry of shard-local
+  CDAS recipes workers build from (pool slices via
+  :meth:`WorkerPool.partition`);
+* :mod:`repro.cluster.worker` — one shard process: the existing async
+  service behind a read-dispatch loop, pushing progress/terminal/stats;
+* :mod:`repro.cluster.router` — the front door: spawn, route, observe,
+  rebalance, respawn; duck-types ``ServiceMux`` so ``GatewayApp``
+  serves it unchanged.
+"""
+
+from repro.cluster.router import (
+    RemoteDecision,
+    RemotePlan,
+    RemoteQueryHandle,
+    RemoteShardService,
+    ShardRouter,
+)
+from repro.cluster.rpc import RpcClient, RpcError, ShardDied
+from repro.cluster.shards import assign_shard, shard_names, shard_seed
+from repro.cluster.workloads import WORKLOADS, build_workload
+
+__all__ = [
+    "RemoteDecision",
+    "RemotePlan",
+    "RemoteQueryHandle",
+    "RemoteShardService",
+    "ShardRouter",
+    "RpcClient",
+    "RpcError",
+    "ShardDied",
+    "assign_shard",
+    "shard_names",
+    "shard_seed",
+    "WORKLOADS",
+    "build_workload",
+]

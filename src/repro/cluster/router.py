@@ -1,0 +1,1064 @@
+"""The front-door shard router: N worker processes, one async facade.
+
+:class:`ShardRouter` is the multi-process twin of
+:class:`~repro.engine.aio.ServiceMux`: it spawns one
+:mod:`repro.cluster.worker` process per shard, hands each a workload
+*recipe* (never live objects), and exposes every shard as a
+:class:`RemoteShardService` that duck-types the
+:class:`~repro.engine.aio.AsyncSchedulerService` surface the gateway
+already speaks — so ``GatewayApp(router, ...)`` serves ``POST
+/v1/queries`` across processes with zero gateway-core changes beyond
+letting ``submit``/``plan`` be awaitable.
+
+The observation model is push, not poll (DESIGN.md §14): workers stream
+``progress``/``terminal``/``stats`` events, the router applies them to
+per-handle caches, and every read path — poll, metrics, healthz, SSE —
+is a local cache read.  Only mutations (submit, plan, cancel, tenant
+registration) cross the socket.
+
+Placement is weighted rendezvous hashing (:func:`assign_shard`) over the
+*routable* shards, so the rebalancing rules need no coordination state:
+
+* a tenant's home is recomputed on every route — changing the tenant's
+  weight (:meth:`ShardRouter.set_tenant_weight`) deterministically
+  re-homes it, and the next submit lazily re-registers it there;
+* a dead shard **with** a journal stays routable: the router respawns
+  the process on the same journal, recovery reattaches every handle by
+  ``seq`` (ids survive), and submits queue on a readiness gate rather
+  than failing;
+* a dead shard **without** a journal is abandoned: its non-terminal
+  handles flip to FAILED (stranded with :class:`ShardDied`) instead of
+  hanging, and its tenants re-home to the survivors on their next
+  request — rendezvous re-scores only the tenants that lived there.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import os
+import subprocess
+import sys
+from typing import Any
+
+from repro.cluster.rpc import RpcClient, RpcError, ShardDied, read_frame
+from repro.cluster.shards import assign_shard, shard_names
+from repro.durability import codec as dcodec
+from repro.engine.planner import PlanInfeasible
+from repro.engine.service import (
+    TERMINAL_STATES,
+    AdmissionRejected,
+    QueryCancelled,
+    QueryProgress,
+    QueryState,
+)
+
+__all__ = [
+    "RemoteDecision",
+    "RemotePlan",
+    "RemoteQueryHandle",
+    "RemoteShardService",
+    "ShardRouter",
+    "progress_from_dict",
+]
+
+
+def progress_from_dict(data: dict[str, Any]) -> QueryProgress:
+    """Rebuild a :class:`QueryProgress` from its ``to_dict()`` projection."""
+    return QueryProgress(
+        state=QueryState(data["state"]),
+        items_answered=int(data["items_answered"]),
+        items_finalized=int(data["items_finalized"]),
+        hits_completed=int(data["hits_completed"]),
+        hits_in_flight=int(data.get("hits_in_flight", 0)),
+        accuracy_estimate=data.get("accuracy_estimate"),
+        spend=float(data["spend"]),
+        budget_exhausted=bool(data.get("budget_exhausted", False)),
+    )
+
+
+class _DictFacade:
+    """A dict dressed as an object: attribute reads plus ``to_dict()``.
+
+    The wire carries plans and decisions as their canonical ``to_dict``
+    projections; the gateway (and :class:`PlanInfeasible`) only ever
+    read attributes and call ``to_dict()`` back, so a thin facade over
+    the dict round-trips the 402 contract without re-instantiating
+    engine dataclasses router-side.
+    """
+
+    def __init__(self, data: dict[str, Any] | None) -> None:
+        self._data = dict(data or {})
+
+    def __getattr__(self, name: str) -> Any:
+        data = self.__dict__.get("_data") or {}
+        if name in data:
+            return data[name]
+        raise AttributeError(name)
+
+    def to_dict(self) -> dict[str, Any]:
+        return dict(self._data)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._data!r})"
+
+
+class RemoteDecision(_DictFacade):
+    """A shard-side :class:`PlanDecision`, observed through its dict."""
+
+
+class RemotePlan(_DictFacade):
+    """A shard-side :class:`QueryPlan`; carries its admission decision
+    so the gateway's sync ``preadmit(plan)`` stays a local read."""
+
+    def __init__(
+        self, data: dict[str, Any] | None, decision: RemoteDecision | None = None
+    ) -> None:
+        super().__init__(data)
+        self.decision = decision
+
+
+#: A query object surrogate for handles adopted from a recovered shard,
+#: where only the subject string crossed the wire.
+@dataclasses.dataclass(frozen=True, slots=True)
+class _SubjectOnly:
+    subject: str
+
+
+class _RemoteSyncHandle:
+    """The ``ahandle.handle`` sync view the gateway reads (seq/done)."""
+
+    def __init__(self, parent: "RemoteQueryHandle") -> None:
+        self._parent = parent
+
+    @property
+    def seq(self) -> int:
+        return self._parent.seq
+
+    @property
+    def done(self) -> bool:
+        return self._parent.done
+
+    @property
+    def state(self) -> QueryState:
+        return self._parent.state
+
+    def progress(self) -> QueryProgress:
+        return self._parent.progress()
+
+    def result(self) -> Any:
+        raise RuntimeError(
+            "a remote handle has no sync result(); await result() or read "
+            "result_summary()"
+        )
+
+
+class RemoteQueryHandle:
+    """A shard-resident query observed through pushed snapshots.
+
+    Duck-types the :class:`~repro.engine.aio.AsyncQueryHandle` surface
+    every gateway path touches — identity properties, ``progress()``,
+    ``subscribe``/``unsubscribe``/``updates``, ``stranded``, ``await
+    result()``, ``await cancel()`` — over a router-side cache that
+    worker pushes keep current.  Two remote-only duck-type hooks,
+    ``result_summary()`` and ``error_text``, let the gateway codec
+    serve terminal payloads without holding the live result object.
+
+    Updates freeze at the first terminal snapshot: a late or reordered
+    push can never un-finish a query (the cancel response and the pump's
+    terminal event race benignly).
+    """
+
+    def __init__(
+        self,
+        service: "RemoteShardService",
+        snapshot: dict[str, Any],
+        query: Any = None,
+    ) -> None:
+        self._service = service
+        self.seq = int(snapshot["seq"])
+        self._tenant = str(snapshot["tenant"])
+        self._job = str(snapshot["job"])
+        self._subject = str(snapshot.get("subject", ""))
+        self._query = query if query is not None else _SubjectOnly(self._subject)
+        plan = snapshot.get("plan")
+        self._plan = None if plan is None else RemotePlan(plan)
+        self._last = progress_from_dict(snapshot["progress"])
+        self._result: dict[str, Any] | None = snapshot.get("result")
+        self._error: str | None = snapshot.get("error")
+        self._stranded: BaseException | None = None
+        self._queues: list[asyncio.Queue[QueryProgress]] = []
+        self._terminal = asyncio.Event()
+        self.handle = _RemoteSyncHandle(self)
+        if self._last.state in TERMINAL_STATES:
+            self._terminal.set()
+        elif self._error is not None:
+            # Recovered stranded on the worker (e.g. its driver drained
+            # with the query still live before the journal was cut).
+            self._stranded = RuntimeError(self._error)
+            self._terminal.set()
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteQueryHandle(shard={self._service.name!r}, seq={self.seq}, "
+            f"subject={self._subject!r}, state={self.state.value!r})"
+        )
+
+    # -- identity / observation (sync, cache reads) --------------------------
+
+    @property
+    def job_name(self) -> str:
+        return self._job
+
+    @property
+    def query(self) -> Any:
+        return self._query
+
+    @property
+    def tenant(self) -> str:
+        return self._tenant
+
+    @property
+    def state(self) -> QueryState:
+        return self._last.state
+
+    @property
+    def done(self) -> bool:
+        return self._last.state in TERMINAL_STATES
+
+    @property
+    def spend(self) -> float:
+        return self._last.spend
+
+    @property
+    def plan(self) -> RemotePlan | None:
+        return self._plan
+
+    @property
+    def stranded(self) -> BaseException | None:
+        return self._stranded
+
+    def progress(self) -> QueryProgress:
+        return self._last
+
+    # -- the gateway codec's remote duck-type hooks --------------------------
+
+    def result_summary(self) -> dict[str, Any] | None:
+        """The canonical result summary pushed with the terminal event."""
+        return self._result
+
+    @property
+    def error_text(self) -> str:
+        return self._error or "failed"
+
+    # -- awaitables ----------------------------------------------------------
+
+    async def result(self, timeout: float | None = None) -> Any:
+        """Await the terminal push; return the canonical result summary.
+
+        The remote twin of :meth:`AsyncQueryHandle.result` — same
+        timeout/strand/cancel semantics, but a DONE query yields the
+        wire's ``result_summary`` dict (the live result object stays in
+        the worker process).
+        """
+        if not self._terminal.is_set():
+            if timeout is None:
+                await self._terminal.wait()
+            else:
+                try:
+                    await asyncio.wait_for(self._terminal.wait(), timeout)
+                except asyncio.TimeoutError:
+                    raise TimeoutError(
+                        f"query {self._subject!r} still "
+                        f"{self._last.state.value} after {timeout}s"
+                    ) from None
+        state = self._last.state
+        if state not in TERMINAL_STATES:
+            raise self._stranded or RuntimeError(
+                f"query {self._subject!r} stranded while {state.value}"
+            )
+        if state is QueryState.DONE:
+            return self._result
+        if state is QueryState.CANCELLED:
+            raise QueryCancelled(f"query {self._subject!r} was cancelled")
+        raise self._stranded or RuntimeError(self.error_text)
+
+    async def cancel(self) -> bool:
+        """Charge-final cancel over RPC; applies the frozen snapshot."""
+        if self.done:
+            return False
+        try:
+            reply = await self._service._call("cancel", seq=self.seq)
+        except ShardDied:
+            # The shard died under the cancel; its close handler settles
+            # this handle (strand or respawn), so report "not cancelled
+            # by us" rather than raising at the client.
+            return False
+        except RpcError as exc:
+            raise self._service._rebuild_error(exc) from None
+        self._absorb(reply["handle"])
+        self._service._update_stats(reply.get("stats"))
+        await asyncio.sleep(0)
+        return bool(reply.get("cancelled"))
+
+    # -- streaming (identical contract to AsyncQueryHandle) ------------------
+
+    def subscribe(self, max_pending: int = 256) -> "asyncio.Queue[QueryProgress]":
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be ≥ 1, got {max_pending}")
+        queue: asyncio.Queue[QueryProgress] = asyncio.Queue(maxsize=max_pending)
+        self._queues.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: "asyncio.Queue[QueryProgress]") -> None:
+        try:
+            self._queues.remove(queue)
+        except ValueError:
+            pass
+
+    async def updates(self, max_pending: int = 256):
+        queue = self.subscribe(max_pending=max_pending)
+        try:
+            last = self.progress()
+            yield last
+            while last.state not in TERMINAL_STATES and self._stranded is None:
+                snapshot = await queue.get()
+                if snapshot == last:
+                    continue
+                last = snapshot
+                yield snapshot
+        finally:
+            self.unsubscribe(queue)
+
+    @staticmethod
+    def _offer(
+        queue: "asyncio.Queue[QueryProgress]", snapshot: QueryProgress
+    ) -> None:
+        while True:
+            try:
+                queue.put_nowait(snapshot)
+                return
+            except asyncio.QueueFull:
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover - racing consumer
+                    pass
+
+    # -- push application ----------------------------------------------------
+
+    def _apply(self, progress: dict[str, Any]) -> None:
+        """Apply one pushed ``progress`` projection (terminal-frozen)."""
+        if self._terminal.is_set():
+            return
+        snapshot = progress_from_dict(progress)
+        if snapshot == self._last:
+            return
+        self._last = snapshot
+        for queue in self._queues:
+            self._offer(queue, snapshot)
+        if snapshot.state in TERMINAL_STATES:
+            self._terminal.set()
+
+    def _absorb(self, snapshot: dict[str, Any]) -> None:
+        """Apply a full handle snapshot (terminal event, cancel reply,
+        respawn recovery report) — result/error ride along."""
+        if "result" in snapshot:
+            self._result = snapshot["result"]
+        if snapshot.get("error") is not None:
+            self._error = str(snapshot["error"])
+        if self._terminal.is_set():
+            return
+        if self._plan is None and snapshot.get("plan") is not None:
+            self._plan = RemotePlan(snapshot["plan"])
+        progress = progress_from_dict(snapshot["progress"])
+        changed = progress != self._last
+        self._last = progress
+        if changed:
+            for queue in self._queues:
+                self._offer(queue, progress)
+        if progress.state in TERMINAL_STATES:
+            self._terminal.set()
+        elif snapshot.get("error") is not None:
+            # Stranded on the worker with no terminal state to reach.
+            self._stranded = RuntimeError(str(snapshot["error"]))
+            self._terminal.set()
+            for queue in self._queues:
+                self._offer(queue, progress)
+
+    def _shard_died(self, error: ShardDied) -> None:
+        """The shard is gone for good: report FAILED instead of hanging."""
+        if self._terminal.is_set():
+            return
+        self._stranded = error
+        self._error = str(error)
+        self._last = dataclasses.replace(self._last, state=QueryState.FAILED)
+        self._terminal.set()
+        for queue in self._queues:
+            self._offer(queue, self._last)
+
+
+class RemoteShardService:
+    """One shard process behind the AsyncSchedulerService duck-type.
+
+    Reads (``handles``, ``idle``, ``steps_taken``, ``metrics_snapshot``,
+    ``ledger_summary``) are cache lookups fed by worker pushes; mutations
+    (``submit``/``plan``/``register_tenant`` — awaitable here, which the
+    gateway's routes tolerate via ``_maybe_await``) are RPC round trips
+    that rebuild the engine's own exception types from the wire
+    taxonomy, so the gateway's 402/403/400 mapping is untouched.
+
+    ``service`` is ``None`` by design: there is no local sans-IO core
+    behind this facade, and every ``getattr(service.service, ...)``
+    probe in the gateway degrades to its no-journal branch (the worker
+    already applied the durability barrier before acking).
+    """
+
+    def __init__(
+        self, router: "ShardRouter", name: str, journal: str | None = None
+    ) -> None:
+        self.router = router
+        self.name = name
+        self.journal = journal
+        self.service = None
+        self.on_drain = None
+        self.on_step = None
+        self.alive = False
+        self.abandoned = False
+        self.recovered = False
+        self.proc: subprocess.Popen | None = None
+        self.pid: int | None = None
+        self.rpc: RpcClient | None = None
+        self.ready = asyncio.Event()
+        self._handles: dict[int, RemoteQueryHandle] = {}
+        self._order: list[int] = []
+        self._stats: dict[str, Any] = {}
+        self._registered: set[str] = set()
+        #: Events that raced ahead of their handle's adoption: a fast
+        #: shard can push progress (even terminal) for a submission
+        #: before the submit() coroutine resumes with the reply.  They
+        #: are replayed, in arrival order, the moment the handle exists.
+        self._pending_events: dict[int, list[dict[str, Any]]] = {}
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else ("abandoned" if self.abandoned else "down")
+        return (
+            f"RemoteShardService(name={self.name!r}, {state}, "
+            f"queries={len(self._order)})"
+        )
+
+    # -- duck-typed observation ----------------------------------------------
+
+    @property
+    def recoverable(self) -> bool:
+        return self.journal is not None
+
+    @property
+    def routable(self) -> bool:
+        """May tenants (still) be homed here?  A shard that has never
+        been spawned (``proc is None``) is routable — placement is pure
+        math over the shard table and must not require live processes."""
+        if self.abandoned:
+            return False
+        return self.alive or self.recoverable or self.proc is None
+
+    @property
+    def handles(self) -> tuple[RemoteQueryHandle, ...]:
+        return tuple(self._handles[seq] for seq in self._order)
+
+    @property
+    def idle(self) -> bool:
+        return all(
+            handle.done or handle.stranded is not None for handle in self.handles
+        )
+
+    @property
+    def steps_taken(self) -> int:
+        return int(self._stats.get("steps_taken", 0))
+
+    def _ensure_driver(self) -> None:
+        """No-op: the driver loop lives in the worker process."""
+
+    def _wake_driver(self) -> None:
+        """No-op: worker drivers wake on their own submissions."""
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The per-service ``/v1/metrics`` entry, from pushed stats."""
+        states: dict[str, int] = {}
+        for handle in self.handles:
+            key = handle.state.value
+            states[key] = states.get(key, 0) + 1
+        return {
+            "alive": self.alive,
+            "steps_taken": self.steps_taken,
+            "drains": int(self._stats.get("drains", 0)),
+            "queries": states,
+            "ledger": self.ledger_summary(),
+            "journal": self._stats.get("journal"),
+        }
+
+    def ledger_summary(self) -> dict[str, Any]:
+        summary = self._stats.get("ledger")
+        if summary is None:
+            summary = {
+                "charged_assignments": 0,
+                "cancelled_assignments": 0,
+                "total_cost": 0.0,
+                "avoided_cost": 0.0,
+            }
+        return dict(summary)
+
+    # -- push plumbing -------------------------------------------------------
+
+    def _handle_event(self, frame: dict[str, Any]) -> None:
+        kind = frame.get("event")
+        if kind in ("progress", "terminal"):
+            seq = int(frame["seq"])
+            handle = self._handles.get(seq)
+            if handle is None:
+                self._pending_events.setdefault(seq, []).append(frame)
+            elif kind == "progress":
+                handle._apply(frame["progress"])
+            else:
+                handle._absorb(frame["snapshot"])
+            if kind == "terminal":
+                self._update_stats(frame.get("stats"))
+        elif kind == "stats":
+            self._update_stats(frame.get("stats"))
+
+    def _update_stats(self, stats: dict[str, Any] | None) -> None:
+        if not stats:
+            return
+        before = int(self._stats.get("drains", 0))
+        self._stats = dict(stats)
+        after = int(stats.get("drains", 0))
+        # Fire the mux-style drain hook once per worker-side drain.  A
+        # respawned worker restarts its count at zero; the negative
+        # delta is simply not a drain.
+        if self.on_drain is not None:
+            for _ in range(max(0, after - before)):
+                self.on_drain(self)
+
+    def _adopt_snapshot(
+        self, snapshot: dict[str, Any], query: Any = None
+    ) -> RemoteQueryHandle:
+        seq = int(snapshot["seq"])
+        handle = self._handles.get(seq)
+        if handle is None:
+            handle = RemoteQueryHandle(self, snapshot, query=query)
+            self._handles[seq] = handle
+            self._order.append(seq)
+        else:
+            handle._absorb(snapshot)
+        for raced in self._pending_events.pop(seq, ()):
+            if raced.get("event") == "progress":
+                handle._apply(raced["progress"])
+            else:
+                handle._absorb(raced["snapshot"])
+        return handle
+
+    # -- RPC mutations -------------------------------------------------------
+
+    async def _await_ready(self) -> None:
+        if self.alive and self.rpc is not None and not self.rpc.closed:
+            return
+        if not self.routable:
+            raise ShardDied(
+                f"shard {self.name!r} is gone (no journal to respawn from)"
+            )
+        try:
+            await asyncio.wait_for(
+                self.ready.wait(), self.router.respawn_timeout
+            )
+        except asyncio.TimeoutError:
+            raise ShardDied(
+                f"shard {self.name!r} did not come back within "
+                f"{self.router.respawn_timeout}s"
+            ) from None
+        if not self.alive:
+            raise ShardDied(f"shard {self.name!r} could not be respawned")
+
+    async def _call(self, method: str, **params: Any) -> dict[str, Any]:
+        await self._await_ready()
+        assert self.rpc is not None
+        return await self.rpc.call(method, **params)
+
+    def _rebuild_error(self, exc: RpcError) -> Exception:
+        """Re-raise the worker's wire taxonomy as engine exceptions."""
+        if exc.kind == "plan-infeasible":
+            data = exc.data or {}
+            return PlanInfeasible(
+                str(exc),
+                RemotePlan(data.get("plan")),
+                RemoteDecision(data.get("decision")),
+            )
+        if exc.kind == "admission-rejected":
+            return AdmissionRejected(str(exc))
+        if exc.kind == "bad-request":
+            return ValueError(str(exc))
+        return RuntimeError(str(exc))
+
+    async def register_tenant(
+        self,
+        name: str,
+        budget_cap: float | None = None,
+        priority: float = 1.0,
+    ) -> None:
+        if name in self._registered:
+            return
+        try:
+            await self._call(
+                "register_tenant",
+                name=name,
+                budget_cap=budget_cap,
+                priority=priority,
+            )
+        except RpcError as exc:
+            raise self._rebuild_error(exc) from None
+        self._registered.add(name)
+
+    async def plan(
+        self,
+        job_name: str,
+        query: Any,
+        *,
+        tenant: str = "default",
+        budget: float | None = None,
+        priority: float | None = None,
+        **inputs: Any,
+    ) -> RemotePlan:
+        await self.router._ensure_registered(self, tenant)
+        try:
+            reply = await self._call(
+                "plan",
+                job=job_name,
+                query=dcodec.encode(query),
+                inputs={key: dcodec.encode(value) for key, value in inputs.items()},
+                tenant=tenant,
+                budget=budget,
+                priority=priority,
+            )
+        except RpcError as exc:
+            raise self._rebuild_error(exc) from None
+        return RemotePlan(reply["plan"], decision=RemoteDecision(reply["decision"]))
+
+    def preadmit(self, plan: RemotePlan) -> RemoteDecision:
+        decision = getattr(plan, "decision", None)
+        if decision is None:
+            raise ValueError(
+                "preadmit() needs a plan returned by this service's plan()"
+            )
+        return decision
+
+    async def submit(
+        self,
+        job_name: str,
+        query: Any,
+        *,
+        tenant: str = "default",
+        budget: float | None = None,
+        priority: float | None = None,
+        reserve: bool = True,
+        **inputs: Any,
+    ) -> RemoteQueryHandle:
+        await self.router._ensure_registered(self, tenant)
+        try:
+            reply = await self._call(
+                "submit",
+                job=job_name,
+                query=dcodec.encode(query),
+                inputs={key: dcodec.encode(value) for key, value in inputs.items()},
+                tenant=tenant,
+                budget=budget,
+                priority=priority,
+                reserve=bool(reserve),
+            )
+        except RpcError as exc:
+            raise self._rebuild_error(exc) from None
+        return self._adopt_snapshot(reply["handle"], query=query)
+
+    async def outcomes(self) -> list[dict[str, Any]]:
+        """Every handle's full snapshot, fetched fresh from the worker —
+        what the scaling benchmark fingerprints per shard."""
+        reply = await self._call("outcomes")
+        return reply["handles"]
+
+
+class ShardRouter:
+    """Spawn, route to, observe, and heal a set of shard processes.
+
+    Mux-compatible (``services`` / ``[]`` / ``len`` / ``route``) so
+    :class:`~repro.gateway.app.GatewayApp` accepts it directly.  Use as
+    an async context manager, or call :meth:`start` / :meth:`aclose`.
+
+    Parameters
+    ----------
+    processes:
+        Number of shards (named ``shard0..N-1``); or pass ``shards``.
+    workload / config / seed:
+        The recipe every worker builds its shard-local CDAS from (see
+        :mod:`repro.cluster.workloads`).  The router injects ``seed``,
+        ``shard``, ``shards`` and ``weights`` into the config so each
+        worker partitions the *same* global pool deterministically.
+    journal:
+        Base path for per-shard write-ahead journals
+        (``{journal}.{shard}``).  Enables crash recovery: a dead worker
+        is respawned on its own journal and its query ids survive.
+    weights:
+        Optional per-shard placement/pool weights (default 1.0 each).
+    """
+
+    def __init__(
+        self,
+        processes: int | None = None,
+        *,
+        shards: list[str] | None = None,
+        weights: dict[str, float] | None = None,
+        workload: str = "demo",
+        seed: int = 2012,
+        config: dict[str, Any] | None = None,
+        journal: str | None = None,
+        max_in_flight: int = 4,
+        spawn_timeout: float = 120.0,
+        respawn_timeout: float = 120.0,
+    ) -> None:
+        if shards is None:
+            if processes is None:
+                raise ValueError("pass processes=N or shards=[...]")
+            shards = shard_names(int(processes))
+        if not shards:
+            raise ValueError("need at least one shard")
+        self.shard_order = list(shards)
+        self.shard_weights = {
+            name: float((weights or {}).get(name, 1.0)) for name in self.shard_order
+        }
+        self.workload = workload
+        self.seed = int(seed)
+        self.config = dict(config or {})
+        self.journal = journal
+        self.max_in_flight = int(max_in_flight)
+        self.spawn_timeout = float(spawn_timeout)
+        self.respawn_timeout = float(respawn_timeout)
+        self._shards: dict[str, RemoteShardService] = {
+            name: RemoteShardService(
+                self,
+                name,
+                journal=None if journal is None else f"{journal}.{name}",
+            )
+            for name in self.shard_order
+        }
+        self._tenants: dict[str, dict[str, Any]] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._port: int | None = None
+        self._awaiting: dict[str, asyncio.Future[Any]] = {}
+        self._tasks: list[asyncio.Task[None]] = []
+        self._closing = False
+        self.recovered_queries = 0
+
+    # -- mux-compatible surface ----------------------------------------------
+
+    @property
+    def services(self) -> list[RemoteShardService]:
+        return [self._shards[name] for name in self.shard_order]
+
+    def __getitem__(self, name: str) -> RemoteShardService:
+        return self._shards[name]
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def route(self, tenant: str) -> RemoteShardService:
+        """The tenant's home shard, rendezvous-hashed over routable
+        shards.  Raises :class:`LookupError` when every shard is gone
+        (the gateway maps it to 503)."""
+        weights = {
+            name: self.shard_weights[name]
+            for name in self.shard_order
+            if self._shards[name].routable
+        }
+        record = self._tenants.get(tenant)
+        tenant_weight = float(record["weight"]) if record else 1.0
+        return self._shards[assign_shard(tenant, weights, tenant_weight)]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "ShardRouter":
+        """Listen, spawn every worker, and complete the init handshakes."""
+        self._server = await asyncio.start_server(
+            self._on_connection, "127.0.0.1", 0
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        await asyncio.gather(
+            *(self._launch(self._shards[name]) for name in self.shard_order)
+        )
+        return self
+
+    async def __aenter__(self) -> "ShardRouter":
+        return await self.start()
+
+    async def __aexit__(self, *_exc: Any) -> None:
+        await self.aclose()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        frame = await read_frame(reader)
+        if not frame or frame.get("event") != "hello":
+            writer.close()
+            return
+        future = self._awaiting.pop(frame.get("shard"), None)
+        if future is None or future.done():
+            writer.close()
+            return
+        future.set_result((reader, writer, frame))
+
+    def _shard_config(self, name: str) -> dict[str, Any]:
+        config = dict(self.config)
+        config.setdefault("seed", self.seed)
+        config["shard"] = name
+        config["shards"] = list(self.shard_order)
+        config["weights"] = dict(self.shard_weights)
+        return config
+
+    async def _launch(
+        self, service: RemoteShardService, initial: bool = True
+    ) -> None:
+        import repro
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[Any] = loop.create_future()
+        self._awaiting[service.name] = future
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        service.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cluster.worker",
+                "--connect",
+                f"127.0.0.1:{self._port}",
+                "--shard",
+                service.name,
+            ],
+            env=env,
+        )
+        try:
+            reader, writer, hello = await asyncio.wait_for(
+                future, self.spawn_timeout
+            )
+        except asyncio.TimeoutError:
+            self._awaiting.pop(service.name, None)
+            raise RuntimeError(
+                f"shard {service.name!r} did not dial back within "
+                f"{self.spawn_timeout}s"
+            ) from None
+        service.pid = int(hello.get("pid", service.proc.pid))
+        service.rpc = RpcClient(
+            reader,
+            writer,
+            on_event=service._handle_event,
+            on_close=lambda svc=service: self._on_shard_close(svc),
+        )
+        reply = await service.rpc.call(
+            "init",
+            workload=self.workload,
+            config=self._shard_config(service.name),
+            journal=service.journal,
+            max_in_flight=self.max_in_flight,
+        )
+        service.recovered = bool(reply.get("recovered"))
+        snapshots = reply.get("handles") or []
+        for snapshot in snapshots:
+            service._adopt_snapshot(snapshot)
+        if initial and service.recovered:
+            self.recovered_queries += len(snapshots)
+        service._update_stats(reply.get("stats"))
+        # Journal recovery replays tenant registrations worker-side, but
+        # the wire-level register handler is idempotent anyway — always
+        # re-register lazily after a (re)spawn.
+        service._registered = set()
+        service.alive = True
+        service.ready.set()
+
+    # -- failure handling ----------------------------------------------------
+
+    def _on_shard_close(self, service: RemoteShardService) -> None:
+        service.alive = False
+        service.ready.clear()
+        if self._closing or service.abandoned:
+            return
+        if service.recoverable:
+            task = asyncio.get_running_loop().create_task(
+                self._respawn(service), name=f"cdas-respawn-{service.name}"
+            )
+            self._tasks.append(task)
+        else:
+            self._abandon(
+                service,
+                ShardDied(
+                    f"shard {service.name!r} died with no journal; "
+                    "its in-flight queries are lost"
+                ),
+            )
+
+    def _abandon(self, service: RemoteShardService, error: ShardDied) -> None:
+        service.abandoned = True
+        for handle in service.handles:
+            handle._shard_died(error)
+        # Wake any submitter parked on the readiness gate so it observes
+        # the abandonment instead of waiting out the timeout.
+        service.ready.set()
+        service.alive = False
+
+    async def _respawn(self, service: RemoteShardService) -> None:
+        """Bring a journaled shard back on its own journal (ids survive)."""
+        proc = service.proc
+        if proc is not None:
+            try:
+                await asyncio.to_thread(proc.wait, 15)
+            except Exception:
+                pass
+        rpc = service.rpc
+        if rpc is not None:
+            await rpc.aclose()
+        try:
+            await self._launch(service, initial=False)
+        except Exception as exc:
+            self._abandon(
+                service,
+                ShardDied(f"shard {service.name!r} could not be respawned: {exc}"),
+            )
+
+    def kill_shard(self, name: str, sig: int = 9) -> int:
+        """Send ``sig`` to a shard's process (failure-injection helper
+        for tests and the chaos example); returns the pid signalled."""
+        service = self._shards[name]
+        assert service.proc is not None and service.pid is not None
+        os.kill(service.pid, sig)
+        return service.pid
+
+    # -- tenants -------------------------------------------------------------
+
+    async def register_tenant(
+        self,
+        name: str,
+        budget_cap: float | None = None,
+        priority: float = 1.0,
+        *,
+        weight: float = 1.0,
+    ) -> str:
+        """Record the tenant and register it on its home shard.
+
+        Returns the home shard's name.  The record is what lazy
+        re-homing replays: whichever shard a later route picks gets the
+        same cap/priority registered before any submit runs there.
+        """
+        self._tenants[name] = {
+            "budget_cap": None if budget_cap is None else float(budget_cap),
+            "priority": float(priority),
+            "weight": float(weight),
+        }
+        home = self.route(name)
+        await self._ensure_registered(home, name)
+        return home.name
+
+    def set_tenant_weight(self, name: str, weight: float) -> str:
+        """Change a tenant's placement weight; returns the (possibly
+        new) home shard name.  Registration on the new home happens
+        lazily on the tenant's next request."""
+        record = self._tenants.setdefault(
+            name, {"budget_cap": None, "priority": 1.0, "weight": 1.0}
+        )
+        record["weight"] = float(weight)
+        return self.route(name).name
+
+    async def _ensure_registered(
+        self, service: RemoteShardService, tenant: str
+    ) -> None:
+        record = self._tenants.get(tenant)
+        if record is None or tenant in service._registered:
+            return
+        await service.register_tenant(
+            tenant,
+            budget_cap=record["budget_cap"],
+            priority=record["priority"],
+        )
+
+    # -- aggregation ---------------------------------------------------------
+
+    def ledger_totals(self) -> dict[str, Any]:
+        """Market totals summed across every shard's pushed ledger."""
+        totals = {
+            "charged_assignments": 0,
+            "cancelled_assignments": 0,
+            "total_cost": 0.0,
+            "avoided_cost": 0.0,
+        }
+        for service in self.services:
+            summary = service.ledger_summary()
+            for key in totals:
+                totals[key] += summary.get(key, 0)
+        totals["total_cost"] = round(totals["total_cost"], 6)
+        totals["avoided_cost"] = round(totals["avoided_cost"], 6)
+        return totals
+
+    def metrics(self) -> dict[str, Any]:
+        """Cluster-wide rollup: per-shard snapshots, summed ledger,
+        current tenant homes."""
+        homes: dict[str, str | None] = {}
+        for tenant in sorted(self._tenants):
+            try:
+                homes[tenant] = self.route(tenant).name
+            except LookupError:
+                homes[tenant] = None
+        return {
+            "shards": {
+                name: self._shards[name].metrics_snapshot()
+                for name in self.shard_order
+            },
+            "ledger": self.ledger_totals(),
+            "tenants": homes,
+        }
+
+    # -- shutdown ------------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: ask, then terminate, then kill."""
+        self._closing = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for service in self.services:
+            rpc = service.rpc
+            if rpc is not None and not rpc.closed:
+                try:
+                    await asyncio.wait_for(rpc.call("shutdown"), 5.0)
+                except Exception:
+                    pass
+            if rpc is not None:
+                await rpc.aclose()
+            if service.proc is not None and service.proc.poll() is None:
+                service.proc.terminate()
+        for service in self.services:
+            proc = service.proc
+            if proc is None:
+                continue
+            try:
+                await asyncio.to_thread(proc.wait, 10)
+            except Exception:
+                proc.kill()
+                try:
+                    await asyncio.to_thread(proc.wait, 5)
+                except Exception:
+                    pass
+            service.alive = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()

@@ -1,0 +1,86 @@
+"""Deterministic tenant → shard placement (weighted rendezvous hashing).
+
+The router's rebalancing rules (DESIGN.md §14) all reduce to one pure
+function: :func:`assign_shard` maps ``(tenant, tenant weight, live
+shard-weight table)`` to a shard name.  Weighted rendezvous hashing
+gives the three properties the cluster needs without any coordination
+state:
+
+* **deterministic** — placement is a function of its inputs only
+  (SHA-256, never Python's per-process ``hash()``), so every router
+  restart, every test, and the scaling benchmark's in-process replica
+  all compute the same homes;
+* **minimal disruption** — removing a dead shard re-homes *only* the
+  tenants that lived on it (every surviving shard's scores are
+  unchanged), and adding one steals only the tenants it now wins;
+* **weight-sensitive** — a shard's expected tenant share is
+  proportional to its weight, and the tenant's own weight is folded
+  into the hash key, so changing either deterministically recomputes
+  (and possibly moves) the home — the "rebalance on weight change"
+  contract.
+
+:func:`shard_seed` derives each shard's market RNG seed from the global
+seed the same way: stable, collision-spread, and independent of how
+many shards exist — which is what keeps a shard's simulation
+bit-identical whether it runs among N processes or alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections.abc import Mapping
+
+__all__ = ["assign_shard", "shard_seed", "shard_names"]
+
+
+def shard_names(processes: int) -> list[str]:
+    """The canonical shard names for an N-process cluster."""
+    if processes < 1:
+        raise ValueError(f"need at least one process, got {processes}")
+    return [f"shard{i}" for i in range(processes)]
+
+
+def _uniform(key: str) -> float:
+    """SHA-256 of ``key`` as a uniform draw in the open interval (0, 1)."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return (int.from_bytes(digest[:8], "big") + 1) / (2**64 + 2)
+
+
+def shard_seed(seed: int, shard: str | None) -> int:
+    """A shard-local RNG seed derived from the global workload seed."""
+    if shard is None:
+        return int(seed)
+    digest = hashlib.sha256(f"{int(seed)}:{shard}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def assign_shard(
+    tenant: str,
+    shard_weights: Mapping[str, float],
+    tenant_weight: float = 1.0,
+) -> str:
+    """Pick the tenant's home shard by weighted rendezvous hashing.
+
+    Each shard scores ``-weight / ln(u)`` where ``u`` is a uniform draw
+    keyed on ``(tenant, tenant_weight, shard)``; the highest score wins
+    (ties broken by shard name, though SHA-256 makes them effectively
+    impossible).  Raises :class:`LookupError` when no shard is offered —
+    the router maps that to a 503, not a crash.
+    """
+    if not shard_weights:
+        raise LookupError(f"no live shard to place tenant {tenant!r} on")
+    best_name: str | None = None
+    best_score = -math.inf
+    for name, weight in shard_weights.items():
+        if weight <= 0:
+            raise ValueError(f"shard {name!r} weight must be positive, got {weight}")
+        u = _uniform(f"{tenant}\x1f{float(tenant_weight)!r}\x1f{name}")
+        score = -float(weight) / math.log(u)
+        if score > best_score or (score == best_score and (
+            best_name is None or name < best_name
+        )):
+            best_name = name
+            best_score = score
+    assert best_name is not None
+    return best_name

@@ -1,0 +1,409 @@
+"""One shard's worker process: an async service behind a socket RPC.
+
+Spawned by the :class:`~repro.cluster.router.ShardRouter` as ``python -m
+repro.cluster.worker --connect HOST:PORT --shard NAME``; connects *back*
+to the router (so the router owns exactly one listening socket), sends a
+``hello`` event, then serves requests strictly in arrival order.  The
+sans-IO core makes the process boundary just another driver: the worker
+runs the same :class:`~repro.engine.aio.AsyncSchedulerService` the
+in-process mux runs, and every mutation a request performs (submit,
+cancel, tenant registration) is exactly the library call the gateway
+would have made locally.
+
+Everything the router needs to observe is *pushed*, not polled: each
+submitted (or recovered) handle gets a pump task streaming changed
+progress snapshots as ``progress`` events, a ``terminal`` event carries
+the canonical result summary (or error) plus fresh shard stats, and
+drains push a ``stats`` event — so the router's poll/metrics/SSE paths
+are all local reads of its caches, never a blocking round trip.
+
+With a journal the worker composes durability unchanged: fresh journals
+wrap the service in :class:`DurableSchedulerService`, non-empty ones are
+*recovered* (same query ids, no re-charge) before serving, and submits
+are flushed to disk before their RPC response leaves — the same
+barrier-before-ack rule the HTTP gateway applies before its 201.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+from typing import Any
+
+from repro.cluster.rpc import read_frame, write_frame
+from repro.cluster.workloads import WORKLOADS
+from repro.durability import codec as dcodec
+from repro.engine.aio import AsyncQueryHandle, AsyncSchedulerService
+from repro.engine.planner import PlanInfeasible
+from repro.engine.service import TERMINAL_STATES, AdmissionRejected
+
+__all__ = ["main", "handle_snapshot"]
+
+
+def handle_snapshot(ahandle: AsyncQueryHandle) -> dict[str, Any]:
+    """One handle's full observable state as plain JSON-able data.
+
+    The wire twin of the gateway's poll payload: identity, the canonical
+    ``QueryProgress.to_dict()`` snapshot, the plan, and — once terminal —
+    the canonical result summary or the error text.  Shared by the
+    submit/cancel responses, the init recovery report, the ``outcomes``
+    RPC (what the scaling bench fingerprints), and ``terminal`` events.
+    """
+    from repro.scenarios import result_summary
+
+    progress = ahandle.progress()
+    plan = ahandle.plan
+    snapshot: dict[str, Any] = {
+        "seq": ahandle.handle.seq,
+        "tenant": ahandle.tenant,
+        "job": ahandle.job_name,
+        "subject": ahandle.query.subject,
+        "progress": progress.to_dict(),
+        "plan": None if plan is None else plan.to_dict(),
+    }
+    state = progress.state.value
+    if state == "done":
+        snapshot["result"] = result_summary(ahandle.handle.result())
+    elif state == "failed":
+        sync = ahandle.handle
+        record = getattr(sync, "_record", None)
+        if record is None:
+            record = sync._inner._record
+        snapshot["error"] = (
+            str(record.error) if record.error is not None else "failed"
+        )
+    if ahandle.stranded is not None and state not in (
+        "done", "cancelled", "failed"
+    ):
+        snapshot["error"] = str(ahandle.stranded)
+    return snapshot
+
+
+class _Worker:
+    """Shard state: the service, its handles, and the push plumbing."""
+
+    def __init__(self, shard: str, outbox: "asyncio.Queue[dict | None]") -> None:
+        self.shard = shard
+        self.outbox = outbox
+        self.service: AsyncSchedulerService | None = None
+        self.drains = 0
+        self._pumps: list[asyncio.Task[None]] = []
+
+    # -- push side -----------------------------------------------------------
+
+    def post(self, frame: dict[str, Any]) -> None:
+        self.outbox.put_nowait(frame)
+
+    def stats(self) -> dict[str, Any]:
+        from repro.scenarios import ledger_summary
+
+        service = self.service
+        assert service is not None
+        states: dict[str, int] = {}
+        for ahandle in service.handles:
+            key = ahandle.state.value
+            states[key] = states.get(key, 0) + 1
+        inner = service.service
+        journal_stats = getattr(inner, "journal_stats", None)
+        return {
+            "steps_taken": service.steps_taken,
+            "drains": self.drains,
+            "queries": states,
+            "ledger": ledger_summary(inner.engine.market.ledger),
+            "journal": None if journal_stats is None else journal_stats(),
+            "idle": service.idle,
+        }
+
+    def _flush(self) -> None:
+        flush = getattr(self.service.service, "flush_journal", None)
+        if flush is not None:
+            flush()
+
+    def pump(self, ahandle: AsyncQueryHandle) -> None:
+        """Stream one handle's changed snapshots to the router."""
+        self._pumps.append(
+            asyncio.get_running_loop().create_task(
+                self._pump(ahandle), name=f"cdas-shard-pump-{ahandle.handle.seq}"
+            )
+        )
+
+    async def _pump(self, ahandle: AsyncQueryHandle) -> None:
+        queue = ahandle.subscribe()
+        try:
+            while True:
+                snapshot = await queue.get()
+                if (
+                    snapshot.state in TERMINAL_STATES
+                    or ahandle.stranded is not None
+                ):
+                    # Result/error extraction and the ledger totals ride
+                    # along, so the router's caches turn terminal in one
+                    # ordered frame.
+                    self._flush()
+                    self.post({
+                        "event": "terminal",
+                        "seq": ahandle.handle.seq,
+                        "snapshot": handle_snapshot(ahandle),
+                        "stats": self.stats(),
+                    })
+                    return
+                self.post({
+                    "event": "progress",
+                    "seq": ahandle.handle.seq,
+                    "progress": snapshot.to_dict(),
+                })
+        finally:
+            ahandle.unsubscribe(queue)
+
+    # -- request handlers (dispatched strictly in arrival order) -------------
+
+    def init(self, params: dict[str, Any]) -> dict[str, Any]:
+        workload = params["workload"]
+        config = dict(params.get("config") or {})
+        journal = params.get("journal")
+        factory = WORKLOADS[workload]
+        config.setdefault(
+            "pool_size", getattr(factory, "default_pool_size", 200)
+        )
+        cdas = factory(config)
+        recovered = False
+        if journal is not None and (
+            os.path.exists(journal) and os.path.getsize(journal) > 0
+        ):
+            inner = cdas.recover(journal)
+            recovered = True
+        elif journal is not None:
+            inner = cdas.service(
+                max_in_flight=int(params.get("max_in_flight", 4)),
+                journal=journal,
+                journal_meta={"workload": workload, "config": config},
+            )
+        else:
+            inner = cdas.service(
+                max_in_flight=int(params.get("max_in_flight", 4))
+            )
+        service = AsyncSchedulerService(inner, name=self.shard)
+
+        def on_drain(_svc: AsyncSchedulerService) -> None:
+            self.drains += 1
+            self._flush()
+            self.post({"event": "stats", "stats": self.stats()})
+
+        service.on_drain = on_drain
+        self.service = service
+        live = False
+        if recovered:
+            for handle in inner.handles:
+                ahandle = service.adopt(handle)
+                if not ahandle.handle.done:
+                    self.pump(ahandle)
+                    live = True
+        if live:
+            service._ensure_driver()
+        return {
+            "shard": self.shard,
+            "recovered": recovered,
+            "handles": [handle_snapshot(a) for a in service.handles],
+            "stats": self.stats(),
+        }
+
+    def register_tenant(self, params: dict[str, Any]) -> dict[str, Any]:
+        budget_cap = params.get("budget_cap")
+        try:
+            self.service.register_tenant(
+                params["name"],
+                budget_cap=None if budget_cap is None else float(budget_cap),
+                priority=float(params.get("priority", 1.0)),
+            )
+        except ValueError:
+            # Idempotent at the RPC layer: a journal-recovered shard (or a
+            # router re-homing replay) already holds the registration.
+            pass
+        self._flush()
+        return {"ok": True}
+
+    def _decode_submission(self, params: dict[str, Any]):
+        from repro.engine.query import Query
+
+        query = dcodec.decode(params["query"])
+        if not isinstance(query, Query):
+            raise ValueError(
+                f"query must decode to a Query, got {type(query).__name__}"
+            )
+        inputs = {
+            key: dcodec.decode(value)
+            for key, value in (params.get("inputs") or {}).items()
+        }
+        return query, inputs
+
+    def plan(self, params: dict[str, Any]) -> dict[str, Any]:
+        query, inputs = self._decode_submission(params)
+        plan = self.service.plan(
+            params["job"],
+            query,
+            tenant=params["tenant"],
+            budget=params.get("budget"),
+            priority=params.get("priority"),
+            **inputs,
+        )
+        decision = self.service.preadmit(plan)
+        return {"plan": plan.to_dict(), "decision": decision.to_dict()}
+
+    def submit(self, params: dict[str, Any]) -> dict[str, Any]:
+        query, inputs = self._decode_submission(params)
+        ahandle = self.service.submit(
+            params["job"],
+            query,
+            tenant=params["tenant"],
+            budget=params.get("budget"),
+            priority=params.get("priority"),
+            reserve=bool(params.get("reserve", True)),
+            **inputs,
+        )
+        # Durability barrier before the ack, as the gateway's 201.
+        self._flush()
+        self.pump(ahandle)
+        return {"handle": handle_snapshot(ahandle)}
+
+    async def cancel(self, params: dict[str, Any]) -> dict[str, Any]:
+        seq = int(params["seq"])
+        for ahandle in self.service.handles:
+            if ahandle.handle.seq == seq:
+                cancelled = await ahandle.cancel()
+                self._flush()
+                return {
+                    "cancelled": cancelled,
+                    "handle": handle_snapshot(ahandle),
+                    "stats": self.stats(),
+                }
+        raise KeyError(f"no query with seq {seq} on shard {self.shard!r}")
+
+    def outcomes(self, _params: dict[str, Any]) -> dict[str, Any]:
+        return {"handles": [handle_snapshot(a) for a in self.service.handles]}
+
+    async def aclose(self) -> None:
+        for task in self._pumps:
+            task.cancel()
+        for task in self._pumps:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self.service is not None:
+            self._flush()
+            await self.service.aclose()
+
+
+def _error_payload(exc: BaseException) -> dict[str, Any]:
+    """Map an engine exception onto the wire taxonomy the router rebuilds."""
+    if isinstance(exc, PlanInfeasible):
+        return {
+            "kind": "plan-infeasible",
+            "message": str(exc),
+            "data": {
+                "plan": exc.plan.to_dict(),
+                "decision": exc.decision.to_dict(),
+            },
+        }
+    if isinstance(exc, AdmissionRejected):
+        return {"kind": "admission-rejected", "message": str(exc)}
+    if isinstance(exc, (KeyError, ValueError, dcodec.CodecError)):
+        return {"kind": "bad-request", "message": str(exc)}
+    return {"kind": "internal", "message": f"{type(exc).__name__}: {exc}"}
+
+
+async def _write_loop(
+    writer: asyncio.StreamWriter, outbox: "asyncio.Queue[dict | None]"
+) -> None:
+    while True:
+        frame = await outbox.get()
+        if frame is None:
+            return
+        try:
+            await write_frame(writer, frame)
+        except (ConnectionError, RuntimeError):
+            return
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    host, _, port = args.connect.rpartition(":")
+    reader, writer = await asyncio.open_connection(host or "127.0.0.1", int(port))
+    outbox: "asyncio.Queue[dict | None]" = asyncio.Queue()
+    writer_task = asyncio.get_running_loop().create_task(
+        _write_loop(writer, outbox), name="cdas-shard-writer"
+    )
+    worker = _Worker(args.shard, outbox)
+    worker.post({"event": "hello", "shard": args.shard, "pid": os.getpid()})
+    handlers = {
+        "init": worker.init,
+        "register_tenant": worker.register_tenant,
+        "plan": worker.plan,
+        "submit": worker.submit,
+        "cancel": worker.cancel,
+        "stats": lambda _params: {"stats": worker.stats()},
+        "outcomes": worker.outcomes,
+    }
+    try:
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                # Router gone (EOF or kill): stop serving.  An orphaned
+                # shard must never outlive its router.
+                return 0
+            call_id = frame.get("id")
+            method = frame.get("method")
+            if method == "shutdown":
+                worker.post({"id": call_id, "result": {"ok": True}})
+                return 0
+            handler = handlers.get(method)
+            if handler is None:
+                worker.post({
+                    "id": call_id,
+                    "error": {"kind": "bad-request",
+                              "message": f"unknown method {method!r}"},
+                })
+                continue
+            try:
+                result = handler(frame.get("params") or {})
+                if asyncio.iscoroutine(result):
+                    result = await result
+                worker.post({"id": call_id, "result": result})
+            except Exception as exc:
+                worker.post({"id": call_id, "error": _error_payload(exc)})
+    finally:
+        await worker.aclose()
+        outbox.put_nowait(None)
+        try:
+            await writer_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description="one CDAS shard process (spawned by ShardRouter)",
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="router address to dial back to",
+    )
+    parser.add_argument(
+        "--shard", required=True, help="this worker's shard name"
+    )
+    args = parser.parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Named workload factories the shard worker processes build from.
+
+A worker process cannot be handed live Python objects, so the router
+ships a *recipe*: a registered factory name plus a JSON config dict
+(over the init RPC).  Each factory builds a complete shard-local
+:class:`~repro.system.CDAS` — its own market, its own slice of the
+global worker pool (via :meth:`WorkerPool.partition`), its own derived
+RNG seed — which is the whole determinism story: a shard's simulation
+depends only on ``(workload, config)``, never on which process or how
+many siblings it runs among, so `bench_multiprocess.py` can replay any
+shard bit-for-bit in a single process.
+
+The registry is deliberately closed (no dotted-path imports on the
+worker argv): the same registry-only rule the durability codec applies
+to journal bytes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any
+
+__all__ = ["WORKLOADS", "build_workload", "shard_pool"]
+
+
+def shard_pool(config: Mapping[str, Any]):
+    """The shard's slice of the global worker pool, per the config.
+
+    ``config["shards"]`` (ordered shard names) and ``config["weights"]``
+    (optional per-shard weights, default 1.0) fix the partition;
+    ``config["shard"]`` picks this worker's slice.  With no shard list
+    the whole pool is returned — the single-process degenerate case.
+    """
+    from repro.amt.pool import PoolConfig, WorkerPool
+
+    seed = int(config["seed"])
+    size = int(config.get("pool_size", 200))
+    pool = WorkerPool.from_config(PoolConfig(size=size), seed=seed)
+    shards = list(config.get("shards") or ())
+    if not shards:
+        return pool
+    weight_table = config.get("weights") or {}
+    weights = {name: float(weight_table.get(name, 1.0)) for name in shards}
+    return pool.partition(weights)[config["shard"]]
+
+
+def demo(config: Mapping[str, Any]) -> Any:
+    """The CLI serve demo (TSA + IT jobs, gold-calibrated), sharded.
+
+    Mirrors :func:`repro.cli._serve_workload`'s CDAS construction with
+    the pool swapped for this shard's partition slice and the market
+    seeded per shard — what ``cdas-repro serve --http --processes N``
+    runs in every child.
+    """
+    from repro.amt.market import SimulatedMarket
+    from repro.cluster.shards import shard_seed
+    from repro.system import CDAS
+    from repro.tsa.tweets import generate_tweets, tweet_to_question
+
+    seed = int(config["seed"])
+    pool = shard_pool(config)
+    market = SimulatedMarket(pool, seed=shard_seed(seed, config.get("shard")))
+    cdas = CDAS.with_default_jobs(market, seed=seed)
+    gold = generate_tweets(["gold-movie"], per_movie=12, seed=seed + 1)
+    workers_per_hit = min(10, len(pool))
+    cdas.calibrate(
+        [tweet_to_question(t) for t in gold],
+        workers_per_hit=workers_per_hit,
+        hits=1,
+    )
+    return cdas
+
+demo.default_pool_size = 200
+
+
+def bench(config: Mapping[str, Any]) -> Any:
+    """Uncalibrated TSA + IT jobs for forced-``worker_count`` workloads.
+
+    The scaling benchmark's shard recipe: submissions carry their own
+    ``gold_tweets`` and a forced ``worker_count``, so no engine
+    calibration happens at build time and the per-shard wall clock is
+    pure query simulation.
+    """
+    from repro.amt.market import SimulatedMarket
+    from repro.cluster.shards import shard_seed
+    from repro.system import CDAS
+
+    seed = int(config["seed"])
+    pool = shard_pool(config)
+    market = SimulatedMarket(pool, seed=shard_seed(seed, config.get("shard")))
+    return CDAS.with_default_jobs(market, seed=seed)
+
+bench.default_pool_size = 120
+
+
+WORKLOADS: dict[str, Callable[[Mapping[str, Any]], Any]] = {
+    "demo": demo,
+    "bench": bench,
+}
+
+
+def build_workload(name: str, config: Mapping[str, Any]) -> Any:
+    """Resolve a registered factory by name and build its CDAS."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; registered: {sorted(WORKLOADS)}"
+        ) from None
+    return factory(config)

@@ -36,6 +36,7 @@ import re
 from collections.abc import Mapping
 from typing import Any
 
+from repro.cluster.rpc import ShardDied
 from repro.engine.aio import AsyncQueryHandle, AsyncSchedulerService, ServiceMux
 from repro.engine.planner import PlanInfeasible
 from repro.engine.service import AdmissionRejected
@@ -159,6 +160,14 @@ class GatewayApp:
         if name is None:
             if len(self.mux) == 1:
                 return self.mux.services[0]
+            router = getattr(self.mux, "route", None)
+            if router is not None:
+                # A sharded mux (ShardRouter) picks the tenant's home
+                # deterministically; "no live shard" is a 503, not a 400.
+                try:
+                    return router(tenant)
+                except LookupError as exc:
+                    raise HttpError(503, "no-shard", str(exc)) from None
             raise HttpError(
                 400,
                 "service-required",
@@ -249,6 +258,11 @@ class GatewayApp:
             await self._send_json(
                 send, 400, {"error": "bad-request", "message": str(exc)}
             )
+        except ShardDied as exc:
+            # A sharded backend lost the query's process mid-request.
+            await self._send_json(
+                send, 503, {"error": "shard-unavailable", "message": str(exc)}
+            )
         except Exception as exc:  # pragma: no cover - last resort
             await self._send_json(
                 send, 500, {"error": "internal", "message": str(exc)}
@@ -283,7 +297,7 @@ class GatewayApp:
             self._allow(method, ("POST",))
             tenant = self.auth.authenticate(headers)
             body = await self._read_json(receive)
-            await self._send_json(send, 200, routes.explain(self, tenant, body))
+            await self._send_json(send, 200, await routes.explain(self, tenant, body))
             return
         if path == "/v1/queries":
             self._allow(method, ("POST",))

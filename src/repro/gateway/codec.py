@@ -150,15 +150,25 @@ def handle_payload(query_id: str, ahandle: Any) -> dict[str, Any]:
     }
     state = progress.state.value
     if state == "done":
-        payload["result"] = result_summary(ahandle.handle.result())
+        summarise = getattr(ahandle, "result_summary", None)
+        if summarise is not None:
+            # Remote shard handle: the worker computed (and pushed) the
+            # canonical summary — the live result object never crossed.
+            payload["result"] = summarise()
+        else:
+            payload["result"] = result_summary(ahandle.handle.result())
     elif state == "failed":
-        # The sync handle may be a plain QueryHandle or the durability
-        # layer's wrapper; both lead to the same record.
-        sync = ahandle.handle
-        record = getattr(sync, "_record", None)
-        if record is None:
-            record = sync._inner._record
-        payload["error"] = (
-            str(record.error) if record.error is not None else "failed"
-        )
+        error_text = getattr(ahandle, "error_text", None)
+        if error_text is not None:
+            payload["error"] = error_text
+        else:
+            # The sync handle may be a plain QueryHandle or the
+            # durability layer's wrapper; both lead to the same record.
+            sync = ahandle.handle
+            record = getattr(sync, "_record", None)
+            if record is None:
+                record = sync._inner._record
+            payload["error"] = (
+                str(record.error) if record.error is not None else "failed"
+            )
     return payload

@@ -28,6 +28,16 @@ if TYPE_CHECKING:
 __all__ = ["healthz", "metrics", "explain", "submit", "poll", "cancel"]
 
 
+async def _maybe_await(value: Any) -> Any:
+    """Tolerate both service flavours: in-process services answer
+    ``plan``/``submit`` synchronously, remote shard services return a
+    coroutine (an RPC round trip).  One seam keeps every route working
+    against either."""
+    if asyncio.iscoroutine(value):
+        return await value
+    return value
+
+
 def healthz(app: "GatewayApp") -> dict[str, Any]:
     """Liveness: the mux's services and their driver state."""
     return {
@@ -50,11 +60,18 @@ def metrics(app: "GatewayApp") -> dict[str, Any]:
     services: dict[str, Any] = {}
     for service in app.mux.services:
         name = service.name or "svc"
+        inner = service.service  # the (possibly durable) sync service
+        if inner is None and hasattr(service, "metrics_snapshot"):
+            # Remote shard: its stats were pushed over the socket; the
+            # gateway-level drain counter still wins for consistency.
+            entry = service.metrics_snapshot()
+            entry["drains"] = app.drains.get(name, 0)
+            services[name] = entry
+            continue
         states: dict[str, int] = {}
         for handle in service.handles:
             key = handle.state.value
             states[key] = states.get(key, 0) + 1
-        inner = service.service  # the (possibly durable) sync service
         journal_stats = getattr(inner, "journal_stats", None)
         services[name] = {
             "steps_taken": service.steps_taken,
@@ -95,7 +112,7 @@ def _parse_submission(
     return service, job, query, inputs, options
 
 
-def explain(app: "GatewayApp", tenant: str, body: dict[str, Any]) -> dict[str, Any]:
+async def explain(app: "GatewayApp", tenant: str, body: dict[str, Any]) -> dict[str, Any]:
     """``POST /v1/explain`` — the plan-first preview, side-effect-free.
 
     Projects the request into a :class:`QueryPlan` and previews
@@ -105,14 +122,14 @@ def explain(app: "GatewayApp", tenant: str, body: dict[str, Any]) -> dict[str, A
     are exactly what `cdas-repro explain` prints.
     """
     service, job, query, inputs, options = _parse_submission(app, tenant, body)
-    plan = service.plan(
+    plan = await _maybe_await(service.plan(
         job,
         query,
         tenant=tenant,
         budget=options["budget"],
         priority=options["priority"],
         **inputs,
-    )
+    ))
     decision = service.preadmit(plan)
     return {
         "service": service.name or "svc",
@@ -151,7 +168,7 @@ async def submit(
             _, handle = app.resolve(tenant, existing)
             return 200, handle_payload(existing, handle)
     service, job, query, inputs, options = _parse_submission(app, tenant, body)
-    handle = service.submit(
+    handle = await _maybe_await(service.submit(
         job,
         query,
         tenant=tenant,
@@ -159,7 +176,7 @@ async def submit(
         priority=options["priority"],
         reserve=options["mode"] == "reserve",
         **inputs,
-    )
+    ))
     flush = getattr(service.service, "flush_journal", None)
     if flush is not None:
         # Durable gateway: the submit record must hit disk before the
@@ -209,6 +226,10 @@ async def cancel(app: "GatewayApp", tenant: str, query_id: str) -> dict[str, Any
 
     payload = handle_payload(query_id, handle)
     payload["cancelled"] = cancelled
-    payload["ledger"] = ledger_summary(service.service.engine.market.ledger)
+    if service.service is None and hasattr(service, "ledger_summary"):
+        # Remote shard: the cancel reply refreshed the pushed ledger.
+        payload["ledger"] = service.ledger_summary()
+    else:
+        payload["ledger"] = ledger_summary(service.service.engine.market.ledger)
     assert handle.state in TERMINAL_STATES
     return payload

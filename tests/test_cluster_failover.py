@@ -1,0 +1,137 @@
+"""Shard failure: ``kill -9`` a worker mid-workload (DESIGN.md §14).
+
+Two contracts, by journal presence:
+
+* **unjournaled** shard death — the router strands the shard's
+  non-terminal handles as FAILED (``ShardDied``) instead of letting
+  clients hang, marks the shard unroutable, and rendezvous re-homes its
+  tenants to the survivors on their next request;
+* **journaled** shard death — the router respawns the process on the
+  same journal; recovery reattaches every handle by ``seq`` (the public
+  query id survives), the interrupted query runs to completion, and the
+  next submission continues the seq sequence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster import ShardRouter
+from repro.cluster.rpc import ShardDied
+from repro.tsa.app import movie_query
+from repro.tsa.tweets import generate_tweets
+
+SEED = 2012
+
+#: Big enough that the query is still mid-flight when SIGKILL lands
+#: (the kill is sent immediately after the submit ack).
+SLOW_TWEETS = 300
+
+
+def _inputs(per_movie: int):
+    return dict(
+        tweets=generate_tweets(["rio"], per_movie=per_movie, seed=SEED + 2),
+        gold_tweets=generate_tweets(["gold-movie"], per_movie=8, seed=SEED + 1),
+        worker_count=5,
+        batch_size=4,
+    )
+
+
+async def _await_terminal(handle, timeout: float = 30.0) -> None:
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not (handle.done or handle.stranded is not None):
+        assert asyncio.get_running_loop().time() < deadline, (
+            f"handle stuck {handle.state.value}"
+        )
+        await asyncio.sleep(0.05)
+
+
+def test_unjournaled_kill_strands_handles_and_rehomes_tenants():
+    async def run():
+        async with ShardRouter(2, workload="bench", seed=SEED) as router:
+            await router.register_tenant("acme", priority=2.0)
+            home = router.route("acme")
+            handle = await home.submit(
+                "twitter-sentiment",
+                movie_query("rio", 0.9),
+                tenant="acme",
+                **_inputs(SLOW_TWEETS),
+            )
+            assert not handle.done  # genuinely mid-workload
+            router.kill_shard(home.name)
+            await _await_terminal(handle)
+
+            # The handle reports FAILED, never hangs.
+            assert handle.state.value == "failed"
+            assert isinstance(handle.stranded, ShardDied)
+            with pytest.raises(ShardDied):
+                await handle.result(timeout=1)
+
+            # The dead shard is out of the routing table; the tenant's
+            # new home is a survivor, and new work runs there.
+            assert not home.routable
+            survivor = router.route("acme")
+            assert survivor.name != home.name
+            replacement = await survivor.submit(
+                "twitter-sentiment",
+                movie_query("rio", 0.9),
+                tenant="acme",
+                **_inputs(6),
+            )
+            result = await replacement.result(timeout=120)
+            assert replacement.state.value == "done"
+            assert result is not None
+
+            # Submitting straight to the dead shard reports the death
+            # instead of hanging.
+            with pytest.raises(ShardDied):
+                await home.submit(
+                    "twitter-sentiment",
+                    movie_query("rio", 0.9),
+                    tenant="acme",
+                    **_inputs(6),
+                )
+
+    asyncio.run(run())
+
+
+def test_journaled_kill_respawns_and_preserves_query_ids(tmp_path):
+    async def run():
+        base = str(tmp_path / "wal")
+        async with ShardRouter(
+            2, workload="bench", seed=SEED, journal=base
+        ) as router:
+            await router.register_tenant("acme", priority=2.0)
+            home = router.route("acme")
+            handle = await home.submit(
+                "twitter-sentiment",
+                movie_query("rio", 0.9),
+                tenant="acme",
+                **_inputs(SLOW_TWEETS),
+            )
+            seq = handle.seq
+            assert not handle.done
+            router.kill_shard(home.name)
+
+            # Same handle object, same seq: respawn + journal recovery
+            # finish the interrupted query behind the same public id.
+            result = await handle.result(timeout=180)
+            assert handle.seq == seq
+            assert handle.state.value == "done"
+            assert result is not None and "report" in result
+            assert home.routable and home.alive
+
+            # The seq sequence continues where the journal left off.
+            follow_up = await home.submit(
+                "twitter-sentiment",
+                movie_query("rio", 0.9),
+                tenant="acme",
+                **_inputs(6),
+            )
+            assert follow_up.seq == seq + 1
+            await follow_up.result(timeout=120)
+            assert follow_up.state.value == "done"
+
+    asyncio.run(run())
