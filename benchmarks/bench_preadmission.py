@@ -64,7 +64,7 @@ def _refuse_all_at_plan_time(bench_seed: int):
     """The measured path: N plan → refuse round trips, no simulation."""
     cdas, service, inputs = _service(bench_seed)
     refused = 0
-    for i in range(INFEASIBLE_QUERIES):
+    for _ in range(INFEASIBLE_QUERIES):
         plan = service.plan(
             "twitter-sentiment", movie_query("doomed", 0.9), tenant="acme",
             **inputs,
@@ -82,7 +82,7 @@ def _reactive_baseline(bench_seed: int):
     until the cap trips; later ones are refused only reactively."""
     cdas, service, inputs = _service(bench_seed)
     admitted, refused = 0, 0
-    for i in range(INFEASIBLE_QUERIES):
+    for _ in range(INFEASIBLE_QUERIES):
         try:
             service.submit(
                 "twitter-sentiment", movie_query("doomed", 0.9),

@@ -64,7 +64,7 @@ def _run_service(bench_seed: int, allocation: str):
         for name, handle in handles.items():
             if handle.done and name not in done_at:
                 done_at[name] = service.scheduler.clock
-    for name, handle in handles.items():
+    for name in handles:
         done_at.setdefault(name, service.scheduler.clock)
     return service, handles, done_at
 

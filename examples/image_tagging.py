@@ -10,7 +10,7 @@ Run:  python examples/image_tagging.py
 from repro.amt import PoolConfig, SimulatedMarket, WorkerPool
 from repro.baselines import SimulatedALIPR
 from repro.engine import CrowdsourcingEngine
-from repro.it import ITJob, SUBJECTS, generate_images
+from repro.it import SUBJECTS, ITJob, generate_images
 from repro.tsa import generate_tweets, tweet_to_question
 from repro.util import format_table
 

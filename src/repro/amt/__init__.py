@@ -19,9 +19,9 @@ from repro.amt.latency import (
     LognormalLatency,
 )
 from repro.amt.market import PublishedHIT, SimulatedMarket
-from repro.amt.slow import SlowBackend, SlowHITHandle
 from repro.amt.pool import PoolConfig, WorkerPool
 from repro.amt.pricing import CostLedger, PriceSchedule
+from repro.amt.slow import SlowBackend, SlowHITHandle
 from repro.amt.trace import (
     Trace,
     TraceDivergence,

@@ -249,7 +249,7 @@ class EventPump:
             while self._dormant and self._dormant[0][0] <= now:
                 due.append(heapq.heappop(self._dormant))
         reparked: list[tuple[float, int, HITHandle, float]] = []
-        for wake, order, handle, published_at in due:
+        for _wake, order, handle, published_at in due:
             if handle.done:
                 continue
             head = handle.peek_time()

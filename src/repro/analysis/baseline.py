@@ -1,0 +1,83 @@
+"""The checked-in baseline: pre-existing findings ratchet down, never up.
+
+A baseline is a JSON multiset of finding fingerprints.  Findings whose
+fingerprint appears in the baseline are *baselined* — reported, but they
+don't fail the build — so a new rule can land against an imperfect tree
+and the debt burns down finding by finding.  Fingerprints omit line
+numbers (see :meth:`repro.analysis.findings.Finding.fingerprint`), so
+edits elsewhere in a file never resurrect an entry.
+
+``cdas-repro lint --write-baseline`` regenerates the file from the
+current tree; entries that no longer match anything are *stale* and the
+report names them so the file shrinks in the same PR that fixed them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: The repo-root file name ``lint`` looks for when ``--baseline`` is not given.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Fingerprint → allowed count.  A missing file is an empty baseline."""
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != 1:
+        raise BaselineError(f"baseline {path} is not a version-1 cdas-lint baseline")
+    entries = data.get("entries")
+    if not isinstance(entries, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v > 0 for k, v in entries.items()
+    ):
+        raise BaselineError(f"baseline {path} entries must map fingerprints to counts")
+    return dict(entries)
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> dict[str, int]:
+    """Persist the non-waived findings as the new baseline (sorted, stable)."""
+    entries: dict[str, int] = {}
+    for finding in findings:
+        if finding.waived:
+            continue
+        fp = finding.fingerprint()
+        entries[fp] = entries.get(fp, 0) + 1
+    payload = {
+        "version": 1,
+        "tool": "cdas-lint",
+        "entries": dict(sorted(entries.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: dict[str, int]
+) -> tuple[list[Finding], list[str]]:
+    """Mark baselined findings; return (findings, stale fingerprints).
+
+    Multiset semantics: a fingerprint allowed N times baselines at most N
+    matching findings — the N+1th identical violation is new.
+    """
+    remaining = dict(baseline)
+    marked: list[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint()
+        if not finding.waived and remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            marked.append(finding.with_baselined())
+        else:
+            marked.append(finding)
+    stale = [fp for fp, count in remaining.items() if count > 0]
+    return marked, stale

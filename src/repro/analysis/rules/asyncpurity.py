@@ -1,0 +1,114 @@
+"""CDAS002 — async bodies must never block the event loop.
+
+The async front door (DESIGN.md §8, §13–14) multiplexes every service,
+gateway request, and shard RPC onto one event loop; one blocking call in
+one coroutine stalls *every* tenant's progress stream.  "Engineering
+Crowdsourced Stream Processing Systems" catalogues exactly this fault
+class (blocked event loops starving collection).  The engine's answer is
+structural: coroutines only await — wall-clock waiting happens in
+``asyncio.sleep``/``wait_for``, file durability goes through the journal
+store off the driver's hot loop, and subprocess/socket work rides
+asyncio's own primitives.
+
+The rule flags direct calls to known-blocking stdlib entry points inside
+``async def`` bodies in the async scope.  Nested synchronous ``def``\\ s
+are *not* scanned (they may be destined for executors or callbacks);
+re-entering an ``async def`` resumes scanning.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.astutil import call_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import Module, Project
+
+#: Where the event-loop purity contract holds: the async service driver,
+#: the HTTP gateway, and the multi-process cluster layer.
+ASYNC_SCOPE = (
+    "repro/engine/aio.py",
+    "repro/gateway/",
+    "repro/cluster/",
+)
+
+#: Dotted call → why it blocks.  Matched after import-alias resolution.
+BLOCKING_CALLS = {
+    "time.sleep": "sleeps the whole event loop (use `await asyncio.sleep`)",
+    "open": "synchronous file I/O blocks the loop (journal writes belong "
+    "in the JournalStore, off the driver's await points)",
+    "input": "blocks on stdin",
+    "socket.socket": "raw blocking socket (use asyncio streams)",
+    "socket.create_connection": "blocking connect (use asyncio.open_connection)",
+    "socket.getaddrinfo": "synchronous DNS lookup (use loop.getaddrinfo)",
+    "urllib.request.urlopen": "blocking HTTP round trip",
+    "os.system": "blocks until the child exits",
+    "os.popen": "blocks on the child's pipe",
+    "os.wait": "blocks until a child exits",
+    "os.waitpid": "blocks until the child exits",
+}
+
+#: Whole modules that are blocking by construction inside a coroutine.
+BLOCKING_MODULES = {
+    "subprocess": "subprocess calls block (or fork) on the loop thread",
+    "requests": "requests is synchronous HTTP",
+}
+
+
+class AsyncPurityRule(Rule):
+    id = "CDAS002"
+    name = "async-purity"
+    description = (
+        "no blocking calls (sleep, sync sockets/files, subprocess) inside "
+        "async def bodies on the service/gateway/cluster event loop"
+    )
+
+    def __init__(self, scope: Iterable[str] = ASYNC_SCOPE) -> None:
+        self.scope = tuple(scope)
+
+    def check_module(self, project: "Project", module: "Module") -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._scan_async_body(module, node)
+
+    def _scan_async_body(self, module: "Module", fn: ast.AsyncFunctionDef) -> Iterator[Finding]:
+        symbol = fn.name
+
+        def walk(node: ast.AST) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.FunctionDef):
+                    continue  # sync helper: may run in an executor/callback
+                if isinstance(child, ast.AsyncFunctionDef):
+                    yield from self._scan_async_body(module, child)
+                    continue
+                if isinstance(child, ast.Call):
+                    finding = self._check_call(module, child, symbol)
+                    if finding is not None:
+                        yield finding
+                yield from walk(child)
+
+        yield from walk(fn)
+
+    def _check_call(self, module: "Module", call: ast.Call, symbol: str) -> Finding | None:
+        name = call_name(call, module.imports)
+        if name is None:
+            return None
+        reason = BLOCKING_CALLS.get(name)
+        if reason is None:
+            head = name.split(".", 1)[0]
+            if head in BLOCKING_MODULES and name != head:
+                reason = BLOCKING_MODULES[head]
+        if reason is None:
+            return None
+        return self.finding(
+            module,
+            call.lineno,
+            call.col_offset,
+            f"blocking call {name}() inside `async def {symbol}`: {reason}",
+            symbol=symbol,
+        )

@@ -1,0 +1,187 @@
+"""CDAS004 — the journal/RPC codec's registration table must be closed.
+
+Submission descriptors cross two process boundaries — the write-ahead
+journal (DESIGN.md §12) and the shard RPC (§14) — through the
+type-tagged codec in ``repro/durability/codec.py``.  The codec only
+decodes *registered* dataclasses (journal bytes must never import
+arbitrary dotted paths), so an unregistered dataclass that reaches a
+boundary fails at runtime, possibly only on the recovery path — the
+worst time to find out.
+
+Static closure check:
+
+1. Extract the registration table from the codec module: direct
+   ``register(X)`` calls, ``@register`` class decorators, and the
+   ``for cls in (A, B, ...): register(cls)`` loop inside
+   ``_register_builtins``, resolving names through the module's imports.
+   Tree-wide ``codec.register(X)`` calls and decorators add entries.
+2. The *boundary modules* are the modules the registered classes come
+   from: once one class of a module rides the journal, its siblings are
+   one refactor away from riding it too.
+3. Every top-level ``@dataclass`` in a boundary module must be
+   registered (or carry a reasoned waiver declaring it journal-external).
+4. Every registration must resolve to a class that still exists —
+   renames can't leave the table pointing at ghosts.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import Module, Project
+
+#: The codec module (suffix-matched through Project.find).
+CODEC_MODULE = "repro/durability/codec.py"
+
+
+def _is_dataclass_def(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+def _module_of(relpath: str) -> str:
+    """``src/repro/tsa/tweets.py`` → ``repro.tsa.tweets`` (best effort)."""
+    parts = relpath.replace("\\", "/").removesuffix(".py").split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    return ".".join(parts)
+
+
+class CodecClosureRule(Rule):
+    id = "CDAS004"
+    name = "codec-closure"
+    description = (
+        "every dataclass in a journal/RPC boundary module is registered "
+        "with the durability codec, and every registration resolves"
+    )
+
+    def __init__(self, codec_module: str = CODEC_MODULE) -> None:
+        self.codec_module = codec_module
+        self.scope = (codec_module,)
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        codec = project.find(self.codec_module)
+        if codec is None:
+            return
+        registered = self._registered(codec)
+        for module in project.modules:
+            registered |= self._external_registrations(module)
+        if not registered:
+            return
+        boundary_modules = {name.rsplit(".", 1)[0] for name in registered}
+        registered_names = registered
+
+        # (4) ghost registrations: the class must exist where claimed.
+        classes_by_module: dict[str, set[str]] = {}
+        for module in project.modules:
+            mod_name = _module_of(module.relpath)
+            classes_by_module[mod_name] = {
+                node.name for node in module.tree.body if isinstance(node, ast.ClassDef)
+            }
+        for dotted in sorted(registered_names):
+            mod_name, _, cls_name = dotted.rpartition(".")
+            if mod_name in classes_by_module and cls_name not in classes_by_module[mod_name]:
+                yield self.finding(
+                    codec,
+                    1,
+                    0,
+                    f"codec registration {dotted!r} does not resolve to a "
+                    "class in that module — stale after a rename?",
+                    symbol="_register_builtins",
+                )
+
+        # (3) closure: boundary-module dataclasses must all be registered.
+        for module in project.modules:
+            mod_name = _module_of(module.relpath)
+            if mod_name not in boundary_modules:
+                continue
+            for node in module.tree.body:
+                if not isinstance(node, ast.ClassDef) or not _is_dataclass_def(node):
+                    continue
+                dotted = f"{mod_name}.{node.name}"
+                if dotted in registered_names:
+                    continue
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"dataclass {dotted} lives in a codec boundary module "
+                    "but is not registered with repro.durability.codec — "
+                    "register it (or waive it as journal-external) so a "
+                    "submission carrying it survives the journal/RPC "
+                    "round trip",
+                    symbol=node.name,
+                )
+
+    # -- registration-table extraction ---------------------------------------
+
+    def _registered(self, codec: "Module") -> set[str]:
+        """Dotted names registered inside the codec module itself."""
+        names: set[str] = set()
+        tree = codec.tree
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                target = dotted_name(node.func)
+                if target == "register" and node.args:
+                    names |= self._resolve_args(codec, node.args[0])
+            elif isinstance(node, ast.For):
+                # for cls in (A, B, C): register(cls)
+                if not isinstance(node.target, ast.Name):
+                    continue
+                loop_var = node.target.id
+                registers_loop_var = any(
+                    isinstance(sub, ast.Call)
+                    and dotted_name(sub.func) == "register"
+                    and sub.args
+                    and isinstance(sub.args[0], ast.Name)
+                    and sub.args[0].id == loop_var
+                    for stmt in node.body
+                    for sub in ast.walk(stmt)
+                )
+                if registers_loop_var and isinstance(node.iter, (ast.Tuple, ast.List)):
+                    for element in node.iter.elts:
+                        names |= self._resolve_args(codec, element)
+        return names
+
+    def _external_registrations(self, module: "Module") -> set[str]:
+        """``codec.register(X)`` calls and ``@register`` decorators anywhere."""
+        names: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                target = dotted_name(node.func)
+                if target is None or not node.args:
+                    continue
+                resolved = module.imports.resolve(target)
+                if resolved.endswith("durability.codec.register") or (
+                    target.endswith(".register") and "codec" in target
+                ):
+                    names |= self._resolve_args(module, node.args[0])
+            elif isinstance(node, ast.ClassDef):
+                for decorator in node.decorator_list:
+                    target = dotted_name(decorator)
+                    if target is None:
+                        continue
+                    resolved = module.imports.resolve(target)
+                    if resolved.endswith("durability.codec.register"):
+                        names.add(f"{_module_of(module.relpath)}.{node.name}")
+        return names
+
+    @staticmethod
+    def _resolve_args(module: "Module", node: ast.expr) -> set[str]:
+        """A Name/Attribute argument → its import-resolved dotted path."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return set()
+        resolved = module.imports.resolve(dotted)
+        return {resolved} if "." in resolved else set()

@@ -141,7 +141,8 @@ class DawidSkene:
         confusion = np.zeros((len(workers), m, m))
         priors = np.full(m, 1.0 / m)
         iterations = 0
-        for iterations in range(1, self.max_iterations + 1):
+        while iterations < self.max_iterations:
+            iterations += 1
             # M-step: confusion matrices and priors from soft labels.
             confusion.fill(self.smoothing)
             for qi, row in enumerate(entries):

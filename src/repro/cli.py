@@ -43,6 +43,12 @@ Commands
     structured divergence when it does not.  ``--time-scale`` stretches
     the recorded arrival timestamps (0 compresses all waiting away,
     1 reproduces the recording's pacing).
+``lint [PATHS] [--json FILE] [--write-baseline]``
+    Run the cdas-lint invariant checker (DESIGN.md §15): determinism in
+    the sans-IO core, async purity, durability ordering, codec closure
+    and seam parity.  Exits 1 on new findings, 0 when everything is
+    clean, waived or baselined.  Same engine as
+    ``python -m repro.analysis``.
 """
 
 from __future__ import annotations
@@ -667,6 +673,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run as run_lint_cli
+
+    return run_lint_cli(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -872,6 +884,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="pstats sort key",
     )
     profile_p.set_defaults(func=_cmd_profile)
+
+    from repro.analysis.cli import add_arguments as add_lint_arguments
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="check the structural invariants (cdas-lint, DESIGN.md §15)",
+    )
+    add_lint_arguments(lint_p)
+    lint_p.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -58,11 +58,18 @@ def register(cls: type) -> type:
 
 def _register_builtins() -> None:
     from repro.engine.query import Query
-    from repro.it.images import SyntheticImage
+    from repro.it.images import ImageCorpusConfig, SyntheticImage
     from repro.tsa.stream import TweetStream
-    from repro.tsa.tweets import Tweet
+    from repro.tsa.tweets import Tweet, TweetGeneratorConfig
 
-    for cls in (Query, Tweet, TweetStream, SyntheticImage):
+    for cls in (
+        Query,
+        Tweet,
+        TweetStream,
+        TweetGeneratorConfig,
+        SyntheticImage,
+        ImageCorpusConfig,
+    ):
         register(cls)
 
 

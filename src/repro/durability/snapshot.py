@@ -32,9 +32,9 @@ from typing import TYPE_CHECKING, Any
 from repro.durability import codec
 from repro.engine.service import (
     TERMINAL_STATES,
+    _PlainSource,
     QueryHandle,
     QueryIntake,
-    _PlainSource,
 )
 
 if TYPE_CHECKING:

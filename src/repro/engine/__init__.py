@@ -26,6 +26,8 @@ from repro.engine.planner import (
     QueryPlan,
     WindowProjection,
 )
+from repro.engine.privacy import MASK, PrivacyManager
+from repro.engine.query import Query
 from repro.engine.scheduler import BatchSink, BatchSpec, HITScheduler, SessionGroup
 from repro.engine.service import (
     AdmissionController,
@@ -38,8 +40,6 @@ from repro.engine.service import (
     TenantPolicy,
 )
 from repro.engine.session import HITSession, SessionState
-from repro.engine.privacy import MASK, PrivacyManager
-from repro.engine.query import Query
 from repro.engine.templates import QueryTemplate, render_hit_description
 
 __all__ = [

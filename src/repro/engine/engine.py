@@ -248,7 +248,7 @@ class CrowdsourcingEngine:
         """
         if not gold_questions:
             raise ValueError("calibration needs at least one gold question")
-        for i in range(hits):
+        for _ in range(hits):
             hit = HIT(
                 hit_id=self.next_hit_id("calibration"),
                 questions=tuple(

@@ -95,7 +95,7 @@ def estimate_pool_accuracies(
     for profile in pool.profiles:
         rng = substream(seed, f"gold:{profile.worker_id}")
         behaviour = behaviour_for(profile)
-        for i in range(gold_per_worker):
+        for _ in range(gold_per_worker):
             probe = probes[int(rng.integers(len(probes)))]
             answer, _ = behaviour.answer(profile, probe, rng)
             estimator.record(profile.worker_id, answer == probe.truth)

@@ -42,7 +42,7 @@ def run(
         rng = substream(seed, f"fig14:{profile.worker_id}")
         behaviour = behaviour_for(profile)
         correct = 0
-        for i in range(questions_per_worker):
+        for _ in range(questions_per_worker):
             probe = probes[int(rng.integers(len(probes)))]
             answer, _ = behaviour.answer(profile, probe, rng)
             correct += answer == probe.truth

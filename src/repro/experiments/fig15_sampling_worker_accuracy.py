@@ -40,7 +40,7 @@ def run(
         rng = substream(seed, f"fig15:{profile.worker_id}")
         behaviour = behaviour_for(profile)
         transcript = []
-        for i in range(gold_budget):
+        for _ in range(gold_budget):
             probe = probes[int(rng.integers(len(probes)))]
             answer, _ = behaviour.answer(profile, probe, rng)
             transcript.append(answer == probe.truth)

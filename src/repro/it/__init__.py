@@ -1,13 +1,6 @@
 """Application 2: image tagging over a synthetic Flickr-like corpus."""
 
 from repro.it.app import ITJob, ITResult, build_it_spec
-from repro.it.search import (
-    SearchEvaluation,
-    TagIndex,
-    build_index_from_crowd,
-    crowd_search_pipeline,
-    evaluate_search,
-)
 from repro.it.images import (
     IMAGE_TAG_DIFFICULTY,
     NOISE_TAGS,
@@ -19,6 +12,13 @@ from repro.it.images import (
     image_tag_questions,
     tag_prototypes,
     tag_vocabulary,
+)
+from repro.it.search import (
+    SearchEvaluation,
+    TagIndex,
+    build_index_from_crowd,
+    crowd_search_pipeline,
+    evaluate_search,
 )
 
 __all__ = [

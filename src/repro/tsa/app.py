@@ -15,6 +15,9 @@ from dataclasses import dataclass, replace
 from repro.core.presentation import OpinionReport
 from repro.engine.engine import CrowdsourcingEngine, HITRunResult, QuestionRecord
 from repro.engine.executor import ProgramExecutor, batched
+from repro.engine.jobs import JobSpec
+from repro.engine.planner import Projection, ceil_div, window_cost
+from repro.engine.query import Query
 from repro.engine.scheduler import (
     BatchSink,
     BatchSpec,
@@ -22,9 +25,6 @@ from repro.engine.scheduler import (
     SessionGroup,
     specs_from_batches,
 )
-from repro.engine.jobs import JobSpec
-from repro.engine.planner import Projection, ceil_div, window_cost
-from repro.engine.query import Query
 from repro.engine.templates import QueryTemplate
 from repro.tsa.stream import TweetStream
 from repro.tsa.tweets import Tweet, tweet_to_question

@@ -165,7 +165,7 @@ def _mul_add_128(
     return [c0, c1, c2, c3]
 
 
-def pcg64_init(seeds) -> tuple[list[np.ndarray], list[np.ndarray]]:
+def pcg64_init(seeds: "np.typing.ArrayLike") -> tuple[list[np.ndarray], list[np.ndarray]]:
     """Initialise PCG64 for every seed; returns ``(state, inc)`` limb vectors.
 
     Replays ``SeedSequence(seed)`` entropy pooling, ``generate_state(4,
@@ -269,7 +269,7 @@ def lemire32_threshold(n: int) -> int:
     return ((1 << 32) - n) % n
 
 
-def lemire32(halves: np.ndarray, n) -> tuple[np.ndarray, np.ndarray]:
+def lemire32(halves: np.ndarray, n: "int | np.ndarray") -> tuple[np.ndarray, np.ndarray]:
     """The exact ``Generator.integers(n)`` value for 32-bit halves.
 
     ``n`` may be a scalar or a per-element array (each < 2**32).  Returns
